@@ -1,0 +1,195 @@
+// Command powerchop runs the PowerChop simulator from the command line:
+// list benchmarks, simulate one under a chosen power manager, compare
+// configurations, or regenerate the paper's tables and figures.
+//
+// Usage:
+//
+//	powerchop list
+//	powerchop run -bench gobmk [-manager powerchop|full-power|min-power|timeout] [-arch server|mobile] [-passes 2]
+//	powerchop compare -bench namd [-passes 2]
+//	powerchop figure -id fig12 [-scale 1]
+//	powerchop all [-scale 1]
+//	powerchop headline [-scale 1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"powerchop"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "figure":
+		err = cmdFigure(os.Args[2:])
+	case "all":
+		err = cmdAll(os.Args[2:])
+	case "headline":
+		err = cmdHeadline(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "powerchop: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "powerchop: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `powerchop - phase-based unit-level power gating for hybrid processors
+
+commands:
+  list                          list the built-in benchmarks
+  run -bench NAME [flags]       simulate one benchmark
+  compare -bench NAME [flags]   full-power vs PowerChop vs min-power
+  figure -id ID [-scale F]      regenerate one paper figure/table
+  all [-scale F]                regenerate every figure/table
+  headline [-scale F]           per-suite slowdown/power/energy summary
+`)
+	fmt.Fprintf(os.Stderr, "\nfigure ids: %v\n", powerchop.FigureIDs())
+}
+
+func cmdList() error {
+	for _, name := range powerchop.Benchmarks() {
+		suite, err := powerchop.SuiteOf(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %s\n", name, suite)
+	}
+	return nil
+}
+
+func runFlags(args []string) (string, powerchop.Options, bool, error) {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	bench := fs.String("bench", "", "benchmark name (see 'powerchop list')")
+	manager := fs.String("manager", powerchop.ManagerPowerChop, "power manager")
+	archName := fs.String("arch", "", "design point (server|mobile; default per suite)")
+	passes := fs.Float64("passes", 2, "passes over the phase schedule")
+	sample := fs.Uint64("sample", 0, "sample interval in instructions (0 = off)")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return "", powerchop.Options{}, false, err
+	}
+	if *bench == "" {
+		return "", powerchop.Options{}, false, fmt.Errorf("missing -bench (see 'powerchop list')")
+	}
+	return *bench, powerchop.Options{
+		Arch:           *archName,
+		Manager:        *manager,
+		Passes:         *passes,
+		SampleInterval: *sample,
+	}, *asJSON, nil
+}
+
+func cmdRun(args []string) error {
+	bench, opts, asJSON, err := runFlags(args)
+	if err != nil {
+		return err
+	}
+	rep, err := powerchop.Run(bench, opts)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Println(rep)
+	fmt.Printf("  cycles %.3g, instructions %d, runtime %.3g s (simulated)\n",
+		rep.Cycles, rep.Instructions, rep.Seconds)
+	fmt.Printf("  energy %.4g J, mispredict rate %.3f, MLC hit rate %.3f\n",
+		rep.TotalEnergyJ, rep.MispredictRate, rep.MLCHitRate)
+	fmt.Printf("  MLC residency: one-way %.0f%%, half %.0f%%; switches/Mcyc VPU %.2f BPU %.2f MLC %.2f\n",
+		rep.MLC.OneWayFrac*100, rep.MLC.HalfFrac*100,
+		rep.VPU.SwitchesPerMCycles, rep.BPU.SwitchesPerMCycles, rep.MLC.SwitchesPerMCycles)
+	if rep.Manager == powerchop.ManagerPowerChop {
+		fmt.Printf("  phases characterized %d, CDE invocations %d, PVT hit rate %.4f\n",
+			rep.PhasesSeen, rep.CDEInvocations, rep.PVTHitRate)
+	}
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	bench, opts, asJSON, err := runFlags(args)
+	if err != nil {
+		return err
+	}
+	c, err := powerchop.Compare(bench, opts)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(c)
+	}
+	fmt.Printf("benchmark %s (%s)\n", c.Benchmark, c.FullPower.Arch)
+	fmt.Printf("  full-power: IPC %.3f, power %.4g W\n", c.FullPower.IPC, c.FullPower.AvgPowerW)
+	fmt.Printf("  powerchop:  IPC %.3f, power %.4g W  (slowdown %.2f%%, power -%.1f%%, leakage -%.1f%%, energy -%.1f%%)\n",
+		c.PowerChop.IPC, c.PowerChop.AvgPowerW,
+		c.Slowdown()*100, c.PowerReduction()*100, c.LeakageReduction()*100, c.EnergyReduction()*100)
+	fmt.Printf("  min-power:  IPC %.3f, power %.4g W  (performance loss %.1f%%)\n",
+		c.MinPower.IPC, c.MinPower.AvgPowerW, c.MinPowerLoss()*100)
+	return nil
+}
+
+func cmdFigure(args []string) error {
+	fs := flag.NewFlagSet("figure", flag.ContinueOnError)
+	id := fs.String("id", "", "figure id")
+	scale := fs.Float64("scale", 1, "run-length scale")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("missing -id (known: %v)", powerchop.FigureIDs())
+	}
+	return powerchop.NewFigureRunner(*scale).RenderFigure(os.Stdout, *id)
+}
+
+func cmdAll(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ContinueOnError)
+	scale := fs.Float64("scale", 1, "run-length scale")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return powerchop.NewFigureRunner(*scale).RenderAll(os.Stdout)
+}
+
+func cmdHeadline(args []string) error {
+	fs := flag.NewFlagSet("headline", flag.ContinueOnError)
+	scale := fs.Float64("scale", 1, "run-length scale")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := powerchop.NewFigureRunner(*scale).Headline()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %6s %9s %9s %9s %s\n", "suite", "apps", "slowdown", "power", "leakage", "energy")
+	for _, r := range rows {
+		fmt.Printf("%-12s %6d %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+			r.Suite, r.Benchmarks, r.Slowdown*100, r.PowerRed*100, r.LeakageRed*100, r.EnergyRed*100)
+	}
+	fmt.Println("paper: 2.2% slowdown; power 10/6/8/19%; leakage 23/10/12/32%; energy 9% avg")
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"powerchop"
+)
+
+func TestRunFlagsDefaults(t *testing.T) {
+	bench, opts, asJSON, err := runFlags([]string{"-bench", "gobmk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench != "gobmk" {
+		t.Fatalf("bench = %q", bench)
+	}
+	if opts.Manager != powerchop.ManagerPowerChop || opts.Passes != 2 {
+		t.Fatalf("defaults: %+v", opts)
+	}
+	if opts.Arch != "" || opts.SampleInterval != 0 || asJSON {
+		t.Fatalf("defaults: %+v json=%v", opts, asJSON)
+	}
+}
+
+func TestRunFlagsExplicit(t *testing.T) {
+	bench, opts, asJSON, err := runFlags([]string{
+		"-bench", "msn", "-manager", "timeout", "-arch", "mobile",
+		"-passes", "1.5", "-sample", "10000", "-json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench != "msn" || opts.Manager != "timeout" || opts.Arch != "mobile" ||
+		opts.Passes != 1.5 || opts.SampleInterval != 10000 || !asJSON {
+		t.Fatalf("parsed: %q %+v", bench, opts)
+	}
+}
+
+func TestRunFlagsMissingBench(t *testing.T) {
+	if _, _, _, err := runFlags(nil); err == nil {
+		t.Fatal("missing -bench accepted")
+	}
+}
+
+func TestCmdList(t *testing.T) {
+	if err := cmdList(); err != nil {
+		t.Fatal(err)
+	}
+}

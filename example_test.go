@@ -1,0 +1,47 @@
+package powerchop_test
+
+import (
+	"fmt"
+
+	"powerchop"
+)
+
+// The benchmark registry mirrors the paper's evaluation: 29 applications
+// across four suites.
+func ExampleBenchmarks() {
+	names := powerchop.Benchmarks()
+	fmt.Println(len(names), "benchmarks")
+	suite, _ := powerchop.SuiteOf("gobmk")
+	fmt.Println("gobmk is in", suite)
+	// Output:
+	// 29 benchmarks
+	// gobmk is in SPEC-INT
+}
+
+// Every table and figure of the paper regenerates by id.
+func ExampleFigureIDs() {
+	for _, id := range powerchop.FigureIDs()[:5] {
+		title, _ := powerchop.FigureTitle(id)
+		fmt.Println(id, "-", title)
+	}
+	// Output:
+	// table1 - Table I: architectural design points
+	// fig1 - Figure 1: gobmk vector intensity over time
+	// fig2 - Figure 2: small vs large BPU IPC on msn
+	// fig3 - Figure 3: 1-way vs 8-way MLC IPC on GemsFDTD
+	// fig8 - Figure 8: phase signature quality
+}
+
+// Run simulates one benchmark; results are deterministic, so the headline
+// facts of a run are stable across machines.
+func ExampleRun() {
+	rep, err := powerchop.Run("namd", powerchop.Options{Passes: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s on %s core under %s\n", rep.Benchmark, rep.Arch, rep.Manager)
+	fmt.Printf("VPU gated more than 80%%: %v\n", rep.VPU.GatedFrac > 0.8)
+	// Output:
+	// namd on server core under powerchop
+	// VPU gated more than 80%: true
+}

@@ -1,0 +1,212 @@
+package powerchop
+
+import (
+	"fmt"
+	"io"
+
+	"powerchop/internal/experiments"
+	"powerchop/internal/workload"
+)
+
+// FigureRunner regenerates the paper's tables and figures. It memoizes the
+// underlying simulations, so rendering every figure costs roughly one
+// sweep of the benchmark suite per configuration.
+type FigureRunner struct {
+	runner *experiments.Runner
+}
+
+// NewFigureRunner returns a figure runner. scale stretches or shrinks run
+// lengths (1 = the calibrated default of two phase-schedule passes; runs
+// never drop below one full pass).
+func NewFigureRunner(scale float64) *FigureRunner {
+	return &FigureRunner{runner: experiments.NewRunner(scale)}
+}
+
+// figureSpec describes one renderable experiment.
+type figureSpec struct {
+	id     string
+	title  string
+	render func(*FigureRunner) (string, error)
+}
+
+var figureSpecs = []figureSpec{
+	{"table1", "Table I: architectural design points", func(*FigureRunner) (string, error) {
+		return experiments.TableI().Render(), nil
+	}},
+	{"fig1", "Figure 1: gobmk vector intensity over time", func(f *FigureRunner) (string, error) {
+		r, err := experiments.Figure1(f.runner)
+		return renderOf(r, err)
+	}},
+	{"fig2", "Figure 2: small vs large BPU IPC on msn", func(f *FigureRunner) (string, error) {
+		r, err := experiments.Figure2(f.runner)
+		return renderOf(r, err)
+	}},
+	{"fig3", "Figure 3: 1-way vs 8-way MLC IPC on GemsFDTD", func(f *FigureRunner) (string, error) {
+		r, err := experiments.Figure3(f.runner)
+		return renderOf(r, err)
+	}},
+	{"fig8", "Figure 8: phase signature quality", func(f *FigureRunner) (string, error) {
+		r, err := experiments.Figure8(f.runner)
+		return renderOf(r, err)
+	}},
+	{"fig9", "Figure 9: unit activity, mobile", func(f *FigureRunner) (string, error) {
+		r, err := experiments.Figure9(f.runner)
+		return renderOf(r, err)
+	}},
+	{"fig10", "Figure 10: unit activity, server", func(f *FigureRunner) (string, error) {
+		r, err := experiments.Figure10(f.runner)
+		return renderOf(r, err)
+	}},
+	{"fig11", "Figure 11: policy change frequency", func(f *FigureRunner) (string, error) {
+		r, err := experiments.Figure11(f.runner)
+		return renderOf(r, err)
+	}},
+	{"fig12", "Figure 12: performance comparison", func(f *FigureRunner) (string, error) {
+		r, err := experiments.Figure12(f.runner)
+		return renderOf(r, err)
+	}},
+	{"fig13", "Figure 13: power and energy reduction", func(f *FigureRunner) (string, error) {
+		r, err := experiments.Figure13(f.runner)
+		if err != nil {
+			return "", err
+		}
+		return r.RenderFigure13(), nil
+	}},
+	{"fig14", "Figure 14: leakage power reduction", func(f *FigureRunner) (string, error) {
+		r, err := experiments.Figure14(f.runner)
+		if err != nil {
+			return "", err
+		}
+		return r.RenderFigure14(), nil
+	}},
+	{"fig15", "Figure 15: vector op prevalence among shards", func(f *FigureRunner) (string, error) {
+		r, err := experiments.Figure15(f.runner)
+		return renderOf(r, err)
+	}},
+	{"fig16", "Figure 16: PowerChop vs timeout VPU gating", func(f *FigureRunner) (string, error) {
+		r, err := experiments.Figure16(f.runner)
+		return renderOf(r, err)
+	}},
+	{"hwcosts", "HTB/PVT hardware costs (Section IV-B4)", func(*FigureRunner) (string, error) {
+		return experiments.HardwareCosts().Render(), nil
+	}},
+	{"swcosts", "CDE software costs (Section IV-C3)", func(f *FigureRunner) (string, error) {
+		r, err := experiments.SoftwareCosts(f.runner)
+		return renderOf(r, err)
+	}},
+	{"perunit", "Per-unit isolation study (Section V-C)", func(f *FigureRunner) (string, error) {
+		r, err := experiments.PerUnit(f.runner, workload.All())
+		return renderOf(r, err)
+	}},
+}
+
+// renderer is anything with a Render method.
+type renderer interface{ Render() string }
+
+func renderOf(r renderer, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+// FigureIDs lists the regenerable experiment identifiers.
+func FigureIDs() []string {
+	ids := make([]string, len(figureSpecs))
+	for i, s := range figureSpecs {
+		ids[i] = s.id
+	}
+	return ids
+}
+
+// FigureTitle returns the experiment's title.
+func FigureTitle(id string) (string, error) {
+	for _, s := range figureSpecs {
+		if s.id == id {
+			return s.title, nil
+		}
+	}
+	return "", fmt.Errorf("powerchop: unknown figure %q (known: %v)", id, FigureIDs())
+}
+
+// RenderFigure regenerates one experiment and writes its text rendering.
+func (f *FigureRunner) RenderFigure(w io.Writer, id string) error {
+	for _, s := range figureSpecs {
+		if s.id == id {
+			out, err := s.render(f)
+			if err != nil {
+				return err
+			}
+			_, err = io.WriteString(w, out)
+			return err
+		}
+	}
+	return fmt.Errorf("powerchop: unknown figure %q (known: %v)", id, FigureIDs())
+}
+
+// RenderAll regenerates every experiment in order.
+func (f *FigureRunner) RenderAll(w io.Writer) error {
+	for _, s := range figureSpecs {
+		if _, err := fmt.Fprintf(w, "==== %s ====\n", s.title); err != nil {
+			return err
+		}
+		if err := f.RenderFigure(w, s.id); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SuiteAverages summarizes PowerChop's headline numbers per suite (the
+// aggregates quoted in the paper's abstract and Section V-D).
+type SuiteAverages struct {
+	Suite      string
+	Slowdown   float64
+	PowerRed   float64
+	EnergyRed  float64
+	LeakageRed float64
+	Benchmarks int
+}
+
+// Headline computes per-suite and overall averages.
+func (f *FigureRunner) Headline() ([]SuiteAverages, error) {
+	perf, err := experiments.Figure12(f.runner)
+	if err != nil {
+		return nil, err
+	}
+	pwr, err := experiments.PowerReductions(f.runner)
+	if err != nil {
+		return nil, err
+	}
+	slows := map[string][]float64{}
+	for _, row := range perf.Rows {
+		slows[row.Suite] = append(slows[row.Suite], 1-row.PowerChop)
+		slows["all"] = append(slows["all"], 1-row.PowerChop)
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		if len(xs) == 0 {
+			return 0
+		}
+		return s / float64(len(xs))
+	}
+	var out []SuiteAverages
+	suites := append(workload.Suites(), "all")
+	for _, s := range suites {
+		out = append(out, SuiteAverages{
+			Suite:      s,
+			Slowdown:   mean(slows[s]),
+			PowerRed:   pwr.AvgPower[s],
+			EnergyRed:  pwr.AvgEnergy[s],
+			LeakageRed: pwr.AvgLeakage[s],
+			Benchmarks: len(slows[s]),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,3 @@
+module powerchop
+
+go 1.22

@@ -1,0 +1,158 @@
+package powerchop
+
+// End-to-end integration tests: whole-system invariants that must hold
+// across managers, design points and benchmarks.
+
+import (
+	"testing"
+)
+
+func TestGuestWorkInvariantAcrossManagers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation runs are slow")
+	}
+	// The guest program's dynamic instruction stream is fixed by the
+	// benchmark and run length; power management changes timing and
+	// micro-ops, never the guest work.
+	var insns []uint64
+	for _, m := range []string{ManagerFullPower, ManagerPowerChop, ManagerMinPower, ManagerTimeout} {
+		rep, err := Run("gobmk", Options{Passes: 1, Manager: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		insns = append(insns, rep.Instructions)
+	}
+	for i := 1; i < len(insns); i++ {
+		if insns[i] != insns[0] {
+			t.Fatalf("guest instructions differ across managers: %v", insns)
+		}
+	}
+}
+
+func TestRunsAreDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation runs are slow")
+	}
+	for _, bench := range []string{"hmmer", "msn"} {
+		a, err := Run(bench, Options{Passes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(bench, Options{Passes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cycles != b.Cycles || a.TotalEnergyJ != b.TotalEnergyJ ||
+			a.VPU.GatedFrac != b.VPU.GatedFrac {
+			t.Fatalf("%s: runs diverged (%v vs %v cycles)", bench, a.Cycles, b.Cycles)
+		}
+	}
+}
+
+func TestEnergyMinimizerGatesDeeper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation runs are slow")
+	}
+	// gobmk's board-eval phase sits between the default (0.005) and
+	// aggressive (0.02) VPU thresholds, so the energy minimizer gates the
+	// VPU strictly more, saving more power for more slowdown.
+	def, err := Run("gobmk", Options{Passes: 1, Manager: ManagerPowerChop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := Run("gobmk", Options{Passes: 1, Manager: ManagerEnergyMin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.VPU.GatedFrac <= def.VPU.GatedFrac {
+		t.Fatalf("energy-min VPU gating %.3f not above default %.3f",
+			agg.VPU.GatedFrac, def.VPU.GatedFrac)
+	}
+	if agg.AvgPowerW >= def.AvgPowerW {
+		t.Fatalf("energy-min power %.3f not below default %.3f",
+			agg.AvgPowerW, def.AvgPowerW)
+	}
+	if agg.Cycles < def.Cycles {
+		t.Fatalf("energy-min should not run faster than the default policy")
+	}
+}
+
+func TestMobileAndServerScalesDiffer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation runs are slow")
+	}
+	// The same MobileBench workload on both design points: the mobile
+	// core draws far less power and runs at lower IPC.
+	mobile, err := Run("bbc", Options{Passes: 1, Manager: ManagerFullPower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := Run("bbc", Options{Passes: 1, Manager: ManagerFullPower, Arch: ArchServer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mobile.AvgPowerW >= server.AvgPowerW/5 {
+		t.Fatalf("mobile power %.3f W not far below server %.3f W",
+			mobile.AvgPowerW, server.AvgPowerW)
+	}
+	if mobile.Seconds <= server.Seconds {
+		t.Fatal("the 1GHz 2-wide mobile core should take longer than the 3GHz 4-wide server")
+	}
+}
+
+func TestPowerChopNeverSlowerThanMinPower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation runs are slow")
+	}
+	// Criticality-directed gating must dominate criticality-blind gating
+	// on performance for MLC/branch-critical workloads.
+	for _, bench := range []string{"mcf", "bzip2", "soplex"} {
+		cmp, err := Compare(bench, Options{Passes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmp.PowerChop.Cycles > cmp.MinPower.Cycles {
+			t.Errorf("%s: PowerChop slower than min-power", bench)
+		}
+		if cmp.Slowdown() > 0.06 {
+			t.Errorf("%s: slowdown %.3f", bench, cmp.Slowdown())
+		}
+	}
+}
+
+func TestEnergyAccountingConsistent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation runs are slow")
+	}
+	rep, err := Run("libquantum", Options{Passes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average power must equal total energy over runtime.
+	if rep.Seconds <= 0 {
+		t.Fatal("no runtime")
+	}
+	implied := rep.TotalEnergyJ / rep.Seconds
+	if diff := implied/rep.AvgPowerW - 1; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("power %.6f W vs energy/time %.6f W", rep.AvgPowerW, implied)
+	}
+	if rep.AvgLeakageW >= rep.AvgPowerW {
+		t.Fatal("leakage exceeds total power")
+	}
+}
+
+func TestTimeoutManagerOnlyTouchesVPU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation runs are slow")
+	}
+	rep, err := Run("libquantum", Options{Passes: 1, Manager: ManagerTimeout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BPU.GatedFrac != 0 || rep.MLC.GatedFrac != 0 {
+		t.Fatalf("timeout baseline gated BPU %.3f / MLC %.3f", rep.BPU.GatedFrac, rep.MLC.GatedFrac)
+	}
+	if rep.VPU.GatedFrac < 0.9 {
+		t.Fatalf("timeout did not gate the idle VPU: %.3f", rep.VPU.GatedFrac)
+	}
+}

@@ -1,0 +1,144 @@
+package arch
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, d := range []Design{Server(), Mobile()} {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestTableIGeometries(t *testing.T) {
+	s := Server()
+	if s.Mem.MLC.SizeBytes != 1024<<10 || s.Mem.MLC.Ways != 8 {
+		t.Error("server MLC drifted from Table I (1024KB 8-way)")
+	}
+	if s.VPU.Width != 4 {
+		t.Error("server VPU drifted from Table I (4-wide SIMD)")
+	}
+	if s.BPU.Large.BTBEntries != 4096 || s.BPU.Large.ChooserSize != 16384 {
+		t.Error("server BPU drifted from Table I (4K BTB, 16K chooser)")
+	}
+	if s.BPU.SmallBTB != 1024 {
+		t.Error("server gated-off BPU drifted from Table I (1K BTB)")
+	}
+
+	m := Mobile()
+	if m.Mem.MLC.SizeBytes != 2048<<10 || m.Mem.MLC.Ways != 8 {
+		t.Error("mobile MLC drifted from Table I (2048KB 8-way)")
+	}
+	if m.VPU.Width != 2 {
+		t.Error("mobile VPU drifted from Table I (2-wide SIMD)")
+	}
+	if m.BPU.Large.BTBEntries != 2048 || m.BPU.Large.ChooserSize != 8192 {
+		t.Error("mobile BPU drifted from Table I (2K BTB, 8K chooser)")
+	}
+	if m.BPU.SmallBTB != 512 {
+		t.Error("mobile gated-off BPU drifted from Table I (512-entry BTB)")
+	}
+}
+
+func TestGatingOverheadsMatchPaper(t *testing.T) {
+	for _, d := range []Design{Server(), Mobile()} {
+		if d.GateStallVPU != 30 || d.GateStallBPU != 20 || d.GateStallMLC != 50 {
+			t.Errorf("%s: gate stalls drifted from Section IV-D", d.Name)
+		}
+		if d.VPU.SaveRestoreCycles != 500 {
+			t.Errorf("%s: VPU save/restore drifted from Section IV-D", d.Name)
+		}
+	}
+}
+
+func TestAreaSharesMatchTableI(t *testing.T) {
+	s := Server()
+	if s.PowerMLC.AreaFrac != 0.35 || s.PowerVPU.AreaFrac != 0.20 || s.PowerBPU.AreaFrac != 0.04 {
+		t.Error("server area shares drifted from Table I")
+	}
+	m := Mobile()
+	if m.PowerMLC.AreaFrac != 0.60 || m.PowerVPU.AreaFrac != 0.18 || m.PowerBPU.AreaFrac != 0.03 {
+		t.Error("mobile area shares drifted from Table I")
+	}
+}
+
+func TestLeakageTracksArea(t *testing.T) {
+	// Leakage budgets must be proportional to area shares within each
+	// design (leakage tracks area at a fixed node).
+	for _, d := range []Design{Server(), Mobile()} {
+		total := d.TotalLeakageW()
+		for _, u := range []struct {
+			leak, area float64
+		}{
+			{d.PowerMLC.LeakageW, d.PowerMLC.AreaFrac},
+			{d.PowerVPU.LeakageW, d.PowerVPU.AreaFrac},
+			{d.PowerBPU.LeakageW, d.PowerBPU.AreaFrac},
+		} {
+			if math.Abs(u.leak/total-u.area) > 0.005 {
+				t.Errorf("%s: leakage share %v vs area share %v", d.Name, u.leak/total, u.area)
+			}
+		}
+	}
+}
+
+func TestUnitSpecsOrder(t *testing.T) {
+	specs := Server().UnitSpecs()
+	want := []string{UnitVPU, UnitBPU, UnitMLC, UnitCore}
+	if len(specs) != len(want) {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	for i, s := range specs {
+		if s.Name != want[i] {
+			t.Errorf("spec %d = %q, want %q", i, s.Name, want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("server")
+	if err != nil || s.Name != "server" {
+		t.Fatalf("ByName(server) = %v, %v", s.Name, err)
+	}
+	m, err := ByName("mobile")
+	if err != nil || m.Name != "mobile" {
+		t.Fatalf("ByName(mobile) = %v, %v", m.Name, err)
+	}
+	if _, err := ByName("laptop"); err == nil {
+		t.Fatal("unknown design accepted")
+	}
+}
+
+func TestValidateCatchesMutations(t *testing.T) {
+	mutations := []func(*Design){
+		func(d *Design) { d.Name = "" },
+		func(d *Design) { d.ClockHz = 0 },
+		func(d *Design) { d.IssueWidth = -1 },
+		func(d *Design) { d.InterpCPI = 0.5 },
+		func(d *Design) { d.HotThreshold = 0 },
+		func(d *Design) { d.GateStallMLC = -1 },
+		func(d *Design) { d.VPU.Width = 0 },
+		func(d *Design) { d.BPU.Large.BTBEntries = 3 },
+		func(d *Design) { d.Mem.MLC.Ways = 3 },
+		func(d *Design) { d.PowerVPU.LeakageW = -1 },
+	}
+	for i, mutate := range mutations {
+		d := Server()
+		mutate(&d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestServerFasterThanMobile(t *testing.T) {
+	s, m := Server(), Mobile()
+	if s.ClockHz <= m.ClockHz || s.IssueWidth <= m.IssueWidth {
+		t.Error("server should be faster and wider than mobile")
+	}
+	if s.TotalLeakageW() <= m.TotalLeakageW() {
+		t.Error("server should leak more than mobile")
+	}
+}

@@ -1,0 +1,228 @@
+// Package bt models the binary translation software layer of the hybrid
+// processor (Section II-A): the interpreter, the translator/optimizer, the
+// region cache and the nucleus.
+//
+// The BT layer runs all guest software. The interpreter decodes and
+// executes guest instructions sequentially (slowly) while collecting
+// hotness statistics; when a code region crosses the hotness threshold,
+// the translator produces an optimized host-ISA trace — a translation —
+// and installs it in the region cache, paying a one-time translation cost.
+// Subsequent executions run out of the region cache at full pipeline
+// speed. The nucleus handles interrupts, including the PVT-miss interrupts
+// PowerChop adds for CDE invocation.
+//
+// PowerChop-specific detail: the translator emits scalar-emulation
+// alternate code paths alongside vector code, so gating the VPU switches
+// translations onto the scalar path without retranslation (Section IV-C2).
+package bt
+
+import (
+	"fmt"
+
+	"powerchop/internal/program"
+)
+
+// Translation is one region-cache entry: an optimized host-ISA trace of a
+// guest code region.
+type Translation struct {
+	// ID is the translation's unique identifier: the lower 32 bits of
+	// the guest head PC (Section IV-B2).
+	ID uint32
+	// RegionIdx is the guest region this translation covers.
+	RegionIdx int
+	// Insns is the guest instruction count of one execution of the
+	// translation.
+	Insns int
+	// Executions counts how many times the translation has run.
+	Executions uint64
+}
+
+// Stats summarizes BT activity.
+type Stats struct {
+	InterpretedExecs  uint64 // region executions run by the interpreter
+	InterpretedInsns  uint64
+	TranslatedExecs   uint64 // region executions run from the region cache
+	Translations      uint64 // regions translated
+	TranslationCycles float64
+	InterpreterCycles float64
+}
+
+// Config parameterizes the BT runtime.
+type Config struct {
+	// HotThreshold is the interpreted-execution count at which the
+	// translator takes over a region.
+	HotThreshold int
+	// InterpCPI is the interpreter's cost per guest instruction, charged
+	// on top of normal execution.
+	InterpCPI float64
+	// TranslateCyclesPerInsn is the translator's one-time cost per
+	// region instruction.
+	TranslateCyclesPerInsn float64
+}
+
+// Validate reports an error for inconsistent configurations.
+func (c Config) Validate() error {
+	if c.HotThreshold <= 0 {
+		return fmt.Errorf("bt: hot threshold %d", c.HotThreshold)
+	}
+	if c.InterpCPI < 1 {
+		return fmt.Errorf("bt: interpreter CPI %v < 1", c.InterpCPI)
+	}
+	if c.TranslateCyclesPerInsn < 0 {
+		return fmt.Errorf("bt: negative translation cost")
+	}
+	return nil
+}
+
+// System is the BT runtime for one program execution.
+type System struct {
+	cfg         Config
+	prog        *program.Program
+	execCounts  []uint64
+	regionCache []*Translation // indexed by region; nil until translated
+	nucleus     *Nucleus
+	stats       Stats
+}
+
+// New builds a BT runtime for the program. It returns an error on invalid
+// configuration.
+func New(cfg Config, p *program.Program) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.Regions) == 0 {
+		return nil, fmt.Errorf("bt: program %q has no regions", p.Name)
+	}
+	return &System{
+		cfg:         cfg,
+		prog:        p,
+		execCounts:  make([]uint64, len(p.Regions)),
+		regionCache: make([]*Translation, len(p.Regions)),
+		nucleus:     NewNucleus(),
+	}, nil
+}
+
+// Nucleus returns the runtime's interrupt handler.
+func (s *System) Nucleus() *Nucleus { return s.nucleus }
+
+// Stats returns the runtime's activity counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// Translation returns the region-cache entry for a region, or nil if the
+// region has not been translated.
+func (s *System) Translation(regionIdx int) *Translation {
+	return s.regionCache[regionIdx]
+}
+
+// RegionCacheSize returns the number of installed translations.
+func (s *System) RegionCacheSize() int {
+	n := 0
+	for _, t := range s.regionCache {
+		if t != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Execute runs one dynamic execution of the region. It returns the
+// translation the execution ran from (nil when interpreted) and the extra
+// cycles the BT layer charged: interpreter overhead for cold regions and
+// the one-time translation cost when the region crosses the hotness
+// threshold.
+func (s *System) Execute(regionIdx int) (tr *Translation, extraCycles float64) {
+	region := s.prog.Regions[regionIdx]
+	if tr = s.regionCache[regionIdx]; tr != nil {
+		tr.Executions++
+		s.stats.TranslatedExecs++
+		return tr, 0
+	}
+
+	// Interpreted execution: charge the interpreter's per-instruction
+	// overhead beyond normal pipeline execution.
+	n := uint64(region.Len())
+	s.execCounts[regionIdx]++
+	s.stats.InterpretedExecs++
+	s.stats.InterpretedInsns += n
+	extraCycles = (s.cfg.InterpCPI - 1) * float64(n)
+	s.stats.InterpreterCycles += extraCycles
+
+	if s.execCounts[regionIdx] >= uint64(s.cfg.HotThreshold) {
+		// The translator produces the optimized trace, including the
+		// scalar-emulation alternate paths for vector instructions.
+		cost := s.cfg.TranslateCyclesPerInsn * float64(n)
+		extraCycles += cost
+		s.stats.TranslationCycles += cost
+		s.stats.Translations++
+		s.regionCache[regionIdx] = &Translation{
+			ID:        region.HeadPC,
+			RegionIdx: regionIdx,
+			Insns:     region.Len(),
+		}
+	}
+	return nil, extraCycles
+}
+
+// InterruptKind classifies nucleus interrupts.
+type InterruptKind uint8
+
+const (
+	// IntPVTMiss is the PowerChop-added interrupt invoking the CDE.
+	IntPVTMiss InterruptKind = iota
+	// IntGateSwitch covers power-state transitions the nucleus oversees.
+	IntGateSwitch
+	// IntOther covers the conventional BT nucleus work (exceptions,
+	// mis-speculation recovery).
+	IntOther
+	numInterruptKinds
+)
+
+// String names the interrupt kind.
+func (k InterruptKind) String() string {
+	switch k {
+	case IntPVTMiss:
+		return "pvt-miss"
+	case IntGateSwitch:
+		return "gate-switch"
+	case IntOther:
+		return "other"
+	default:
+		return fmt.Sprintf("interrupt(%d)", uint8(k))
+	}
+}
+
+// Nucleus is the BT component that fields interrupts and exceptions at the
+// host-ISA and microarchitecture levels.
+type Nucleus struct {
+	counts [numInterruptKinds]uint64
+	cycles [numInterruptKinds]float64
+}
+
+// NewNucleus returns an empty interrupt accountant.
+func NewNucleus() *Nucleus { return &Nucleus{} }
+
+// Raise records an interrupt of the given kind costing the given cycles
+// and returns the cost for the caller to charge.
+func (n *Nucleus) Raise(kind InterruptKind, cycles float64) float64 {
+	if kind >= numInterruptKinds {
+		panic(fmt.Sprintf("bt: unknown interrupt kind %d", kind))
+	}
+	n.counts[kind]++
+	n.cycles[kind] += cycles
+	return cycles
+}
+
+// Count returns the number of interrupts of the kind.
+func (n *Nucleus) Count(kind InterruptKind) uint64 { return n.counts[kind] }
+
+// Cycles returns the cycles spent in interrupts of the kind.
+func (n *Nucleus) Cycles(kind InterruptKind) float64 { return n.cycles[kind] }
+
+// TotalCycles returns all interrupt handling cycles.
+func (n *Nucleus) TotalCycles() float64 {
+	t := 0.0
+	for _, c := range n.cycles {
+		t += c
+	}
+	return t
+}

@@ -1,0 +1,160 @@
+package bt
+
+import (
+	"testing"
+
+	"powerchop/internal/isa"
+	"powerchop/internal/program"
+)
+
+func testProgram(t *testing.T) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("bt-test", "TEST", 1)
+	r0 := b.Region(program.RegionSpec{Name: "hot", Insns: 10})
+	r1 := b.Region(program.RegionSpec{Name: "cold", Insns: 20, Mix: isa.Mix{VectorFrac: 0.2}})
+	b.Phase("p", 1000, map[int]float64{r0: 1, r1: 1})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func cfg() Config {
+	return Config{HotThreshold: 4, InterpCPI: 10, TranslateCyclesPerInsn: 100}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := cfg().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{HotThreshold: 0, InterpCPI: 10},
+		{HotThreshold: 4, InterpCPI: 0.5},
+		{HotThreshold: 4, InterpCPI: 10, TranslateCyclesPerInsn: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	p := testProgram(t)
+	if _, err := New(Config{}, p); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, err := New(cfg(), &program.Program{Name: "empty"}); err == nil {
+		t.Fatal("empty program accepted")
+	}
+}
+
+func TestInterpretThenTranslate(t *testing.T) {
+	s, err := New(cfg(), testProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First three executions are interpreted.
+	for i := 0; i < 3; i++ {
+		tr, extra := s.Execute(0)
+		if tr != nil {
+			t.Fatalf("execution %d already translated", i)
+		}
+		// Interpreter overhead: (CPI-1) * 10 insns = 90 cycles.
+		if extra != 90 {
+			t.Fatalf("execution %d extra = %v, want 90", i, extra)
+		}
+	}
+	// Fourth crosses the threshold: interpreter overhead plus the
+	// one-time translation cost (100 * 10 insns).
+	tr, extra := s.Execute(0)
+	if tr != nil {
+		t.Fatal("threshold execution should still be interpreted")
+	}
+	if extra != 90+1000 {
+		t.Fatalf("threshold extra = %v, want 1090", extra)
+	}
+	// Fifth runs from the region cache.
+	tr, extra = s.Execute(0)
+	if tr == nil || extra != 0 {
+		t.Fatalf("post-translation execution: tr=%v extra=%v", tr, extra)
+	}
+	if tr.ID != s.Translation(0).ID {
+		t.Fatal("region cache entry mismatch")
+	}
+	if tr.Executions != 1 {
+		t.Fatalf("executions = %d", tr.Executions)
+	}
+}
+
+func TestTranslationIDIsHeadPC(t *testing.T) {
+	p := testProgram(t)
+	s, _ := New(cfg(), p)
+	for i := 0; i < 5; i++ {
+		s.Execute(1)
+	}
+	tr := s.Translation(1)
+	if tr == nil {
+		t.Fatal("region 1 not translated")
+	}
+	if tr.ID != p.Regions[1].HeadPC {
+		t.Fatalf("translation ID %#x, want head PC %#x", tr.ID, p.Regions[1].HeadPC)
+	}
+	if tr.Insns != 20 {
+		t.Fatalf("translation insns = %d", tr.Insns)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s, _ := New(cfg(), testProgram(t))
+	for i := 0; i < 10; i++ {
+		s.Execute(0)
+	}
+	st := s.Stats()
+	if st.InterpretedExecs != 4 || st.TranslatedExecs != 6 {
+		t.Fatalf("execs = %d/%d", st.InterpretedExecs, st.TranslatedExecs)
+	}
+	if st.InterpretedInsns != 40 {
+		t.Fatalf("interpreted insns = %d", st.InterpretedInsns)
+	}
+	if st.Translations != 1 {
+		t.Fatalf("translations = %d", st.Translations)
+	}
+	if st.TranslationCycles != 1000 {
+		t.Fatalf("translation cycles = %v", st.TranslationCycles)
+	}
+	if st.InterpreterCycles != 4*90 {
+		t.Fatalf("interpreter cycles = %v", st.InterpreterCycles)
+	}
+	if s.RegionCacheSize() != 1 {
+		t.Fatalf("region cache size = %d", s.RegionCacheSize())
+	}
+}
+
+func TestNucleusAccounting(t *testing.T) {
+	n := NewNucleus()
+	if got := n.Raise(IntPVTMiss, 4000); got != 4000 {
+		t.Fatalf("Raise returned %v", got)
+	}
+	n.Raise(IntPVTMiss, 4000)
+	n.Raise(IntGateSwitch, 50)
+	if n.Count(IntPVTMiss) != 2 || n.Cycles(IntPVTMiss) != 8000 {
+		t.Fatalf("pvt-miss = %d/%v", n.Count(IntPVTMiss), n.Cycles(IntPVTMiss))
+	}
+	if n.TotalCycles() != 8050 {
+		t.Fatalf("total = %v", n.TotalCycles())
+	}
+	if IntPVTMiss.String() != "pvt-miss" || IntGateSwitch.String() != "gate-switch" || IntOther.String() != "other" {
+		t.Error("interrupt kind names")
+	}
+}
+
+func TestNucleusPanicsOnUnknownKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown interrupt kind accepted")
+		}
+	}()
+	NewNucleus().Raise(InterruptKind(99), 1)
+}

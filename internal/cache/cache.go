@@ -1,0 +1,209 @@
+// Package cache implements the simulated core's cache hierarchy: a private
+// L1 data cache and the middle-level cache (MLC) that PowerChop way-gates.
+//
+// The MLC supports three power states matching the paper's policy encoding
+// (all ways / half the ways / a single way). Way-gating shrinks both
+// associativity and capacity — the server's 1024KB 8-way MLC becomes 512KB
+// 4-way or 128KB 1-way — and deactivated ways lose their contents: dirty
+// lines are written back to the next level, clean lines are dropped, and
+// the surviving cache must re-warm, exactly the state management the paper
+// charges to MLC gating transitions.
+package cache
+
+import "fmt"
+
+// Config sizes a single cache.
+type Config struct {
+	SizeBytes int // total capacity with all ways active
+	Ways      int // associativity (power of two)
+	LineBytes int // line size (power of two)
+}
+
+// Validate reports an error for inconsistent geometry.
+func (c Config) Validate() error {
+	if c.Ways <= 0 || c.Ways&(c.Ways-1) != 0 {
+		return fmt.Errorf("cache: ways = %d is not a positive power of two", c.Ways)
+	}
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size = %d is not a positive power of two", c.LineBytes)
+	}
+	if c.SizeBytes <= 0 || c.SizeBytes%(c.Ways*c.LineBytes) != 0 {
+		return fmt.Errorf("cache: size %d is not a multiple of ways*line (%d)", c.SizeBytes, c.Ways*c.LineBytes)
+	}
+	sets := c.Sets()
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d is not a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (c.Ways * c.LineBytes) }
+
+type line struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	lastUse uint64
+}
+
+// Stats counts cache events since construction.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64 // dirty lines evicted (by replacement or gating)
+}
+
+// HitRate returns hits/accesses, or 0 when idle.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Cache is a set-associative, write-back, write-allocate cache with LRU
+// replacement and support for way gating.
+type Cache struct {
+	cfg        Config
+	sets       [][]line
+	activeWays int
+	clock      uint64
+	stats      Stats
+}
+
+// New builds a cache with all ways active. It panics on invalid geometry;
+// use Config.Validate to check first.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := make([][]line, cfg.Sets())
+	backing := make([]line, cfg.Sets()*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Cache{cfg: cfg, sets: sets, activeWays: cfg.Ways}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// ActiveWays returns the number of currently powered ways.
+func (c *Cache) ActiveWays() int { return c.activeWays }
+
+// Stats returns a snapshot of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the event counters (contents are untouched).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) split(addr uint64) (set int, tag uint64) {
+	lineAddr := addr / uint64(c.cfg.LineBytes)
+	set = int(lineAddr & uint64(len(c.sets)-1))
+	tag = lineAddr / uint64(len(c.sets))
+	return
+}
+
+// lineAddr reconstructs a line's base address from its set and tag.
+func (c *Cache) lineAddr(set int, tag uint64) uint64 {
+	return (tag*uint64(len(c.sets)) + uint64(set)) * uint64(c.cfg.LineBytes)
+}
+
+// Access performs a read (write=false) or write (write=true) of addr.
+// It returns whether the access hit; on a miss that evicts a dirty victim,
+// wroteBack is true and victimAddr is the victim line's base address,
+// which the caller must write back to the next level.
+func (c *Cache) Access(addr uint64, write bool) (hit, wroteBack bool, victimAddr uint64) {
+	c.clock++
+	c.stats.Accesses++
+	set, tag := c.split(addr)
+	ways := c.sets[set][:c.activeWays]
+
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			c.stats.Hits++
+			ways[i].lastUse = c.clock
+			if write {
+				ways[i].dirty = true
+			}
+			return true, false, 0
+		}
+	}
+	c.stats.Misses++
+
+	// Allocate: prefer an invalid way, else evict LRU.
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lastUse < ways[victim].lastUse {
+			victim = i
+		}
+	}
+	if ways[victim].valid && ways[victim].dirty {
+		wroteBack = true
+		victimAddr = c.lineAddr(set, ways[victim].tag)
+		c.stats.Writebacks++
+	}
+	ways[victim] = line{tag: tag, valid: true, dirty: write, lastUse: c.clock}
+	return false, wroteBack, victimAddr
+}
+
+// SetActiveWays gates the cache down (or up) to n ways. Downsizing
+// invalidates every line in the deactivated ways; dirty lines are counted
+// as writebacks and the count of dirty lines flushed is returned so the
+// caller can charge writeback time and energy. Upsizing simply powers cold
+// ways back on. n must be a power of two in [1, Ways].
+func (c *Cache) SetActiveWays(n int) (dirtyFlushed int) {
+	if n <= 0 || n > c.cfg.Ways || n&(n-1) != 0 {
+		panic(fmt.Sprintf("cache: SetActiveWays(%d) with %d ways", n, c.cfg.Ways))
+	}
+	if n < c.activeWays {
+		for s := range c.sets {
+			for w := n; w < c.activeWays; w++ {
+				l := &c.sets[s][w]
+				if l.valid && l.dirty {
+					dirtyFlushed++
+					c.stats.Writebacks++
+				}
+				*l = line{}
+			}
+		}
+	}
+	c.activeWays = n
+	return dirtyFlushed
+}
+
+// FlushAll invalidates the entire cache, returning the number of dirty
+// lines flushed. Used when a full power-off (rather than way gating) is
+// modelled.
+func (c *Cache) FlushAll() (dirtyFlushed int) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			l := &c.sets[s][w]
+			if l.valid && l.dirty {
+				dirtyFlushed++
+				c.stats.Writebacks++
+			}
+			*l = line{}
+		}
+	}
+	return dirtyFlushed
+}
+
+// ValidLines counts currently valid lines (diagnostics and tests).
+func (c *Cache) ValidLines() int {
+	n := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,235 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"powerchop/internal/rng"
+)
+
+func smallConfig() Config {
+	return Config{SizeBytes: 4096, Ways: 4, LineBytes: 64} // 16 sets
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := smallConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{SizeBytes: 4096, Ways: 3, LineBytes: 64},
+		{SizeBytes: 4096, Ways: 4, LineBytes: 48},
+		{SizeBytes: 4000, Ways: 4, LineBytes: 64},
+		{SizeBytes: 0, Ways: 4, LineBytes: 64},
+		{SizeBytes: 4096 * 3, Ways: 4, LineBytes: 64}, // 48 sets: not a power of two
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestSets(t *testing.T) {
+	if got := smallConfig().Sets(); got != 16 {
+		t.Fatalf("Sets = %d, want 16", got)
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := New(smallConfig())
+	if hit, _, _ := c.Access(0x1000, false); hit {
+		t.Fatal("cold access hit")
+	}
+	if hit, _, _ := c.Access(0x1000, false); !hit {
+		t.Fatal("second access missed")
+	}
+	// Same line, different offset.
+	if hit, _, _ := c.Access(0x103f, false); !hit {
+		t.Fatal("same-line access missed")
+	}
+	// Next line misses.
+	if hit, _, _ := c.Access(0x1040, false); hit {
+		t.Fatal("next-line access hit")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := New(smallConfig()) // 4 ways
+	// Fill one set with 4 lines: addresses mapping to set 0.
+	setStride := uint64(16 * 64) // sets * line
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i*setStride, false)
+	}
+	// Touch line 0 to make line 1 the LRU.
+	c.Access(0, false)
+	// Insert a 5th line; line 1 must be evicted.
+	c.Access(4*setStride, false)
+	if hit, _, _ := c.Access(0, false); !hit {
+		t.Fatal("MRU line was evicted")
+	}
+	if hit, _, _ := c.Access(1*setStride, false); hit {
+		t.Fatal("LRU line was not evicted")
+	}
+}
+
+func TestDirtyEvictionSignalsWriteback(t *testing.T) {
+	c := New(smallConfig())
+	setStride := uint64(16 * 64)
+	c.Access(0, true) // dirty line
+	for i := uint64(1); i < 4; i++ {
+		c.Access(i*setStride, false)
+	}
+	_, wb, victim := c.Access(4*setStride, false) // evicts the dirty line
+	if !wb {
+		t.Fatal("dirty eviction did not signal writeback")
+	}
+	if victim != 0 {
+		t.Fatalf("victim address = %#x, want 0 (the dirty line's base)", victim)
+	}
+	if got := c.Stats().Writebacks; got != 1 {
+		t.Fatalf("writeback count = %d", got)
+	}
+}
+
+func TestCleanEvictionNoWriteback(t *testing.T) {
+	c := New(smallConfig())
+	setStride := uint64(16 * 64)
+	for i := uint64(0); i < 5; i++ {
+		if _, wb, _ := c.Access(i*setStride, false); wb {
+			t.Fatal("clean eviction signalled writeback")
+		}
+	}
+}
+
+func TestWayGatingShrinksCapacity(t *testing.T) {
+	c := New(smallConfig())
+	setStride := uint64(16 * 64)
+	// Warm 4 lines in set 0.
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i*setStride, false)
+	}
+	if got := c.ValidLines(); got != 4 {
+		t.Fatalf("valid lines = %d", got)
+	}
+	c.SetActiveWays(1)
+	if got := c.ActiveWays(); got != 1 {
+		t.Fatalf("ActiveWays = %d", got)
+	}
+	if got := c.ValidLines(); got != 1 {
+		t.Fatalf("after gating, valid lines = %d, want 1", got)
+	}
+	// With 1 way, two alternating lines always conflict.
+	c.ResetStats()
+	for i := 0; i < 10; i++ {
+		c.Access(0, false)
+		c.Access(setStride, false)
+	}
+	if hr := c.Stats().HitRate(); hr > 0.05 {
+		t.Fatalf("1-way alternating hit rate = %v, want ~0", hr)
+	}
+}
+
+func TestWayGatingFlushesDirtyLines(t *testing.T) {
+	c := New(smallConfig())
+	setStride := uint64(16 * 64)
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i*setStride, true) // all dirty
+	}
+	dirty := c.SetActiveWays(2)
+	if dirty != 2 {
+		t.Fatalf("dirty flushed = %d, want 2", dirty)
+	}
+	// Upsizing powers ways back on cold, flushing nothing.
+	if dirty := c.SetActiveWays(4); dirty != 0 {
+		t.Fatalf("upsize flushed %d lines", dirty)
+	}
+}
+
+func TestSetActiveWaysPanics(t *testing.T) {
+	c := New(smallConfig())
+	for _, n := range []int{0, 3, 8, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetActiveWays(%d) did not panic", n)
+				}
+			}()
+			c.SetActiveWays(n)
+		}()
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	c := New(smallConfig())
+	c.Access(0, true)
+	c.Access(64, false)
+	if got := c.FlushAll(); got != 1 {
+		t.Fatalf("FlushAll dirty = %d, want 1", got)
+	}
+	if got := c.ValidLines(); got != 0 {
+		t.Fatalf("lines after flush = %d", got)
+	}
+}
+
+func TestWorkingSetFitBehaviour(t *testing.T) {
+	// A working set within capacity converges to ~100% hits; one far
+	// beyond capacity stays near 0% under random access.
+	c := New(Config{SizeBytes: 1 << 16, Ways: 8, LineBytes: 64})
+	rnd := rng.New(17)
+	fit := uint64(1 << 14) // 16KB in a 64KB cache
+	for i := 0; i < 20000; i++ {
+		c.Access(rnd.Uint64n(fit), false)
+	}
+	c.ResetStats()
+	for i := 0; i < 20000; i++ {
+		c.Access(rnd.Uint64n(fit), false)
+	}
+	if hr := c.Stats().HitRate(); hr < 0.99 {
+		t.Fatalf("fitting working set hit rate = %v", hr)
+	}
+
+	big := uint64(1 << 26) // 64MB in a 64KB cache
+	c.ResetStats()
+	for i := 0; i < 20000; i++ {
+		c.Access(rnd.Uint64n(big)+1<<32, false)
+	}
+	if hr := c.Stats().HitRate(); hr > 0.05 {
+		t.Fatalf("oversized working set hit rate = %v", hr)
+	}
+}
+
+func TestStatsHitRateEmpty(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Fatal("empty stats hit rate should be 0")
+	}
+}
+
+func TestAccessesInvariant(t *testing.T) {
+	f := func(addrs []uint32, writes []bool) bool {
+		c := New(smallConfig())
+		for i, a := range addrs {
+			w := i < len(writes) && writes[i]
+			c.Access(uint64(a), w)
+		}
+		s := c.Stats()
+		return s.Accesses == s.Hits+s.Misses && s.Accesses == uint64(len(addrs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidLinesNeverExceedCapacity(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := New(smallConfig())
+		c.SetActiveWays(2)
+		for _, a := range addrs {
+			c.Access(uint64(a), false)
+		}
+		return c.ValidLines() <= 2*16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

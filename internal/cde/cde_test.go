@@ -1,0 +1,286 @@
+package cde
+
+import (
+	"testing"
+
+	"powerchop/internal/phase"
+	"powerchop/internal/pvt"
+)
+
+func sig(id uint32) phase.Signature {
+	var s phase.Signature
+	s.IDs[0] = id
+	s.N = 1
+	return s
+}
+
+// fullProfile is a window measured at full power with the large BPU.
+func fullProfile(simd, l2hits, mispred uint64) WindowProfile {
+	return WindowProfile{
+		TotalInsns:     10000,
+		SIMDInsns:      simd,
+		L2Hits:         l2hits,
+		Branches:       1000,
+		Mispredicts:    mispred,
+		LargeBPUActive: true,
+		MLCFullyOn:     true,
+		VPUOn:          true,
+		Warm:           true,
+	}
+}
+
+// smallProfile is a window measured with the small BPU active.
+func smallProfile(mispred uint64) WindowProfile {
+	p := fullProfile(0, 0, mispred)
+	p.LargeBPUActive = false
+	return p
+}
+
+func newEngine(t *testing.T, managed Managed) *Engine {
+	t.Helper()
+	e, err := New(pvt.New(16), DefaultThresholds(), managed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestThresholdsValidate(t *testing.T) {
+	if err := DefaultThresholds().Validate(); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	bad := []Thresholds{
+		{VPU: -1},
+		{BPU: 2},
+		{MLC1: 0.001, MLC2: 0.01},
+	}
+	for i, thr := range bad {
+		if err := thr.Validate(); err == nil {
+			t.Errorf("bad thresholds %d accepted", i)
+		}
+	}
+}
+
+func TestNewRejectsBadInputs(t *testing.T) {
+	if _, err := New(nil, DefaultThresholds(), ManageAll()); err == nil {
+		t.Fatal("nil PVT accepted")
+	}
+	if _, err := New(pvt.New(16), Thresholds{VPU: -1}, ManageAll()); err == nil {
+		t.Fatal("bad thresholds accepted")
+	}
+}
+
+func TestVPUOnlySingleWindowProfile(t *testing.T) {
+	e := newEngine(t, Managed{VPU: true})
+	// Discovery window: the phase enters profiling mode; its own
+	// (phase-edge-contaminated) counters are discarded and a full-power
+	// measurement window is requested.
+	a := e.HandleMiss(sig(1), fullProfile(0, 0, 0))
+	if !a.NewPhase || a.Registered || !a.Profiling {
+		t.Fatalf("discovery action = %+v", a)
+	}
+	if a.Policy != pvt.FullOn {
+		t.Fatalf("profiling config = %v, want full power", a.Policy)
+	}
+	// One valid measurement window suffices for a VPU-only engine; the
+	// vector-free phase gates the VPU.
+	a = e.HandleMiss(sig(1), fullProfile(0, 0, 0))
+	if !a.Registered || a.Profiling {
+		t.Fatalf("action = %+v", a)
+	}
+	if a.Policy.VPUOn {
+		t.Fatal("vector-free phase kept the VPU on")
+	}
+	if !a.Policy.BPUOn || a.Policy.MLC != pvt.MLCAll {
+		t.Fatal("unmanaged units were gated")
+	}
+}
+
+func TestVPUKeptOnWhenCritical(t *testing.T) {
+	e := newEngine(t, Managed{VPU: true})
+	// 10% SIMD is far above the threshold.
+	e.HandleMiss(sig(1), fullProfile(1000, 0, 0)) // discovery
+	a := e.HandleMiss(sig(1), fullProfile(1000, 0, 0))
+	if !a.Policy.VPUOn {
+		t.Fatal("vector-heavy phase gated the VPU")
+	}
+}
+
+func TestBPUNeedsTwoWindows(t *testing.T) {
+	e := newEngine(t, ManageAll())
+	// Discovery: request measurement window A (full power, large BPU).
+	a := e.HandleMiss(sig(1), fullProfile(0, 0, 10))
+	if !a.Profiling || !a.Policy.BPUOn {
+		t.Fatalf("discovery should request window A, got %+v", a)
+	}
+	// Window A consumed (large BPU active, 1% mispredict); window B
+	// requested with the small predictor.
+	a = e.HandleMiss(sig(1), fullProfile(0, 0, 10))
+	if !a.Profiling {
+		t.Fatalf("second invocation should keep profiling, got %+v", a)
+	}
+	if a.Policy.BPUOn {
+		t.Fatal("profiling window B must run with the small predictor")
+	}
+	if !a.Policy.VPUOn || a.Policy.MLC != pvt.MLCAll {
+		t.Fatal("profiling window B should keep other units fully powered")
+	}
+	// Window B: small predictor mispredicts 20% — the large BPU is
+	// critical.
+	a = e.HandleMiss(sig(1), smallProfile(200))
+	if a.Profiling || !a.Registered {
+		t.Fatalf("profiling did not complete: %+v", a)
+	}
+	if !a.Policy.BPUOn {
+		t.Fatal("large BPU should stay on when it clearly wins")
+	}
+}
+
+func TestBPUGatedWhenSmallSuffices(t *testing.T) {
+	e := newEngine(t, ManageAll())
+	e.HandleMiss(sig(1), fullProfile(0, 0, 10)) // discovery
+	e.HandleMiss(sig(1), fullProfile(0, 0, 10)) // window A
+	a := e.HandleMiss(sig(1), smallProfile(11)) // nearly identical rates
+	if a.Policy.BPUOn {
+		t.Fatal("large BPU kept on despite no benefit")
+	}
+}
+
+func TestMLCThreeStatePolicy(t *testing.T) {
+	e := newEngine(t, Managed{MLC: true})
+	profileMLC := func(s phase.Signature, hits uint64) Action {
+		e.HandleMiss(s, fullProfile(0, hits, 0)) // discovery
+		return e.HandleMiss(s, fullProfile(0, hits, 0))
+	}
+	// High L2 hit ratio: all ways.
+	if a := profileMLC(sig(1), 1000); a.Policy.MLC != pvt.MLCAll {
+		t.Fatalf("hot MLC policy = %v", a.Policy.MLC)
+	}
+	// Zero hits: one way.
+	if a := profileMLC(sig(2), 0); a.Policy.MLC != pvt.MLCOne {
+		t.Fatalf("cold MLC policy = %v", a.Policy.MLC)
+	}
+	// Middling: half the ways. 10000 insns, 20 hits = 0.002.
+	if a := profileMLC(sig(3), 20); a.Policy.MLC != pvt.MLCHalf {
+		t.Fatalf("middling MLC policy = %v", a.Policy.MLC)
+	}
+}
+
+func TestEvictedPhaseReRegisters(t *testing.T) {
+	e := newEngine(t, Managed{VPU: true})
+	// Characterize 17 phases through a 16-entry PVT: at least one early
+	// phase is evicted to the backing store.
+	for i := uint32(0); i < 17; i++ {
+		e.HandleMiss(sig(i), fullProfile(0, 0, 0)) // discovery
+		e.HandleMiss(sig(i), fullProfile(0, 0, 0)) // measurement
+	}
+	// Find an evicted phase.
+	table := pvtOf(e)
+	var victim phase.Signature
+	found := false
+	for i := uint32(0); i < 17; i++ {
+		if !table.Contains(sig(i)) {
+			victim, found = sig(i), true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no phase was evicted from a 16-entry PVT after 17 registrations")
+	}
+	before := e.Stats()
+	a := e.HandleMiss(victim, fullProfile(0, 0, 0))
+	if !a.Registered || a.Profiling || a.NewPhase {
+		t.Fatalf("capacity miss action = %+v", a)
+	}
+	after := e.Stats()
+	if after.CapacityMisses != before.CapacityMisses+1 {
+		t.Fatal("capacity miss not classified")
+	}
+	if after.PhasesProfiled != before.PhasesProfiled {
+		t.Fatal("capacity miss re-profiled the phase")
+	}
+	if !table.Contains(victim) {
+		t.Fatal("capacity miss did not re-register the phase")
+	}
+}
+
+func pvtOf(e *Engine) *pvt.Table { return e.table }
+
+func TestProfilingWindowMismatchKeepsCollecting(t *testing.T) {
+	e := newEngine(t, ManageAll())
+	e.HandleMiss(sig(1), fullProfile(0, 0, 0)) // discovery
+	// Window arrives with MLC not fully on (e.g. the gating transition
+	// lagged): unusable for window A.
+	prof := fullProfile(0, 0, 0)
+	prof.MLCFullyOn = false
+	a := e.HandleMiss(sig(1), prof)
+	if !a.Profiling {
+		t.Fatalf("action = %+v", a)
+	}
+	// The requested profiling config must be full power with large BPU
+	// (window A still needed).
+	if !a.Policy.BPUOn || a.Policy.MLC != pvt.MLCAll || !a.Policy.VPUOn {
+		t.Fatalf("profiling policy = %v", a.Policy)
+	}
+	if e.PoliciesInFlight() != 1 {
+		t.Fatalf("in-flight = %d", e.PoliciesInFlight())
+	}
+	// Now a valid window A, then window B completes the profile.
+	a = e.HandleMiss(sig(1), fullProfile(0, 0, 10))
+	if !a.Profiling || a.Policy.BPUOn {
+		t.Fatalf("after window A: %+v", a)
+	}
+	a = e.HandleMiss(sig(1), smallProfile(10))
+	if a.Profiling {
+		t.Fatalf("after window B: %+v", a)
+	}
+	if e.PoliciesInFlight() != 0 {
+		t.Fatal("profile not retired")
+	}
+}
+
+func TestEmptyWindowIgnored(t *testing.T) {
+	e := newEngine(t, Managed{VPU: true})
+	a := e.HandleMiss(sig(1), WindowProfile{})
+	if !a.Profiling {
+		t.Fatal("empty window should not complete a profile")
+	}
+}
+
+func TestStatsProgression(t *testing.T) {
+	e := newEngine(t, ManageAll())
+	e.HandleMiss(sig(1), fullProfile(0, 0, 10)) // discovery
+	e.HandleMiss(sig(1), fullProfile(0, 0, 10)) // window A
+	e.HandleMiss(sig(1), smallProfile(10))      // window B
+	s := e.Stats()
+	if s.Invocations != 3 || s.CompulsoryMisses != 1 || s.Registrations != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.ProfileWindows != 2 {
+		t.Fatalf("profile windows = %d", s.ProfileWindows)
+	}
+	if e.KnownPhases() != 1 {
+		t.Fatalf("known phases = %d", e.KnownPhases())
+	}
+}
+
+func TestThresholdBoundaryBehaviour(t *testing.T) {
+	thr := DefaultThresholds()
+	e, err := New(pvt.New(16), thr, Managed{VPU: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profileVPU := func(s phase.Signature, simd uint64) Action {
+		e.HandleMiss(s, fullProfile(simd, 0, 0)) // discovery
+		return e.HandleMiss(s, fullProfile(simd, 0, 0))
+	}
+	// Exactly at the threshold: not strictly greater, so gate off.
+	atThr := uint64(thr.VPU * 10000)
+	if a := profileVPU(sig(1), atThr); a.Policy.VPUOn {
+		t.Fatal("criticality equal to threshold should gate off")
+	}
+	// One instruction above: keep on.
+	if a := profileVPU(sig(2), atThr+1); !a.Policy.VPUOn {
+		t.Fatal("criticality above threshold should keep on")
+	}
+}

@@ -1,0 +1,221 @@
+// Package core contains PowerChop itself — the manager that wires phase
+// signatures (HTB), the policy vector table (PVT) and the Criticality
+// Decision Engine (CDE) into the simulated core — together with the
+// baseline power managers the paper compares against: an always-on
+// full-power core, a minimally-powered core, and the hardware-only
+// idle-timeout VPU gating scheme of Section V-E.
+//
+// A manager is consulted by the timing simulator at every execution-window
+// boundary (Figure 4's flow: the HTB reports the window's phase signature,
+// the PVT is looked up, hits apply the stored gating policy, misses invoke
+// the CDE). The manager returns a Directive: the gating policy for the
+// next window plus flags describing how the policy is enacted.
+package core
+
+import (
+	"fmt"
+
+	"powerchop/internal/cde"
+	"powerchop/internal/phase"
+	"powerchop/internal/pvt"
+)
+
+// WindowReport carries one completed execution window's observations from
+// the simulator to the manager.
+type WindowReport struct {
+	// Signature is the window's phase signature from the HTB.
+	Signature phase.Signature
+	// Profile holds the window's performance-monitor readings.
+	Profile cde.WindowProfile
+	// Cycle is the simulated cycle at the window boundary.
+	Cycle float64
+}
+
+// Directive is a manager's instruction to the core for the next window.
+type Directive struct {
+	// Policy is the gating policy to apply.
+	Policy pvt.Policy
+	// CDEInvoked is true when the decision required a software CDE
+	// invocation (a PVT-miss interrupt); the simulator charges its cost.
+	CDEInvoked bool
+	// VPUTimeout, when positive, selects timeout semantics for the VPU
+	// instead of phase-based gating: the simulator gates the VPU off
+	// after this many idle cycles and wakes it (with full gating
+	// penalties) on the next vector operation. Policy.VPUOn is then the
+	// boot state only.
+	VPUTimeout float64
+}
+
+// Manager decides unit power states at window granularity.
+type Manager interface {
+	// Name identifies the manager in reports.
+	Name() string
+	// Boot returns the initial directive before any window completes.
+	Boot() Directive
+	// WindowEnd is called at each execution-window boundary with the
+	// completed window's report.
+	WindowEnd(r WindowReport) Directive
+}
+
+// Static is a manager that holds one fixed policy forever: the paper's
+// full-power and minimally-powered configurations.
+type Static struct {
+	ManagerName string
+	Policy      pvt.Policy
+}
+
+// AlwaysOn returns the full-power baseline manager.
+func AlwaysOn() *Static { return &Static{ManagerName: "full-power", Policy: pvt.FullOn} }
+
+// MinPower returns the minimally-powered baseline manager: VPU off
+// (scalar-emulated), small BPU, 1-way MLC for the entire run.
+func MinPower() *Static { return &Static{ManagerName: "min-power", Policy: pvt.MinPower} }
+
+// Name implements Manager.
+func (s *Static) Name() string { return s.ManagerName }
+
+// Boot implements Manager.
+func (s *Static) Boot() Directive { return Directive{Policy: s.Policy} }
+
+// WindowEnd implements Manager.
+func (s *Static) WindowEnd(WindowReport) Directive { return Directive{Policy: s.Policy} }
+
+// TimeoutVPU is the hardware-only baseline of Section V-E: the VPU is
+// power gated after a fixed number of idle cycles and woken on demand by
+// the next vector operation; the BPU and MLC stay fully powered (timeouts
+// are ill-suited to those always-active units).
+type TimeoutVPU struct {
+	// IdleCycles is the timeout period (the paper settles on 20K cycles
+	// after sweeping 100–100K).
+	IdleCycles float64
+}
+
+// DefaultTimeoutCycles is the paper's chosen timeout period.
+const DefaultTimeoutCycles = 20000
+
+// NewTimeoutVPU returns the timeout baseline with the given period.
+func NewTimeoutVPU(idleCycles float64) (*TimeoutVPU, error) {
+	if idleCycles <= 0 {
+		return nil, fmt.Errorf("core: timeout period %v", idleCycles)
+	}
+	return &TimeoutVPU{IdleCycles: idleCycles}, nil
+}
+
+// Name implements Manager.
+func (t *TimeoutVPU) Name() string { return "timeout-vpu" }
+
+// Boot implements Manager.
+func (t *TimeoutVPU) Boot() Directive {
+	return Directive{Policy: pvt.FullOn, VPUTimeout: t.IdleCycles}
+}
+
+// WindowEnd implements Manager.
+func (t *TimeoutVPU) WindowEnd(WindowReport) Directive {
+	return Directive{Policy: pvt.FullOn, VPUTimeout: t.IdleCycles}
+}
+
+// Config parameterizes the PowerChop manager.
+type Config struct {
+	// PVTEntries is the policy vector table size (paper: 16).
+	PVTEntries int
+	// Replacement is the PVT eviction policy (default tree-PLRU, the
+	// paper's "approximate LRU").
+	Replacement pvt.Replacement
+	// Thresholds are the CDE criticality cut-offs.
+	Thresholds cde.Thresholds
+	// Managed selects which units PowerChop controls; unmanaged units
+	// stay fully powered (the paper's per-unit isolation studies).
+	Managed cde.Managed
+}
+
+// DefaultConfig returns the paper's PowerChop configuration managing all
+// three units.
+func DefaultConfig() Config {
+	return Config{
+		PVTEntries: pvt.DefaultEntries,
+		Thresholds: cde.DefaultThresholds(),
+		Managed:    cde.ManageAll(),
+	}
+}
+
+// EnergyMinimizerConfig returns the paper's suggested aggressive variant
+// (Section V-A): higher criticality thresholds that trade more slowdown
+// for deeper gating, targeting energy rather than power-at-iso-performance.
+func EnergyMinimizerConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Thresholds = cde.AggressiveThresholds()
+	return cfg
+}
+
+// PowerChop is the paper's manager: phase-triggered unit-level power
+// gating driven by PVT lookups and CDE criticality analysis.
+type PowerChop struct {
+	table   *pvt.Table
+	engine  *cde.Engine
+	current pvt.Policy
+
+	hits   uint64
+	misses uint64
+}
+
+// NewPowerChop builds the manager.
+func NewPowerChop(cfg Config) (*PowerChop, error) {
+	if cfg.PVTEntries <= 0 {
+		cfg.PVTEntries = pvt.DefaultEntries
+	}
+	table := pvt.NewWithReplacement(cfg.PVTEntries, cfg.Replacement)
+	engine, err := cde.New(table, cfg.Thresholds, cfg.Managed)
+	if err != nil {
+		return nil, err
+	}
+	return &PowerChop{table: table, engine: engine, current: pvt.FullOn}, nil
+}
+
+// MustPowerChop is a helper for tests and examples.
+func MustPowerChop(cfg Config) *PowerChop {
+	m, err := NewPowerChop(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name implements Manager.
+func (m *PowerChop) Name() string { return "powerchop" }
+
+// Boot implements Manager. The core boots fully powered; gating decisions
+// begin at the first window boundary.
+func (m *PowerChop) Boot() Directive { return Directive{Policy: pvt.FullOn} }
+
+// WindowEnd implements Manager: the Figure 4 runtime flow.
+func (m *PowerChop) WindowEnd(r WindowReport) Directive {
+	if r.Signature.Zero() {
+		// No translations executed (pure interpretation): keep the
+		// current policy.
+		return Directive{Policy: m.current}
+	}
+	if policy, hit := m.table.Lookup(r.Signature); hit {
+		// PVT hit: the gating decisions are applied directly in
+		// hardware, no software involvement.
+		m.hits++
+		m.current = policy
+		return Directive{Policy: policy}
+	}
+	// PVT miss: interrupt into the CDE.
+	m.misses++
+	action := m.engine.HandleMiss(r.Signature, r.Profile)
+	m.current = action.Policy
+	return Directive{Policy: action.Policy, CDEInvoked: true}
+}
+
+// PVT exposes the manager's policy vector table (reporting).
+func (m *PowerChop) PVT() *pvt.Table { return m.table }
+
+// Engine exposes the manager's CDE (reporting).
+func (m *PowerChop) Engine() *cde.Engine { return m.engine }
+
+// Hits returns the number of PVT hits observed at window boundaries.
+func (m *PowerChop) Hits() uint64 { return m.hits }
+
+// Misses returns the number of PVT misses (CDE invocations).
+func (m *PowerChop) Misses() uint64 { return m.misses }

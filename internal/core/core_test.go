@@ -1,0 +1,223 @@
+package core
+
+import (
+	"testing"
+
+	"powerchop/internal/cde"
+	"powerchop/internal/phase"
+	"powerchop/internal/pvt"
+)
+
+func sig(id uint32) phase.Signature {
+	var s phase.Signature
+	s.IDs[0] = id
+	s.N = 1
+	return s
+}
+
+func fullProfile() cde.WindowProfile {
+	return cde.WindowProfile{
+		TotalInsns:     10000,
+		Branches:       500,
+		LargeBPUActive: true,
+		MLCFullyOn:     true,
+		VPUOn:          true,
+		Warm:           true,
+	}
+}
+
+func TestStaticManagers(t *testing.T) {
+	on := AlwaysOn()
+	if on.Name() != "full-power" {
+		t.Error("name")
+	}
+	if d := on.Boot(); d.Policy != pvt.FullOn || d.CDEInvoked || d.VPUTimeout != 0 {
+		t.Fatalf("boot directive = %+v", d)
+	}
+	if d := on.WindowEnd(WindowReport{}); d.Policy != pvt.FullOn {
+		t.Fatalf("window directive = %+v", d)
+	}
+
+	min := MinPower()
+	if d := min.Boot(); d.Policy != pvt.MinPower {
+		t.Fatalf("min-power boot = %+v", d)
+	}
+}
+
+func TestTimeoutVPU(t *testing.T) {
+	m, err := NewTimeoutVPU(DefaultTimeoutCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "timeout-vpu" {
+		t.Error("name")
+	}
+	d := m.Boot()
+	if d.VPUTimeout != 20000 || !d.Policy.VPUOn {
+		t.Fatalf("boot = %+v", d)
+	}
+	d = m.WindowEnd(WindowReport{})
+	if d.VPUTimeout != 20000 {
+		t.Fatalf("window = %+v", d)
+	}
+	if _, err := NewTimeoutVPU(0); err == nil {
+		t.Fatal("zero timeout accepted")
+	}
+}
+
+func TestPowerChopBootsFullPower(t *testing.T) {
+	m := MustPowerChop(DefaultConfig())
+	if m.Name() != "powerchop" {
+		t.Error("name")
+	}
+	if d := m.Boot(); d.Policy != pvt.FullOn {
+		t.Fatalf("boot = %+v", d)
+	}
+}
+
+func TestPowerChopMissProfilesThenHits(t *testing.T) {
+	m := MustPowerChop(DefaultConfig())
+	// First sighting: miss, CDE invoked, measurement window A requested
+	// (full power with the large predictor).
+	d := m.WindowEnd(WindowReport{Signature: sig(1), Profile: fullProfile()})
+	if !d.CDEInvoked {
+		t.Fatal("first window did not invoke the CDE")
+	}
+	if d.Policy != pvt.FullOn {
+		t.Fatalf("window A config = %v, want full power", d.Policy)
+	}
+	// Window A consumed; window B requested with the small predictor.
+	d = m.WindowEnd(WindowReport{Signature: sig(1), Profile: fullProfile()})
+	if !d.CDEInvoked {
+		t.Fatal("second window did not invoke the CDE")
+	}
+	if d.Policy.BPUOn {
+		t.Fatal("profiling window B should run the small predictor")
+	}
+	// Window B completes the profile; a policy registers.
+	profB := fullProfile()
+	profB.LargeBPUActive = false
+	d = m.WindowEnd(WindowReport{Signature: sig(1), Profile: profB})
+	if !d.CDEInvoked {
+		t.Fatal("third window did not invoke the CDE")
+	}
+	// Vector-free, hit-free, equal-mispredict phase: everything gates.
+	if d.Policy.VPUOn || d.Policy.BPUOn || d.Policy.MLC != pvt.MLCOne {
+		t.Fatalf("policy = %v", d.Policy)
+	}
+	// Recurrence: pure PVT hit, no CDE.
+	d = m.WindowEnd(WindowReport{Signature: sig(1), Profile: fullProfile()})
+	if d.CDEInvoked {
+		t.Fatal("PVT hit invoked the CDE")
+	}
+	if d.Policy.VPUOn {
+		t.Fatalf("hit policy = %v", d.Policy)
+	}
+	if m.Hits() != 1 || m.Misses() != 3 {
+		t.Fatalf("hits/misses = %d/%d", m.Hits(), m.Misses())
+	}
+}
+
+func TestPowerChopEmptySignatureKeepsPolicy(t *testing.T) {
+	m := MustPowerChop(DefaultConfig())
+	// Establish a gated policy (discovery, window A, window B).
+	m.WindowEnd(WindowReport{Signature: sig(1), Profile: fullProfile()})
+	m.WindowEnd(WindowReport{Signature: sig(1), Profile: fullProfile()})
+	profB := fullProfile()
+	profB.LargeBPUActive = false
+	d1 := m.WindowEnd(WindowReport{Signature: sig(1), Profile: profB})
+	// An empty-signature window keeps the current policy without CDE.
+	d2 := m.WindowEnd(WindowReport{})
+	if d2.CDEInvoked {
+		t.Fatal("empty signature invoked the CDE")
+	}
+	if d2.Policy != d1.Policy {
+		t.Fatalf("policy changed: %v -> %v", d1.Policy, d2.Policy)
+	}
+}
+
+func TestPowerChopVPUOnlyManagement(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Managed = cde.Managed{VPU: true}
+	m := MustPowerChop(cfg)
+	prof := fullProfile()
+	prof.SIMDInsns = 2000                                       // 20% SIMD: critical
+	m.WindowEnd(WindowReport{Signature: sig(1), Profile: prof}) // discovery
+	d := m.WindowEnd(WindowReport{Signature: sig(1), Profile: prof})
+	if d.Policy != pvt.FullOn {
+		t.Fatalf("VPU-critical policy = %v", d.Policy)
+	}
+	prof2 := fullProfile()                                       // no SIMD
+	m.WindowEnd(WindowReport{Signature: sig(2), Profile: prof2}) // discovery
+	d = m.WindowEnd(WindowReport{Signature: sig(2), Profile: prof2})
+	if d.Policy.VPUOn {
+		t.Fatal("vector-free phase kept VPU on")
+	}
+	if !d.Policy.BPUOn || d.Policy.MLC != pvt.MLCAll {
+		t.Fatal("unmanaged units were touched")
+	}
+}
+
+func TestPowerChopDefaultsPVTEntries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PVTEntries = 0
+	m := MustPowerChop(cfg)
+	if m.PVT().Len() != pvt.DefaultEntries {
+		t.Fatalf("PVT size = %d", m.PVT().Len())
+	}
+}
+
+func TestNewPowerChopBadThresholds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Thresholds.VPU = -1
+	if _, err := NewPowerChop(cfg); err == nil {
+		t.Fatal("bad thresholds accepted")
+	}
+}
+
+func TestMustPowerChopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPowerChop did not panic on bad config")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.Thresholds.VPU = 9
+	MustPowerChop(cfg)
+}
+
+func TestPowerChopCapacityMissReRegisters(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PVTEntries = 4
+	cfg.Managed = cde.Managed{VPU: true}
+	m := MustPowerChop(cfg)
+	// Characterize 6 phases through a 4-entry PVT.
+	for i := uint32(0); i < 6; i++ {
+		m.WindowEnd(WindowReport{Signature: sig(i), Profile: fullProfile()}) // discovery
+		m.WindowEnd(WindowReport{Signature: sig(i), Profile: fullProfile()}) // measurement
+	}
+	// Find an evicted phase and revisit it: CDE invoked (capacity miss),
+	// no re-profiling.
+	var victim phase.Signature
+	found := false
+	for i := uint32(0); i < 6; i++ {
+		if !m.PVT().Contains(sig(i)) {
+			victim, found = sig(i), true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no eviction from 4-entry PVT after 6 phases")
+	}
+	before := m.Engine().Stats().PhasesProfiled
+	d := m.WindowEnd(WindowReport{Signature: victim, Profile: fullProfile()})
+	if !d.CDEInvoked {
+		t.Fatal("capacity miss did not invoke the CDE")
+	}
+	if m.Engine().Stats().PhasesProfiled != before {
+		t.Fatal("capacity miss re-profiled")
+	}
+	if !m.PVT().Contains(victim) {
+		t.Fatal("phase not re-registered")
+	}
+}

@@ -1,0 +1,171 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V). Each FigureN/TableN function runs the required
+// simulations through a memoizing Runner — several figures share the same
+// underlying runs — and returns a structured result that renders as a
+// plain-text chart shaped like the paper's figure.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"powerchop/internal/arch"
+	"powerchop/internal/core"
+	"powerchop/internal/pvt"
+	"powerchop/internal/sim"
+	"powerchop/internal/workload"
+)
+
+// Kind selects the power-management configuration of a run.
+type Kind string
+
+const (
+	// KindFullPower keeps the VPU, BPU and MLC at full power (Figure 12's
+	// baseline).
+	KindFullPower Kind = "full-power"
+	// KindPowerChop runs the full PowerChop system managing all three
+	// units.
+	KindPowerChop Kind = "powerchop"
+	// KindMinPower holds every unit in its lowest-power state.
+	KindMinPower Kind = "min-power"
+	// KindTimeout runs the hardware-only 20K-cycle idle-timeout VPU
+	// baseline of Section V-E.
+	KindTimeout Kind = "timeout"
+	// KindSmallBPU forces the small local predictor (Figure 2's series).
+	KindSmallBPU Kind = "small-bpu"
+	// KindMLCOne forces the one-way MLC (Figure 3's 128KB 1-way series).
+	KindMLCOne Kind = "mlc-one-way"
+	// KindChopVPU runs PowerChop managing only the VPU (per-unit study).
+	KindChopVPU Kind = "powerchop-vpu"
+	// KindChopBPU runs PowerChop managing only the BPU.
+	KindChopBPU Kind = "powerchop-bpu"
+	// KindChopMLC runs PowerChop managing only the MLC.
+	KindChopMLC Kind = "powerchop-mlc"
+)
+
+// Runner executes and memoizes benchmark runs. Figures share a Runner so
+// that, e.g., the PowerChop runs behind Figures 9-14 happen once.
+type Runner struct {
+	mu    sync.Mutex
+	scale float64
+	cache map[string]*sim.Result
+}
+
+// NewRunner returns a runner. scale multiplies the default run length of
+// two full passes through each benchmark's phase schedule; 1 is the
+// calibrated default, smaller values shorten smoke runs.
+func NewRunner(scale float64) *Runner {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Runner{scale: scale, cache: map[string]*sim.Result{}}
+}
+
+// runLength scales the default run of two schedule passes, but never
+// below one full pass: every phase must execute at least once for the
+// figures to be meaningful.
+func (r *Runner) runLength(schedule int) uint64 {
+	n := uint64(float64(2*schedule) * r.scale)
+	if n < uint64(schedule) {
+		n = uint64(schedule)
+	}
+	return n
+}
+
+// manager constructs a fresh manager of the kind (managers are stateful
+// and must not be shared across runs).
+func manager(kind Kind) (core.Manager, error) {
+	switch kind {
+	case KindFullPower:
+		return core.AlwaysOn(), nil
+	case KindPowerChop:
+		return core.NewPowerChop(core.DefaultConfig())
+	case KindMinPower:
+		return core.MinPower(), nil
+	case KindTimeout:
+		return core.NewTimeoutVPU(core.DefaultTimeoutCycles)
+	case KindSmallBPU:
+		p := core.AlwaysOn().Policy
+		p.BPUOn = false
+		return &core.Static{ManagerName: string(KindSmallBPU), Policy: p}, nil
+	case KindMLCOne:
+		p := core.AlwaysOn().Policy
+		p.MLC = pvt.MLCOne
+		return &core.Static{ManagerName: string(KindMLCOne), Policy: p}, nil
+	case KindChopVPU, KindChopBPU, KindChopMLC:
+		cfg := core.DefaultConfig()
+		cfg.Managed.VPU = kind == KindChopVPU
+		cfg.Managed.BPU = kind == KindChopBPU
+		cfg.Managed.MLC = kind == KindChopMLC
+		return core.NewPowerChop(cfg)
+	default:
+		return nil, fmt.Errorf("experiments: unknown run kind %q", kind)
+	}
+}
+
+// designFor picks the benchmark's design point: MobileBench runs on the
+// mobile core, everything else on the server core (Section V-A).
+func designFor(b workload.Benchmark) arch.Design {
+	if b.Mobile {
+		return arch.Mobile()
+	}
+	return arch.Server()
+}
+
+// Result returns the (cached) run of the benchmark under the kind.
+func (r *Runner) Result(b workload.Benchmark, kind Kind) (*sim.Result, error) {
+	key := b.Name + "/" + string(kind)
+	r.mu.Lock()
+	cached := r.cache[key]
+	r.mu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+
+	m, err := manager(kind)
+	if err != nil {
+		return nil, err
+	}
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	runLen := r.runLength(p.TotalScheduleTranslations())
+	res, err := sim.Run(p, sim.Config{
+		Design:          designFor(b),
+		Manager:         m,
+		MaxTranslations: runLen,
+		TrackQuality:    kind == KindPowerChop,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%s: %w", b.Name, kind, err)
+	}
+	r.mu.Lock()
+	r.cache[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// Sampled runs the benchmark with time-series sampling enabled (used by
+// the Figure 1-3 time-series plots; not cached).
+func (r *Runner) Sampled(b workload.Benchmark, kind Kind, sampleInterval uint64) (*sim.Result, error) {
+	m, err := manager(kind)
+	if err != nil {
+		return nil, err
+	}
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	runLen := r.runLength(p.TotalScheduleTranslations())
+	res, err := sim.Run(p, sim.Config{
+		Design:          designFor(b),
+		Manager:         m,
+		MaxTranslations: runLen,
+		SampleInterval:  sampleInterval,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%s sampled: %w", b.Name, kind, err)
+	}
+	return res, nil
+}

@@ -1,0 +1,140 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Scalar: "scalar",
+		Vector: "vector",
+		Branch: "branch",
+		Load:   "load",
+		Store:  "store",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestKindValid(t *testing.T) {
+	for k := Kind(0); k < Kind(NumKinds); k++ {
+		if !k.Valid() {
+			t.Errorf("Kind %v should be valid", k)
+		}
+	}
+	if Kind(NumKinds).Valid() {
+		t.Error("out-of-range kind reported valid")
+	}
+}
+
+func TestIsMemory(t *testing.T) {
+	if !Load.IsMemory() || !Store.IsMemory() {
+		t.Error("Load/Store should be memory kinds")
+	}
+	if Scalar.IsMemory() || Vector.IsMemory() || Branch.IsMemory() {
+		t.Error("non-memory kind reported as memory")
+	}
+}
+
+func TestMixValidate(t *testing.T) {
+	valid := []Mix{
+		{},
+		{VectorFrac: 0.5, BranchFrac: 0.2, LoadFrac: 0.2, StoreFrac: 0.1},
+		{BranchFrac: 1},
+	}
+	for _, m := range valid {
+		if err := m.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", m, err)
+		}
+	}
+	invalid := []Mix{
+		{VectorFrac: -0.1},
+		{BranchFrac: 1.1},
+		{VectorFrac: 0.6, LoadFrac: 0.6},
+	}
+	for _, m := range invalid {
+		if err := m.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", m)
+		}
+	}
+}
+
+func TestScalarFrac(t *testing.T) {
+	m := Mix{VectorFrac: 0.1, BranchFrac: 0.2, LoadFrac: 0.3, StoreFrac: 0.1}
+	if got := m.ScalarFrac(); got < 0.299 || got > 0.301 {
+		t.Errorf("ScalarFrac = %v, want 0.3", got)
+	}
+	over := Mix{VectorFrac: 0.7, LoadFrac: 0.7}
+	if got := over.ScalarFrac(); got != 0 {
+		t.Errorf("ScalarFrac of oversubscribed mix = %v, want 0", got)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	var c Counts
+	c.Add(Scalar, 60)
+	c.Add(Vector, 10)
+	c.Add(Branch, 20)
+	c.Add(Load, 10)
+	if got := c.Total(); got != 100 {
+		t.Fatalf("Total = %d", got)
+	}
+	if got := c.Frac(Vector); got != 0.1 {
+		t.Errorf("Frac(Vector) = %v", got)
+	}
+	if got := c.Frac(Store); got != 0 {
+		t.Errorf("Frac(Store) = %v", got)
+	}
+	var empty Counts
+	if got := empty.Frac(Scalar); got != 0 {
+		t.Errorf("Frac on empty = %v", got)
+	}
+}
+
+func TestCountsMerge(t *testing.T) {
+	var a, b Counts
+	a.Add(Scalar, 5)
+	b.Add(Scalar, 7)
+	b.Add(Branch, 3)
+	a.Merge(b)
+	if a[Scalar] != 12 || a[Branch] != 3 {
+		t.Errorf("Merge result = %v", a)
+	}
+	// Merge must not alias: changing b afterwards must not affect a.
+	b.Add(Scalar, 100)
+	if a[Scalar] != 12 {
+		t.Error("Merge aliased source counts")
+	}
+}
+
+func TestCountsMergeProperty(t *testing.T) {
+	f := func(av, bv [NumKinds]uint32) bool {
+		var a, b Counts
+		for i := 0; i < NumKinds; i++ {
+			a[i] = uint64(av[i])
+			b[i] = uint64(bv[i])
+		}
+		wantTotal := a.Total() + b.Total()
+		a.Merge(b)
+		return a.Total() == wantTotal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	i := Inst{PC: 0x1000, Kind: Branch, Sel: 2}
+	s := i.String()
+	if !strings.Contains(s, "branch") || !strings.Contains(s, "00001000") {
+		t.Errorf("Inst.String() = %q", s)
+	}
+}

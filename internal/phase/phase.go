@@ -1,0 +1,192 @@
+// Package phase implements PowerChop's application-phase identification:
+// execution windows, the hot translation buffer (HTB), and phase
+// signatures (Section IV-B).
+//
+// As translations execute out of the region cache, the HTB — a small fully
+// associative hardware buffer — tracks each translation's dynamic
+// instruction count for the current execution window (1000 translations in
+// the paper's configuration). At the window boundary the HTB forms the
+// window's phase signature from the IDs of its N hottest translations
+// (N = 4 in the paper) and flushes. Identical signatures identify
+// recurrences of the same application phase.
+package phase
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Paper parameter defaults (Section IV-B1/B2).
+const (
+	// DefaultSignatureLen is the number of hottest translations in a
+	// signature.
+	DefaultSignatureLen = 4
+	// DefaultWindowSize is the execution window length in translations.
+	DefaultWindowSize = 1000
+	// DefaultHTBCapacity is the HTB entry count.
+	DefaultHTBCapacity = 128
+	// MaxSignatureLen bounds the signature length for the sensitivity
+	// ablation.
+	MaxSignatureLen = 8
+)
+
+// Signature identifies an application phase: the IDs of the window's
+// hottest translations, stored sorted ascending so that equality is
+// independent of hotness ordering. Unused slots (when a window executed
+// fewer distinct translations than the signature length) are zero.
+// Signature is comparable and usable as a map key.
+type Signature struct {
+	IDs [MaxSignatureLen]uint32
+	N   uint8
+}
+
+// String renders the signature for diagnostics.
+func (s Signature) String() string {
+	out := "<"
+	for i := 0; i < int(s.N); i++ {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("t%x", s.IDs[i])
+	}
+	return out + ">"
+}
+
+// Zero reports whether the signature is empty (no translations observed).
+func (s Signature) Zero() bool { return s.N == 0 }
+
+// Config parameterizes the HTB.
+type Config struct {
+	// Capacity is the HTB entry count; translations beyond it within a
+	// window are ignored (paper behaviour).
+	Capacity int
+	// WindowSize is the execution window length in translations.
+	WindowSize int
+	// SignatureLen is the number of hottest translations per signature.
+	SignatureLen int
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		Capacity:     DefaultHTBCapacity,
+		WindowSize:   DefaultWindowSize,
+		SignatureLen: DefaultSignatureLen,
+	}
+}
+
+// Validate reports an error for inconsistent configurations.
+func (c Config) Validate() error {
+	if c.Capacity <= 0 {
+		return fmt.Errorf("phase: HTB capacity %d", c.Capacity)
+	}
+	if c.WindowSize <= 0 {
+		return fmt.Errorf("phase: window size %d", c.WindowSize)
+	}
+	if c.SignatureLen <= 0 || c.SignatureLen > MaxSignatureLen {
+		return fmt.Errorf("phase: signature length %d out of [1,%d]", c.SignatureLen, MaxSignatureLen)
+	}
+	if c.SignatureLen > c.Capacity {
+		return fmt.Errorf("phase: signature length %d exceeds HTB capacity %d", c.SignatureLen, c.Capacity)
+	}
+	return nil
+}
+
+// HTB is the hot translation buffer. Within a window it accumulates the
+// dynamic instruction count of each executing translation; at the window
+// boundary it produces the phase signature and flushes.
+type HTB struct {
+	cfg     Config
+	counts  map[uint32]uint64
+	execs   int
+	ignored uint64 // translations dropped because the buffer was full
+	windows uint64 // windows completed
+	sigBuf  []htbEntry
+}
+
+type htbEntry struct {
+	id    uint32
+	insns uint64
+}
+
+// NewHTB builds an HTB. It panics on invalid configuration; use
+// Config.Validate to check first.
+func NewHTB(cfg Config) *HTB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &HTB{
+		cfg:    cfg,
+		counts: make(map[uint32]uint64, cfg.Capacity),
+		sigBuf: make([]htbEntry, 0, cfg.Capacity),
+	}
+}
+
+// Config returns the HTB configuration.
+func (h *HTB) Config() Config { return h.cfg }
+
+// Record notes the execution of one translation with the given dynamic
+// instruction count. It returns true when this execution completes the
+// current window; the caller must then call EndWindow.
+func (h *HTB) Record(id uint32, insns uint64) (windowEnded bool) {
+	if _, present := h.counts[id]; present {
+		h.counts[id] += insns
+	} else if len(h.counts) < h.cfg.Capacity {
+		h.counts[id] = insns
+	} else {
+		// Buffer full: the translation is simply ignored (Section IV-B2).
+		h.ignored++
+	}
+	h.execs++
+	return h.execs >= h.cfg.WindowSize
+}
+
+// EndWindow closes the current window, returning its phase signature and
+// translation vector (translation ID → dynamic instructions), then flushes
+// the buffer for the next window. The returned map is a copy owned by the
+// caller.
+func (h *HTB) EndWindow() (Signature, map[uint32]uint64) {
+	h.sigBuf = h.sigBuf[:0]
+	for id, n := range h.counts {
+		h.sigBuf = append(h.sigBuf, htbEntry{id, n})
+	}
+	// Hottest first; ties broken by ID so signatures are deterministic.
+	sort.Slice(h.sigBuf, func(i, j int) bool {
+		if h.sigBuf[i].insns != h.sigBuf[j].insns {
+			return h.sigBuf[i].insns > h.sigBuf[j].insns
+		}
+		return h.sigBuf[i].id < h.sigBuf[j].id
+	})
+	var sig Signature
+	n := h.cfg.SignatureLen
+	if n > len(h.sigBuf) {
+		n = len(h.sigBuf)
+	}
+	for i := 0; i < n; i++ {
+		sig.IDs[i] = h.sigBuf[i].id
+	}
+	sig.N = uint8(n)
+	sort.Slice(sig.IDs[:n], func(i, j int) bool { return sig.IDs[i] < sig.IDs[j] })
+
+	vec := make(map[uint32]uint64, len(h.counts))
+	for id, c := range h.counts {
+		vec[id] = c
+	}
+	for id := range h.counts {
+		delete(h.counts, id)
+	}
+	h.execs = 0
+	h.windows++
+	return sig, vec
+}
+
+// WindowProgress returns how many translations of the current window have
+// executed.
+func (h *HTB) WindowProgress() int { return h.execs }
+
+// Windows returns the number of completed windows.
+func (h *HTB) Windows() uint64 { return h.windows }
+
+// Ignored returns the number of translation executions dropped because the
+// buffer was full.
+func (h *HTB) Ignored() uint64 { return h.ignored }

@@ -1,0 +1,271 @@
+package phase
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tinyConfig() Config {
+	return Config{Capacity: 8, WindowSize: 10, SignatureLen: 4}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	bad := []Config{
+		{Capacity: 0, WindowSize: 10, SignatureLen: 4},
+		{Capacity: 8, WindowSize: 0, SignatureLen: 4},
+		{Capacity: 8, WindowSize: 10, SignatureLen: 0},
+		{Capacity: 8, WindowSize: 10, SignatureLen: MaxSignatureLen + 1},
+		{Capacity: 2, WindowSize: 10, SignatureLen: 4},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	c := DefaultConfig()
+	if c.Capacity != 128 || c.WindowSize != 1000 || c.SignatureLen != 4 {
+		t.Fatalf("defaults %+v drifted from the paper", c)
+	}
+}
+
+func TestWindowBoundary(t *testing.T) {
+	h := NewHTB(tinyConfig())
+	for i := 0; i < 9; i++ {
+		if ended := h.Record(uint32(i), 10); ended {
+			t.Fatalf("window ended early at %d", i)
+		}
+	}
+	if ended := h.Record(99, 10); !ended {
+		t.Fatal("window did not end at the boundary")
+	}
+	if got := h.WindowProgress(); got != 10 {
+		t.Fatalf("progress = %d", got)
+	}
+	h.EndWindow()
+	if got := h.WindowProgress(); got != 0 {
+		t.Fatalf("progress after flush = %d", got)
+	}
+	if h.Windows() != 1 {
+		t.Fatalf("windows = %d", h.Windows())
+	}
+}
+
+func TestSignatureHottestN(t *testing.T) {
+	h := NewHTB(tinyConfig())
+	// Six translations with distinct weights; hottest four are 5,6,7,8.
+	weights := map[uint32]uint64{3: 1, 4: 2, 5: 30, 6: 40, 7: 50, 8: 60}
+	i := 0
+	for id, w := range weights {
+		h.Record(id, w)
+		i++
+	}
+	for ; i < 10; i++ {
+		h.Record(8, 1) // pad the window; adds weight to id 8
+	}
+	sig, vec := h.EndWindow()
+	if sig.N != 4 {
+		t.Fatalf("signature len = %d", sig.N)
+	}
+	want := []uint32{5, 6, 7, 8}
+	for i, id := range want {
+		if sig.IDs[i] != id {
+			t.Fatalf("signature = %v, want %v", sig.IDs[:4], want)
+		}
+	}
+	if vec[8] != 64 {
+		t.Fatalf("vector[8] = %d, want 64", vec[8])
+	}
+}
+
+func TestSignatureCanonicalOrder(t *testing.T) {
+	// The same set of hot translations must give the same signature no
+	// matter the order or relative hotness ranking.
+	mk := func(order []uint32, weights []uint64) Signature {
+		h := NewHTB(Config{Capacity: 8, WindowSize: len(order), SignatureLen: 4})
+		for i, id := range order {
+			h.Record(id, weights[i])
+		}
+		sig, _ := h.EndWindow()
+		return sig
+	}
+	a := mk([]uint32{10, 20, 30, 40}, []uint64{100, 90, 80, 70})
+	b := mk([]uint32{40, 30, 20, 10}, []uint64{100, 90, 80, 70})
+	if a != b {
+		t.Fatalf("signatures differ: %v vs %v", a, b)
+	}
+}
+
+func TestShortWindowSignature(t *testing.T) {
+	h := NewHTB(tinyConfig())
+	for i := 0; i < 10; i++ {
+		h.Record(7, 5) // a single translation dominates
+	}
+	sig, _ := h.EndWindow()
+	if sig.N != 1 || sig.IDs[0] != 7 {
+		t.Fatalf("signature = %v", sig)
+	}
+	if sig.Zero() {
+		t.Fatal("non-empty signature reported zero")
+	}
+}
+
+func TestCapacityIgnoresOverflow(t *testing.T) {
+	h := NewHTB(Config{Capacity: 4, WindowSize: 10, SignatureLen: 2})
+	for i := 0; i < 10; i++ {
+		h.Record(uint32(i), 1) // 10 distinct translations, capacity 4
+	}
+	if got := h.Ignored(); got != 6 {
+		t.Fatalf("ignored = %d, want 6", got)
+	}
+	_, vec := h.EndWindow()
+	if len(vec) != 4 {
+		t.Fatalf("vector size = %d, want 4", len(vec))
+	}
+}
+
+func TestRepeatedExecutionAccumulates(t *testing.T) {
+	h := NewHTB(tinyConfig())
+	for i := 0; i < 10; i++ {
+		h.Record(1, 7)
+	}
+	_, vec := h.EndWindow()
+	if vec[1] != 70 {
+		t.Fatalf("accumulated insns = %d, want 70", vec[1])
+	}
+}
+
+func TestFlushBetweenWindows(t *testing.T) {
+	h := NewHTB(tinyConfig())
+	for i := 0; i < 10; i++ {
+		h.Record(1, 1)
+	}
+	h.EndWindow()
+	for i := 0; i < 10; i++ {
+		h.Record(2, 1)
+	}
+	sig, vec := h.EndWindow()
+	if _, stale := vec[1]; stale {
+		t.Fatal("previous window leaked into the next")
+	}
+	if sig.IDs[0] != 2 {
+		t.Fatalf("signature = %v", sig)
+	}
+}
+
+func TestSignatureString(t *testing.T) {
+	h := NewHTB(tinyConfig())
+	for i := 0; i < 10; i++ {
+		h.Record(0xab, 1)
+	}
+	sig, _ := h.EndWindow()
+	if got := sig.String(); got != "<tab>" {
+		t.Fatalf("String = %q", got)
+	}
+	var empty Signature
+	if got := empty.String(); got != "<>" {
+		t.Fatalf("empty String = %q", got)
+	}
+	if !empty.Zero() {
+		t.Fatal("empty signature not zero")
+	}
+}
+
+func TestNewHTBPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHTB with invalid config did not panic")
+		}
+	}()
+	NewHTB(Config{})
+}
+
+func TestSignatureDeterministicProperty(t *testing.T) {
+	// Identical windows always yield identical signatures.
+	f := func(ids []uint16) bool {
+		if len(ids) == 0 {
+			return true
+		}
+		run := func() Signature {
+			h := NewHTB(Config{Capacity: 128, WindowSize: len(ids), SignatureLen: 4})
+			for _, id := range ids {
+				h.Record(uint32(id), uint64(id%7)+1)
+			}
+			sig, _ := h.EndWindow()
+			return sig
+		}
+		return run() == run()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQualityIdenticalWindows(t *testing.T) {
+	q := NewQualityTracker(10)
+	sig := Signature{N: 1}
+	sig.IDs[0] = 1
+	vec := func() map[uint32]uint64 { return map[uint32]uint64{1: 10} }
+	q.Observe(sig, vec())
+	q.Observe(sig, vec())
+	q.Observe(sig, vec())
+	if got := q.Comparisons(); got != 2 {
+		t.Fatalf("comparisons = %d", got)
+	}
+	if got := q.MeanDistance(); got != 0 {
+		t.Fatalf("mean distance of identical windows = %v", got)
+	}
+	if got := q.DistinctSignatures(); got != 1 {
+		t.Fatalf("distinct signatures = %d", got)
+	}
+}
+
+func TestQualityDisjointWindows(t *testing.T) {
+	q := NewQualityTracker(10)
+	sig := Signature{N: 1}
+	sig.IDs[0] = 1
+	q.Observe(sig, map[uint32]uint64{1: 10})
+	q.Observe(sig, map[uint32]uint64{2: 10}) // fully disjoint
+	if got := q.MeanDistance(); got != 10 {
+		t.Fatalf("disjoint distance = %v, want 10 (the window size)", got)
+	}
+	if got := q.MeanDistanceFrac(); got != 1 {
+		t.Fatalf("disjoint distance frac = %v, want 1", got)
+	}
+	if got := q.MaxDistanceFrac(); got != 1 {
+		t.Fatalf("max distance frac = %v", got)
+	}
+}
+
+func TestQualityIgnoresEmptySignatures(t *testing.T) {
+	q := NewQualityTracker(10)
+	q.Observe(Signature{}, map[uint32]uint64{1: 10})
+	q.Observe(Signature{}, map[uint32]uint64{2: 10})
+	if q.Comparisons() != 0 || q.DistinctSignatures() != 0 {
+		t.Fatal("empty signatures were tracked")
+	}
+}
+
+func TestQualityPartialOverlap(t *testing.T) {
+	q := NewQualityTracker(10)
+	sig := Signature{N: 2}
+	sig.IDs[0], sig.IDs[1] = 1, 2
+	q.Observe(sig, map[uint32]uint64{1: 5, 2: 5})
+	q.Observe(sig, map[uint32]uint64{1: 5, 3: 5})
+	// L1 distance = |5-5| + |5-0| + |0-5| = 10, normalized /2 = 5.
+	if got := q.MeanDistance(); got != 5 {
+		t.Fatalf("partial overlap distance = %v, want 5", got)
+	}
+}
+
+func TestQualityZeroWindowSize(t *testing.T) {
+	q := NewQualityTracker(0)
+	if q.MeanDistanceFrac() != 0 || q.MaxDistanceFrac() != 0 {
+		t.Fatal("zero window size should report zero fractions")
+	}
+}

@@ -1,0 +1,106 @@
+package phase
+
+import "powerchop/internal/stats"
+
+// QualityTracker measures how well phase signatures capture recurring code,
+// the paper's Figure 8 metric: the Manhattan distance between the
+// translation vectors of execution windows that share a signature.
+//
+// The paper averages the distance over every pair of same-signature
+// windows. Storing every window's translation vector for exact pairwise
+// comparison is quadratic in run length, so the tracker compares each
+// window against the previous window that carried the same signature — a
+// consecutive-pair approximation that preserves the metric's shape
+// (identical windows score 0; disjoint windows score the maximum) at
+// O(windows) cost and is robust to a single atypical window.
+type QualityTracker struct {
+	window int
+	refs   map[Signature]map[uint32]uint64
+
+	comparisons uint64
+	sumDist     float64
+	maxDist     float64
+}
+
+// NewQualityTracker creates a tracker for windows of the given size (in
+// translations).
+func NewQualityTracker(windowSize int) *QualityTracker {
+	return &QualityTracker{
+		window: windowSize,
+		refs:   make(map[Signature]map[uint32]uint64),
+	}
+}
+
+// Observe records a completed window's signature and translation vector.
+// The tracker takes ownership of vec.
+func (q *QualityTracker) Observe(sig Signature, vec map[uint32]uint64) {
+	if sig.Zero() {
+		return
+	}
+	ref, seen := q.refs[sig]
+	q.refs[sig] = vec // subsequent windows compare against this one
+	if !seen {
+		return
+	}
+	// The HTB's translation vectors carry dynamic *instruction* counts,
+	// so the raw L1 distance scales with window instruction volume.
+	// Normalize by the vectors' combined magnitude: identical windows
+	// score 0, fully disjoint windows score 1, matching the paper's
+	// scale where a worst-case pair of 1000-translation windows has
+	// distance 1000 (i.e. fraction 1).
+	raw := float64(stats.Manhattan(ref, vec))
+	mag := float64(sum(ref) + sum(vec))
+	if mag == 0 {
+		return
+	}
+	frac := raw / mag
+	d := frac * float64(q.window)
+	q.comparisons++
+	q.sumDist += d
+	if d > q.maxDist {
+		q.maxDist = d
+	}
+}
+
+func sum(m map[uint32]uint64) uint64 {
+	var t uint64
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// Comparisons returns the number of same-signature window comparisons.
+func (q *QualityTracker) Comparisons() uint64 { return q.comparisons }
+
+// DistinctSignatures returns the number of distinct signatures observed.
+func (q *QualityTracker) DistinctSignatures() int { return len(q.refs) }
+
+// MeanDistance returns the average per-window translation distance, in
+// translations (0 = identical code, windowSize = disjoint code).
+func (q *QualityTracker) MeanDistance() float64 {
+	if q.comparisons == 0 {
+		return 0
+	}
+	return q.sumDist / float64(q.comparisons)
+}
+
+// MaxDistance returns the worst observed distance in translations.
+func (q *QualityTracker) MaxDistance() float64 { return q.maxDist }
+
+// MeanDistanceFrac returns MeanDistance normalized by the window size —
+// the paper's "2.8% average" number.
+func (q *QualityTracker) MeanDistanceFrac() float64 {
+	if q.window == 0 {
+		return 0
+	}
+	return q.MeanDistance() / float64(q.window)
+}
+
+// MaxDistanceFrac returns MaxDistance normalized by the window size.
+func (q *QualityTracker) MaxDistanceFrac() float64 {
+	if q.window == 0 {
+		return 0
+	}
+	return q.MaxDistance() / float64(q.window)
+}

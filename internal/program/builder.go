@@ -1,0 +1,203 @@
+package program
+
+import (
+	"fmt"
+
+	"powerchop/internal/isa"
+)
+
+// RegionSpec declares a code region for the Builder. The builder turns the
+// declarative spec into a concrete instruction body with exact class
+// fractions and deterministic layout.
+type RegionSpec struct {
+	// Name labels the region.
+	Name string
+	// Insns is the body length in instructions. Typical loop bodies are
+	// 16-64 instructions.
+	Insns int
+	// Mix gives the instruction class composition of the body.
+	Mix isa.Mix
+	// Branches are the branch behaviour models; Branch instructions in
+	// the body are assigned to them round-robin. Required when
+	// Mix.BranchFrac > 0.
+	Branches []BranchModel
+	// Streams are the memory stream models; Load/Store instructions in
+	// the body are assigned to them round-robin. Required when
+	// Mix.LoadFrac+Mix.StoreFrac > 0.
+	Streams []MemStream
+}
+
+// regionSpacing is the PC distance between consecutive region heads; it
+// bounds region bodies to 1024 four-byte instructions.
+const regionSpacing = 0x1000
+
+// maxStreamFootprint bounds each memory stream's working set so that base
+// addresses assigned per (region, stream) never collide.
+const maxStreamFootprint = uint64(1) << 28 // 256 MiB
+
+// buildRegion lays out a concrete region from its spec. The layout is
+// deterministic: instruction kinds are distributed by error diffusion so
+// the realized class fractions match the mix as closely as the body length
+// allows, and behaviour models are assigned round-robin.
+func buildRegion(spec RegionSpec, headPC uint32) (*Region, error) {
+	if spec.Insns <= 0 {
+		return nil, fmt.Errorf("program: region %q has %d instructions", spec.Name, spec.Insns)
+	}
+	if spec.Insns > regionSpacing/4 {
+		return nil, fmt.Errorf("program: region %q body of %d exceeds %d instructions", spec.Name, spec.Insns, regionSpacing/4)
+	}
+	if err := spec.Mix.Validate(); err != nil {
+		return nil, fmt.Errorf("program: region %q: %w", spec.Name, err)
+	}
+	if spec.Mix.BranchFrac > 0 && len(spec.Branches) == 0 {
+		return nil, fmt.Errorf("program: region %q has branches but no branch models", spec.Name)
+	}
+	if spec.Mix.LoadFrac+spec.Mix.StoreFrac > 0 && len(spec.Streams) == 0 {
+		return nil, fmt.Errorf("program: region %q has memory ops but no streams", spec.Name)
+	}
+	for i := range spec.Streams {
+		if spec.Streams[i].WorkingSet > maxStreamFootprint {
+			return nil, fmt.Errorf("program: region %q stream %d working set %d exceeds %d",
+				spec.Name, i, spec.Streams[i].WorkingSet, maxStreamFootprint)
+		}
+	}
+	if len(spec.Streams) > 16 {
+		return nil, fmt.Errorf("program: region %q has %d streams; max 16", spec.Name, len(spec.Streams))
+	}
+
+	r := &Region{
+		Name:     spec.Name,
+		HeadPC:   headPC,
+		Branches: append([]BranchModel(nil), spec.Branches...),
+		Streams:  append([]MemStream(nil), spec.Streams...),
+	}
+	// Assign non-overlapping base addresses: the region head and stream
+	// index form the high address bits. Streams with a SharedID instead
+	// derive their base from it (in a disjoint half of the address
+	// space), letting region variants share a working set.
+	for i := range r.Streams {
+		if id := r.Streams[i].SharedID; id != 0 {
+			r.Streams[i].base = 1<<62 | uint64(id)<<33 | uint64(i)<<28
+		} else {
+			r.Streams[i].base = uint64(headPC)<<32 | uint64(i)<<28
+		}
+	}
+
+	// Error-diffusion layout: walk the body accumulating each class's
+	// ideal count and emit the class that is furthest behind its target.
+	type classAcc struct {
+		kind isa.Kind
+		frac float64
+		emit int
+	}
+	classes := []classAcc{
+		{isa.Vector, spec.Mix.VectorFrac, 0},
+		{isa.Branch, spec.Mix.BranchFrac, 0},
+		{isa.Load, spec.Mix.LoadFrac, 0},
+		{isa.Store, spec.Mix.StoreFrac, 0},
+		{isa.Scalar, spec.Mix.ScalarFrac(), 0},
+	}
+	var branchSel, memSel int
+	r.Body = make([]isa.Inst, spec.Insns)
+	for i := 0; i < spec.Insns; i++ {
+		// Pick the class with the largest deficit vs. its target count.
+		best := -1
+		bestDeficit := 0.0
+		for c := range classes {
+			target := classes[c].frac * float64(i+1)
+			deficit := target - float64(classes[c].emit)
+			if deficit > bestDeficit || best == -1 && deficit > 0 {
+				best = c
+				bestDeficit = deficit
+			}
+		}
+		if best == -1 {
+			best = len(classes) - 1 // degenerate all-zero mix: scalar
+		}
+		classes[best].emit++
+		inst := isa.Inst{PC: headPC + uint32(4*i), Kind: classes[best].kind}
+		switch inst.Kind {
+		case isa.Branch:
+			inst.Sel = uint8(branchSel % len(spec.Branches))
+			branchSel++
+		case isa.Load, isa.Store:
+			inst.Sel = uint8(memSel % len(spec.Streams))
+			memSel++
+		}
+		r.Body[i] = inst
+	}
+	return r, nil
+}
+
+// Builder assembles a Program from region specs and phase declarations.
+type Builder struct {
+	name       string
+	suite      string
+	seed       uint64
+	specs      []RegionSpec
+	phase      []Phase
+	weightMaps map[int]map[int]float64
+	err        error
+}
+
+// NewBuilder starts a program definition.
+func NewBuilder(name, suite string, seed uint64) *Builder {
+	return &Builder{name: name, suite: suite, seed: seed}
+}
+
+// Region declares a code region and returns its index for use in Phase
+// weight maps.
+func (b *Builder) Region(spec RegionSpec) int {
+	b.specs = append(b.specs, spec)
+	return len(b.specs) - 1
+}
+
+// Phase appends a phase executing for the given number of translations with
+// the given region-index→weight map. Regions absent from the map have zero
+// weight in the phase.
+func (b *Builder) Phase(name string, translations int, weights map[int]float64) *Builder {
+	ph := Phase{Name: name, Translations: translations}
+	b.phase = append(b.phase, ph)
+	idx := len(b.phase) - 1
+	// Weights are resolved at Build time when the region count is known;
+	// stash the map until then.
+	if b.weightMaps == nil {
+		b.weightMaps = map[int]map[int]float64{}
+	}
+	b.weightMaps[idx] = weights
+	return b
+}
+
+// Build lays out all regions, resolves phase weights and validates the
+// resulting program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.specs) == 0 {
+		return nil, fmt.Errorf("program %q: no regions declared", b.name)
+	}
+	p := &Program{Name: b.name, Suite: b.suite, Seed: b.seed}
+	for i, spec := range b.specs {
+		headPC := uint32(regionSpacing * (i + 1))
+		r, err := buildRegion(spec, headPC)
+		if err != nil {
+			return nil, err
+		}
+		p.Regions = append(p.Regions, r)
+	}
+	for i, ph := range b.phase {
+		ph.Weights = make([]float64, len(p.Regions))
+		for ri, wt := range b.weightMaps[i] {
+			if ri < 0 || ri >= len(p.Regions) {
+				return nil, fmt.Errorf("program %q phase %q: region index %d out of range", b.name, ph.Name, ri)
+			}
+			ph.Weights[ri] = wt
+		}
+		p.Phases = append(p.Phases, ph)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,309 @@
+// Package program models synthetic guest programs for the hybrid
+// processor simulator.
+//
+// A Program is a set of static code Regions plus a Phase schedule. Each
+// region is a short straight-line body of guest instructions (a loop body,
+// in effect) with attached behaviour models: generative branch-outcome
+// models and memory-stream models. A phase names the set of regions that
+// are hot during a period of execution and how long the period lasts.
+// Executing a program means repeatedly drawing a region from the current
+// phase's weighted set and executing its body once — exactly the view a
+// binary-translation layer has of guest execution (a stream of region
+// executions), and exactly the granularity at which PowerChop identifies
+// phases.
+//
+// The behaviour models are the levers that reproduce the application
+// properties the paper's Figures 1-3 identify as driving unit criticality:
+// vector-operation intensity (VPU), local-vs-global branch predictability
+// (BPU), and working-set size relative to the cache hierarchy (MLC).
+package program
+
+import (
+	"fmt"
+
+	"powerchop/internal/isa"
+	"powerchop/internal/rng"
+)
+
+// BranchKind selects a generative branch-outcome model.
+type BranchKind uint8
+
+const (
+	// Biased branches are taken with a fixed probability. Any predictor
+	// quickly learns the majority direction, so the large BPU provides no
+	// benefit over the small one.
+	Biased BranchKind = iota
+	// Patterned branches repeat a fixed taken/not-taken sequence. The
+	// tournament predictor's local-history component learns the pattern;
+	// a small bimodal predictor cannot, so the large BPU is critical.
+	Patterned
+	// Correlated branches compute their outcome from recent global
+	// branch history. Only the tournament predictor's global component
+	// can track them.
+	Correlated
+	// Random branches are unpredictable by construction; no predictor
+	// helps, so the large BPU is non-critical.
+	Random
+)
+
+// String returns the model name.
+func (k BranchKind) String() string {
+	switch k {
+	case Biased:
+		return "biased"
+	case Patterned:
+		return "patterned"
+	case Correlated:
+		return "correlated"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("branchkind(%d)", uint8(k))
+	}
+}
+
+// BranchModel is the static description of one branch site's behaviour.
+type BranchModel struct {
+	Kind BranchKind
+	// Bias is P(taken) for Biased branches.
+	Bias float64
+	// Pattern is the repeating outcome sequence for Patterned branches.
+	Pattern []bool
+	// CorrDepth is the number of recent global outcomes whose parity
+	// determines a Correlated branch's outcome.
+	CorrDepth int
+	// Noise flips the model's outcome with this probability, bounding
+	// the best achievable prediction accuracy.
+	Noise float64
+}
+
+// Validate reports an error for an inconsistent model.
+func (m *BranchModel) Validate() error {
+	switch m.Kind {
+	case Biased:
+		if m.Bias < 0 || m.Bias > 1 {
+			return fmt.Errorf("program: biased branch with bias %v", m.Bias)
+		}
+	case Patterned:
+		if len(m.Pattern) == 0 {
+			return fmt.Errorf("program: patterned branch with empty pattern")
+		}
+	case Correlated:
+		if m.CorrDepth <= 0 || m.CorrDepth > 32 {
+			return fmt.Errorf("program: correlated branch with depth %d", m.CorrDepth)
+		}
+	case Random:
+		// nothing to check
+	default:
+		return fmt.Errorf("program: unknown branch kind %d", m.Kind)
+	}
+	if m.Noise < 0 || m.Noise > 1 {
+		return fmt.Errorf("program: branch noise %v out of [0,1]", m.Noise)
+	}
+	return nil
+}
+
+// branchState is the per-walker dynamic state of one branch site.
+type branchState struct {
+	patternPos int
+}
+
+// Outcome produces the next dynamic outcome for the branch. globalHist is
+// the walker's global outcome shift register (most recent outcome in bit 0).
+func (m *BranchModel) outcome(st *branchState, globalHist uint64, rnd *rng.Source) bool {
+	var taken bool
+	switch m.Kind {
+	case Biased:
+		taken = rnd.Bool(m.Bias)
+	case Patterned:
+		taken = m.Pattern[st.patternPos]
+		st.patternPos++
+		if st.patternPos >= len(m.Pattern) {
+			st.patternPos = 0
+		}
+	case Correlated:
+		mask := uint64(1)<<uint(m.CorrDepth) - 1
+		h := globalHist & mask
+		// Parity of the masked history.
+		h ^= h >> 32
+		h ^= h >> 16
+		h ^= h >> 8
+		h ^= h >> 4
+		h ^= h >> 2
+		h ^= h >> 1
+		taken = h&1 == 1
+	case Random:
+		taken = rnd.Bool(0.5)
+	}
+	if m.Noise > 0 && rnd.Bool(m.Noise) {
+		taken = !taken
+	}
+	return taken
+}
+
+// MemStream is the static description of one memory reference stream.
+type MemStream struct {
+	// WorkingSet is the stream's footprint in bytes. Whether it fits in
+	// the L1, the MLC, or neither determines MLC criticality.
+	WorkingSet uint64
+	// Stride is the byte distance between consecutive accesses. Zero
+	// selects uniform-random accesses within the working set (reuse-heavy);
+	// a non-zero stride produces a sequential walk (streaming when the
+	// working set exceeds the MLC).
+	Stride uint64
+	// SharedID, when nonzero, makes streams in different regions with the
+	// same SharedID and stream index reference the same address range, so
+	// region variants (e.g. a scalar region and its SIMD twin) share one
+	// working set instead of doubling the footprint.
+	SharedID uint32
+	// base is the stream's starting address, assigned by Build so that
+	// distinct streams never overlap.
+	base uint64
+}
+
+// Validate reports an error for an inconsistent stream.
+func (s *MemStream) Validate() error {
+	if s.WorkingSet == 0 {
+		return fmt.Errorf("program: memory stream with zero working set")
+	}
+	if s.Stride > s.WorkingSet {
+		return fmt.Errorf("program: stride %d exceeds working set %d", s.Stride, s.WorkingSet)
+	}
+	return nil
+}
+
+// streamState is the per-walker dynamic state of one memory stream.
+type streamState struct {
+	offset uint64
+}
+
+// next produces the stream's next effective address.
+func (s *MemStream) next(st *streamState, rnd *rng.Source) uint64 {
+	if s.Stride == 0 {
+		return s.base + rnd.Uint64n(s.WorkingSet)
+	}
+	addr := s.base + st.offset
+	st.offset += s.Stride
+	if st.offset >= s.WorkingSet {
+		st.offset = 0
+	}
+	return addr
+}
+
+// Region is a static code region: the unit of translation in the BT layer
+// and the unit of phase composition here.
+type Region struct {
+	// Name is a human-readable label (e.g. "inner-loop").
+	Name string
+	// HeadPC is the guest PC of the region's first instruction; it
+	// uniquely identifies the region's translation.
+	HeadPC uint32
+	// Body is the region's static instruction sequence.
+	Body []isa.Inst
+	// Branches are the behaviour models indexed by Inst.Sel of Branch
+	// instructions in Body.
+	Branches []BranchModel
+	// Streams are the behaviour models indexed by Inst.Sel of Load/Store
+	// instructions in Body.
+	Streams []MemStream
+}
+
+// Len returns the number of instructions in the region body.
+func (r *Region) Len() int { return len(r.Body) }
+
+// Phase is one period of the program's phase schedule.
+type Phase struct {
+	// Name labels the phase for diagnostics.
+	Name string
+	// Weights gives the relative execution frequency of each region
+	// (indexed like Program.Regions) while the phase is active. Regions
+	// with zero weight do not execute in the phase.
+	Weights []float64
+	// Translations is the phase duration in region executions.
+	Translations int
+}
+
+// Program is a complete synthetic guest program.
+type Program struct {
+	// Name is the benchmark name (e.g. "gobmk").
+	Name string
+	// Suite is the benchmark suite label (e.g. "SPEC-INT").
+	Suite string
+	// Regions are the program's static code regions.
+	Regions []*Region
+	// Phases is the cyclic phase schedule.
+	Phases []Phase
+	// Seed selects the program's deterministic random streams.
+	Seed uint64
+}
+
+// Validate checks the program's internal consistency.
+func (p *Program) Validate() error {
+	if len(p.Regions) == 0 {
+		return fmt.Errorf("program %q: no regions", p.Name)
+	}
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("program %q: no phases", p.Name)
+	}
+	seen := make(map[uint32]bool, len(p.Regions))
+	for i, r := range p.Regions {
+		if len(r.Body) == 0 {
+			return fmt.Errorf("program %q region %d: empty body", p.Name, i)
+		}
+		if seen[r.HeadPC] {
+			return fmt.Errorf("program %q region %d: duplicate head PC %#x", p.Name, i, r.HeadPC)
+		}
+		seen[r.HeadPC] = true
+		for _, inst := range r.Body {
+			switch inst.Kind {
+			case isa.Branch:
+				if int(inst.Sel) >= len(r.Branches) {
+					return fmt.Errorf("program %q region %d: branch sel %d out of range", p.Name, i, inst.Sel)
+				}
+			case isa.Load, isa.Store:
+				if int(inst.Sel) >= len(r.Streams) {
+					return fmt.Errorf("program %q region %d: stream sel %d out of range", p.Name, i, inst.Sel)
+				}
+			}
+		}
+		for j := range r.Branches {
+			if err := r.Branches[j].Validate(); err != nil {
+				return fmt.Errorf("program %q region %d branch %d: %w", p.Name, i, j, err)
+			}
+		}
+		for j := range r.Streams {
+			if err := r.Streams[j].Validate(); err != nil {
+				return fmt.Errorf("program %q region %d stream %d: %w", p.Name, i, j, err)
+			}
+		}
+	}
+	for i, ph := range p.Phases {
+		if len(ph.Weights) != len(p.Regions) {
+			return fmt.Errorf("program %q phase %d: %d weights for %d regions", p.Name, i, len(ph.Weights), len(p.Regions))
+		}
+		if ph.Translations <= 0 {
+			return fmt.Errorf("program %q phase %d: non-positive duration", p.Name, i)
+		}
+		total := 0.0
+		for _, w := range ph.Weights {
+			if w < 0 {
+				return fmt.Errorf("program %q phase %d: negative weight", p.Name, i)
+			}
+			total += w
+		}
+		if total == 0 {
+			return fmt.Errorf("program %q phase %d: all weights zero", p.Name, i)
+		}
+	}
+	return nil
+}
+
+// TotalScheduleTranslations returns the length of one full pass through the
+// phase schedule, in region executions.
+func (p *Program) TotalScheduleTranslations() int {
+	t := 0
+	for _, ph := range p.Phases {
+		t += ph.Translations
+	}
+	return t
+}

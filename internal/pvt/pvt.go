@@ -1,0 +1,336 @@
+// Package pvt implements PowerChop's policy vector table (PVT): a small,
+// fully associative hardware cache mapping phase signatures to power
+// gating policy vectors (Section IV-B3).
+//
+// Each policy vector is 4 bits: one bit each for the VPU and BPU (gated
+// on/off) and two bits for the MLC's three way-gating states (all ways,
+// half the ways, one way). The table holds 16 entries and evicts with an
+// approximate-LRU policy, modelled here as tree-PLRU — the standard
+// hardware approximation. Evicted entries are returned to the caller (the
+// CDE) which stores them in memory and re-registers them on a later
+// capacity miss.
+package pvt
+
+import "fmt"
+
+import "powerchop/internal/phase"
+
+// MLCState is the MLC's two-bit way-gating policy.
+type MLCState uint8
+
+const (
+	// MLCAll keeps every way powered.
+	MLCAll MLCState = iota
+	// MLCHalf powers half the ways.
+	MLCHalf
+	// MLCOne powers a single way.
+	MLCOne
+)
+
+// String names the state.
+func (m MLCState) String() string {
+	switch m {
+	case MLCAll:
+		return "all-ways"
+	case MLCHalf:
+		return "half-ways"
+	case MLCOne:
+		return "one-way"
+	default:
+		return fmt.Sprintf("mlc(%d)", uint8(m))
+	}
+}
+
+// Valid reports whether the state is one of the three defined states.
+func (m MLCState) Valid() bool { return m <= MLCOne }
+
+// Ways returns the number of active ways the state implies for a cache
+// with totalWays ways (minimum 1).
+func (m MLCState) Ways(totalWays int) int {
+	switch m {
+	case MLCHalf:
+		if totalWays >= 2 {
+			return totalWays / 2
+		}
+		return 1
+	case MLCOne:
+		return 1
+	default:
+		return totalWays
+	}
+}
+
+// PowerFrac returns the fraction of the MLC left powered in this state.
+func (m MLCState) PowerFrac(totalWays int) float64 {
+	return float64(m.Ways(totalWays)) / float64(totalWays)
+}
+
+// Policy is one decoded gating policy vector.
+type Policy struct {
+	VPUOn bool
+	BPUOn bool // large predictor powered
+	MLC   MLCState
+}
+
+// FullOn is the all-units-powered policy.
+var FullOn = Policy{VPUOn: true, BPUOn: true, MLC: MLCAll}
+
+// MinPower is the lowest-power policy (everything gated as far as it goes).
+var MinPower = Policy{VPUOn: false, BPUOn: false, MLC: MLCOne}
+
+// Encode packs the policy into the paper's 4-bit vector:
+// bit 3 = VPU, bit 2 = BPU, bits 1..0 = MLC state.
+func (p Policy) Encode() uint8 {
+	v := uint8(p.MLC) & 0x3
+	if p.BPUOn {
+		v |= 1 << 2
+	}
+	if p.VPUOn {
+		v |= 1 << 3
+	}
+	return v
+}
+
+// Decode unpacks a 4-bit policy vector.
+func Decode(bits uint8) Policy {
+	return Policy{
+		VPUOn: bits&(1<<3) != 0,
+		BPUOn: bits&(1<<2) != 0,
+		MLC:   MLCState(bits & 0x3),
+	}
+}
+
+// String renders the policy as "V=1,B=0,M=01"-style text like Figure 6.
+func (p Policy) String() string {
+	b := func(x bool) int {
+		if x {
+			return 1
+		}
+		return 0
+	}
+	return fmt.Sprintf("V=%d,B=%d,M=%02b", b(p.VPUOn), b(p.BPUOn), uint8(p.MLC))
+}
+
+// DefaultEntries is the paper's PVT size.
+const DefaultEntries = 16
+
+// Replacement selects the PVT's eviction policy. The paper specifies
+// "approximate LRU"; tree-PLRU is the standard hardware realization and
+// the default. True LRU and random are provided for the replacement-policy
+// ablation.
+type Replacement uint8
+
+const (
+	// TreePLRU is the hardware-style approximate LRU (default).
+	TreePLRU Replacement = iota
+	// TrueLRU tracks exact recency (an idealized reference point).
+	TrueLRU
+	// Random evicts pseudo-randomly (the lower bound).
+	Random
+)
+
+// String names the policy.
+func (r Replacement) String() string {
+	switch r {
+	case TreePLRU:
+		return "tree-plru"
+	case TrueLRU:
+		return "true-lru"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("replacement(%d)", uint8(r))
+	}
+}
+
+// Stats counts PVT events.
+type Stats struct {
+	Lookups       uint64
+	Hits          uint64
+	Misses        uint64
+	Registrations uint64
+	Evictions     uint64
+}
+
+// HitRate returns hits/lookups, or 0 when idle.
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+type entry struct {
+	sig     phase.Signature
+	policy  Policy
+	valid   bool
+	lastUse uint64 // TrueLRU recency
+}
+
+// Table is the policy vector table.
+type Table struct {
+	entries []entry
+	// plru holds the tree-PLRU state: entries-1 internal node bits. A
+	// node bit of 0 points left, 1 points right; bits flip away from the
+	// accessed way and the victim is found by following the pointers.
+	plru    []bool
+	repl    Replacement
+	clock   uint64 // TrueLRU timestamp source
+	rndBits uint64 // Random victim selector (xorshift state)
+	stats   Stats
+}
+
+// New builds a PVT with n entries (a power of two; the paper uses 16) and
+// tree-PLRU replacement.
+func New(n int) *Table { return NewWithReplacement(n, TreePLRU) }
+
+// NewWithReplacement builds a PVT with the given eviction policy.
+func NewWithReplacement(n int, repl Replacement) *Table {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("pvt: table size %d is not a positive power of two", n))
+	}
+	if repl > Random {
+		panic(fmt.Sprintf("pvt: unknown replacement policy %d", repl))
+	}
+	return &Table{
+		entries: make([]entry, n),
+		plru:    make([]bool, n-1),
+		repl:    repl,
+		rndBits: 0x2545f4914f6cdd1d,
+	}
+}
+
+// Replacement returns the table's eviction policy.
+func (t *Table) Replacement() Replacement { return t.repl }
+
+// Len returns the table capacity.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Stats returns the event counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+// touch updates recency state after an access to way w.
+func (t *Table) touch(w int) {
+	t.clock++
+	t.entries[w].lastUse = t.clock
+	if t.repl != TreePLRU {
+		return
+	}
+	// Point every tree node on the path away from w.
+	node := 0
+	lo, hi := 0, len(t.entries)
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if w < mid {
+			t.plru[node] = true // point right, away from the left half
+			node = 2*node + 1
+			hi = mid
+		} else {
+			t.plru[node] = false // point left
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+}
+
+// victim picks the way to evict under the configured policy.
+func (t *Table) victim() int {
+	// Prefer an invalid entry.
+	for i := range t.entries {
+		if !t.entries[i].valid {
+			return i
+		}
+	}
+	switch t.repl {
+	case TrueLRU:
+		v := 0
+		for i := range t.entries {
+			if t.entries[i].lastUse < t.entries[v].lastUse {
+				v = i
+			}
+		}
+		return v
+	case Random:
+		// xorshift64 step.
+		x := t.rndBits
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		t.rndBits = x
+		return int(x % uint64(len(t.entries)))
+	default:
+		node := 0
+		lo, hi := 0, len(t.entries)
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			if t.plru[node] {
+				node = 2*node + 2
+				lo = mid
+			} else {
+				node = 2*node + 1
+				hi = mid
+			}
+		}
+		return lo
+	}
+}
+
+// Lookup searches the table for sig. On a hit it returns the stored policy
+// and refreshes the entry's recency.
+func (t *Table) Lookup(sig phase.Signature) (Policy, bool) {
+	t.stats.Lookups++
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].sig == sig {
+			t.stats.Hits++
+			t.touch(i)
+			return t.entries[i].policy, true
+		}
+	}
+	t.stats.Misses++
+	return Policy{}, false
+}
+
+// Register installs (or updates) the policy for sig. When the table is
+// full a stale entry is evicted approximate-LRU and returned so the CDE
+// can spill it to memory.
+func (t *Table) Register(sig phase.Signature, p Policy) (evictedSig phase.Signature, evictedPolicy Policy, evicted bool) {
+	t.stats.Registrations++
+	// Update in place on re-registration.
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].sig == sig {
+			t.entries[i].policy = p
+			t.touch(i)
+			return phase.Signature{}, Policy{}, false
+		}
+	}
+	w := t.victim()
+	if t.entries[w].valid {
+		evictedSig, evictedPolicy, evicted = t.entries[w].sig, t.entries[w].policy, true
+		t.stats.Evictions++
+	}
+	t.entries[w] = entry{sig: sig, policy: p, valid: true}
+	t.touch(w)
+	return evictedSig, evictedPolicy, evicted
+}
+
+// Contains reports whether sig is resident without touching recency or
+// statistics (diagnostics only).
+func (t *Table) Contains(sig phase.Signature) bool {
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].sig == sig {
+			return true
+		}
+	}
+	return false
+}
+
+// Occupancy returns the number of valid entries.
+func (t *Table) Occupancy() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,295 @@
+package pvt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"powerchop/internal/phase"
+)
+
+func sig(id uint32) phase.Signature {
+	var s phase.Signature
+	s.IDs[0] = id
+	s.N = 1
+	return s
+}
+
+func TestPolicyEncodeDecodeRoundTrip(t *testing.T) {
+	for _, p := range []Policy{
+		{}, {VPUOn: true}, {BPUOn: true}, {MLC: MLCHalf}, {MLC: MLCOne},
+		{VPUOn: true, BPUOn: true, MLC: MLCAll},
+		{VPUOn: true, BPUOn: false, MLC: MLCOne},
+		FullOn, MinPower,
+	} {
+		if got := Decode(p.Encode()); got != p {
+			t.Errorf("round trip %v -> %#b -> %v", p, p.Encode(), got)
+		}
+	}
+}
+
+func TestPolicyEncodeIs4Bits(t *testing.T) {
+	f := func(v, b bool, m uint8) bool {
+		p := Policy{VPUOn: v, BPUOn: b, MLC: MLCState(m % 3)}
+		return p.Encode() <= 0xf
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	p := Policy{VPUOn: true, MLC: MLCOne}
+	if got := p.String(); got != "V=1,B=0,M=10" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestMLCStateWays(t *testing.T) {
+	cases := []struct {
+		st    MLCState
+		total int
+		want  int
+	}{
+		{MLCAll, 8, 8},
+		{MLCHalf, 8, 4},
+		{MLCOne, 8, 1},
+		{MLCHalf, 1, 1},
+	}
+	for _, c := range cases {
+		if got := c.st.Ways(c.total); got != c.want {
+			t.Errorf("%v.Ways(%d) = %d, want %d", c.st, c.total, got, c.want)
+		}
+	}
+	if got := MLCOne.PowerFrac(8); got != 0.125 {
+		t.Errorf("PowerFrac = %v", got)
+	}
+	if !MLCAll.Valid() || !MLCOne.Valid() || MLCState(3).Valid() {
+		t.Error("Valid misclassifies")
+	}
+	if MLCHalf.String() != "half-ways" || MLCState(7).String() == "" {
+		t.Error("String misbehaves")
+	}
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	tb := New(16)
+	if _, hit := tb.Lookup(sig(1)); hit {
+		t.Fatal("empty table hit")
+	}
+	tb.Register(sig(1), Policy{VPUOn: true})
+	p, hit := tb.Lookup(sig(1))
+	if !hit || !p.VPUOn {
+		t.Fatalf("lookup = %v, %v", p, hit)
+	}
+	s := tb.Stats()
+	if s.Lookups != 2 || s.Hits != 1 || s.Misses != 1 || s.Registrations != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestReRegistrationUpdatesInPlace(t *testing.T) {
+	tb := New(4)
+	tb.Register(sig(1), Policy{VPUOn: true})
+	_, _, evicted := tb.Register(sig(1), Policy{VPUOn: false, MLC: MLCOne})
+	if evicted {
+		t.Fatal("in-place update evicted")
+	}
+	if tb.Occupancy() != 1 {
+		t.Fatalf("occupancy = %d", tb.Occupancy())
+	}
+	p, _ := tb.Lookup(sig(1))
+	if p.VPUOn || p.MLC != MLCOne {
+		t.Fatalf("updated policy = %v", p)
+	}
+}
+
+func TestEvictionReturnsVictim(t *testing.T) {
+	tb := New(4)
+	for i := uint32(0); i < 4; i++ {
+		if _, _, ev := tb.Register(sig(i), Policy{}); ev {
+			t.Fatalf("eviction while filling at %d", i)
+		}
+	}
+	evSig, _, ev := tb.Register(sig(99), Policy{})
+	if !ev {
+		t.Fatal("full table did not evict")
+	}
+	if evSig == sig(99) {
+		t.Fatal("evicted the newly inserted entry")
+	}
+	if tb.Stats().Evictions != 1 {
+		t.Fatalf("eviction count = %d", tb.Stats().Evictions)
+	}
+	if tb.Occupancy() != 4 {
+		t.Fatalf("occupancy = %d", tb.Occupancy())
+	}
+}
+
+func TestPLRUSparesRecentlyUsed(t *testing.T) {
+	tb := New(4)
+	for i := uint32(0); i < 4; i++ {
+		tb.Register(sig(i), Policy{})
+	}
+	// Touch 0 and 1 so they are recent; the victim must be 2 or 3.
+	tb.Lookup(sig(0))
+	tb.Lookup(sig(1))
+	evSig, _, ev := tb.Register(sig(99), Policy{})
+	if !ev {
+		t.Fatal("no eviction")
+	}
+	if evSig == sig(0) || evSig == sig(1) {
+		t.Fatalf("PLRU evicted recently used %v", evSig)
+	}
+	if !tb.Contains(sig(0)) || !tb.Contains(sig(1)) {
+		t.Fatal("recently used entries were dropped")
+	}
+}
+
+func TestPLRUCyclesThroughAllWays(t *testing.T) {
+	// Inserting a long stream must spread evictions across the table, not
+	// thrash a single way.
+	tb := New(8)
+	victims := map[uint32]bool{}
+	for i := uint32(0); i < 64; i++ {
+		evSig, _, ev := tb.Register(sig(i), Policy{})
+		if ev {
+			victims[evSig.IDs[0]] = true
+		}
+	}
+	if len(victims) < 8 {
+		t.Fatalf("only %d distinct victims over 64 inserts", len(victims))
+	}
+}
+
+func TestContainsDoesNotTouchStats(t *testing.T) {
+	tb := New(4)
+	tb.Register(sig(1), Policy{})
+	before := tb.Stats()
+	tb.Contains(sig(1))
+	tb.Contains(sig(2))
+	if tb.Stats() != before {
+		t.Fatal("Contains mutated stats")
+	}
+}
+
+func TestStatsHitRate(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Fatal("empty hit rate")
+	}
+	s = Stats{Lookups: 4, Hits: 1}
+	if s.HitRate() != 0.25 {
+		t.Fatalf("hit rate = %v", s.HitRate())
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	for _, n := range []int{0, -1, 3, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestDefaultEntriesMatchesPaper(t *testing.T) {
+	if DefaultEntries != 16 {
+		t.Fatal("PVT size drifted from the paper")
+	}
+}
+
+func TestRegisterLookupProperty(t *testing.T) {
+	// Any registered signature is immediately findable.
+	tb := New(16)
+	f := func(id uint32, bits uint8) bool {
+		p := Decode(bits & 0xf)
+		if !p.MLC.Valid() {
+			p.MLC = MLCAll
+		}
+		tb.Register(sig(id), p)
+		got, hit := tb.Lookup(sig(id))
+		return hit && got == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplacementString(t *testing.T) {
+	if TreePLRU.String() != "tree-plru" || TrueLRU.String() != "true-lru" || Random.String() != "random" {
+		t.Error("replacement names")
+	}
+	if Replacement(9).String() == "" {
+		t.Error("unknown replacement string")
+	}
+}
+
+func TestNewWithReplacementPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown replacement accepted")
+		}
+	}()
+	NewWithReplacement(16, Replacement(9))
+}
+
+func TestTrueLRUEvictsExactLRU(t *testing.T) {
+	tb := NewWithReplacement(4, TrueLRU)
+	for i := uint32(0); i < 4; i++ {
+		tb.Register(sig(i), Policy{})
+	}
+	// Touch 1, 2, 3 so 0 is the exact LRU.
+	tb.Lookup(sig(1))
+	tb.Lookup(sig(2))
+	tb.Lookup(sig(3))
+	evSig, _, ev := tb.Register(sig(99), Policy{})
+	if !ev || evSig != sig(0) {
+		t.Fatalf("true LRU evicted %v", evSig)
+	}
+	if tb.Replacement() != TrueLRU {
+		t.Fatal("replacement accessor")
+	}
+}
+
+func TestRandomReplacementStillFunctions(t *testing.T) {
+	tb := NewWithReplacement(4, Random)
+	for i := uint32(0); i < 64; i++ {
+		tb.Register(sig(i), Policy{})
+		if _, hit := tb.Lookup(sig(i)); !hit {
+			t.Fatalf("just-registered %d missing", i)
+		}
+	}
+	if tb.Occupancy() != 4 {
+		t.Fatalf("occupancy = %d", tb.Occupancy())
+	}
+	// Random eviction must be deterministic across identical tables.
+	a := NewWithReplacement(4, Random)
+	b := NewWithReplacement(4, Random)
+	for i := uint32(0); i < 32; i++ {
+		ea, _, _ := a.Register(sig(i), Policy{})
+		eb, _, _ := b.Register(sig(i), Policy{})
+		if ea != eb {
+			t.Fatal("random replacement not reproducible")
+		}
+	}
+}
+
+func TestPLRUApproximatesLRU(t *testing.T) {
+	// Tree-PLRU must track true LRU closely under a recency-friendly
+	// access pattern: the most recently touched entry is never evicted.
+	tb := NewWithReplacement(8, TreePLRU)
+	for i := uint32(0); i < 8; i++ {
+		tb.Register(sig(i), Policy{})
+	}
+	for i := uint32(100); i < 200; i++ {
+		tb.Lookup(sig(i - 1)) // touch the previous insert
+		evSig, _, ev := tb.Register(sig(i), Policy{})
+		if ev && evSig == sig(i-1) {
+			t.Fatalf("PLRU evicted the most recently used entry at %d", i)
+		}
+	}
+}

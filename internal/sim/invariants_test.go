@@ -1,0 +1,192 @@
+package sim
+
+// Whole-simulator invariants checked across seeds, managers and mixes.
+
+import (
+	"testing"
+
+	"powerchop/internal/arch"
+	"powerchop/internal/core"
+	"powerchop/internal/isa"
+	"powerchop/internal/program"
+)
+
+// randomishProgram builds a small program whose behaviour varies with seed.
+func randomishProgram(t *testing.T, seed uint64) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("inv", "TEST", seed)
+	r0 := b.Region(program.RegionSpec{
+		Name:  "mixed",
+		Insns: 24 + int(seed%16),
+		Mix:   isa.Mix{VectorFrac: 0.1, BranchFrac: 0.1, LoadFrac: 0.2, StoreFrac: 0.05},
+		Branches: []program.BranchModel{
+			{Kind: program.Biased, Bias: 0.9},
+			{Kind: program.Patterned, Pattern: []bool{true, false, true}},
+		},
+		Streams: []program.MemStream{{WorkingSet: 64 << 10}},
+	})
+	r1 := b.Region(program.RegionSpec{
+		Name:     "branchy",
+		Insns:    30,
+		Mix:      isa.Mix{BranchFrac: 0.2, LoadFrac: 0.1},
+		Branches: []program.BranchModel{{Kind: program.Correlated, CorrDepth: 3}},
+		Streams:  []program.MemStream{{WorkingSet: 1 << 20, Stride: 8}},
+	})
+	b.Phase("a", 500, map[int]float64{r0: 1})
+	b.Phase("b", 500, map[int]float64{r0: 0.3, r1: 0.7})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func invariantManagers(t *testing.T) []core.Manager {
+	t.Helper()
+	timeout, err := core.NewTimeoutVPU(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []core.Manager{
+		core.AlwaysOn(),
+		core.MinPower(),
+		core.MustPowerChop(core.DefaultConfig()),
+		core.MustPowerChop(core.EnergyMinimizerConfig()),
+		timeout,
+	}
+}
+
+func TestSimulatorInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		p := randomishProgram(t, seed)
+		for _, m := range invariantManagers(t) {
+			res, err := Run(p, Config{
+				Design:          arch.Server(),
+				Manager:         m,
+				Phase:           smallPhaseConfig(),
+				MaxTranslations: 3000,
+			})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, m.Name(), err)
+			}
+			name := res.Manager
+
+			// Micro-ops can only expand guest instructions.
+			if res.Uops < res.GuestInsns {
+				t.Errorf("seed %d %s: uops %d < guest insns %d", seed, name, res.Uops, res.GuestInsns)
+			}
+			// Cycles bound: at least insns/issueWidth.
+			if res.Cycles < float64(res.GuestInsns)/arch.Server().IssueWidth {
+				t.Errorf("seed %d %s: cycles below issue bound", seed, name)
+			}
+			// Every gated unit's residency covers the whole run.
+			for _, u := range []string{arch.UnitVPU, arch.UnitBPU, arch.UnitMLC} {
+				r := res.Power.Unit(u)
+				if r.ResidencyCyc < res.Cycles*0.999 || r.ResidencyCyc > res.Cycles*1.001 {
+					t.Errorf("seed %d %s: %s residency %v vs cycles %v", seed, name, u, r.ResidencyCyc, res.Cycles)
+				}
+				// Leakage saved can never exceed the 95% gating bound.
+				if r.LeakSavedJ > r.FullLeakageJ*0.951 {
+					t.Errorf("seed %d %s: %s saved more leakage than gating allows", seed, name, u)
+				}
+			}
+			// Instruction-class counters are consistent.
+			if res.Branches+res.VectorOps+res.MemOps > res.GuestInsns {
+				t.Errorf("seed %d %s: class counters exceed instructions", seed, name)
+			}
+			if res.Mispredicts > res.Branches {
+				t.Errorf("seed %d %s: more mispredicts than branches", seed, name)
+			}
+			if res.MLCHits > res.MLCAccesses {
+				t.Errorf("seed %d %s: more MLC hits than accesses", seed, name)
+			}
+			// Shard accounting covers the instruction stream.
+			if got, want := res.Shards.Total(), res.GuestInsns/1000; got+1 < want {
+				t.Errorf("seed %d %s: shards %d for %d insns", seed, name, got, res.GuestInsns)
+			}
+			// Window count matches translated executions.
+			wantWindows := res.BT.TranslatedExecs / uint64(smallPhaseConfig().WindowSize)
+			if res.Windows > wantWindows {
+				t.Errorf("seed %d %s: %d windows for %d translated execs", seed, name, res.Windows, res.BT.TranslatedExecs)
+			}
+			// Energy is positive and decomposes exactly.
+			total := res.Power.TotalEnergyJ()
+			if total <= 0 {
+				t.Errorf("seed %d %s: energy %v", seed, name, total)
+			}
+			if diff := total - res.Power.LeakageEnergyJ() - res.Power.DynamicEnergyJ(); diff > 1e-12 || diff < -1e-12 {
+				t.Errorf("seed %d %s: energy decomposition off by %v", seed, name, diff)
+			}
+		}
+	}
+}
+
+func TestFullPowerDrawsMostLeakage(t *testing.T) {
+	p := randomishProgram(t, 9)
+	run := func(m core.Manager) *Result {
+		return MustRun(p, Config{
+			Design:          arch.Server(),
+			Manager:         m,
+			Phase:           smallPhaseConfig(),
+			MaxTranslations: 3000,
+		})
+	}
+	full := run(core.AlwaysOn())
+	min := run(core.MinPower())
+	if full.Power.AvgLeakageW() <= min.Power.AvgLeakageW() {
+		t.Fatalf("full-power leakage %.4f not above min-power %.4f",
+			full.Power.AvgLeakageW(), min.Power.AvgLeakageW())
+	}
+}
+
+func TestSamplesMonotonic(t *testing.T) {
+	p := randomishProgram(t, 3)
+	res := MustRun(p, Config{
+		Design:          arch.Server(),
+		Manager:         core.AlwaysOn(),
+		Phase:           smallPhaseConfig(),
+		MaxTranslations: 3000,
+		SampleInterval:  5000,
+	})
+	var prev uint64
+	for i, s := range res.Samples {
+		if s.Insns <= prev {
+			t.Fatalf("sample %d not monotonic: %d after %d", i, s.Insns, prev)
+		}
+		prev = s.Insns
+	}
+}
+
+func TestEnergyMinimizerConfigGatesMoreAggressively(t *testing.T) {
+	// On a program whose vector intensity sits between the default and
+	// aggressive thresholds, the energy minimizer gates the VPU and the
+	// default keeps it on.
+	b := program.NewBuilder("between", "TEST", 7)
+	// One vector op per 100 instructions: criticality 0.01.
+	weights := map[int]float64{}
+	base := b.Region(program.RegionSpec{Name: "base", Insns: 25})
+	simd := b.Region(program.RegionSpec{Name: "simd", Insns: 25, Mix: isa.Mix{VectorFrac: 0.04}})
+	weights[base] = 0.75
+	weights[simd] = 0.25
+	b.Phase("p", 4000, weights)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cfg core.Config) *Result {
+		return MustRun(p, Config{
+			Design:          arch.Server(),
+			Manager:         core.MustPowerChop(cfg),
+			Phase:           smallPhaseConfig(),
+			MaxTranslations: 60000,
+		})
+	}
+	def := run(core.DefaultConfig())
+	agg := run(core.EnergyMinimizerConfig())
+	if def.VPU.GatedFrac > 0.2 {
+		t.Fatalf("default policy gated a 1%%-criticality VPU: %.3f", def.VPU.GatedFrac)
+	}
+	if agg.VPU.GatedFrac < 0.8 {
+		t.Fatalf("energy minimizer kept a 1%%-criticality VPU on: %.3f", agg.VPU.GatedFrac)
+	}
+}

@@ -1,0 +1,413 @@
+package sim
+
+import (
+	"testing"
+
+	"powerchop/internal/arch"
+	"powerchop/internal/cde"
+	"powerchop/internal/core"
+	"powerchop/internal/isa"
+	"powerchop/internal/phase"
+	"powerchop/internal/program"
+)
+
+// smallPhaseConfig shrinks windows so short test runs cross many window
+// boundaries.
+func smallPhaseConfig() phase.Config {
+	return phase.Config{Capacity: 64, WindowSize: 50, SignatureLen: 4}
+}
+
+// vectorPhasedProgram alternates a vector-heavy phase with a scalar phase.
+func vectorPhasedProgram(t testing.TB) *program.Program {
+	b := program.NewBuilder("vec-phased", "TEST", 42)
+	vec := b.Region(program.RegionSpec{
+		Name:     "vec",
+		Insns:    32,
+		Mix:      isa.Mix{VectorFrac: 0.25, BranchFrac: 0.1, LoadFrac: 0.1},
+		Branches: []program.BranchModel{{Kind: program.Biased, Bias: 0.9}},
+		Streams:  []program.MemStream{{WorkingSet: 16 << 10}},
+	})
+	scalar := b.Region(program.RegionSpec{
+		Name:     "scalar",
+		Insns:    32,
+		Mix:      isa.Mix{BranchFrac: 0.1, LoadFrac: 0.1},
+		Branches: []program.BranchModel{{Kind: program.Biased, Bias: 0.9}},
+		Streams:  []program.MemStream{{WorkingSet: 16 << 10}},
+	})
+	b.Phase("vector", 2000, map[int]float64{vec: 1})
+	b.Phase("scalar", 2000, map[int]float64{scalar: 1})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runWith(t testing.TB, p *program.Program, m core.Manager, translations uint64) *Result {
+	r, err := Run(p, Config{
+		Design:          arch.Server(),
+		Manager:         m,
+		Phase:           smallPhaseConfig(),
+		MaxTranslations: translations,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestConfigValidation(t *testing.T) {
+	p := vectorPhasedProgram(t)
+	if _, err := Run(p, Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := Run(p, Config{Design: arch.Server(), Manager: core.AlwaysOn()}); err == nil {
+		t.Fatal("zero run length accepted")
+	}
+	bad := arch.Server()
+	bad.ClockHz = 0
+	if _, err := Run(p, Config{Design: bad, Manager: core.AlwaysOn(), MaxTranslations: 10}); err == nil {
+		t.Fatal("invalid design accepted")
+	}
+}
+
+func TestFullPowerRunBasics(t *testing.T) {
+	p := vectorPhasedProgram(t)
+	r := runWith(t, p, core.AlwaysOn(), 4000)
+	if r.GuestInsns == 0 || r.Cycles <= 0 {
+		t.Fatalf("empty run: %+v", r)
+	}
+	if r.IPC <= 0 || r.IPC > arch.Server().IssueWidth {
+		t.Fatalf("IPC = %v out of range", r.IPC)
+	}
+	if r.VPU.GatedFrac != 0 || r.BPU.GatedFrac != 0 || r.MLC.GatedFrac != 0 {
+		t.Fatal("full-power run gated units")
+	}
+	if r.VectorOps == 0 || r.Branches == 0 || r.MemOps == 0 {
+		t.Fatal("instruction classes not exercised")
+	}
+	if r.Windows == 0 {
+		t.Fatal("no windows completed")
+	}
+	if r.Manager != "full-power" || r.Arch != "server" || r.Benchmark != "vec-phased" {
+		t.Fatalf("labels: %q %q %q", r.Manager, r.Arch, r.Benchmark)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := vectorPhasedProgram(t)
+	a := runWith(t, p, core.AlwaysOn(), 2000)
+	b := runWith(t, p, core.AlwaysOn(), 2000)
+	if a.Cycles != b.Cycles || a.GuestInsns != b.GuestInsns || a.Mispredicts != b.Mispredicts {
+		t.Fatalf("runs diverged: %v/%v vs %v/%v", a.Cycles, a.GuestInsns, b.Cycles, b.GuestInsns)
+	}
+}
+
+func TestMinPowerSlower(t *testing.T) {
+	p := vectorPhasedProgram(t)
+	full := runWith(t, p, core.AlwaysOn(), 4000)
+	min := runWith(t, p, core.MinPower(), 4000)
+	if min.IPC >= full.IPC {
+		t.Fatalf("min-power IPC %v not below full-power %v", min.IPC, full.IPC)
+	}
+	if min.VPU.GatedFrac < 0.95 {
+		t.Fatalf("min-power VPU gated %v", min.VPU.GatedFrac)
+	}
+	if min.MLC.OneWayFrac < 0.95 {
+		t.Fatalf("min-power MLC one-way %v", min.MLC.OneWayFrac)
+	}
+	// Scalar emulation expands uops.
+	if min.Uops <= min.GuestInsns {
+		t.Fatal("emulation did not expand uops")
+	}
+	// Gated units leak less.
+	if min.Power.Unit(arch.UnitVPU).LeakageJ >= full.Power.Unit(arch.UnitVPU).LeakageJ {
+		t.Fatal("gating did not reduce VPU leakage energy")
+	}
+}
+
+func TestPowerChopGatesVPUInScalarPhases(t *testing.T) {
+	p := vectorPhasedProgram(t)
+	pc := core.MustPowerChop(core.DefaultConfig())
+	r := runWith(t, p, pc, 48000)
+	// Half the run is the scalar phase; the VPU should be gated a large
+	// fraction of the time but not always.
+	if r.VPU.GatedFrac < 0.3 {
+		t.Fatalf("PowerChop VPU gated only %v", r.VPU.GatedFrac)
+	}
+	if r.VPU.GatedFrac > 0.75 {
+		t.Fatalf("PowerChop VPU gated %v — the vector phase was wrongly gated", r.VPU.GatedFrac)
+	}
+	if r.PVT.Lookups == 0 || r.CDE.Invocations == 0 {
+		t.Fatal("PowerChop machinery idle")
+	}
+	if r.PVTMissInts != r.CDE.Invocations {
+		t.Fatalf("nucleus interrupts %d != CDE invocations %d", r.PVTMissInts, r.CDE.Invocations)
+	}
+}
+
+func TestPowerChopNearFullPerformance(t *testing.T) {
+	p := vectorPhasedProgram(t)
+	full := runWith(t, p, core.AlwaysOn(), 150000)
+	pc := core.MustPowerChop(core.DefaultConfig())
+	chop := runWith(t, p, pc, 150000)
+	slowdown := chop.Cycles/full.Cycles - 1
+	if slowdown > 0.08 {
+		t.Fatalf("PowerChop slowdown %v too high", slowdown)
+	}
+	if chop.Power.TotalEnergyJ() >= full.Power.TotalEnergyJ() {
+		t.Fatal("PowerChop did not save energy on a phased workload")
+	}
+}
+
+func TestTimeoutVPUGatesIdleUnit(t *testing.T) {
+	// A purely scalar program: the VPU is idle throughout, so a timeout
+	// manager should gate it off almost immediately and for nearly the
+	// whole run.
+	b := program.NewBuilder("scalar-only", "TEST", 7)
+	r0 := b.Region(program.RegionSpec{Name: "s", Insns: 32})
+	b.Phase("p", 1000, map[int]float64{r0: 1})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewTimeoutVPU(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := runWith(t, p, m, 40000)
+	if r.VPU.GatedFrac < 0.85 {
+		t.Fatalf("timeout gated idle VPU only %v", r.VPU.GatedFrac)
+	}
+	if r.VPU.Switches != 1 {
+		t.Fatalf("idle VPU switched %d times, want 1", r.VPU.Switches)
+	}
+}
+
+func TestTimeoutVPUWakesOnDemand(t *testing.T) {
+	// Sparse-but-recurring vector ops: the timeout gates off during gaps
+	// and wakes on each vector op, paying penalties.
+	b := program.NewBuilder("sparse-vec", "TEST", 9)
+	r0 := b.Region(program.RegionSpec{
+		Name:  "sparse",
+		Insns: 500,
+		Mix:   isa.Mix{VectorFrac: 0.002}, // 1 vector op per execution
+	})
+	b.Phase("p", 1000, map[int]float64{r0: 1})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := core.NewTimeoutVPU(100) // tiny timeout: always expires between ops
+	r := runWith(t, p, m, 2000)
+	if r.VPU.Switches < 100 {
+		t.Fatalf("timeout VPU switches = %d, want many", r.VPU.Switches)
+	}
+	if r.VPU.GatedFrac < 0.3 {
+		t.Fatalf("timeout VPU gated %v", r.VPU.GatedFrac)
+	}
+	if r.GateStalls == 0 {
+		t.Fatal("wake penalties not charged")
+	}
+}
+
+func TestPowerChopBeatsTimeoutOnSparseUniformVectors(t *testing.T) {
+	// The namd scenario (Figure 16): sparse vector ops uniformly spread
+	// prevent the timeout from ever firing, while PowerChop's criticality
+	// analysis gates the unit for nearly the whole run.
+	b := program.NewBuilder("namd-like", "TEST", 11)
+	r0 := b.Region(program.RegionSpec{
+		Name:  "sparse-uniform",
+		Insns: 400,
+		Mix:   isa.Mix{VectorFrac: 0.0025}, // 1 vector op / 400 insns
+	})
+	b.Phase("p", 1000, map[int]float64{r0: 1})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, _ := core.NewTimeoutVPU(20000)
+	timeout := runWith(t, p, tm, 4000)
+	pc := core.MustPowerChop(core.DefaultConfig())
+	chop := runWith(t, p, pc, 4000)
+	if chop.VPU.GatedFrac < timeout.VPU.GatedFrac+0.5 {
+		t.Fatalf("PowerChop gated %v, timeout %v — expected a dramatic win",
+			chop.VPU.GatedFrac, timeout.VPU.GatedFrac)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	p := vectorPhasedProgram(t)
+	r, err := Run(p, Config{
+		Design:          arch.Server(),
+		Manager:         core.AlwaysOn(),
+		Phase:           smallPhaseConfig(),
+		MaxTranslations: 4000,
+		SampleInterval:  10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Samples) < 5 {
+		t.Fatalf("samples = %d", len(r.Samples))
+	}
+	var sawVec, sawNoVec bool
+	for _, s := range r.Samples {
+		if s.IPC <= 0 {
+			t.Fatalf("sample IPC = %v", s.IPC)
+		}
+		if s.VectorOps > 0 {
+			sawVec = true
+		} else {
+			sawNoVec = true
+		}
+	}
+	if !sawVec || !sawNoVec {
+		t.Fatal("samples do not reflect the program's vector phases")
+	}
+}
+
+func TestShardsHistogram(t *testing.T) {
+	p := vectorPhasedProgram(t)
+	r := runWith(t, p, core.AlwaysOn(), 4000)
+	if r.Shards.Total() == 0 {
+		t.Fatal("no shards recorded")
+	}
+	// The vector phase has 25% vector ops: shards there land in Above;
+	// the scalar phase lands in Zero.
+	if r.Shards.Zero == 0 || r.Shards.Above == 0 {
+		t.Fatalf("shards = %+v", r.Shards)
+	}
+}
+
+func TestQualityTracking(t *testing.T) {
+	p := vectorPhasedProgram(t)
+	r, err := Run(p, Config{
+		Design:          arch.Server(),
+		Manager:         core.AlwaysOn(),
+		Phase:           smallPhaseConfig(),
+		MaxTranslations: 8000,
+		TrackQuality:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.QualityPhases == 0 || r.QualityCompared == 0 {
+		t.Fatal("quality tracker idle")
+	}
+	// Each phase executes a single region, so same-signature windows run
+	// identical code.
+	if r.QualityMeanFrac > 0.05 {
+		t.Fatalf("quality mean distance %v too high for single-region phases", r.QualityMeanFrac)
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	p := vectorPhasedProgram(t)
+	r := runWith(t, p, core.AlwaysOn(), 2000)
+	total := r.Power.TotalEnergyJ()
+	sum := r.Power.LeakageEnergyJ() + r.Power.DynamicEnergyJ()
+	if diff := total - sum; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("energy does not add up: %v vs %v", total, sum)
+	}
+	// Residency must cover the whole run for every gated unit.
+	for _, name := range []string{arch.UnitVPU, arch.UnitBPU, arch.UnitMLC} {
+		u := r.Power.Unit(name)
+		if u.ResidencyCyc < r.Cycles*0.999 || u.ResidencyCyc > r.Cycles*1.001 {
+			t.Fatalf("%s residency %v != run cycles %v", name, u.ResidencyCyc, r.Cycles)
+		}
+	}
+}
+
+func TestBPUManagementSwitchesPredictor(t *testing.T) {
+	// Phase A: correlated branches (large BPU critical); phase B: biased
+	// branches (small suffices). PowerChop should gate the BPU only in B.
+	b := program.NewBuilder("bpu-phased", "TEST", 21)
+	hard := b.Region(program.RegionSpec{
+		Name:  "hard",
+		Insns: 32,
+		Mix:   isa.Mix{BranchFrac: 0.25},
+		Branches: []program.BranchModel{
+			{Kind: program.Patterned, Pattern: []bool{true, false, true, true, false, false}},
+			{Kind: program.Correlated, CorrDepth: 4},
+		},
+	})
+	easy := b.Region(program.RegionSpec{
+		Name:     "easy",
+		Insns:    32,
+		Mix:      isa.Mix{BranchFrac: 0.25},
+		Branches: []program.BranchModel{{Kind: program.Biased, Bias: 0.98}},
+	})
+	b.Phase("hard", 2000, map[int]float64{hard: 1})
+	b.Phase("easy", 2000, map[int]float64{easy: 1})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Managed = cde.Managed{BPU: true}
+	pc := core.MustPowerChop(cfg)
+	r := runWith(t, p, pc, 24000)
+	if r.BPU.GatedFrac < 0.2 || r.BPU.GatedFrac > 0.8 {
+		t.Fatalf("BPU gated %v; expected partial gating on a half-easy workload", r.BPU.GatedFrac)
+	}
+}
+
+func TestMLCManagementTracksWorkingSet(t *testing.T) {
+	// Phase A: working set fits the MLC (criticality high); phase B:
+	// streaming working set far beyond the MLC (criticality ~0).
+	b := program.NewBuilder("mlc-phased", "TEST", 23)
+	fits := b.Region(program.RegionSpec{
+		Name:    "fits",
+		Insns:   32,
+		Mix:     isa.Mix{LoadFrac: 0.3, StoreFrac: 0.1},
+		Streams: []program.MemStream{{WorkingSet: 512 << 10}}, // fits 1MB MLC, not 32KB L1
+	})
+	stream := b.Region(program.RegionSpec{
+		Name:    "stream",
+		Insns:   32,
+		Mix:     isa.Mix{LoadFrac: 0.3},
+		Streams: []program.MemStream{{WorkingSet: 128 << 20, Stride: 64}},
+	})
+	b.Phase("fits", 2000, map[int]float64{fits: 1})
+	b.Phase("stream", 2000, map[int]float64{stream: 1})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Managed = cde.Managed{MLC: true}
+	pc := core.MustPowerChop(cfg)
+	r := runWith(t, p, pc, 24000)
+	if r.MLC.GatedFrac < 0.2 {
+		t.Fatalf("MLC never gated (%v) despite streaming phase", r.MLC.GatedFrac)
+	}
+	if r.MLC.GatedFrac > 0.8 {
+		t.Fatalf("MLC gated %v; the cache-friendly phase was wrongly gated", r.MLC.GatedFrac)
+	}
+}
+
+func TestMispredictRate(t *testing.T) {
+	r := &Result{Branches: 100, Mispredicts: 10}
+	if r.MispredictRate() != 0.1 {
+		t.Fatal("rate")
+	}
+	if (&Result{}).MispredictRate() != 0 {
+		t.Fatal("empty rate")
+	}
+}
+
+func TestGateSwitchesAreCharged(t *testing.T) {
+	p := vectorPhasedProgram(t)
+	pc := core.MustPowerChop(core.DefaultConfig())
+	r := runWith(t, p, pc, 12000)
+	if r.VPU.Switches == 0 {
+		t.Fatal("no VPU transitions on a phased workload")
+	}
+	if r.GateStalls == 0 {
+		t.Fatal("gating stalls not charged")
+	}
+	if r.Power.Unit(arch.UnitVPU).Transitions == 0 {
+		t.Fatal("switch energy not accounted")
+	}
+}

@@ -1,0 +1,219 @@
+// Package stats provides the small statistical helpers used by the
+// simulator and the experiment harness: means, geometric means, Manhattan
+// distance between translation vectors, histograms and down-sampled time
+// series for figure output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs, or 0 for an empty slice.
+// Non-positive entries are clamped to a tiny positive value so that a
+// single zero (e.g. a 100% reduction) does not collapse the mean to zero.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	const tiny = 1e-12
+	sum := 0.0
+	for _, x := range xs {
+		if x < tiny {
+			x = tiny
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Median returns the median of xs, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Manhattan returns the Manhattan (L1) distance between two sparse count
+// vectors keyed by translation ID. Keys missing from one vector count as
+// zero, matching the paper's translation-vector comparison (Section V-B).
+func Manhattan(a, b map[uint32]uint64) uint64 {
+	var dist uint64
+	for k, av := range a {
+		bv := b[k]
+		if av >= bv {
+			dist += av - bv
+		} else {
+			dist += bv - av
+		}
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok {
+			dist += bv
+		}
+	}
+	return dist
+}
+
+// Histogram counts values into fixed-width buckets over [lo, hi). Values
+// outside the range are clamped into the first/last bucket.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []uint64
+}
+
+// NewHistogram returns a histogram with n buckets over [lo, hi).
+// It panics if n <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	if hi <= lo {
+		panic("stats: histogram range is empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]uint64, n)}
+}
+
+// Add records a single observation.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Buckets)
+	i := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	h.Buckets[i]++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() uint64 {
+	var t uint64
+	for _, b := range h.Buckets {
+		t += b
+	}
+	return t
+}
+
+// Fraction returns the fraction of observations in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(h.Buckets[i]) / float64(t)
+}
+
+// Series is an append-only time series with a label, used to carry
+// per-interval measurements (e.g. IPC per 10K instructions) to the
+// figure renderers.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Append adds a sample to the series.
+func (s *Series) Append(v float64) { s.Values = append(s.Values, v) }
+
+// Downsample returns a series of at most n points, each the mean of an
+// equal-length chunk of the original. It returns the series unchanged if
+// it already has at most n points.
+func (s *Series) Downsample(n int) *Series {
+	if n <= 0 || len(s.Values) <= n {
+		return s
+	}
+	out := &Series{Label: s.Label}
+	chunk := float64(len(s.Values)) / float64(n)
+	for i := 0; i < n; i++ {
+		lo := int(float64(i) * chunk)
+		hi := int(float64(i+1) * chunk)
+		if hi > len(s.Values) {
+			hi = len(s.Values)
+		}
+		if hi <= lo {
+			hi = lo + 1
+		}
+		out.Append(Mean(s.Values[lo:hi]))
+	}
+	return out
+}
+
+// Ratio formats a/b as a percentage string, guarding against b == 0.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*a/b)
+}

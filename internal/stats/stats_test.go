@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almost(got, c.want) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !almost(got, 2) {
+		t.Errorf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", got)
+	}
+	// A zero entry must not collapse the mean to exactly zero.
+	if got := GeoMean([]float64{0, 1, 1}); got <= 0 {
+		t.Errorf("GeoMean with zero entry = %v, want > 0", got)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Sum(xs); got != 11 {
+		t.Errorf("Sum = %v", got)
+	}
+	if Min(nil) != 0 || Max(nil) != 0 || Sum(nil) != 0 {
+		t.Error("empty-slice helpers should return 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); !almost(got, 2) {
+		t.Errorf("odd Median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); !almost(got, 2.5) {
+		t.Errorf("even Median = %v", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("Median(nil) = %v", got)
+	}
+	// Median must not reorder its input.
+	in := []float64{9, 1, 5}
+	Median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if got := Stddev([]float64{2, 2, 2}); !almost(got, 0) {
+		t.Errorf("Stddev of constants = %v", got)
+	}
+	if got := Stddev([]float64{1, 3}); !almost(got, 1) {
+		t.Errorf("Stddev(1,3) = %v, want 1", got)
+	}
+	if got := Stddev([]float64{5}); got != 0 {
+		t.Errorf("Stddev of single value = %v", got)
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	a := map[uint32]uint64{1: 10, 2: 5}
+	b := map[uint32]uint64{1: 7, 3: 4}
+	// |10-7| + |5-0| + |0-4| = 12
+	if got := Manhattan(a, b); got != 12 {
+		t.Errorf("Manhattan = %d, want 12", got)
+	}
+	if got := Manhattan(a, a); got != 0 {
+		t.Errorf("Manhattan(a,a) = %d, want 0", got)
+	}
+	if got := Manhattan(nil, b); got != 11 {
+		t.Errorf("Manhattan(nil,b) = %d, want 11", got)
+	}
+}
+
+func TestManhattanSymmetric(t *testing.T) {
+	f := func(ka, va, kb, vb []uint8) bool {
+		a := map[uint32]uint64{}
+		b := map[uint32]uint64{}
+		for i := range ka {
+			if i < len(va) {
+				a[uint32(ka[i]%8)] += uint64(va[i])
+			}
+		}
+		for i := range kb {
+			if i < len(vb) {
+				b[uint32(kb[i]%8)] += uint64(vb[i])
+			}
+		}
+		return Manhattan(a, b) == Manhattan(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManhattanTriangle(t *testing.T) {
+	f := func(va, vb, vc [6]uint8) bool {
+		mk := func(v [6]uint8) map[uint32]uint64 {
+			m := map[uint32]uint64{}
+			for i, x := range v {
+				if x > 0 {
+					m[uint32(i)] = uint64(x)
+				}
+			}
+			return m
+		}
+		a, b, c := mk(va), mk(vb), mk(vc)
+		return Manhattan(a, c) <= Manhattan(a, b)+Manhattan(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0, 1.9, 2, 9.9, 10, 100} {
+		h.Add(v)
+	}
+	if got := h.Total(); got != 7 {
+		t.Fatalf("Total = %d", got)
+	}
+	// buckets: [-1,0,1.9]→b0, [2]→b1, [9.9,10,100]→b4
+	want := []uint64{3, 1, 0, 0, 3}
+	for i, w := range want {
+		if h.Buckets[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.Buckets[i], w)
+		}
+	}
+	if got := h.Fraction(0); !almost(got, 3.0/7.0) {
+		t.Errorf("Fraction(0) = %v", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramEmptyFraction(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	if got := h.Fraction(0); got != 0 {
+		t.Errorf("Fraction on empty histogram = %v", got)
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	s := &Series{Label: "x"}
+	for i := 0; i < 100; i++ {
+		s.Append(float64(i))
+	}
+	d := s.Downsample(10)
+	if len(d.Values) != 10 {
+		t.Fatalf("Downsample len = %d", len(d.Values))
+	}
+	if d.Label != "x" {
+		t.Errorf("Downsample dropped label")
+	}
+	// Each chunk of 10 consecutive ints 10k..10k+9 has mean 10k+4.5.
+	for i, v := range d.Values {
+		if !almost(v, float64(10*i)+4.5) {
+			t.Errorf("chunk %d mean = %v", i, v)
+		}
+	}
+	// No-op cases.
+	if got := s.Downsample(1000); got != s {
+		t.Error("Downsample should return receiver when already small enough")
+	}
+	if got := s.Downsample(0); got != s {
+		t.Error("Downsample(0) should be a no-op")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(1, 2); got != "50.0%" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "n/a" {
+		t.Errorf("Ratio div-zero = %q", got)
+	}
+}

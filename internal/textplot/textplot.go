@@ -1,0 +1,164 @@
+// Package textplot renders the experiment harness's figures as plain-text
+// charts: horizontal bar charts for per-benchmark comparisons and
+// sparkline strips for time-series figures, mirroring the paper's figure
+// formats in a terminal.
+package textplot
+
+import (
+	"fmt"
+	"strings"
+
+	"powerchop/internal/stats"
+)
+
+// sparkLevels are the eight block characters used for sparklines.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders values as a one-line sparkline scaled to [min,max] of the
+// data. An empty input yields an empty string.
+func Spark(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := stats.Min(values), stats.Max(values)
+	span := hi - lo
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// Series renders a labelled, downsampled sparkline with its range.
+func Series(label string, values []float64, width int) string {
+	s := (&stats.Series{Label: label, Values: values}).Downsample(width)
+	return fmt.Sprintf("%-14s %s  [%.3g .. %.3g]",
+		label, Spark(s.Values), stats.Min(values), stats.Max(values))
+}
+
+// Bar renders a single horizontal bar of the given fraction of width.
+func Bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("█", n) + strings.Repeat("·", width-n)
+}
+
+// Row is one entry of a bar chart.
+type Row struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders rows as horizontal bars scaled so the maximum value
+// fills the width. Values render with the given format (e.g. "%.1f%%").
+func BarChart(title string, rows []Row, width int, format string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	max := 0.0
+	for _, r := range rows {
+		if r.Value > max {
+			max = r.Value
+		}
+	}
+	for _, r := range rows {
+		frac := 0.0
+		if max > 0 {
+			frac = r.Value / max
+		}
+		fmt.Fprintf(&b, "  %-14s %s "+format+"\n", r.Label, Bar(frac, width), r.Value)
+	}
+	return b.String()
+}
+
+// GroupedChart renders rows with several series per label (e.g. VPU/BPU/MLC
+// activity per benchmark).
+type GroupedRow struct {
+	Label  string
+	Values []float64
+}
+
+// GroupedChart renders one line per row and series, all scaled to a shared
+// maximum.
+func GroupedChart(title string, seriesNames []string, rows []GroupedRow, width int, format string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	max := 0.0
+	for _, r := range rows {
+		for _, v := range r.Values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	for _, r := range rows {
+		for i, v := range r.Values {
+			name := ""
+			if i < len(seriesNames) {
+				name = seriesNames[i]
+			}
+			frac := 0.0
+			if max > 0 {
+				frac = v / max
+			}
+			fmt.Fprintf(&b, "  %-14s %-5s %s "+format+"\n", r.Label, name, Bar(frac, width), v)
+		}
+	}
+	return b.String()
+}
+
+// Table renders an aligned text table.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpark(t *testing.T) {
+	if got := Spark(nil); got != "" {
+		t.Fatalf("empty spark = %q", got)
+	}
+	s := Spark([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("spark length = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("spark extremes = %q", s)
+	}
+	// Constant input renders at the low level everywhere.
+	flat := []rune(Spark([]float64{5, 5, 5}))
+	for _, r := range flat {
+		if r != '▁' {
+			t.Fatalf("flat spark = %q", string(flat))
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	out := Series("ipc", []float64{1, 2, 3, 4}, 2)
+	if !strings.Contains(out, "ipc") || !strings.Contains(out, "..") {
+		t.Fatalf("Series = %q", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 10); strings.Count(got, "█") != 5 {
+		t.Fatalf("Bar(0.5) = %q", got)
+	}
+	if got := Bar(-1, 4); strings.Count(got, "█") != 0 {
+		t.Fatalf("Bar(-1) = %q", got)
+	}
+	if got := Bar(2, 4); strings.Count(got, "█") != 4 {
+		t.Fatalf("Bar(2) = %q", got)
+	}
+	if len([]rune(Bar(0.3, 10))) != 10 {
+		t.Fatal("bar width wrong")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("Fig X", []Row{{"a", 10}, {"b", 5}}, 10, "%.0f")
+	if !strings.Contains(out, "Fig X") || !strings.Contains(out, "a") || !strings.Contains(out, "10") {
+		t.Fatalf("chart = %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("chart lines = %d", len(lines))
+	}
+	// b's bar should be half of a's.
+	if strings.Count(lines[1], "█") != 2*strings.Count(lines[2], "█") {
+		t.Fatalf("bars not proportional:\n%s", out)
+	}
+	// All-zero rows must not divide by zero.
+	if out := BarChart("z", []Row{{"a", 0}}, 10, "%.0f"); !strings.Contains(out, "a") {
+		t.Fatal("zero chart broken")
+	}
+}
+
+func TestGroupedChart(t *testing.T) {
+	out := GroupedChart("units", []string{"VPU", "BPU"}, []GroupedRow{
+		{Label: "app", Values: []float64{1, 0.5}},
+	}, 10, "%.1f")
+	if !strings.Contains(out, "VPU") || !strings.Contains(out, "BPU") {
+		t.Fatalf("grouped chart = %q", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"alpha", "1"},
+		{"b", "22"},
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "-") {
+		t.Fatalf("missing separator: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "alpha") {
+		t.Fatalf("row content: %q", lines[2])
+	}
+}

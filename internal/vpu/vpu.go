@@ -1,0 +1,92 @@
+// Package vpu models the vector processing unit: an N-wide SIMD engine
+// with an architecturally visible register file.
+//
+// PowerChop gates the VPU off during phases of low vector criticality. A
+// gated VPU loses nothing silently: its register file is explicitly saved
+// to memory on gate-off and restored on gate-on (the paper charges 500
+// cycles per transition for this), and while the unit is off the binary
+// translator emits scalar-emulation code paths, so each guest vector
+// instruction expands into Width scalar operations instead of touching the
+// VPU.
+package vpu
+
+import "fmt"
+
+// Config sizes the VPU.
+type Config struct {
+	// Width is the SIMD width in scalar lanes (4 for the server design
+	// point, 2 for mobile).
+	Width int
+	// SaveRestoreCycles is the stall charged when the register file is
+	// saved or restored across a gating transition (paper: 500).
+	SaveRestoreCycles float64
+}
+
+// Validate reports an error for inconsistent configurations.
+func (c Config) Validate() error {
+	if c.Width < 1 || c.Width > 64 {
+		return fmt.Errorf("vpu: width %d out of [1,64]", c.Width)
+	}
+	if c.SaveRestoreCycles < 0 {
+		return fmt.Errorf("vpu: negative save/restore cost %v", c.SaveRestoreCycles)
+	}
+	return nil
+}
+
+// Unit is the VPU's power and accounting state.
+type Unit struct {
+	cfg Config
+	on  bool
+
+	vectorOps    uint64 // vector instructions executed on the unit
+	emulatedOps  uint64 // vector instructions emulated in scalar code
+	saveRestores uint64 // register-file spill/fill events
+}
+
+// New returns a powered-on VPU. It panics on an invalid configuration; use
+// Config.Validate to check first.
+func New(cfg Config) *Unit {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Unit{cfg: cfg, on: true}
+}
+
+// Config returns the unit configuration.
+func (u *Unit) Config() Config { return u.cfg }
+
+// On reports whether the unit is powered.
+func (u *Unit) On() bool { return u.on }
+
+// SetOn powers the unit on or off, returning the stall cycles charged for
+// the register-file save (gate-off) or restore (gate-on). Setting the
+// current state is free.
+func (u *Unit) SetOn(on bool) (stall float64) {
+	if u.on == on {
+		return 0
+	}
+	u.on = on
+	u.saveRestores++
+	return u.cfg.SaveRestoreCycles
+}
+
+// Execute accounts for one guest vector instruction and returns the number
+// of scalar-pipeline issue slots it occupies: 1 when the VPU executes it,
+// Width when the BT's scalar-emulation path runs instead.
+func (u *Unit) Execute() (issueSlots int) {
+	if u.on {
+		u.vectorOps++
+		return 1
+	}
+	u.emulatedOps++
+	return u.cfg.Width
+}
+
+// VectorOps returns the count of vector instructions executed on the unit.
+func (u *Unit) VectorOps() uint64 { return u.vectorOps }
+
+// EmulatedOps returns the count of vector instructions scalar-emulated.
+func (u *Unit) EmulatedOps() uint64 { return u.emulatedOps }
+
+// SaveRestores returns the number of register-file spill/fill events.
+func (u *Unit) SaveRestores() uint64 { return u.saveRestores }

@@ -1,0 +1,69 @@
+package vpu
+
+import "testing"
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Width: 4, SaveRestoreCycles: 500}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Width: 0},
+		{Width: 128},
+		{Width: 4, SaveRestoreCycles: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid config did not panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestExecuteOnUnit(t *testing.T) {
+	u := New(Config{Width: 4, SaveRestoreCycles: 500})
+	if !u.On() {
+		t.Fatal("unit should boot powered on")
+	}
+	if slots := u.Execute(); slots != 1 {
+		t.Fatalf("powered execute slots = %d, want 1", slots)
+	}
+	if u.VectorOps() != 1 || u.EmulatedOps() != 0 {
+		t.Fatalf("counters = %d/%d", u.VectorOps(), u.EmulatedOps())
+	}
+}
+
+func TestExecuteEmulated(t *testing.T) {
+	u := New(Config{Width: 4, SaveRestoreCycles: 500})
+	u.SetOn(false)
+	if slots := u.Execute(); slots != 4 {
+		t.Fatalf("emulated execute slots = %d, want width 4", slots)
+	}
+	if u.VectorOps() != 0 || u.EmulatedOps() != 1 {
+		t.Fatalf("counters = %d/%d", u.VectorOps(), u.EmulatedOps())
+	}
+}
+
+func TestSaveRestoreCharging(t *testing.T) {
+	u := New(Config{Width: 2, SaveRestoreCycles: 500})
+	if stall := u.SetOn(true); stall != 0 {
+		t.Fatalf("no-op transition charged %v cycles", stall)
+	}
+	if stall := u.SetOn(false); stall != 500 {
+		t.Fatalf("gate-off stall = %v, want 500", stall)
+	}
+	if stall := u.SetOn(true); stall != 500 {
+		t.Fatalf("gate-on stall = %v, want 500", stall)
+	}
+	if got := u.SaveRestores(); got != 2 {
+		t.Fatalf("save/restore count = %d, want 2", got)
+	}
+}

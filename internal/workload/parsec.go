@@ -1,0 +1,137 @@
+package workload
+
+import "powerchop/internal/program"
+
+// PARSEC stand-ins: the multithreaded suite's kernels reduced to their
+// single-core phase behaviour.
+
+func init() {
+	register(Benchmark{Name: "blackscholes", Suite: PARSEC, build: buildBlackscholes})
+	register(Benchmark{Name: "canneal", Suite: PARSEC, build: buildCanneal})
+	register(Benchmark{Name: "dedup", Suite: PARSEC, build: buildDedup})
+	register(Benchmark{Name: "fluidanimate", Suite: PARSEC, build: buildFluidanimate})
+	register(Benchmark{Name: "streamcluster", Suite: PARSEC, build: buildStreamcluster})
+}
+
+// buildBlackscholes models option pricing: a tight, heavily vectorized,
+// L1-resident kernel with trivially predictable loops — the VPU is
+// critical but the MLC and large BPU are not.
+func buildBlackscholes() (*program.Program, error) {
+	b := program.NewBuilder("blackscholes", PARSEC, seedFor("blackscholes"))
+	price := addRegion(b, regionOpts{
+		name: "bs-kernel", insns: 36,
+		vec: 0.12, branch: 0.03, load: 0.16, store: 0.06,
+		branches: loopBranches(),
+		streams:  []program.MemStream{resident(wsL1)},
+	})
+	setup := addRegion(b, regionOpts{
+		name: "portfolio-setup", insns: 28,
+		branch: 0.05, load: 0.22, store: 0.10,
+		branches: easyBranches(),
+		streams:  []program.MemStream{resident(wsL1Spill)},
+	})
+	b.Phase("price", w(44), map[int]float64{price: 1})
+	b.Phase("setup", w(8), map[int]float64{setup: 1})
+	return b.Build()
+}
+
+// buildCanneal models simulated-annealing placement: random accesses over
+// a footprint far beyond the MLC, leaving rare-but-nonzero MLC hits (the
+// half-ways band) and unpredictable swap decisions.
+func buildCanneal() (*program.Program, error) {
+	b := program.NewBuilder("canneal", PARSEC, seedFor("canneal"))
+	anneal := addRegion(b, regionOpts{
+		name: "swap-eval", insns: 32,
+		branch: 0.06, load: 0.30, store: 0.06,
+		branches: []program.BranchModel{correlated(4), random()},
+		streams:  []program.MemStream{resident(wsHuge)},
+	})
+	cool := addRegion(b, regionOpts{
+		name: "temperature-step", insns: 28,
+		branch: specBranchFrac, load: 0.18, store: 0.05,
+		branches: easyBranches(),
+		streams:  []program.MemStream{resident(wsL1)},
+	})
+	b.Phase("anneal", w(42), map[int]float64{anneal: 1})
+	b.Phase("cool", w(8), map[int]float64{cool: 1})
+	return b.Build()
+}
+
+// buildDedup models the deduplication pipeline: streaming chunking, an
+// L1-resident hash stage and a cache-resident compress stage, with vector
+// ops so sparse that the paper reports the VPU gated above 90%.
+func buildDedup() (*program.Program, error) {
+	b := program.NewBuilder("dedup", PARSEC, seedFor("dedup"))
+	chunk := sparseVector(b, regionOpts{
+		name: "rabin-chunk", insns: 32,
+		branch: 0.06, load: 0.26, store: 0.08,
+		branches: []program.BranchModel{patterned("TTNTTTN"), biased(0.9)},
+		streams:  []program.MemStream{streaming(wsHuge)},
+	}, 0.002)
+	hash := sparseVector(b, regionOpts{
+		name: "sha-hash", insns: 34,
+		branch: 0.03, load: 0.14, store: 0.06,
+		branches: []program.BranchModel{biased(0.99)},
+		streams:  []program.MemStream{resident(wsL1)},
+	}, 0.001)
+	compress := sparseVector(b, regionOpts{
+		name: "compress", insns: 30,
+		branch: 0.06, load: 0.24, store: 0.08,
+		branches: mediumBranches(),
+		streams:  []program.MemStream{resident(wsMLCSmall)},
+	}, 0.002)
+	b.Phase("chunk", w(22), chunk)
+	b.Phase("hash", w(18), hash)
+	b.Phase("compress", w(14), compress)
+	return b.Build()
+}
+
+// buildFluidanimate models SPH fluid simulation: vectorized neighbour
+// computations over an MLC-resident particle grid.
+func buildFluidanimate() (*program.Program, error) {
+	b := program.NewBuilder("fluidanimate", PARSEC, seedFor("fluidanimate"))
+	density := addRegion(b, regionOpts{
+		name: "density", insns: 34,
+		vec: 0.05, branch: 0.04, load: 0.26, store: 0.08,
+		branches: mediumBranches(),
+		streams:  []program.MemStream{resident(wsMLC)},
+	})
+	advance := addRegion(b, regionOpts{
+		name: "advance", insns: 30,
+		vec: 0.04, branch: 0.03, load: 0.22, store: 0.12,
+		branches: loopBranches(),
+		streams:  []program.MemStream{resident(wsMLCSmall)},
+	})
+	rebin := addRegion(b, regionOpts{
+		name: "cell-rebin", insns: 28,
+		branch: 0.06, load: 0.20, store: 0.12,
+		branches: easyBranches(),
+		streams:  []program.MemStream{resident(wsL1Spill)},
+	})
+	b.Phase("density", w(26), map[int]float64{density: 1})
+	b.Phase("advance", w(18), map[int]float64{advance: 1})
+	b.Phase("rebin", w(8), map[int]float64{rebin: 1})
+	return b.Build()
+}
+
+// buildStreamcluster models online clustering: a long streaming distance
+// sweep (MLC one-way gated over 40% of cycles, as the paper reports) with
+// a short reuse-heavy recluster step.
+func buildStreamcluster() (*program.Program, error) {
+	b := program.NewBuilder("streamcluster", PARSEC, seedFor("streamcluster"))
+	dist := addRegion(b, regionOpts{
+		name: "dist-sweep", insns: 34,
+		vec: 0.04, branch: 0.03, load: 0.28, store: 0.06,
+		branches: loopBranches(),
+		streams:  []program.MemStream{streaming(wsHuge)},
+	})
+	recluster := addRegion(b, regionOpts{
+		name: "recluster", insns: 30,
+		branch: 0.06, load: 0.22, store: 0.08,
+		branches: mediumBranches(),
+		streams:  []program.MemStream{resident(wsL1Spill)},
+	})
+	b.Phase("dist", w(40), map[int]float64{dist: 1})
+	b.Phase("recluster", w(10), map[int]float64{recluster: 1})
+	return b.Build()
+}

@@ -1,0 +1,445 @@
+package workload
+
+import "powerchop/internal/program"
+
+// SPEC CPU2006 stand-ins. Each benchmark's phase structure and behaviour
+// models are calibrated to the properties the paper reports or that its
+// figures rely on; the comments on each builder note the targets.
+
+func init() {
+	// SPEC-INT
+	register(Benchmark{Name: "perlbench", Suite: SPECInt, build: buildPerlbench})
+	register(Benchmark{Name: "bzip2", Suite: SPECInt, build: buildBzip2})
+	register(Benchmark{Name: "gcc", Suite: SPECInt, build: buildGCC})
+	register(Benchmark{Name: "mcf", Suite: SPECInt, build: buildMCF})
+	register(Benchmark{Name: "gobmk", Suite: SPECInt, build: buildGobmk})
+	register(Benchmark{Name: "hmmer", Suite: SPECInt, build: buildHmmer})
+	register(Benchmark{Name: "sjeng", Suite: SPECInt, build: buildSjeng})
+	register(Benchmark{Name: "libquantum", Suite: SPECInt, build: buildLibquantum})
+	register(Benchmark{Name: "h264ref", Suite: SPECInt, build: buildH264ref})
+	register(Benchmark{Name: "astar", Suite: SPECInt, build: buildAstar})
+	// SPEC-FP
+	register(Benchmark{Name: "milc", Suite: SPECFP, build: buildMilc})
+	register(Benchmark{Name: "namd", Suite: SPECFP, build: buildNamd})
+	register(Benchmark{Name: "soplex", Suite: SPECFP, build: buildSoplex})
+	register(Benchmark{Name: "GemsFDTD", Suite: SPECFP, build: buildGemsFDTD})
+	register(Benchmark{Name: "lbm", Suite: SPECFP, build: buildLbm})
+	register(Benchmark{Name: "sphinx3", Suite: SPECFP, build: buildSphinx3})
+}
+
+// buildPerlbench models an interpreter: indirect-control-heavy code with
+// occasional, uniformly sparse vector use (one of Figure 16's examples of
+// PowerChop beating the timeout) and small working sets.
+func buildPerlbench() (*program.Program, error) {
+	b := program.NewBuilder("perlbench", SPECInt, seedFor("perlbench"))
+	interp := sparseVector(b, regionOpts{
+		name: "interp-loop", insns: 36,
+		branch: 0.08, load: 0.18, store: 0.06,
+		branches: hardBranches(),
+		streams:  []program.MemStream{resident(wsL1)},
+	}, 0.001)
+	regex := sparseVector(b, regionOpts{
+		name: "regex-engine", insns: 30,
+		branch: 0.10, load: 0.15, store: 0.04,
+		branches: []program.BranchModel{patterned("TTNN"), correlated(4), biased(0.9)},
+		streams:  []program.MemStream{resident(wsL1Spill)},
+	}, 0.001)
+	gc := sparseVector(b, regionOpts{
+		name: "gc-sweep", insns: 28,
+		branch: 0.05, load: 0.25, store: 0.10,
+		branches: easyBranches(),
+		streams:  []program.MemStream{resident(wsMLC)},
+	}, 0.001)
+	b.Phase("interp", w(30), interp)
+	b.Phase("regex", w(20), regex)
+	b.Phase("gc", w(10), gc)
+	return b.Build()
+}
+
+// buildBzip2 models block compression: a cache-resident sort phase where
+// the MLC is critical and an L1-resident decode phase where it is not.
+func buildBzip2() (*program.Program, error) {
+	b := program.NewBuilder("bzip2", SPECInt, seedFor("bzip2"))
+	compress := addRegion(b, regionOpts{
+		name: "block-sort", insns: 32,
+		branch: specBranchFrac, load: 0.28, store: 0.08,
+		branches: mediumBranches(),
+		streams:  []program.MemStream{resident(wsMLC)},
+	})
+	decompress := addRegion(b, regionOpts{
+		name: "decode", insns: 30,
+		branch: 0.07, load: 0.20, store: 0.08,
+		branches: easyBranches(),
+		streams:  []program.MemStream{resident(wsL1)},
+	})
+	io := addRegion(b, regionOpts{
+		name: "io-buffer", insns: 26,
+		branch: 0.04, load: 0.22, store: 0.12,
+		branches: easyBranches(),
+		streams:  []program.MemStream{resident(wsL1Spill)},
+	})
+	b.Phase("compress", w(28), map[int]float64{compress: 1})
+	b.Phase("decompress", w(20), map[int]float64{decompress: 1})
+	b.Phase("io", w(8), map[int]float64{io: 1})
+	return b.Build()
+}
+
+// buildGCC models a compiler: many small-footprint passes plus a streaming
+// IR sweep, leaving the MLC non-critical most of the time (the paper
+// way-gates gcc's MLC to one way over 40% of cycles).
+func buildGCC() (*program.Program, error) {
+	b := program.NewBuilder("gcc", SPECInt, seedFor("gcc"))
+	parse := addRegion(b, regionOpts{
+		name: "parse", insns: 34,
+		branch: 0.09, load: 0.18, store: 0.06,
+		branches: hardBranches(),
+		streams:  []program.MemStream{resident(wsL1)},
+	})
+	irSweep := addRegion(b, regionOpts{
+		name: "ir-sweep", insns: 30,
+		branch: 0.05, load: 0.26, store: 0.10,
+		branches: easyBranches(),
+		streams:  []program.MemStream{streaming(wsHuge)},
+	})
+	regalloc := addRegion(b, regionOpts{
+		name: "regalloc", insns: 32,
+		branch: 0.07, load: 0.22, store: 0.06,
+		branches: mediumBranches(),
+		streams:  []program.MemStream{resident(wsMLCSmall)},
+	})
+	codegen := addRegion(b, regionOpts{
+		name: "codegen", insns: 30,
+		branch: 0.06, load: 0.16, store: 0.10,
+		branches: mediumBranches(),
+		streams:  []program.MemStream{resident(wsL1Spill)},
+	})
+	b.Phase("parse", w(18), map[int]float64{parse: 1})
+	b.Phase("ir-sweep", w(24), map[int]float64{irSweep: 1})
+	b.Phase("regalloc", w(10), map[int]float64{regalloc: 1})
+	b.Phase("codegen", w(10), map[int]float64{codegen: 1})
+	return b.Build()
+}
+
+// buildMCF models network-flow pointer chasing: a large reuse working set
+// that keeps the MLC critical nearly all of the time.
+func buildMCF() (*program.Program, error) {
+	b := program.NewBuilder("mcf", SPECInt, seedFor("mcf"))
+	chase := addRegion(b, regionOpts{
+		name: "arc-chase", insns: 30,
+		branch: 0.06, load: 0.34, store: 0.04,
+		branches: []program.BranchModel{correlated(3), noisyBiased(0.8, 0.05), biased(0.9)},
+		streams:  []program.MemStream{resident(wsMLC)},
+	})
+	refine := addRegion(b, regionOpts{
+		name: "price-refine", insns: 28,
+		branch: specBranchFrac, load: 0.20, store: 0.06,
+		branches: easyBranches(),
+		streams:  []program.MemStream{resident(wsL1)},
+	})
+	b.Phase("simplex", w(44), map[int]float64{chase: 1})
+	b.Phase("refine", w(10), map[int]float64{refine: 1})
+	return b.Build()
+}
+
+// buildGobmk models Go move generation, the paper's Figure 1 benchmark:
+// vector-operation intensity varies across phases, including periods where
+// vector ops are "scarce but nonzero", with hard-to-predict search
+// branches keeping the BPU critical.
+func buildGobmk() (*program.Program, error) {
+	b := program.NewBuilder("gobmk", SPECInt, seedFor("gobmk"))
+	search := addRegion(b, regionOpts{
+		name: "tree-search", insns: 34,
+		vec: 0, branch: 0.09, load: 0.16, store: 0.05,
+		branches: hardBranches(),
+		streams:  []program.MemStream{resident(wsL1)},
+	})
+	pattern := sparseVector(b, regionOpts{
+		name: "pattern-match", insns: 32,
+		branch: 0.07, load: 0.18, store: 0.04,
+		branches: mediumBranches(),
+		streams:  []program.MemStream{resident(wsL1)},
+	}, 0.012)
+	eval := sparseVector(b, regionOpts{
+		name: "board-eval", insns: 30,
+		branch: 0.08, load: 0.15, store: 0.05,
+		branches: hardBranches(),
+		streams:  []program.MemStream{resident(wsL1Spill)},
+	}, 0.003)
+	b.Phase("search", w(20), map[int]float64{search: 1})
+	b.Phase("pattern", w(12), pattern)
+	b.Phase("eval", w(14), eval)
+	b.Phase("search2", w(16), mergeWeights(map[int]float64{search: 0.8}, scaleWeights(eval, 0.2)))
+	return b.Build()
+}
+
+// buildHmmer models profile HMM search: extremely well-predicted inner
+// loops, so the large BPU provides no benefit and is gated a significant
+// fraction of execution (one of the paper's named exceptions).
+func buildHmmer() (*program.Program, error) {
+	b := program.NewBuilder("hmmer", SPECInt, seedFor("hmmer"))
+	viterbi := sparseVector(b, regionOpts{
+		name: "viterbi", insns: 36,
+		branch: 0.04, load: 0.24, store: 0.08,
+		branches: []program.BranchModel{biased(0.99), biased(0.97)},
+		streams:  []program.MemStream{resident(wsMLCSmall)},
+	}, 0.002)
+	post := addRegion(b, regionOpts{
+		name: "posterior", insns: 30,
+		branch: 0.04, load: 0.20, store: 0.06,
+		branches: []program.BranchModel{biased(0.98), biased(0.95)},
+		streams:  []program.MemStream{resident(wsL1)},
+	})
+	b.Phase("viterbi", w(40), viterbi)
+	b.Phase("posterior", w(14), map[int]float64{post: 1})
+	return b.Build()
+}
+
+// buildSjeng models chess search: branchy, history-correlated control flow
+// (BPU critical) over small working sets (MLC non-critical).
+func buildSjeng() (*program.Program, error) {
+	b := program.NewBuilder("sjeng", SPECInt, seedFor("sjeng"))
+	search := addRegion(b, regionOpts{
+		name: "alphabeta", insns: 34,
+		branch: 0.10, load: 0.14, store: 0.04,
+		branches: hardBranches(),
+		streams:  []program.MemStream{resident(wsL1)},
+	})
+	quiesce := addRegion(b, regionOpts{
+		name: "quiesce", insns: 30,
+		branch: 0.09, load: 0.12, store: 0.04,
+		branches: mediumBranches(),
+		streams:  []program.MemStream{resident(wsL1)},
+	})
+	b.Phase("search", w(34), map[int]float64{search: 1})
+	b.Phase("quiesce", w(18), map[int]float64{quiesce: 1})
+	return b.Build()
+}
+
+// buildLibquantum models quantum-register simulation: a long streaming
+// sweep over a huge array, so the MLC is one-way gated most of the run.
+func buildLibquantum() (*program.Program, error) {
+	b := program.NewBuilder("libquantum", SPECInt, seedFor("libquantum"))
+	gates := addRegion(b, regionOpts{
+		name: "gate-sweep", insns: 30,
+		branch: 0.04, load: 0.26, store: 0.12,
+		branches: []program.BranchModel{biased(0.98)},
+		streams:  []program.MemStream{streaming(wsHuge)},
+	})
+	measure := addRegion(b, regionOpts{
+		name: "measure", insns: 28,
+		branch: specBranchFrac, load: 0.18, store: 0.04,
+		branches: easyBranches(),
+		streams:  []program.MemStream{resident(wsL1)},
+	})
+	b.Phase("gates", w(42), map[int]float64{gates: 1})
+	b.Phase("measure", w(10), map[int]float64{measure: 1})
+	return b.Build()
+}
+
+// buildH264ref models video encoding: motion estimation uses real vector
+// work, while the remaining phases issue vector ops sparsely and uniformly
+// — the pattern that defeats idle timeouts but not PowerChop (Figure 16
+// names h264 as a dramatic win).
+func buildH264ref() (*program.Program, error) {
+	b := program.NewBuilder("h264ref", SPECInt, seedFor("h264ref"))
+	motion := addRegion(b, regionOpts{
+		name: "motion-est", insns: 34,
+		vec: 0.03, branch: 0.06, load: 0.22, store: 0.06,
+		branches: mediumBranches(),
+		streams:  []program.MemStream{resident(wsL1Spill)},
+	})
+	transform := sparseVector(b, regionOpts{
+		name: "transform", insns: 30,
+		branch: specBranchFrac, load: 0.18, store: 0.08,
+		branches: easyBranches(),
+		streams:  []program.MemStream{resident(wsL1)},
+	}, 0.004)
+	deblock := sparseVector(b, regionOpts{
+		name: "deblock", insns: 28,
+		branch: 0.07, load: 0.20, store: 0.10,
+		branches: mediumBranches(),
+		streams:  []program.MemStream{resident(wsL1Spill)},
+	}, 0.001)
+	b.Phase("motion", w(13), map[int]float64{motion: 1})
+	b.Phase("transform", w(25), transform)
+	b.Phase("deblock", w(16), deblock)
+	return b.Build()
+}
+
+// buildAstar models pathfinding: correlated branch decisions (BPU
+// critical) over a medium reuse working set.
+func buildAstar() (*program.Program, error) {
+	b := program.NewBuilder("astar", SPECInt, seedFor("astar"))
+	path := addRegion(b, regionOpts{
+		name: "way-search", insns: 32,
+		branch: 0.08, load: 0.24, store: 0.05,
+		branches: []program.BranchModel{correlated(4), noisyBiased(0.85, 0.05), patterned("TTNTTN")},
+		streams:  []program.MemStream{resident(wsMLCSmall)},
+	})
+	rebuild := addRegion(b, regionOpts{
+		name: "heap-rebuild", insns: 28,
+		branch: 0.07, load: 0.20, store: 0.08,
+		branches: mediumBranches(),
+		streams:  []program.MemStream{resident(wsL1Spill)},
+	})
+	b.Phase("search", w(36), map[int]float64{path: 1})
+	b.Phase("rebuild", w(14), map[int]float64{rebuild: 1})
+	return b.Build()
+}
+
+// buildMilc models lattice QCD: heavily vectorized streaming sweeps.
+// The VPU stays critical while the MLC sees a pure streaming pattern
+// (one-way gated over 40% of cycles) and branches are trivially
+// predictable, so milc earns one of the paper's largest power reductions.
+func buildMilc() (*program.Program, error) {
+	b := program.NewBuilder("milc", SPECFP, seedFor("milc"))
+	su3 := addRegion(b, regionOpts{
+		name: "su3-mult", insns: 36,
+		vec: 0.10, branch: 0.03, load: 0.26, store: 0.10,
+		branches: loopBranches(),
+		streams:  []program.MemStream{streaming(wsHuge)},
+	})
+	gauge := addRegion(b, regionOpts{
+		name: "gauge-force", insns: 32,
+		vec: 0.06, branch: 0.03, load: 0.24, store: 0.10,
+		branches: loopBranches(),
+		streams:  []program.MemStream{streaming(wsHuge)},
+	})
+	io := addRegion(b, regionOpts{
+		name: "checkpoint", insns: 28,
+		branch: 0.04, load: 0.20, store: 0.08,
+		branches: easyBranches(),
+		streams:  []program.MemStream{resident(wsL1)},
+	})
+	b.Phase("su3", w(36), map[int]float64{su3: 1})
+	b.Phase("gauge", w(14), map[int]float64{gauge: 1})
+	b.Phase("io", w(6), map[int]float64{io: 1})
+	return b.Build()
+}
+
+// buildNamd models molecular dynamics as the paper found it: a small
+// number of vector operations distributed nearly uniformly through
+// execution, which keeps a timeout-gated VPU on for the whole run while
+// PowerChop gates it off almost everywhere (Figures 15 and 16).
+func buildNamd() (*program.Program, error) {
+	b := program.NewBuilder("namd", SPECFP, seedFor("namd"))
+	forces := sparseVector(b, regionOpts{
+		name: "pair-forces", insns: 36,
+		branch: 0.03, load: 0.22, store: 0.08,
+		branches: loopBranches(),
+		streams:  []program.MemStream{resident(wsL1)},
+	}, 0.002)
+	integrate := sparseVector(b, regionOpts{
+		name: "integrate", insns: 30,
+		branch: 0.03, load: 0.18, store: 0.10,
+		branches: loopBranches(),
+		streams:  []program.MemStream{resident(wsL1)},
+	}, 0.002)
+	b.Phase("forces", w(40), forces)
+	b.Phase("integrate", w(14), integrate)
+	return b.Build()
+}
+
+// buildSoplex models an LP solver: genuinely vector-critical numeric
+// phases with a scalar presolve, so PowerChop gates the VPU only about a
+// fifth of the run (the paper reports ~20% for soplex).
+func buildSoplex() (*program.Program, error) {
+	b := program.NewBuilder("soplex", SPECFP, seedFor("soplex"))
+	factor := addRegion(b, regionOpts{
+		name: "factorize", insns: 34,
+		vec: 0.05, branch: 0.04, load: 0.26, store: 0.08,
+		branches: mediumBranches(),
+		streams:  []program.MemStream{resident(wsMLC)},
+	})
+	solve := addRegion(b, regionOpts{
+		name: "price-solve", insns: 32,
+		vec: 0.035, branch: 0.05, load: 0.24, store: 0.06,
+		branches: mediumBranches(),
+		streams:  []program.MemStream{resident(wsMLCSmall)},
+	})
+	presolve := sparseVector(b, regionOpts{
+		name: "presolve", insns: 28,
+		branch: 0.06, load: 0.18, store: 0.06,
+		branches: easyBranches(),
+		streams:  []program.MemStream{resident(wsL1Spill)},
+	}, 0.0005)
+	b.Phase("factor", w(24), map[int]float64{factor: 1})
+	b.Phase("solve", w(20), map[int]float64{solve: 1})
+	b.Phase("presolve", w(12), presolve)
+	return b.Build()
+}
+
+// buildGemsFDTD models the finite-difference time-domain solver of the
+// paper's Figure 3: one phase whose working set needs the full MLC, one
+// that lives in the L1, and one that streams from memory — the full MLC
+// only matters in the first.
+func buildGemsFDTD() (*program.Program, error) {
+	b := program.NewBuilder("GemsFDTD", SPECFP, seedFor("GemsFDTD"))
+	updateH := addRegion(b, regionOpts{
+		name: "update-H", insns: 34,
+		vec: 0.05, branch: 0.03, load: 0.28, store: 0.10,
+		branches: loopBranches(),
+		streams:  []program.MemStream{resident(wsMLC)},
+	})
+	updateE := addRegion(b, regionOpts{
+		name: "update-E", insns: 32,
+		vec: 0.05, branch: 0.03, load: 0.26, store: 0.10,
+		branches: loopBranches(),
+		streams:  []program.MemStream{resident(wsL1)},
+	})
+	pml := addRegion(b, regionOpts{
+		name: "pml-sweep", insns: 30,
+		vec: 0.03, branch: 0.03, load: 0.28, store: 0.12,
+		branches: loopBranches(),
+		streams:  []program.MemStream{streaming(wsHuge)},
+	})
+	b.Phase("update-H", w(20), map[int]float64{updateH: 1})
+	b.Phase("update-E", w(18), map[int]float64{updateE: 1})
+	b.Phase("pml", w(24), map[int]float64{pml: 1})
+	return b.Build()
+}
+
+// buildLbm models the lattice-Boltzmann kernel: one huge streaming sweep
+// with near-perfectly-predicted branches — both the MLC and the large BPU
+// are non-critical (the paper names lbm for significant BPU gating and up
+// to 40% power reduction).
+func buildLbm() (*program.Program, error) {
+	b := program.NewBuilder("lbm", SPECFP, seedFor("lbm"))
+	streamCollide := addRegion(b, regionOpts{
+		name: "stream-collide", insns: 36,
+		vec: 0.06, branch: 0.02, load: 0.28, store: 0.14,
+		branches: []program.BranchModel{biased(0.995)},
+		streams:  []program.MemStream{streaming(wsHuge)},
+	})
+	boundary := addRegion(b, regionOpts{
+		name: "boundary", insns: 28,
+		branch: 0.04, load: 0.20, store: 0.08,
+		branches: []program.BranchModel{biased(0.97), biased(0.9)},
+		streams:  []program.MemStream{resident(wsL1)},
+	})
+	b.Phase("stream-collide", w(46), map[int]float64{streamCollide: 1})
+	b.Phase("boundary", w(8), map[int]float64{boundary: 1})
+	return b.Build()
+}
+
+// buildSphinx3 models speech recognition: vector-critical acoustic scoring
+// dominates, with a short scalar search phase, leaving the VPU gated only
+// ~20% of the run (as the paper reports for sphinx).
+func buildSphinx3() (*program.Program, error) {
+	b := program.NewBuilder("sphinx3", SPECFP, seedFor("sphinx3"))
+	gmm := addRegion(b, regionOpts{
+		name: "gmm-score", insns: 34,
+		vec: 0.05, branch: 0.04, load: 0.26, store: 0.06,
+		branches: mediumBranches(),
+		streams:  []program.MemStream{resident(wsMLCSmall)},
+	})
+	search := sparseVector(b, regionOpts{
+		name: "lattice-search", insns: 30,
+		branch: 0.08, load: 0.18, store: 0.05,
+		branches: hardBranches(),
+		streams:  []program.MemStream{resident(wsL1)},
+	}, 0.0008)
+	b.Phase("gmm", w(38), map[int]float64{gmm: 1})
+	b.Phase("search", w(11), search)
+	return b.Build()
+}

@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"testing"
+
+	"powerchop/internal/isa"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	if got := len(All()); got != 29 {
+		t.Fatalf("registry holds %d benchmarks, want the paper's 29", got)
+	}
+	wantCounts := map[string]int{
+		SPECInt:     10,
+		SPECFP:      6,
+		PARSEC:      5,
+		MobileBench: 8,
+	}
+	for suite, want := range wantCounts {
+		if got := len(BySuite(suite)); got != want {
+			t.Errorf("%s has %d benchmarks, want %d", suite, got, want)
+		}
+	}
+}
+
+func TestAllBenchmarksBuildAndValidate(t *testing.T) {
+	for _, b := range All() {
+		p, err := b.Build()
+		if err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if p.Name != b.Name || p.Suite != b.Suite {
+			t.Errorf("%s: program labels %q/%q", b.Name, p.Name, p.Suite)
+		}
+		if p.TotalScheduleTranslations() < 20*windowTranslations {
+			t.Errorf("%s: schedule of %d translations is too short for phase analysis",
+				b.Name, p.TotalScheduleTranslations())
+		}
+	}
+}
+
+func TestBuildsAreDeterministic(t *testing.T) {
+	for _, b := range All()[:5] {
+		p1, p2 := b.MustBuild(), b.MustBuild()
+		if len(p1.Regions) != len(p2.Regions) || p1.Seed != p2.Seed {
+			t.Errorf("%s: non-deterministic build", b.Name)
+		}
+		for i := range p1.Regions {
+			if len(p1.Regions[i].Body) != len(p2.Regions[i].Body) {
+				t.Errorf("%s: region %d differs", b.Name, i)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("gobmk")
+	if err != nil || b.Name != "gobmk" || b.Suite != SPECInt {
+		t.Fatalf("ByName(gobmk) = %+v, %v", b, err)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestSuiteSplit(t *testing.T) {
+	server := ServerSuite()
+	if len(server) != 21 {
+		t.Fatalf("server suite has %d benchmarks, want 21", len(server))
+	}
+	for _, b := range server {
+		if b.Mobile {
+			t.Errorf("%s marked mobile in server suite", b.Name)
+		}
+	}
+	mobile := MobileSuite()
+	if len(mobile) != 8 {
+		t.Fatalf("mobile suite has %d benchmarks, want 8", len(mobile))
+	}
+	for _, b := range mobile {
+		if !b.Mobile {
+			t.Errorf("%s not marked mobile", b.Name)
+		}
+	}
+}
+
+func TestNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, n := range Names() {
+		if seen[n] {
+			t.Errorf("duplicate benchmark name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestSeedsDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, b := range All() {
+		p := b.MustBuild()
+		if other, dup := seen[p.Seed]; dup {
+			t.Errorf("%s and %s share seed %d", b.Name, other, p.Seed)
+		}
+		seen[p.Seed] = b.Name
+	}
+}
+
+// branchDensity computes the static branch fraction of a benchmark,
+// weighted by phase durations and region weights.
+func branchDensity(t *testing.T, name string) float64 {
+	t.Helper()
+	b, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.MustBuild()
+	var weighted, total float64
+	for _, ph := range p.Phases {
+		var wsum float64
+		for _, wt := range ph.Weights {
+			wsum += wt
+		}
+		for ri, wt := range ph.Weights {
+			if wt == 0 {
+				continue
+			}
+			r := p.Regions[ri]
+			branches := 0
+			for _, inst := range r.Body {
+				if inst.Kind == isa.Branch {
+					branches++
+				}
+			}
+			frac := float64(branches) / float64(len(r.Body))
+			weighted += frac * float64(ph.Translations) * wt / wsum
+			total += float64(ph.Translations) * wt / wsum
+		}
+	}
+	return weighted / total
+}
+
+func TestMobileBranchDensityHigherThanSPEC(t *testing.T) {
+	// Section III-B: branches are ~1 in 7 instructions for mobile
+	// workloads vs ~1 in 20 for SPEC.
+	mobile := branchDensity(t, "msn")
+	spec := branchDensity(t, "bzip2")
+	if mobile < 0.10 {
+		t.Errorf("msn branch density %.3f, want >= 0.10 (~1 in 7)", mobile)
+	}
+	if spec > 0.08 {
+		t.Errorf("bzip2 branch density %.3f, want <= 0.08 (~1 in 20)", spec)
+	}
+	if mobile < 2*spec {
+		t.Errorf("mobile density %.3f not clearly above SPEC %.3f", mobile, spec)
+	}
+}
+
+func TestVectorIntensityShapes(t *testing.T) {
+	// namd must issue vector ops sparsely in every phase (<= threshold),
+	// while milc's main phases must be clearly vector-critical.
+	vecFrac := func(name string, phaseIdx int) float64 {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := b.MustBuild()
+		ph := p.Phases[phaseIdx]
+		var vecs, insns float64
+		for ri, wt := range ph.Weights {
+			if wt == 0 {
+				continue
+			}
+			for _, inst := range p.Regions[ri].Body {
+				insns += wt
+				if inst.Kind == isa.Vector {
+					vecs += wt
+				}
+			}
+		}
+		return vecs / insns
+	}
+	for i := 0; i < 2; i++ {
+		if f := vecFrac("namd", i); f == 0 || f > 0.005 {
+			t.Errorf("namd phase %d vector fraction %.4f, want sparse nonzero <= 0.005", i, f)
+		}
+		if f := vecFrac("milc", i); f < 0.02 {
+			t.Errorf("milc phase %d vector fraction %.4f, want >= 0.02", i, f)
+		}
+	}
+}
+
+func TestSortedCopyDoesNotMutate(t *testing.T) {
+	all := All()
+	first := all[0].Name
+	sorted := sortedCopy(all)
+	if all[0].Name != first {
+		t.Fatal("sortedCopy mutated the registry order")
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].Name > sorted[i].Name {
+			t.Fatal("sortedCopy not sorted")
+		}
+	}
+}
+
+func TestGobmkHasVaryingVectorIntensity(t *testing.T) {
+	// Figure 1's premise: gobmk's vector intensity varies across phases.
+	b, err := ByName("gobmk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.MustBuild()
+	fracs := map[float64]bool{}
+	for _, r := range p.Regions {
+		vecs := 0
+		for _, inst := range r.Body {
+			if inst.Kind == isa.Vector {
+				vecs++
+			}
+		}
+		fracs[float64(vecs)/float64(len(r.Body))] = true
+	}
+	if len(fracs) < 3 {
+		t.Fatalf("gobmk regions expose %d distinct vector intensities, want >= 3", len(fracs))
+	}
+}

@@ -1,0 +1,356 @@
+// Package powerchop is a library reproduction of "PowerChop: Identifying
+// and Managing Non-critical Units in Hybrid Processor Architectures"
+// (Laurenzano, Zhang, Chen, Tang and Mars, ISCA 2016).
+//
+// PowerChop power-gates three large, stateful, high-activity units of a
+// hybrid (binary-translation based) processor — the vector processing
+// unit, the large branch predictor and the middle-level cache — at
+// application-phase granularity, based on measured unit criticality
+// rather than unit idleness. This package exposes:
+//
+//   - Run: simulate one of the paper's 29 benchmark stand-ins on the
+//     server or mobile design point under a chosen power manager
+//     (PowerChop, full-power, minimum-power, or the idle-timeout
+//     baseline) and report performance, unit activity and power.
+//   - Compare: the paper's headline three-way comparison for a benchmark.
+//   - Workload: a builder for custom guest programs, so downstream users
+//     can evaluate PowerChop on their own phase behaviours.
+//   - RenderFigure / FigureIDs: regenerate each table and figure of the
+//     paper's evaluation section.
+//
+// The simulator, binary-translation runtime, predictors, caches, power
+// model and workloads are all implemented in this module's internal
+// packages; see DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package powerchop
+
+import (
+	"fmt"
+	"sort"
+
+	"powerchop/internal/arch"
+	"powerchop/internal/core"
+	"powerchop/internal/program"
+	"powerchop/internal/sim"
+	"powerchop/internal/workload"
+)
+
+// Manager names accepted by Options.Manager.
+const (
+	ManagerPowerChop = "powerchop"
+	ManagerFullPower = "full-power"
+	ManagerMinPower  = "min-power"
+	ManagerTimeout   = "timeout"
+	// ManagerEnergyMin is the paper's suggested aggressive variant
+	// (Section V-A): higher criticality thresholds targeting energy
+	// minimization at the cost of extra slowdown.
+	ManagerEnergyMin = "energy-min"
+)
+
+// Arch names accepted by Options.Arch.
+const (
+	ArchServer = "server"
+	ArchMobile = "mobile"
+	// ArchAuto picks the design point the paper pairs with the
+	// benchmark's suite: mobile for MobileBench, server otherwise.
+	ArchAuto = ""
+)
+
+// Options configures a Run.
+type Options struct {
+	// Arch selects the design point ("server", "mobile", or empty for
+	// the benchmark's default).
+	Arch string
+	// Manager selects the power manager (default "powerchop").
+	Manager string
+	// Passes is the run length in passes over the benchmark's phase
+	// schedule (default 2).
+	Passes float64
+	// SampleInterval, when positive, records an IPC/vector-activity
+	// sample every that many instructions.
+	SampleInterval uint64
+	// Thresholds optionally overrides the PowerChop criticality
+	// thresholds (VPU, BPU, MLC1, MLC2); zero values keep the defaults.
+	Thresholds *Thresholds
+	// TimeoutCycles overrides the idle-timeout baseline's period
+	// (default 20000 cycles).
+	TimeoutCycles float64
+}
+
+// Thresholds mirrors the CDE criticality cut-offs.
+type Thresholds struct {
+	VPU, BPU, MLC1, MLC2 float64
+}
+
+// Sample is one time-series point of a sampled run.
+type Sample struct {
+	Instructions uint64  // cumulative guest instructions
+	IPC          float64 // over the interval
+	VectorOps    uint64  // in the interval
+}
+
+// UnitReport summarizes one managed unit over a run.
+type UnitReport struct {
+	// GatedFrac is the fraction of cycles below full power.
+	GatedFrac float64
+	// OneWayFrac (MLC only) is the fraction of cycles at one active way.
+	OneWayFrac float64
+	// HalfFrac (MLC only) is the fraction at half the ways.
+	HalfFrac float64
+	// SwitchesPerMCycles is power-state changes per million cycles.
+	SwitchesPerMCycles float64
+}
+
+// Report is a run's public result.
+type Report struct {
+	Benchmark string
+	Suite     string
+	Arch      string
+	Manager   string
+
+	Cycles       float64
+	Instructions uint64
+	IPC          float64
+	Seconds      float64
+
+	VPU UnitReport
+	BPU UnitReport
+	MLC UnitReport
+
+	AvgPowerW    float64
+	AvgLeakageW  float64
+	TotalEnergyJ float64
+
+	MispredictRate float64
+	MLCHitRate     float64
+
+	PVTHitRate     float64
+	CDEInvocations uint64
+	PhasesSeen     int
+
+	Samples []Sample
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s/%s/%s: IPC %.2f, power %.3g W (leakage %.3g W), gated VPU %.0f%% BPU %.0f%% MLC %.0f%%",
+		r.Benchmark, r.Arch, r.Manager, r.IPC, r.AvgPowerW, r.AvgLeakageW,
+		r.VPU.GatedFrac*100, r.BPU.GatedFrac*100, r.MLC.GatedFrac*100)
+}
+
+// Benchmarks returns the names of the built-in benchmark stand-ins.
+func Benchmarks() []string { return workload.Names() }
+
+// Suites returns the benchmark suite names.
+func Suites() []string { return workload.Suites() }
+
+// SuiteOf returns the suite of a benchmark.
+func SuiteOf(benchmark string) (string, error) {
+	b, err := workload.ByName(benchmark)
+	if err != nil {
+		return "", err
+	}
+	return b.Suite, nil
+}
+
+// buildManager constructs the requested manager.
+func buildManager(o Options) (core.Manager, error) {
+	switch o.Manager {
+	case ManagerPowerChop, "":
+		cfg := core.DefaultConfig()
+		if o.Thresholds != nil {
+			t := cfg.Thresholds
+			if o.Thresholds.VPU > 0 {
+				t.VPU = o.Thresholds.VPU
+			}
+			if o.Thresholds.BPU > 0 {
+				t.BPU = o.Thresholds.BPU
+			}
+			if o.Thresholds.MLC1 > 0 {
+				t.MLC1 = o.Thresholds.MLC1
+			}
+			if o.Thresholds.MLC2 > 0 {
+				t.MLC2 = o.Thresholds.MLC2
+			}
+			cfg.Thresholds = t
+		}
+		return core.NewPowerChop(cfg)
+	case ManagerEnergyMin:
+		return core.NewPowerChop(core.EnergyMinimizerConfig())
+	case ManagerFullPower:
+		return core.AlwaysOn(), nil
+	case ManagerMinPower:
+		return core.MinPower(), nil
+	case ManagerTimeout:
+		cycles := o.TimeoutCycles
+		if cycles <= 0 {
+			cycles = core.DefaultTimeoutCycles
+		}
+		return core.NewTimeoutVPU(cycles)
+	default:
+		return nil, fmt.Errorf("powerchop: unknown manager %q", o.Manager)
+	}
+}
+
+// designFor resolves the design point.
+func designFor(o Options, b workload.Benchmark) (arch.Design, error) {
+	switch o.Arch {
+	case ArchAuto:
+		if b.Mobile {
+			return arch.Mobile(), nil
+		}
+		return arch.Server(), nil
+	default:
+		return arch.ByName(o.Arch)
+	}
+}
+
+// Run simulates the named benchmark under the options.
+func Run(benchmark string, opts Options) (*Report, error) {
+	b, err := workload.ByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return runProgram(p, b, opts)
+}
+
+// runProgram executes a built program and converts the result.
+func runProgram(p *program.Program, b workload.Benchmark, opts Options) (*Report, error) {
+	m, err := buildManager(opts)
+	if err != nil {
+		return nil, err
+	}
+	design, err := designFor(opts, b)
+	if err != nil {
+		return nil, err
+	}
+	passes := opts.Passes
+	if passes <= 0 {
+		passes = 2
+	}
+	res, err := sim.Run(p, sim.Config{
+		Design:          design,
+		Manager:         m,
+		MaxTranslations: uint64(passes * float64(p.TotalScheduleTranslations())),
+		SampleInterval:  opts.SampleInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reportOf(res, m), nil
+}
+
+// reportOf flattens a simulator result into the public Report.
+func reportOf(res *sim.Result, m core.Manager) *Report {
+	r := &Report{
+		Benchmark:    res.Benchmark,
+		Suite:        res.Suite,
+		Arch:         res.Arch,
+		Manager:      res.Manager,
+		Cycles:       res.Cycles,
+		Instructions: res.GuestInsns,
+		IPC:          res.IPC,
+		Seconds:      res.Seconds,
+		VPU: UnitReport{
+			GatedFrac:          res.VPU.GatedFrac,
+			SwitchesPerMCycles: res.VPU.SwitchesPerM,
+		},
+		BPU: UnitReport{
+			GatedFrac:          res.BPU.GatedFrac,
+			SwitchesPerMCycles: res.BPU.SwitchesPerM,
+		},
+		MLC: UnitReport{
+			GatedFrac:          res.MLC.GatedFrac,
+			OneWayFrac:         res.MLC.OneWayFrac,
+			HalfFrac:           res.MLC.HalfFrac,
+			SwitchesPerMCycles: res.MLC.SwitchesPerM,
+		},
+		AvgPowerW:      res.Power.AvgPowerW(),
+		AvgLeakageW:    res.Power.AvgLeakageW(),
+		TotalEnergyJ:   res.Power.TotalEnergyJ(),
+		MispredictRate: res.MispredictRate(),
+		PVTHitRate:     res.PVT.HitRate(),
+		CDEInvocations: res.CDE.Invocations,
+	}
+	if res.MLCAccesses > 0 {
+		r.MLCHitRate = float64(res.MLCHits) / float64(res.MLCAccesses)
+	}
+	if pc, ok := m.(*core.PowerChop); ok {
+		r.PhasesSeen = pc.Engine().KnownPhases()
+	}
+	for _, s := range res.Samples {
+		r.Samples = append(r.Samples, Sample{
+			Instructions: s.Insns,
+			IPC:          s.IPC,
+			VectorOps:    s.VectorOps,
+		})
+	}
+	return r
+}
+
+// Comparison is the paper's three-way configuration study for one
+// benchmark (Figure 12's per-app data plus power).
+type Comparison struct {
+	Benchmark string
+	FullPower *Report
+	PowerChop *Report
+	MinPower  *Report
+}
+
+// Slowdown returns PowerChop's performance loss vs full power.
+func (c *Comparison) Slowdown() float64 {
+	return c.PowerChop.Cycles/c.FullPower.Cycles - 1
+}
+
+// MinPowerLoss returns the minimally-powered core's performance loss.
+func (c *Comparison) MinPowerLoss() float64 {
+	return 1 - c.FullPower.Cycles/c.MinPower.Cycles
+}
+
+// PowerReduction returns PowerChop's total power reduction vs full power.
+func (c *Comparison) PowerReduction() float64 {
+	return 1 - c.PowerChop.AvgPowerW/c.FullPower.AvgPowerW
+}
+
+// LeakageReduction returns PowerChop's leakage power reduction.
+func (c *Comparison) LeakageReduction() float64 {
+	return 1 - c.PowerChop.AvgLeakageW/c.FullPower.AvgLeakageW
+}
+
+// EnergyReduction returns PowerChop's total energy reduction.
+func (c *Comparison) EnergyReduction() float64 {
+	return 1 - c.PowerChop.TotalEnergyJ/c.FullPower.TotalEnergyJ
+}
+
+// Compare runs the benchmark under full-power, PowerChop and min-power.
+func Compare(benchmark string, opts Options) (*Comparison, error) {
+	c := &Comparison{Benchmark: benchmark}
+	for _, cfg := range []struct {
+		manager string
+		into    **Report
+	}{
+		{ManagerFullPower, &c.FullPower},
+		{ManagerPowerChop, &c.PowerChop},
+		{ManagerMinPower, &c.MinPower},
+	} {
+		o := opts
+		o.Manager = cfg.manager
+		rep, err := Run(benchmark, o)
+		if err != nil {
+			return nil, err
+		}
+		*cfg.into = rep
+	}
+	return c, nil
+}
+
+// SortedBenchmarks returns benchmark names sorted alphabetically.
+func SortedBenchmarks() []string {
+	names := Benchmarks()
+	sort.Strings(names)
+	return names
+}
