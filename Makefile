@@ -1,0 +1,31 @@
+# Developer entry points. `make check` is the tier-1 gate: build, vet and
+# the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: build vet test race check bench bench-overhead clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+# Figure/table regeneration benchmarks (slow; full-scale runs).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem
+
+# Observability hot-path overhead only.
+bench-overhead:
+	$(GO) test -run '^$$' -bench BenchmarkTracerOverhead -benchtime 5x -benchmem
+
+clean:
+	$(GO) clean ./...

@@ -10,6 +10,7 @@ package powerchop
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"testing"
@@ -18,6 +19,7 @@ import (
 	"powerchop/internal/cde"
 	"powerchop/internal/core"
 	"powerchop/internal/experiments"
+	"powerchop/internal/obs"
 	"powerchop/internal/phase"
 	"powerchop/internal/pvt"
 	"powerchop/internal/sim"
@@ -470,6 +472,45 @@ func BenchmarkAblationPVTReplacement(b *testing.B) {
 				hit = res.PVT.HitRate()
 			}
 			b.ReportMetric(hit*100, "%pvt-hit")
+		})
+	}
+}
+
+// BenchmarkTracerOverhead measures the observability layer's cost on the
+// simulator hot path: no tracer at all (the baseline), the no-op tracer,
+// an in-memory ring, and a JSONL writer to io.Discard. The no-op and nil
+// cases should be within noise of each other — tracing off must not tax
+// the simulation.
+func BenchmarkTracerOverhead(b *testing.B) {
+	bench := mustBench(b, "bzip2")
+	p := bench.MustBuild()
+	cases := []struct {
+		name   string
+		tracer func() obs.Tracer
+	}{
+		{"nil", func() obs.Tracer { return nil }},
+		{"nop", func() obs.Tracer { return obs.Nop{} }},
+		{"ring", func() obs.Tracer { return obs.NewRing(4096) }},
+		{"jsonl", func() obs.Tracer { return obs.NewJSONL(io.Discard) }},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var insns uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(p, sim.Config{
+					Design:          arch.Server(),
+					Manager:         core.MustPowerChop(core.DefaultConfig()),
+					MaxTranslations: 50000,
+					Tracer:          c.tracer(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				insns = res.GuestInsns
+			}
+			b.ReportMetric(float64(insns), "insns/op")
 		})
 	}
 }

@@ -1,12 +1,14 @@
 // Command powerchop runs the PowerChop simulator from the command line:
 // list benchmarks, simulate one under a chosen power manager, compare
-// configurations, or regenerate the paper's tables and figures.
+// configurations, replay event traces, or regenerate the paper's tables
+// and figures.
 //
 // Usage:
 //
 //	powerchop list
-//	powerchop run -bench gobmk [-manager powerchop|full-power|min-power|timeout] [-arch server|mobile] [-passes 2]
+//	powerchop run -bench gobmk [-manager powerchop|full-power|min-power|timeout] [-arch server|mobile] [-passes 2] [-trace out.jsonl] [-metrics]
 //	powerchop compare -bench namd [-passes 2]
+//	powerchop trace [-top 20] out.jsonl
 //	powerchop figure -id fig12 [-scale 1]
 //	powerchop all [-scale 1]
 //	powerchop headline [-scale 1]
@@ -14,57 +16,100 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"powerchop"
+	"powerchop/internal/obs"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// usageError is a bad invocation: run reports it with exit status 2. An
+// empty message means the flag package already printed the subcommand's
+// usage, so nothing further is shown.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+// errParse converts a flag-parse failure: -h/-help becomes flag.ErrHelp
+// (exit 0), anything else a silent usageError — the flag package has
+// already printed the error and the subcommand's own flag set, so the
+// global usage must not be dumped on top of it.
+func errParse(err error) error {
+	if errors.Is(err, flag.ErrHelp) {
+		return err
+	}
+	return usageError{}
+}
+
+// run dispatches the subcommand and returns the process exit status:
+// 0 on success (including help requests), 1 on runtime errors, 2 on usage
+// errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "list":
 		err = cmdList()
 	case "run":
-		err = cmdRun(os.Args[2:])
+		err = cmdRun(args[1:])
 	case "compare":
-		err = cmdCompare(os.Args[2:])
+		err = cmdCompare(args[1:])
+	case "trace":
+		err = cmdTrace(args[1:], stdout)
 	case "figure":
-		err = cmdFigure(os.Args[2:])
+		err = cmdFigure(args[1:])
 	case "all":
-		err = cmdAll(os.Args[2:])
+		err = cmdAll(args[1:])
 	case "headline":
-		err = cmdHeadline(os.Args[2:])
+		err = cmdHeadline(args[1:])
 	case "help", "-h", "--help":
-		usage()
+		usage(stdout)
+		return 0
 	default:
-		fmt.Fprintf(os.Stderr, "powerchop: unknown command %q\n", os.Args[1])
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "powerchop: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "powerchop: %v\n", err)
-		os.Exit(1)
+	var uerr usageError
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	case errors.As(err, &uerr):
+		if uerr.msg != "" {
+			fmt.Fprintf(stderr, "powerchop: %s\n", uerr.msg)
+		}
+		return 2
+	default:
+		fmt.Fprintf(stderr, "powerchop: %v\n", err)
+		return 1
 	}
 }
 
-func usage() {
-	fmt.Fprint(os.Stderr, `powerchop - phase-based unit-level power gating for hybrid processors
+func usage(w io.Writer) {
+	fmt.Fprint(w, `powerchop - phase-based unit-level power gating for hybrid processors
 
 commands:
   list                          list the built-in benchmarks
   run -bench NAME [flags]       simulate one benchmark
   compare -bench NAME [flags]   full-power vs PowerChop vs min-power
+  trace [-top N] FILE           summarize a JSONL event trace per phase
   figure -id ID [-scale F]      regenerate one paper figure/table
   all [-scale F]                regenerate every figure/table
   headline [-scale F]           per-suite slowdown/power/energy summary
 `)
-	fmt.Fprintf(os.Stderr, "\nfigure ids: %v\n", powerchop.FigureIDs())
+	fmt.Fprintf(w, "\nfigure ids: %v\n", powerchop.FigureIDs())
 }
 
 func cmdList() error {
@@ -78,7 +123,16 @@ func cmdList() error {
 	return nil
 }
 
-func runFlags(args []string) (string, powerchop.Options, bool, error) {
+// runArgs carries the parsed flags of run and compare.
+type runArgs struct {
+	bench   string
+	opts    powerchop.Options
+	json    bool
+	trace   string
+	metrics bool
+}
+
+func runFlags(args []string) (runArgs, error) {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	bench := fs.String("bench", "", "benchmark name (see 'powerchop list')")
 	manager := fs.String("manager", powerchop.ManagerPowerChop, "power manager")
@@ -86,30 +140,60 @@ func runFlags(args []string) (string, powerchop.Options, bool, error) {
 	passes := fs.Float64("passes", 2, "passes over the phase schedule")
 	sample := fs.Uint64("sample", 0, "sample interval in instructions (0 = off)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	trace := fs.String("trace", "", "write the event trace as JSONL to this file")
+	metrics := fs.Bool("metrics", false, "collect and print run metrics")
 	if err := fs.Parse(args); err != nil {
-		return "", powerchop.Options{}, false, err
+		return runArgs{}, errParse(err)
 	}
 	if *bench == "" {
-		return "", powerchop.Options{}, false, fmt.Errorf("missing -bench (see 'powerchop list')")
+		return runArgs{}, usageError{msg: "missing -bench (see 'powerchop list')"}
 	}
-	return *bench, powerchop.Options{
-		Arch:           *archName,
-		Manager:        *manager,
-		Passes:         *passes,
-		SampleInterval: *sample,
-	}, *asJSON, nil
+	return runArgs{
+		bench: *bench,
+		opts: powerchop.Options{
+			Arch:           *archName,
+			Manager:        *manager,
+			Passes:         *passes,
+			SampleInterval: *sample,
+			Metrics:        *metrics,
+		},
+		json:    *asJSON,
+		trace:   *trace,
+		metrics: *metrics,
+	}, nil
+}
+
+// withTrace attaches a JSONL trace file to the options when requested and
+// invokes f, closing the file afterwards.
+func withTrace(a *runArgs, f func() error) error {
+	if a.trace == "" {
+		return f()
+	}
+	out, err := os.Create(a.trace)
+	if err != nil {
+		return err
+	}
+	a.opts.TraceWriter = out
+	if err := f(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 func cmdRun(args []string) error {
-	bench, opts, asJSON, err := runFlags(args)
+	a, err := runFlags(args)
 	if err != nil {
 		return err
 	}
-	rep, err := powerchop.Run(bench, opts)
-	if err != nil {
+	var rep *powerchop.Report
+	if err := withTrace(&a, func() error {
+		rep, err = powerchop.Run(a.bench, a.opts)
+		return err
+	}); err != nil {
 		return err
 	}
-	if asJSON {
+	if a.json {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(rep)
@@ -126,19 +210,31 @@ func cmdRun(args []string) error {
 		fmt.Printf("  phases characterized %d, CDE invocations %d, PVT hit rate %.4f\n",
 			rep.PhasesSeen, rep.CDEInvocations, rep.PVTHitRate)
 	}
+	if rep.Metrics != nil {
+		fmt.Println()
+		fmt.Print(rep.Metrics.Summary)
+	}
+	if a.trace != "" {
+		fmt.Printf("\ntrace written to %s (summarize with 'powerchop trace %s')\n", a.trace, a.trace)
+	}
 	return nil
 }
 
 func cmdCompare(args []string) error {
-	bench, opts, asJSON, err := runFlags(args)
+	a, err := runFlags(args)
 	if err != nil {
 		return err
 	}
-	c, err := powerchop.Compare(bench, opts)
-	if err != nil {
+	var c *powerchop.Comparison
+	if err := withTrace(&a, func() error {
+		// With -trace the three runs' events land in one file, in run
+		// order: full-power, powerchop, min-power.
+		c, err = powerchop.Compare(a.bench, a.opts)
+		return err
+	}); err != nil {
 		return err
 	}
-	if asJSON {
+	if a.json {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(c)
@@ -153,15 +249,48 @@ func cmdCompare(args []string) error {
 	return nil
 }
 
+func cmdTrace(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	in := fs.String("in", "", "trace file (JSONL); also accepted as a positional argument")
+	top := fs.Int("top", 20, "maximum phases to list")
+	if err := fs.Parse(args); err != nil {
+		return errParse(err)
+	}
+	path := *in
+	if path == "" && fs.NArg() > 0 {
+		path = fs.Arg(0)
+	}
+	if path == "" {
+		return usageError{msg: "missing trace file (powerchop trace FILE, or -in FILE)"}
+	}
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := obs.ReadJSONL(r)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, obs.Summarize(events).Render(*top))
+	return nil
+}
+
 func cmdFigure(args []string) error {
 	fs := flag.NewFlagSet("figure", flag.ContinueOnError)
 	id := fs.String("id", "", "figure id")
 	scale := fs.Float64("scale", 1, "run-length scale")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return errParse(err)
 	}
 	if *id == "" {
-		return fmt.Errorf("missing -id (known: %v)", powerchop.FigureIDs())
+		return usageError{msg: fmt.Sprintf("missing -id (known: %v)", powerchop.FigureIDs())}
 	}
 	return powerchop.NewFigureRunner(*scale).RenderFigure(os.Stdout, *id)
 }
@@ -170,7 +299,7 @@ func cmdAll(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ContinueOnError)
 	scale := fs.Float64("scale", 1, "run-length scale")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return errParse(err)
 	}
 	return powerchop.NewFigureRunner(*scale).RenderAll(os.Stdout)
 }
@@ -179,7 +308,7 @@ func cmdHeadline(args []string) error {
 	fs := flag.NewFlagSet("headline", flag.ContinueOnError)
 	scale := fs.Float64("scale", 1, "run-length scale")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return errParse(err)
 	}
 	rows, err := powerchop.NewFigureRunner(*scale).Headline()
 	if err != nil {

@@ -1,49 +1,169 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"powerchop"
+	"powerchop/internal/obs"
 )
 
 func TestRunFlagsDefaults(t *testing.T) {
-	bench, opts, asJSON, err := runFlags([]string{"-bench", "gobmk"})
+	a, err := runFlags([]string{"-bench", "gobmk"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bench != "gobmk" {
-		t.Fatalf("bench = %q", bench)
+	if a.bench != "gobmk" {
+		t.Fatalf("bench = %q", a.bench)
 	}
-	if opts.Manager != powerchop.ManagerPowerChop || opts.Passes != 2 {
-		t.Fatalf("defaults: %+v", opts)
+	if a.opts.Manager != powerchop.ManagerPowerChop || a.opts.Passes != 2 {
+		t.Fatalf("defaults: %+v", a.opts)
 	}
-	if opts.Arch != "" || opts.SampleInterval != 0 || asJSON {
-		t.Fatalf("defaults: %+v json=%v", opts, asJSON)
+	if a.opts.Arch != "" || a.opts.SampleInterval != 0 || a.json || a.trace != "" || a.metrics {
+		t.Fatalf("defaults: %+v", a)
 	}
 }
 
 func TestRunFlagsExplicit(t *testing.T) {
-	bench, opts, asJSON, err := runFlags([]string{
+	a, err := runFlags([]string{
 		"-bench", "msn", "-manager", "timeout", "-arch", "mobile",
 		"-passes", "1.5", "-sample", "10000", "-json",
+		"-trace", "out.jsonl", "-metrics",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bench != "msn" || opts.Manager != "timeout" || opts.Arch != "mobile" ||
-		opts.Passes != 1.5 || opts.SampleInterval != 10000 || !asJSON {
-		t.Fatalf("parsed: %q %+v", bench, opts)
+	if a.bench != "msn" || a.opts.Manager != "timeout" || a.opts.Arch != "mobile" ||
+		a.opts.Passes != 1.5 || a.opts.SampleInterval != 10000 || !a.json {
+		t.Fatalf("parsed: %+v", a)
+	}
+	if a.trace != "out.jsonl" || !a.metrics || !a.opts.Metrics {
+		t.Fatalf("trace flags: %+v", a)
 	}
 }
 
 func TestRunFlagsMissingBench(t *testing.T) {
-	if _, _, _, err := runFlags(nil); err == nil {
+	_, err := runFlags(nil)
+	if err == nil {
 		t.Fatal("missing -bench accepted")
+	}
+	if _, ok := err.(usageError); !ok {
+		t.Fatalf("missing -bench is %T, want usageError", err)
 	}
 }
 
 func TestCmdList(t *testing.T) {
 	if err := cmdList(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunHelpExitsZero(t *testing.T) {
+	for _, cmd := range []string{"help", "-h", "--help"} {
+		var out, errOut bytes.Buffer
+		if code := run([]string{cmd}, &out, &errOut); code != 0 {
+			t.Errorf("%s exited %d", cmd, code)
+		}
+		if !strings.Contains(out.String(), "commands:") {
+			t.Errorf("%s: usage not on stdout", cmd)
+		}
+		if errOut.Len() != 0 {
+			t.Errorf("%s wrote to stderr: %q", cmd, errOut.String())
+		}
+	}
+}
+
+func TestRunNoArgsExitsTwo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no args exited %d", code)
+	}
+	if !strings.Contains(errOut.String(), "commands:") {
+		t.Error("usage not on stderr")
+	}
+}
+
+func TestRunUnknownCommandExitsTwo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown command exited %d", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown command") {
+		t.Errorf("stderr: %q", errOut.String())
+	}
+}
+
+// TestRunBadSubcommandFlag checks a bad flag on a subcommand exits 2 and
+// does not dump the global usage on top of the flag package's message.
+func TestRunBadSubcommandFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"run", "-nonsense"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag exited %d", code)
+	}
+	if strings.Contains(errOut.String(), "commands:") {
+		t.Error("global usage printed for a subcommand flag error")
+	}
+}
+
+func TestRunSubcommandHelpExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"run", "-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("run -h exited %d", code)
+	}
+}
+
+func TestRunMissingBenchExitsTwo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"run"}, &out, &errOut); code != 2 {
+		t.Fatalf("missing -bench exited %d", code)
+	}
+	if !strings.Contains(errOut.String(), "missing -bench") {
+		t.Errorf("stderr: %q", errOut.String())
+	}
+}
+
+func TestCmdTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.jsonl")
+	w, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewJSONL(w)
+	sink.Emit(obs.Event{Kind: obs.KindWindowClose, Window: 1, SigIDs: [obs.MaxSigIDs]uint32{0xaa}, SigN: 1, Count: 1000})
+	sink.Emit(obs.Event{Kind: obs.KindPVTHit, Window: 1, SigIDs: [obs.MaxSigIDs]uint32{0xaa}, SigN: 1, Policy: 0xF})
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	var out bytes.Buffer
+	if err := cmdTrace([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "events") || !strings.Contains(out.String(), "<taa>") {
+		t.Errorf("trace summary: %q", out.String())
+	}
+
+	// -in flag form.
+	out.Reset()
+	if err := cmdTrace([]string{"-in", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Error("empty summary via -in")
+	}
+}
+
+func TestCmdTraceMissingFile(t *testing.T) {
+	err := cmdTrace(nil, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, ok := err.(usageError); !ok {
+		t.Fatalf("missing file is %T, want usageError", err)
 	}
 }

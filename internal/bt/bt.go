@@ -108,6 +108,11 @@ func (s *System) Nucleus() *Nucleus { return s.nucleus }
 // Stats returns the runtime's activity counters.
 func (s *System) Stats() Stats { return s.stats }
 
+// Translations returns the number of regions translated so far — a cheap
+// accessor the simulator polls to detect fresh region-cache installs
+// without copying the whole Stats struct on the hot path.
+func (s *System) Translations() uint64 { return s.stats.Translations }
+
 // Translation returns the region-cache entry for a region, or nil if the
 // region has not been translated.
 func (s *System) Translation(regionIdx int) *Translation {

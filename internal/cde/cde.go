@@ -29,6 +29,7 @@ package cde
 import (
 	"fmt"
 
+	"powerchop/internal/obs"
 	"powerchop/internal/phase"
 	"powerchop/internal/pvt"
 )
@@ -174,6 +175,7 @@ type Engine struct {
 	thr     Thresholds
 	managed Managed
 	stats   Stats
+	tracer  obs.Tracer
 }
 
 // New builds an engine around the given PVT.
@@ -195,6 +197,11 @@ func New(table *pvt.Table, thr Thresholds, managed Managed) (*Engine, error) {
 
 // Stats returns the engine's activity counters.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// SetTracer attaches an event tracer; completed profiles then emit
+// KindCDEScore events (one per managed unit) and registrations emit
+// KindCDERegister. A nil tracer (the default) disables emission.
+func (e *Engine) SetTracer(t obs.Tracer) { e.tracer = t }
 
 // Thresholds returns the engine's criticality thresholds.
 func (e *Engine) Thresholds() Thresholds { return e.thr }
@@ -231,10 +238,12 @@ func (e *Engine) decide(st *profState) pvt.Policy {
 	p := pvt.FullOn
 	if e.managed.VPU {
 		p.VPUOn = st.simdRatio > e.thr.VPU
+		e.score("VPU", "simd-ratio", st.simdRatio)
 	}
 	if e.managed.BPU {
 		critBPU := st.misPredSmall - st.misPredLarge
 		p.BPUOn = critBPU > e.thr.BPU
+		e.score("BPU", "mispred-delta", critBPU)
 	}
 	if e.managed.MLC {
 		switch {
@@ -245,18 +254,42 @@ func (e *Engine) decide(st *profState) pvt.Policy {
 		default:
 			p.MLC = pvt.MLCHalf
 		}
+		e.score("MLC", "l2hit-ratio", st.l2HitRatio)
 	}
 	return p
 }
 
+// score emits one unit's criticality measurement.
+func (e *Engine) score(unit, metric string, value float64) {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer.Emit(obs.Event{
+		Kind:   obs.KindCDEScore,
+		Unit:   unit,
+		Detail: metric,
+		Value:  value,
+	})
+}
+
 // register installs the policy in the PVT and spills any evicted entry to
-// the backing store.
-func (e *Engine) register(sig phase.Signature, p pvt.Policy) {
+// the backing store. how records the registration path for the event
+// stream: "computed", "restored" or "abandoned".
+func (e *Engine) register(sig phase.Signature, p pvt.Policy, how string) {
 	e.backing[sig] = p
 	if evSig, evPol, ev := e.table.Register(sig, p); ev {
 		e.backing[evSig] = evPol
 	}
 	e.stats.Registrations++
+	if e.tracer != nil {
+		e.tracer.Emit(obs.Event{
+			Kind:   obs.KindCDERegister,
+			SigIDs: sig.IDs,
+			SigN:   sig.N,
+			Policy: p.Encode(),
+			Detail: how,
+		})
+	}
 }
 
 // HandleMiss implements Algorithm 1. It is invoked when the window that
@@ -269,7 +302,7 @@ func (e *Engine) HandleMiss(sig phase.Signature, prof WindowProfile) Action {
 	// re-register with the PVT.
 	if policy, known := e.backing[sig]; known {
 		e.stats.CapacityMisses++
-		e.register(sig, policy)
+		e.register(sig, policy, "restored")
 		return Action{Policy: policy, Registered: true}
 	}
 
@@ -294,7 +327,7 @@ func (e *Engine) HandleMiss(sig phase.Signature, prof WindowProfile) Action {
 	if e.complete(st) {
 		policy := e.decide(st)
 		delete(e.inprog, sig)
-		e.register(sig, policy)
+		e.register(sig, policy, "computed")
 		return Action{Policy: policy, Registered: true, NewPhase: newPhase}
 	}
 	st.attempts++
@@ -308,7 +341,7 @@ func (e *Engine) HandleMiss(sig phase.Signature, prof WindowProfile) Action {
 		// measurement attempts.
 		delete(e.inprog, sig)
 		e.stats.ProfileAbandons++
-		e.register(sig, prof.Current)
+		e.register(sig, prof.Current, "abandoned")
 		return Action{Policy: prof.Current, Registered: true, NewPhase: newPhase}
 	}
 	return Action{Policy: e.profilingPolicy(st), Profiling: true, NewPhase: newPhase}

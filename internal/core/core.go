@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"powerchop/internal/cde"
+	"powerchop/internal/obs"
 	"powerchop/internal/phase"
 	"powerchop/internal/pvt"
 )
@@ -206,6 +207,15 @@ func (m *PowerChop) WindowEnd(r WindowReport) Directive {
 	action := m.engine.HandleMiss(r.Signature, r.Profile)
 	m.current = action.Policy
 	return Directive{Policy: action.Policy, CDEInvoked: true}
+}
+
+// SetTracer threads an event tracer into the manager's PVT and CDE so
+// lookup, eviction, scoring and registration events reach the simulator's
+// sink. The simulator calls this when tracing is enabled; managers are
+// per-run, so the tracer's lifetime matches the run's.
+func (m *PowerChop) SetTracer(t obs.Tracer) {
+	m.table.SetTracer(t)
+	m.engine.SetTracer(t)
 }
 
 // PVT exposes the manager's policy vector table (reporting).

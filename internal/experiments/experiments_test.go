@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"powerchop/internal/obs"
 	"powerchop/internal/workload"
 )
 
@@ -352,5 +353,35 @@ func TestPerUnitStudy(t *testing.T) {
 	}
 	if !strings.Contains(res.Render(), "gobmk") {
 		t.Fatal("render missing benchmark")
+	}
+}
+
+func TestRunnerTracer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow; skipped with -short")
+	}
+	// A dedicated small runner: the shared one may already have cached
+	// results, which would bypass the tracer.
+	r := NewRunner(0.05)
+	ring := obs.NewRing(1 << 14)
+	r.Tracer = ring
+	b, err := workload.ByName("namd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Result(b, KindPowerChop); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Total() == 0 {
+		t.Fatal("runner tracer saw no events")
+	}
+	windows := 0
+	for _, e := range ring.Events() {
+		if e.Kind == obs.KindWindowClose {
+			windows++
+		}
+	}
+	if windows == 0 {
+		t.Error("no window-close events through runner tracer")
 	}
 }

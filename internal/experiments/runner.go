@@ -11,6 +11,7 @@ import (
 
 	"powerchop/internal/arch"
 	"powerchop/internal/core"
+	"powerchop/internal/obs"
 	"powerchop/internal/pvt"
 	"powerchop/internal/sim"
 	"powerchop/internal/workload"
@@ -49,6 +50,12 @@ type Runner struct {
 	mu    sync.Mutex
 	scale float64
 	cache map[string]*sim.Result
+
+	// Tracer, when non-nil, is threaded into every simulation the runner
+	// launches (cached results are not re-run, so set it before the first
+	// Result call). Figures run many benchmarks through one Runner, so a
+	// shared sink must be safe for concurrent emission.
+	Tracer obs.Tracer
 }
 
 // NewRunner returns a runner. scale multiplies the default run length of
@@ -136,6 +143,7 @@ func (r *Runner) Result(b workload.Benchmark, kind Kind) (*sim.Result, error) {
 		Manager:         m,
 		MaxTranslations: runLen,
 		TrackQuality:    kind == KindPowerChop,
+		Tracer:          r.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s: %w", b.Name, kind, err)
@@ -163,6 +171,7 @@ func (r *Runner) Sampled(b workload.Benchmark, kind Kind, sampleInterval uint64)
 		Manager:         m,
 		MaxTranslations: runLen,
 		SampleInterval:  sampleInterval,
+		Tracer:          r.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s sampled: %w", b.Name, kind, err)

@@ -12,6 +12,8 @@ package gating
 import (
 	"fmt"
 	"sort"
+
+	"powerchop/internal/obs"
 )
 
 // Unit tracks the gating state of one logical unit over simulated cycles.
@@ -22,6 +24,7 @@ type Unit struct {
 	switches  uint64
 	residency map[float64]float64
 	closed    bool
+	tracer    obs.Tracer
 }
 
 // NewUnit creates a unit tracker starting at the given power fraction at
@@ -36,6 +39,10 @@ func NewUnit(name string, initFrac float64) *Unit {
 // Name returns the unit's label.
 func (u *Unit) Name() string { return u.name }
 
+// SetTracer attaches an event tracer; each state change then emits a
+// KindGate event. A nil tracer (the default) disables emission.
+func (u *Unit) SetTracer(t obs.Tracer) { u.tracer = t }
+
 // PowerFrac returns the unit's current power fraction.
 func (u *Unit) PowerFrac() float64 { return u.powerFrac }
 
@@ -47,6 +54,13 @@ func (u *Unit) PowerFrac() float64 { return u.powerFrac }
 // cycle Y that the unit went idle at an earlier cycle X still issues its
 // Set calls in time order X then Y).
 func (u *Unit) Set(frac, cycle float64) bool {
+	return u.Transition(frac, cycle, 0)
+}
+
+// Transition is Set with the stall-cycle cost the caller charges for the
+// change, so the emitted gating event carries the transition's price. A
+// no-op call (frac unchanged) emits nothing.
+func (u *Unit) Transition(frac, cycle, stallCycles float64) bool {
 	if u.closed {
 		panic(fmt.Sprintf("gating: unit %q used after CloseOut", u.name))
 	}
@@ -61,8 +75,20 @@ func (u *Unit) Set(frac, cycle float64) bool {
 	if frac == u.powerFrac {
 		return false
 	}
+	prev := u.powerFrac
 	u.powerFrac = frac
 	u.switches++
+	if u.tracer != nil {
+		u.tracer.Emit(obs.Event{
+			Kind:  obs.KindGate,
+			Cycle: cycle,
+			Unit:  u.name,
+			Prev:  prev,
+			Next:  frac,
+			Stall: stallCycles,
+			Count: u.switches,
+		})
+	}
 	return true
 }
 

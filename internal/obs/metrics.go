@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"powerchop/internal/textplot"
+)
+
+// Counter is a monotonically increasing named count. Safe for concurrent
+// use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Histogram accumulates observations into fixed buckets. Bucket i counts
+// observations <= Bounds[i]; one extra bucket counts the overflow. Safe
+// for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %v", bounds[i]))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Registry is a namespace of counters and histograms. Names are
+// lazily created on first use; looking a name up twice returns the same
+// instrument. Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use. Later calls ignore bounds and return the existing
+// histogram.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram(bounds...)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterSnap is one counter's snapshot.
+type CounterSnap struct {
+	Name  string
+	Value uint64
+}
+
+// HistogramSnap is one histogram's snapshot.
+type HistogramSnap struct {
+	Name   string
+	Count  uint64
+	Sum    float64
+	Min    float64
+	Max    float64
+	Bounds []float64 // bucket upper bounds
+	Counts []uint64  // len(Bounds)+1; last is overflow
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (h HistogramSnap) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot is a point-in-time copy of a registry, ordered by name.
+type Snapshot struct {
+	Counters   []CounterSnap
+	Histograms []HistogramSnap
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{}
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.Value()})
+	}
+	for name, h := range r.hists {
+		h.mu.Lock()
+		s.Histograms = append(s.Histograms, HistogramSnap{
+			Name:   name,
+			Count:  h.count,
+			Sum:    h.sum,
+			Min:    h.min,
+			Max:    h.max,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]uint64(nil), h.counts...),
+		})
+		h.mu.Unlock()
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Counter returns the snapshotted value of the named counter (0 when
+// absent).
+func (s *Snapshot) Counter(name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Histogram returns the snapshotted histogram by name.
+func (s *Snapshot) Histogram(name string) (HistogramSnap, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramSnap{}, false
+}
+
+// Render formats the snapshot as a human-readable summary: a counter
+// table and a histogram table with a sparkline of each bucket
+// distribution.
+func (s *Snapshot) Render() string {
+	out := ""
+	if len(s.Counters) > 0 {
+		rows := make([][]string, 0, len(s.Counters))
+		for _, c := range s.Counters {
+			rows = append(rows, []string{c.Name, fmt.Sprintf("%d", c.Value)})
+		}
+		out += "counters:\n" + textplot.Table([]string{"name", "value"}, rows)
+	}
+	if len(s.Histograms) > 0 {
+		rows := make([][]string, 0, len(s.Histograms))
+		for _, h := range s.Histograms {
+			dist := make([]float64, len(h.Counts))
+			for i, c := range h.Counts {
+				dist[i] = float64(c)
+			}
+			rows = append(rows, []string{
+				h.Name,
+				fmt.Sprintf("%d", h.Count),
+				fmt.Sprintf("%.4g", h.Mean()),
+				fmt.Sprintf("%.4g", h.Min),
+				fmt.Sprintf("%.4g", h.Max),
+				textplot.Spark(dist),
+			})
+		}
+		if out != "" {
+			out += "\n"
+		}
+		out += "histograms:\n" + textplot.Table([]string{"name", "count", "mean", "min", "max", "buckets"}, rows)
+	}
+	if out == "" {
+		out = "(no metrics recorded)\n"
+	}
+	return out
+}
+
+// Collector is a Tracer that distills the event stream into the standard
+// PowerChop metrics: per-kind event counts, window-length and
+// PVT-occupancy histograms, gating residency (cycles between a unit's
+// transitions), transition stalls and CDE invocation latency. The
+// simulator attaches one per run when metrics are requested and
+// snapshots it into the Result.
+type Collector struct {
+	reg     *Registry
+	byKind  [numKinds]*Counter
+	total   *Counter
+	winLen  *Histogram
+	pvtOcc  *Histogram
+	stalls  *Histogram
+	cdeCost *Histogram
+
+	mu       sync.Mutex
+	lastGate map[string]float64 // unit → cycle of previous transition
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	reg := NewRegistry()
+	c := &Collector{
+		reg:   reg,
+		total: reg.Counter("events.total"),
+		// Window length in translated guest instructions.
+		winLen: reg.Histogram("window.insns", 1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5),
+		// PVT occupancy observed at each lookup (paper table: 16 entries).
+		pvtOcc: reg.Histogram("pvt.occupancy", 1, 2, 4, 8, 12, 16),
+		// Stall cycles charged per gating transition.
+		stalls: reg.Histogram("gate.stall.cycles", 10, 20, 50, 100, 200, 500, 1000, 5000),
+		// CDE invocation cost in cycles.
+		cdeCost:  reg.Histogram("cde.invoke.cycles", 1e3, 2e3, 5e3, 1e4, 2e4, 5e4),
+		lastGate: make(map[string]float64),
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		c.byKind[k] = reg.Counter("events." + k.String())
+	}
+	return c
+}
+
+// Registry exposes the collector's registry so callers can add their own
+// instruments alongside the standard set.
+func (c *Collector) Registry() *Registry { return c.reg }
+
+// Emit implements Tracer.
+func (c *Collector) Emit(e Event) {
+	c.total.Inc()
+	if e.Kind < numKinds {
+		c.byKind[e.Kind].Inc()
+	}
+	switch e.Kind {
+	case KindWindowClose:
+		c.winLen.Observe(float64(e.Count))
+	case KindPVTHit, KindPVTMiss:
+		c.pvtOcc.Observe(float64(e.Count))
+	case KindCDEInvoke:
+		c.cdeCost.Observe(e.Value)
+	case KindGate:
+		c.stalls.Observe(e.Stall)
+		c.mu.Lock()
+		last, seen := c.lastGate[e.Unit]
+		c.lastGate[e.Unit] = e.Cycle
+		c.mu.Unlock()
+		if seen {
+			// Residency: how long the unit held its previous state.
+			c.reg.Histogram("gate.residency."+e.Unit,
+				1e3, 1e4, 1e5, 1e6, 1e7, 1e8).Observe(e.Cycle - last)
+		}
+	}
+}
+
+// Snapshot returns the collector's current metrics.
+func (c *Collector) Snapshot() *Snapshot { return c.reg.Snapshot() }

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for _, v := range []float64{5, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	reg := NewRegistry()
+	rh := reg.Histogram("h", 10, 100, 1000)
+	for _, v := range []float64{5, 10, 11, 100, 5000} {
+		rh.Observe(v)
+	}
+	s, ok := reg.Snapshot().Histogram("h")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	// <=10: {5,10}; <=100: {11,100}; <=1000: {}; overflow: {5000}.
+	wantCounts := []uint64{2, 2, 0, 1}
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Min != 5 || s.Max != 5000 || s.Mean() != (5+10+11+100+5000)/5.0 {
+		t.Fatalf("min/max/mean = %v/%v/%v", s.Min, s.Max, s.Mean())
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for _, bounds := range [][]float64{{}, {10, 10}, {10, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("bounds %v accepted", bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+func TestRegistryReuse(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("a") != reg.Counter("a") {
+		t.Fatal("counter not reused")
+	}
+	if reg.Histogram("h", 1, 2) != reg.Histogram("h", 5, 6) {
+		t.Fatal("histogram not reused")
+	}
+	reg.Counter("a").Inc()
+	snap := reg.Snapshot()
+	if snap.Counter("a") != 1 || snap.Counter("absent") != 0 {
+		t.Fatalf("snapshot counters: %+v", snap.Counters)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				reg.Counter("shared").Inc()
+				reg.Histogram("h", 1, 10, 100).Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Snapshot().Counter("shared"); got != 4000 {
+		t.Fatalf("shared counter = %d", got)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector()
+	events := []Event{
+		{Kind: KindWindowClose, Window: 1, Count: 30000},
+		{Kind: KindPVTMiss, Count: 0},
+		{Kind: KindCDEInvoke, Value: 10000},
+		{Kind: KindGate, Unit: "VPU", Cycle: 1000, Prev: 1, Next: 0, Stall: 530},
+		{Kind: KindGate, Unit: "VPU", Cycle: 51000, Prev: 0, Next: 1, Stall: 530},
+		{Kind: KindPVTHit, Count: 1},
+		{Kind: KindWindowClose, Window: 2, Count: 28000},
+	}
+	for _, e := range events {
+		c.Emit(e)
+	}
+	s := c.Snapshot()
+	if got := s.Counter("events.total"); got != uint64(len(events)) {
+		t.Fatalf("events.total = %d", got)
+	}
+	if s.Counter("events.gate") != 2 || s.Counter("events.window-close") != 2 {
+		t.Fatalf("per-kind counters: %+v", s.Counters)
+	}
+	if h, ok := s.Histogram("window.insns"); !ok || h.Count != 2 {
+		t.Fatalf("window.insns: %+v ok=%v", h, ok)
+	}
+	res, ok := s.Histogram("gate.residency.VPU")
+	if !ok || res.Count != 1 || res.Sum != 50000 {
+		t.Fatalf("gate.residency.VPU: %+v ok=%v", res, ok)
+	}
+	if h, ok := s.Histogram("cde.invoke.cycles"); !ok || h.Count != 1 || h.Sum != 10000 {
+		t.Fatalf("cde.invoke.cycles: %+v", h)
+	}
+	rendered := s.Render()
+	for _, want := range []string{"counters:", "histograms:", "events.total", "window.insns"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("render missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+func TestSnapshotRenderEmpty(t *testing.T) {
+	if got := (&Snapshot{}).Render(); !strings.Contains(got, "no metrics") {
+		t.Fatalf("empty render = %q", got)
+	}
+}

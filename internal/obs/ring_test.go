@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(3)
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatal("fresh ring not empty")
+	}
+	r.Emit(Event{Count: 1})
+	r.Emit(Event{Count: 2})
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].Count != 1 || ev[1].Count != 2 {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := NewRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Emit(Event{Count: uint64(i)})
+	}
+	if r.Len() != 3 || r.Total() != 5 {
+		t.Fatalf("len=%d total=%d", r.Len(), r.Total())
+	}
+	ev := r.Events()
+	for i, want := range []uint64{3, 4, 5} {
+		if ev[i].Count != want {
+			t.Fatalf("wrapped order: %+v", ev)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 || len(r.Events()) != 0 {
+		t.Fatal("reset did not clear the ring")
+	}
+}
+
+func TestRingCapacityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity accepted")
+		}
+	}()
+	NewRing(0)
+}
+
+// TestRingConcurrent exercises the ring from many goroutines; run with
+// -race to verify write safety.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	const goroutines, each = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Emit(Event{Kind: KindGate, Count: uint64(g*each + i)})
+				if i%100 == 0 {
+					r.Events() // concurrent reads too
+					r.Len()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != goroutines*each {
+		t.Fatalf("total = %d", r.Total())
+	}
+	if r.Len() != 64 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}

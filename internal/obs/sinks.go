@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// wireEvent is the JSONL representation of an Event. Every field uses
+// omitempty: a missing field decodes back to the Go zero value, so the
+// round trip is lossless while keeping lines compact.
+type wireEvent struct {
+	Kind   string   `json:"kind"`
+	Cycle  float64  `json:"cycle,omitempty"`
+	Window uint64   `json:"window,omitempty"`
+	Unit   string   `json:"unit,omitempty"`
+	Detail string   `json:"detail,omitempty"`
+	Sig    []uint32 `json:"sig,omitempty"`
+	Policy uint8    `json:"policy,omitempty"`
+	Prev   float64  `json:"prev,omitempty"`
+	Next   float64  `json:"next,omitempty"`
+	Stall  float64  `json:"stall,omitempty"`
+	Value  float64  `json:"value,omitempty"`
+	Count  uint64   `json:"count,omitempty"`
+}
+
+// JSONL is a Tracer that streams events to a writer, one JSON object per
+// line. Writes are buffered; call Flush before reading the destination.
+// JSONL is safe for concurrent use.
+type JSONL struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	sig     [MaxSigIDs]uint32 // scratch backing for wireEvent.Sig
+	events  uint64
+	lastErr error
+}
+
+// NewJSONL returns a JSONL tracer writing to w.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	return &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements Tracer. Encoding errors are sticky and reported by
+// Flush; emission never panics or blocks the simulation on sink errors.
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	we := wireEvent{
+		Kind:   e.Kind.String(),
+		Cycle:  e.Cycle,
+		Window: e.Window,
+		Unit:   e.Unit,
+		Detail: e.Detail,
+		Policy: e.Policy,
+		Prev:   e.Prev,
+		Next:   e.Next,
+		Stall:  e.Stall,
+		Value:  e.Value,
+		Count:  e.Count,
+	}
+	if e.SigN > 0 {
+		n := int(e.SigN)
+		if n > MaxSigIDs {
+			n = MaxSigIDs
+		}
+		copy(j.sig[:n], e.SigIDs[:n])
+		we.Sig = j.sig[:n]
+	}
+	if err := j.enc.Encode(we); err != nil && j.lastErr == nil {
+		j.lastErr = err
+	}
+	j.events++
+}
+
+// Events returns the number of events emitted so far.
+func (j *JSONL) Events() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.events
+}
+
+// Flush drains the buffer to the underlying writer and returns the first
+// error encountered by Emit or the flush itself.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.bw.Flush(); err != nil && j.lastErr == nil {
+		j.lastErr = err
+	}
+	return j.lastErr
+}
+
+// ReadJSONL parses a JSONL event stream back into events. Blank lines are
+// skipped; a malformed line fails with its line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var we wireEvent
+		if err := json.Unmarshal(raw, &we); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		kind, err := KindFromString(we.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		e := Event{
+			Kind:   kind,
+			Cycle:  we.Cycle,
+			Window: we.Window,
+			Unit:   we.Unit,
+			Detail: we.Detail,
+			Policy: we.Policy,
+			Prev:   we.Prev,
+			Next:   we.Next,
+			Stall:  we.Stall,
+			Value:  we.Value,
+			Count:  we.Count,
+		}
+		if len(we.Sig) > MaxSigIDs {
+			return nil, fmt.Errorf("obs: trace line %d: signature wider than %d", line, MaxSigIDs)
+		}
+		copy(e.SigIDs[:], we.Sig)
+		e.SigN = uint8(len(we.Sig))
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return out, nil
+}
+
+// Ring is a fixed-capacity in-memory Tracer that keeps the most recent
+// events, built for tests and post-mortem inspection. It is safe for
+// concurrent use.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewRing returns a ring buffer holding the last n events (n >= 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		panic(fmt.Sprintf("obs: ring capacity %d", n))
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Emit implements Tracer.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len returns the number of events currently held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Total returns the number of events ever emitted (held or overwritten).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Events returns the held events, oldest first, as a copy.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Reset empties the ring and zeroes the total.
+func (r *Ring) Reset() {
+	r.mu.Lock()
+	r.next, r.full, r.total = 0, false, 0
+	r.mu.Unlock()
+}

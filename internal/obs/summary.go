@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"powerchop/internal/textplot"
+)
+
+// PhaseRow aggregates a trace's events for one phase signature.
+type PhaseRow struct {
+	// Sig is the rendered signature ("<t1a,t2b>").
+	Sig string
+	// Windows is how many execution windows closed with this signature.
+	Windows uint64
+	// Insns is the total translated dynamic instructions of those windows.
+	Insns uint64
+	// PVTHits / PVTMisses count table lookups for the signature.
+	PVTHits   uint64
+	PVTMisses uint64
+	// CDEInvokes counts software invocations attributed to the signature.
+	CDEInvokes uint64
+	// Registrations counts CDE policy registrations for the signature.
+	Registrations uint64
+	// Evictions counts PVT evictions of the signature.
+	Evictions uint64
+	// LastPolicy is the most recent policy vector seen for the signature
+	// (from a hit or registration), rendered by PolicyString.
+	LastPolicy uint8
+	// HasPolicy reports whether LastPolicy was ever observed.
+	HasPolicy bool
+}
+
+// TraceSummary is a whole trace digested into per-phase rows plus global
+// tallies.
+type TraceSummary struct {
+	Events  uint64
+	Windows uint64
+	// EndCycle is the largest cycle stamp observed.
+	EndCycle float64
+	// Translations counts region-cache installs.
+	Translations uint64
+	// GateSwitches counts gating transitions per unit.
+	GateSwitches map[string]uint64
+	// GateStalls is the total stall cycles charged on transitions.
+	GateStalls float64
+	// CDECycles is the total CDE invocation cost.
+	CDECycles float64
+	// Phases holds one row per distinct signature, most windows first.
+	Phases []PhaseRow
+}
+
+// sigKey is a comparable aggregation key for signatures.
+type sigKey struct {
+	ids [MaxSigIDs]uint32
+	n   uint8
+}
+
+// Summarize replays an event stream into a per-phase summary.
+func Summarize(events []Event) *TraceSummary {
+	s := &TraceSummary{GateSwitches: make(map[string]uint64)}
+	phases := make(map[sigKey]*PhaseRow)
+	row := func(e Event) *PhaseRow {
+		k := sigKey{ids: e.SigIDs, n: e.SigN}
+		r := phases[k]
+		if r == nil {
+			r = &PhaseRow{Sig: e.SigString()}
+			phases[k] = r
+		}
+		return r
+	}
+	for _, e := range events {
+		s.Events++
+		if e.Cycle > s.EndCycle {
+			s.EndCycle = e.Cycle
+		}
+		switch e.Kind {
+		case KindWindowClose:
+			s.Windows++
+			if e.SigN > 0 {
+				r := row(e)
+				r.Windows++
+				r.Insns += e.Count
+			}
+		case KindPVTHit:
+			r := row(e)
+			r.PVTHits++
+			r.LastPolicy, r.HasPolicy = e.Policy, true
+		case KindPVTMiss:
+			row(e).PVTMisses++
+		case KindPVTEvict:
+			row(e).Evictions++
+		case KindCDEInvoke:
+			row(e).CDEInvokes++
+			s.CDECycles += e.Value
+		case KindCDERegister:
+			r := row(e)
+			r.Registrations++
+			r.LastPolicy, r.HasPolicy = e.Policy, true
+		case KindGate:
+			s.GateSwitches[e.Unit]++
+			s.GateStalls += e.Stall
+		case KindTranslate:
+			s.Translations++
+		}
+	}
+	for _, r := range phases {
+		s.Phases = append(s.Phases, *r)
+	}
+	sort.Slice(s.Phases, func(i, j int) bool {
+		if s.Phases[i].Windows != s.Phases[j].Windows {
+			return s.Phases[i].Windows > s.Phases[j].Windows
+		}
+		return s.Phases[i].Sig < s.Phases[j].Sig
+	})
+	return s
+}
+
+// Render formats the summary. maxPhases bounds the per-phase table (<= 0
+// shows every phase); dropped rows are counted in a trailing note.
+func (s *TraceSummary) Render(maxPhases int) string {
+	units := make([]string, 0, len(s.GateSwitches))
+	for u := range s.GateSwitches {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	gates := ""
+	for _, u := range units {
+		gates += fmt.Sprintf(" %s=%d", u, s.GateSwitches[u])
+	}
+	out := fmt.Sprintf("trace: %d events, %d windows, %d phases, %d translations, end cycle %.4g\n",
+		s.Events, s.Windows, len(s.Phases), s.Translations, s.EndCycle)
+	out += fmt.Sprintf("gating: transitions%s, stall cycles %.4g; CDE cycles %.4g\n\n",
+		gates, s.GateStalls, s.CDECycles)
+
+	rows := s.Phases
+	dropped := 0
+	if maxPhases > 0 && len(rows) > maxPhases {
+		dropped = len(rows) - maxPhases
+		rows = rows[:maxPhases]
+	}
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		policy := "-"
+		if r.HasPolicy {
+			policy = Event{Policy: r.LastPolicy}.PolicyString()
+		}
+		hitRate := 0.0
+		if lookups := r.PVTHits + r.PVTMisses; lookups > 0 {
+			hitRate = float64(r.PVTHits) / float64(lookups)
+		}
+		table = append(table, []string{
+			r.Sig,
+			fmt.Sprintf("%d", r.Windows),
+			fmt.Sprintf("%d", r.Insns),
+			fmt.Sprintf("%d", r.PVTHits),
+			fmt.Sprintf("%d", r.PVTMisses),
+			fmt.Sprintf("%.3f", hitRate),
+			fmt.Sprintf("%d", r.CDEInvokes),
+			fmt.Sprintf("%d", r.Registrations),
+			fmt.Sprintf("%d", r.Evictions),
+			policy,
+		})
+	}
+	out += textplot.Table(
+		[]string{"phase", "windows", "insns", "hits", "misses", "hit-rate", "cde", "reg", "evict", "policy"},
+		table)
+	if dropped > 0 {
+		out += fmt.Sprintf("(+%d more phases)\n", dropped)
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func sigEvent(kind Kind, id uint32) Event {
+	var e Event
+	e.Kind = kind
+	e.SigIDs[0] = id
+	e.SigN = 1
+	return e
+}
+
+func TestSummarize(t *testing.T) {
+	var events []Event
+	// Phase A: two windows, one miss + invoke + register, then a hit.
+	a := sigEvent(KindWindowClose, 0xA)
+	a.Count = 30000
+	events = append(events, a, a)
+	events = append(events, sigEvent(KindPVTMiss, 0xA))
+	inv := sigEvent(KindCDEInvoke, 0xA)
+	inv.Value = 10000
+	events = append(events, inv)
+	reg := sigEvent(KindCDERegister, 0xA)
+	reg.Policy = 0xF
+	reg.Detail = "computed"
+	events = append(events, reg)
+	hit := sigEvent(KindPVTHit, 0xA)
+	hit.Policy = 0xF
+	events = append(events, hit)
+	// Phase B: one window, evicted once.
+	b := sigEvent(KindWindowClose, 0xB)
+	b.Count = 5000
+	events = append(events, b, sigEvent(KindPVTEvict, 0xB))
+	// Global events.
+	events = append(events,
+		Event{Kind: KindGate, Unit: "VPU", Cycle: 900, Stall: 530},
+		Event{Kind: KindGate, Unit: "MLC", Cycle: 1000, Stall: 50},
+		Event{Kind: KindTranslate, Count: 0x40},
+	)
+
+	s := Summarize(events)
+	if s.Events != uint64(len(events)) || s.Windows != 3 || s.Translations != 1 {
+		t.Fatalf("summary tallies: %+v", s)
+	}
+	if s.EndCycle != 1000 || s.GateStalls != 580 || s.CDECycles != 10000 {
+		t.Fatalf("summary cycles: %+v", s)
+	}
+	if s.GateSwitches["VPU"] != 1 || s.GateSwitches["MLC"] != 1 {
+		t.Fatalf("gate switches: %+v", s.GateSwitches)
+	}
+	if len(s.Phases) != 2 {
+		t.Fatalf("phases: %+v", s.Phases)
+	}
+	pa := s.Phases[0] // most windows first
+	if pa.Sig != "<ta>" || pa.Windows != 2 || pa.Insns != 60000 {
+		t.Fatalf("phase A row: %+v", pa)
+	}
+	if pa.PVTHits != 1 || pa.PVTMisses != 1 || pa.CDEInvokes != 1 || pa.Registrations != 1 {
+		t.Fatalf("phase A counters: %+v", pa)
+	}
+	if !pa.HasPolicy || pa.LastPolicy != 0xF {
+		t.Fatalf("phase A policy: %+v", pa)
+	}
+	if s.Phases[1].Evictions != 1 {
+		t.Fatalf("phase B row: %+v", s.Phases[1])
+	}
+
+	rendered := s.Render(0)
+	for _, want := range []string{"<ta>", "<tb>", "VPU=1", "phase", "1111"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("render missing %q:\n%s", want, rendered)
+		}
+	}
+	capped := s.Render(1)
+	if !strings.Contains(capped, "+1 more phases") {
+		t.Fatalf("capped render:\n%s", capped)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Events != 0 || len(s.Phases) != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	if s.Render(10) == "" {
+		t.Fatal("empty render")
+	}
+}

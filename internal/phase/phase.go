@@ -14,7 +14,12 @@ package phase
 import (
 	"fmt"
 	"sort"
+
+	"powerchop/internal/obs"
 )
+
+// The obs event format must be able to carry a full-width signature.
+var _ [obs.MaxSigIDs]uint32 = Signature{}.IDs
 
 // Paper parameter defaults (Section IV-B1/B2).
 const (
@@ -102,6 +107,7 @@ type HTB struct {
 	ignored uint64 // translations dropped because the buffer was full
 	windows uint64 // windows completed
 	sigBuf  []htbEntry
+	tracer  obs.Tracer
 }
 
 type htbEntry struct {
@@ -124,6 +130,10 @@ func NewHTB(cfg Config) *HTB {
 
 // Config returns the HTB configuration.
 func (h *HTB) Config() Config { return h.cfg }
+
+// SetTracer attaches an event tracer; each EndWindow then emits a
+// KindWindowClose event. A nil tracer (the default) disables emission.
+func (h *HTB) SetTracer(t obs.Tracer) { h.tracer = t }
 
 // Record notes the execution of one translation with the given dynamic
 // instruction count. It returns true when this execution completes the
@@ -169,14 +179,26 @@ func (h *HTB) EndWindow() (Signature, map[uint32]uint64) {
 	sort.Slice(sig.IDs[:n], func(i, j int) bool { return sig.IDs[i] < sig.IDs[j] })
 
 	vec := make(map[uint32]uint64, len(h.counts))
+	var insns uint64
 	for id, c := range h.counts {
 		vec[id] = c
+		insns += c
 	}
 	for id := range h.counts {
 		delete(h.counts, id)
 	}
 	h.execs = 0
 	h.windows++
+	if h.tracer != nil {
+		h.tracer.Emit(obs.Event{
+			Kind:   obs.KindWindowClose,
+			Window: h.windows,
+			SigIDs: sig.IDs,
+			SigN:   sig.N,
+			Count:  insns,
+			Value:  float64(h.ignored),
+		})
+	}
 	return sig, vec
 }
 

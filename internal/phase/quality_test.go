@@ -1,0 +1,85 @@
+package phase
+
+// Supplementary QualityTracker tests; the basic identical/disjoint/
+// partial-overlap cases live in phase_test.go.
+
+import (
+	"math"
+	"testing"
+)
+
+func sigOf(ids ...uint32) Signature {
+	var s Signature
+	copy(s.IDs[:], ids)
+	s.N = uint8(len(ids))
+	return s
+}
+
+func TestQualityComparesLatestWindow(t *testing.T) {
+	// The tracker compares consecutive same-signature windows, so a
+	// changed middle window is charged twice (once against each side)
+	// rather than averaged away against a stale first reference.
+	q := NewQualityTracker(1000)
+	sig := sigOf(9)
+	q.Observe(sig, map[uint32]uint64{1: 1000})
+	q.Observe(sig, map[uint32]uint64{2: 1000})
+	q.Observe(sig, map[uint32]uint64{1: 1000})
+	if q.Comparisons() != 2 {
+		t.Fatalf("comparisons = %d", q.Comparisons())
+	}
+	if d := q.MeanDistance(); d != 1000 {
+		t.Errorf("mean distance %v, want 1000 (both consecutive pairs disjoint)", d)
+	}
+}
+
+func TestQualityDistinctSignatures(t *testing.T) {
+	q := NewQualityTracker(1000)
+	q.Observe(sigOf(1), map[uint32]uint64{1: 10})
+	q.Observe(sigOf(2), map[uint32]uint64{2: 10})
+	q.Observe(sigOf(1, 2), map[uint32]uint64{1: 5, 2: 5})
+	q.Observe(sigOf(1), map[uint32]uint64{1: 10})
+	if n := q.DistinctSignatures(); n != 3 {
+		t.Errorf("distinct signatures = %d, want 3", n)
+	}
+	// Only the repeated sigOf(1) produced a comparison.
+	if q.Comparisons() != 1 {
+		t.Errorf("comparisons = %d, want 1", q.Comparisons())
+	}
+}
+
+func TestQualityEmptyTracker(t *testing.T) {
+	q := NewQualityTracker(1000)
+	if q.MeanDistance() != 0 || q.MaxDistance() != 0 ||
+		q.MeanDistanceFrac() != 0 || q.MaxDistanceFrac() != 0 {
+		t.Error("empty tracker reports nonzero distances")
+	}
+}
+
+func TestQualityZeroMagnitudePair(t *testing.T) {
+	// Two same-signature windows with empty vectors must not divide by
+	// zero or count as a comparison.
+	q := NewQualityTracker(1000)
+	sig := sigOf(3)
+	q.Observe(sig, map[uint32]uint64{})
+	q.Observe(sig, map[uint32]uint64{})
+	if q.Comparisons() != 0 {
+		t.Errorf("zero-magnitude pair compared: %d", q.Comparisons())
+	}
+	if d := q.MeanDistance(); d != 0 || math.IsNaN(d) {
+		t.Errorf("zero-magnitude pair: distance %v", d)
+	}
+}
+
+func TestQualityMaxTracksWorstPair(t *testing.T) {
+	q := NewQualityTracker(1000)
+	sig := sigOf(4)
+	q.Observe(sig, map[uint32]uint64{1: 1000})
+	q.Observe(sig, map[uint32]uint64{1: 500, 2: 500}) // frac 0.5
+	q.Observe(sig, map[uint32]uint64{3: 1000})        // frac 1 vs previous
+	if f := q.MaxDistanceFrac(); f != 1 {
+		t.Errorf("max fraction %v, want 1", f)
+	}
+	if m := q.MeanDistanceFrac(); math.Abs(m-0.75) > 1e-9 {
+		t.Errorf("mean fraction %v, want 0.75", m)
+	}
+}

@@ -13,7 +13,10 @@ package pvt
 
 import "fmt"
 
-import "powerchop/internal/phase"
+import (
+	"powerchop/internal/obs"
+	"powerchop/internal/phase"
+)
 
 // MLCState is the MLC's two-bit way-gating policy.
 type MLCState uint8
@@ -178,6 +181,7 @@ type Table struct {
 	clock   uint64 // TrueLRU timestamp source
 	rndBits uint64 // Random victim selector (xorshift state)
 	stats   Stats
+	tracer  obs.Tracer
 }
 
 // New builds a PVT with n entries (a power of two; the paper uses 16) and
@@ -208,6 +212,11 @@ func (t *Table) Len() int { return len(t.entries) }
 
 // Stats returns the event counters.
 func (t *Table) Stats() Stats { return t.stats }
+
+// SetTracer attaches an event tracer; lookups and evictions then emit
+// KindPVTHit/KindPVTMiss/KindPVTEvict events. A nil tracer (the default)
+// disables emission.
+func (t *Table) SetTracer(tr obs.Tracer) { t.tracer = tr }
 
 // touch updates recency state after an access to way w.
 func (t *Table) touch(w int) {
@@ -283,10 +292,27 @@ func (t *Table) Lookup(sig phase.Signature) (Policy, bool) {
 		if t.entries[i].valid && t.entries[i].sig == sig {
 			t.stats.Hits++
 			t.touch(i)
+			if t.tracer != nil {
+				t.tracer.Emit(obs.Event{
+					Kind:   obs.KindPVTHit,
+					SigIDs: sig.IDs,
+					SigN:   sig.N,
+					Policy: t.entries[i].policy.Encode(),
+					Count:  uint64(t.Occupancy()),
+				})
+			}
 			return t.entries[i].policy, true
 		}
 	}
 	t.stats.Misses++
+	if t.tracer != nil {
+		t.tracer.Emit(obs.Event{
+			Kind:   obs.KindPVTMiss,
+			SigIDs: sig.IDs,
+			SigN:   sig.N,
+			Count:  uint64(t.Occupancy()),
+		})
+	}
 	return Policy{}, false
 }
 
@@ -307,6 +333,15 @@ func (t *Table) Register(sig phase.Signature, p Policy) (evictedSig phase.Signat
 	if t.entries[w].valid {
 		evictedSig, evictedPolicy, evicted = t.entries[w].sig, t.entries[w].policy, true
 		t.stats.Evictions++
+		if t.tracer != nil {
+			t.tracer.Emit(obs.Event{
+				Kind:   obs.KindPVTEvict,
+				SigIDs: evictedSig.IDs,
+				SigN:   evictedSig.N,
+				Policy: evictedPolicy.Encode(),
+				Count:  uint64(w),
+			})
+		}
 	}
 	t.entries[w] = entry{sig: sig, policy: p, valid: true}
 	t.touch(w)

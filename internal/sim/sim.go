@@ -24,6 +24,7 @@ import (
 	"powerchop/internal/core"
 	"powerchop/internal/gating"
 	"powerchop/internal/isa"
+	"powerchop/internal/obs"
 	"powerchop/internal/phase"
 	"powerchop/internal/power"
 	"powerchop/internal/program"
@@ -46,6 +47,15 @@ type Config struct {
 	SampleInterval uint64
 	// TrackQuality enables the Figure 8 signature-quality tracker.
 	TrackQuality bool
+	// Tracer, when non-nil, receives the run's event stream: window
+	// closes, PVT and CDE activity, gating transitions and translation
+	// installs, each stamped with the simulated cycle and window count.
+	// A nil Tracer keeps the hot path free of observability work.
+	Tracer obs.Tracer
+	// Metrics, when true, distills the event stream into the standard
+	// metrics registry (counters and histograms) and attaches the
+	// snapshot to Result.Metrics.
+	Metrics bool
 }
 
 // Validate reports an error for inconsistent configurations.
@@ -147,6 +157,10 @@ type Result struct {
 	QualityMaxFrac  float64
 	QualityPhases   int
 	QualityCompared uint64
+
+	// Metrics is the observability snapshot, present when
+	// Config.Metrics was set.
+	Metrics *obs.Snapshot
 }
 
 // MispredictRate returns mispredicts per branch.
@@ -175,6 +189,12 @@ type state struct {
 	gateVPU *gating.Unit
 	gateBPU *gating.Unit
 	gateMLC *gating.Unit
+
+	// Observability: tracer is the stamped event sink (nil when off);
+	// collector feeds Result.Metrics; lastXl8 detects fresh translations.
+	tracer    obs.Tracer
+	collector *obs.Collector
+	lastXl8   uint64
 
 	cycles     float64
 	guestInsns uint64
@@ -283,6 +303,7 @@ func Run(p *program.Program, cfg Config) (*Result, error) {
 	if cfg.TrackQuality {
 		s.quality = phase.NewQualityTracker(cfg.Phase.WindowSize)
 	}
+	s.wireObservability()
 
 	boot := cfg.Manager.Boot()
 	s.vpuTimeout = boot.VPUTimeout
@@ -290,6 +311,35 @@ func Run(p *program.Program, cfg Config) (*Result, error) {
 
 	s.run()
 	return s.finish(), nil
+}
+
+// wireObservability assembles the run's event sink — the configured
+// tracer plus, when metrics are on, the standard collector — wraps it so
+// every event is stamped with the simulation clock, and hands it to each
+// instrumented component. With no tracer and no metrics everything stays
+// nil and the hot path pays only dead nil-checks.
+func (s *state) wireObservability() {
+	var sinks []obs.Tracer
+	if s.cfg.Tracer != nil {
+		sinks = append(sinks, s.cfg.Tracer)
+	}
+	if s.cfg.Metrics {
+		s.collector = obs.NewCollector()
+		sinks = append(sinks, s.collector)
+	}
+	t := obs.Multi(sinks...)
+	if t == nil {
+		return
+	}
+	t = obs.Stamped(t, func() (float64, uint64) { return s.cycles, s.htb.Windows() })
+	s.tracer = t
+	s.htb.SetTracer(t)
+	s.gateVPU.SetTracer(t)
+	s.gateBPU.SetTracer(t)
+	s.gateMLC.SetTracer(t)
+	if m, ok := s.cfg.Manager.(interface{ SetTracer(obs.Tracer) }); ok {
+		m.SetTracer(t)
+	}
 }
 
 // MustRun is a helper for tests, examples and benchmarks.
@@ -309,7 +359,7 @@ func (s *state) applyPolicy(policy pvt.Policy) {
 	if s.vpuTimeout == 0 && policy.VPUOn != s.vpuUnit.On() {
 		stall := d.GateStallVPU + s.vpuUnit.SetOn(policy.VPUOn)
 		s.stallFor(stall)
-		s.gateVPU.Set(boolFrac(policy.VPUOn), s.cycles)
+		s.gateVPU.Transition(boolFrac(policy.VPUOn), s.cycles, stall)
 		s.acct.AddSwitch(arch.UnitVPU)
 		s.btSys.Nucleus().Raise(bt.IntGateSwitch, 0)
 	}
@@ -321,7 +371,7 @@ func (s *state) applyPolicy(policy pvt.Policy) {
 		if !policy.BPUOn {
 			frac = bpuOffPowerFrac
 		}
-		s.gateBPU.Set(frac, s.cycles)
+		s.gateBPU.Transition(frac, s.cycles, d.GateStallBPU)
 		s.acct.AddSwitch(arch.UnitBPU)
 		s.btSys.Nucleus().Raise(bt.IntGateSwitch, 0)
 	}
@@ -330,8 +380,9 @@ func (s *state) applyPolicy(policy pvt.Policy) {
 	wantWays := policy.MLC.Ways(totalWays)
 	if wantWays != s.hier.MLC().ActiveWays() {
 		dirty := s.hier.GateMLC(wantWays)
-		s.stallFor(d.GateStallMLC + float64(dirty)*d.WritebackCyclesPerLine)
-		s.gateMLC.Set(policy.MLC.PowerFrac(totalWays), s.cycles)
+		stall := d.GateStallMLC + float64(dirty)*d.WritebackCyclesPerLine
+		s.stallFor(stall)
+		s.gateMLC.Transition(policy.MLC.PowerFrac(totalWays), s.cycles, stall)
 		s.acct.AddSwitch(arch.UnitMLC)
 		s.btSys.Nucleus().Raise(bt.IntGateSwitch, 0)
 	}
@@ -373,6 +424,21 @@ func (s *state) run() {
 		ri := s.walker.Next()
 		tr, extra := s.btSys.Execute(ri)
 		s.cycles += extra
+		if s.tracer != nil {
+			// Execute returns nil on the install execution, so fresh
+			// translations are detected by a counter delta.
+			if n := s.btSys.Translations(); n > s.lastXl8 {
+				s.lastXl8 = n
+				if nt := s.btSys.Translation(ri); nt != nil {
+					s.tracer.Emit(obs.Event{
+						Kind:   obs.KindTranslate,
+						Detail: "install",
+						Count:  uint64(nt.ID),
+						Value:  float64(nt.Insns),
+					})
+				}
+			}
+		}
 		region := s.walker.Region(ri)
 
 		for _, inst := range region.Body {
@@ -467,17 +533,19 @@ func (s *state) timeoutVectorOp() {
 		// The unit crossed the idle threshold since the last vector op:
 		// it was gated off at idleStart (retroactively; saving the
 		// register file paused execution then, charged now).
-		s.gateVPU.Set(0, idleStart)
+		offStall := s.design.GateStallVPU + s.design.VPU.SaveRestoreCycles
+		s.gateVPU.Transition(0, idleStart, offStall)
 		s.acct.AddSwitch(arch.UnitVPU)
 		s.vpuUnit.SetOn(false)
-		s.stallFor(s.design.GateStallVPU + s.design.VPU.SaveRestoreCycles)
+		s.stallFor(offStall)
 		s.vpuIdleGated = true
 	}
 	if s.vpuIdleGated {
 		// Wake on demand.
-		s.gateVPU.Set(1, s.cycles)
+		wakeStall := s.design.GateStallVPU + s.vpuUnit.SetOn(true)
+		s.gateVPU.Transition(1, s.cycles, wakeStall)
 		s.acct.AddSwitch(arch.UnitVPU)
-		s.stallFor(s.design.GateStallVPU + s.vpuUnit.SetOn(true))
+		s.stallFor(wakeStall)
 		s.vpuIdleGated = false
 	}
 	s.lastVectorCycle = s.cycles
@@ -491,10 +559,11 @@ func (s *state) timeoutWindowCheck() {
 	}
 	idleStart := s.lastVectorCycle + s.vpuTimeout
 	if s.cycles > idleStart {
-		s.gateVPU.Set(0, idleStart)
+		offStall := s.design.GateStallVPU + s.design.VPU.SaveRestoreCycles
+		s.gateVPU.Transition(0, idleStart, offStall)
 		s.acct.AddSwitch(arch.UnitVPU)
 		s.vpuUnit.SetOn(false)
-		s.stallFor(s.design.GateStallVPU + s.design.VPU.SaveRestoreCycles)
+		s.stallFor(offStall)
 		s.vpuIdleGated = true
 	}
 }
@@ -534,6 +603,14 @@ func (s *state) endWindow() {
 		cost := s.btSys.Nucleus().Raise(bt.IntPVTMiss, s.design.CDEInvokeCycles)
 		s.cycles += cost
 		s.cdeCycles += cost
+		if s.tracer != nil {
+			s.tracer.Emit(obs.Event{
+				Kind:   obs.KindCDEInvoke,
+				SigIDs: sig.IDs,
+				SigN:   sig.N,
+				Value:  cost,
+			})
+		}
 	}
 	s.vpuTimeout = d.VPUTimeout
 	s.applyPolicy(d.Policy)
@@ -646,6 +723,9 @@ func (s *state) finish() *Result {
 		r.QualityMaxFrac = s.quality.MaxDistanceFrac()
 		r.QualityPhases = s.quality.DistinctSignatures()
 		r.QualityCompared = s.quality.Comparisons()
+	}
+	if s.collector != nil {
+		r.Metrics = s.collector.Snapshot()
 	}
 	return r
 }

@@ -26,10 +26,12 @@ package powerchop
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"powerchop/internal/arch"
 	"powerchop/internal/core"
+	"powerchop/internal/obs"
 	"powerchop/internal/program"
 	"powerchop/internal/sim"
 	"powerchop/internal/workload"
@@ -75,6 +77,13 @@ type Options struct {
 	// TimeoutCycles overrides the idle-timeout baseline's period
 	// (default 20000 cycles).
 	TimeoutCycles float64
+	// TraceWriter, when non-nil, receives the run's event trace as JSONL
+	// (one event per line; see DESIGN.md "Observability"). The stream is
+	// flushed before Run returns.
+	TraceWriter io.Writer
+	// Metrics enables metrics collection; the snapshot lands in
+	// Report.Metrics.
+	Metrics bool
 }
 
 // Thresholds mirrors the CDE criticality cut-offs.
@@ -129,6 +138,46 @@ type Report struct {
 	PhasesSeen     int
 
 	Samples []Sample
+
+	// Metrics holds the run's metrics snapshot when Options.Metrics was
+	// set; nil otherwise.
+	Metrics *MetricsReport
+}
+
+// HistogramReport summarizes one metrics histogram.
+type HistogramReport struct {
+	Count uint64
+	Mean  float64
+	Min   float64
+	Max   float64
+}
+
+// MetricsReport is the public mirror of a run's metrics snapshot.
+type MetricsReport struct {
+	// Counters maps counter names (e.g. "events.pvt-hit") to values.
+	Counters map[string]uint64
+	// Histograms maps histogram names (e.g. "window.insns") to summaries.
+	Histograms map[string]HistogramReport
+	// Summary is the rendered human-readable metrics table.
+	Summary string
+}
+
+// metricsReportOf converts an internal snapshot.
+func metricsReportOf(s *obs.Snapshot) *MetricsReport {
+	m := &MetricsReport{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Histograms: make(map[string]HistogramReport, len(s.Histograms)),
+		Summary:    s.Render(),
+	}
+	for _, c := range s.Counters {
+		m.Counters[c.Name] = c.Value
+	}
+	for _, h := range s.Histograms {
+		m.Histograms[h.Name] = HistogramReport{
+			Count: h.Count, Mean: h.Mean(), Min: h.Min, Max: h.Max,
+		}
+	}
+	return m
 }
 
 // String renders a one-line summary.
@@ -232,14 +281,27 @@ func runProgram(p *program.Program, b workload.Benchmark, opts Options) (*Report
 	if passes <= 0 {
 		passes = 2
 	}
+	var trace *obs.JSONL
+	var tracer obs.Tracer
+	if opts.TraceWriter != nil {
+		trace = obs.NewJSONL(opts.TraceWriter)
+		tracer = trace
+	}
 	res, err := sim.Run(p, sim.Config{
 		Design:          design,
 		Manager:         m,
 		MaxTranslations: uint64(passes * float64(p.TotalScheduleTranslations())),
 		SampleInterval:  opts.SampleInterval,
+		Tracer:          tracer,
+		Metrics:         opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if trace != nil {
+		if err := trace.Flush(); err != nil {
+			return nil, fmt.Errorf("powerchop: flushing trace: %w", err)
+		}
 	}
 	return reportOf(res, m), nil
 }
@@ -288,6 +350,9 @@ func reportOf(res *sim.Result, m core.Manager) *Report {
 			IPC:          s.IPC,
 			VectorOps:    s.VectorOps,
 		})
+	}
+	if res.Metrics != nil {
+		r.Metrics = metricsReportOf(res.Metrics)
 	}
 	return r
 }
