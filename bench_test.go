@@ -514,3 +514,20 @@ func BenchmarkTracerOverhead(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRenderAll compares the serial figure pipeline against the
+// concurrent one (singleflight-deduplicated worker pool, GOMAXPROCS
+// jobs). Each iteration builds a fresh FigureRunner so the memoization
+// cache cannot carry work between iterations; output goes to io.Discard
+// after a byte-identity check is covered by TestRenderAllParallelByteIdentical.
+func BenchmarkRenderAllSerial(b *testing.B)   { benchmarkRenderAll(b, 1) }
+func BenchmarkRenderAllParallel(b *testing.B) { benchmarkRenderAll(b, 0) }
+
+func benchmarkRenderAll(b *testing.B, jobs int) {
+	for i := 0; i < b.N; i++ {
+		f := NewFigureRunner(0.05, WithJobs(jobs))
+		if err := f.RenderAll(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,9 +9,9 @@
 //	powerchop run -bench gobmk [-manager powerchop|full-power|min-power|timeout] [-arch server|mobile] [-passes 2] [-trace out.jsonl] [-metrics]
 //	powerchop compare -bench namd [-passes 2]
 //	powerchop trace [-top 20] out.jsonl
-//	powerchop figure -id fig12 [-scale 1]
-//	powerchop all [-scale 1]
-//	powerchop headline [-scale 1]
+//	powerchop figure -id fig12 [-scale 1] [-jobs N]
+//	powerchop all [-scale 1] [-jobs N]
+//	powerchop headline [-scale 1] [-jobs N]
 package main
 
 import (
@@ -105,9 +105,9 @@ commands:
   run -bench NAME [flags]       simulate one benchmark
   compare -bench NAME [flags]   full-power vs PowerChop vs min-power
   trace [-top N] FILE           summarize a JSONL event trace per phase
-  figure -id ID [-scale F]      regenerate one paper figure/table
-  all [-scale F]                regenerate every figure/table
-  headline [-scale F]           per-suite slowdown/power/energy summary
+  figure -id ID [-scale F] [-jobs N]   regenerate one paper figure/table
+  all [-scale F] [-jobs N]             regenerate every figure/table
+  headline [-scale F] [-jobs N]        per-suite slowdown/power/energy summary
 `)
 	fmt.Fprintf(w, "\nfigure ids: %v\n", powerchop.FigureIDs())
 }
@@ -286,31 +286,34 @@ func cmdFigure(args []string) error {
 	fs := flag.NewFlagSet("figure", flag.ContinueOnError)
 	id := fs.String("id", "", "figure id")
 	scale := fs.Float64("scale", 1, "run-length scale")
+	jobs := fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return errParse(err)
 	}
 	if *id == "" {
 		return usageError{msg: fmt.Sprintf("missing -id (known: %v)", powerchop.FigureIDs())}
 	}
-	return powerchop.NewFigureRunner(*scale).RenderFigure(os.Stdout, *id)
+	return powerchop.NewFigureRunner(*scale, powerchop.WithJobs(*jobs)).RenderFigure(os.Stdout, *id)
 }
 
 func cmdAll(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ContinueOnError)
 	scale := fs.Float64("scale", 1, "run-length scale")
+	jobs := fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return errParse(err)
 	}
-	return powerchop.NewFigureRunner(*scale).RenderAll(os.Stdout)
+	return powerchop.NewFigureRunner(*scale, powerchop.WithJobs(*jobs)).RenderAll(os.Stdout)
 }
 
 func cmdHeadline(args []string) error {
 	fs := flag.NewFlagSet("headline", flag.ContinueOnError)
 	scale := fs.Float64("scale", 1, "run-length scale")
+	jobs := fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return errParse(err)
 	}
-	rows, err := powerchop.NewFigureRunner(*scale).Headline()
+	rows, err := powerchop.NewFigureRunner(*scale, powerchop.WithJobs(*jobs)).Headline()
 	if err != nil {
 		return err
 	}

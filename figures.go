@@ -3,6 +3,7 @@ package powerchop
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"powerchop/internal/experiments"
 	"powerchop/internal/workload"
@@ -10,16 +11,35 @@ import (
 
 // FigureRunner regenerates the paper's tables and figures. It memoizes the
 // underlying simulations, so rendering every figure costs roughly one
-// sweep of the benchmark suite per configuration.
+// sweep of the benchmark suite per configuration; with more than one job
+// it renders figures concurrently, deduplicating shared runs, while
+// producing output byte-identical to a serial render.
 type FigureRunner struct {
 	runner *experiments.Runner
+	jobs   int
+}
+
+// FigureOption configures a FigureRunner.
+type FigureOption func(*figureConfig)
+
+type figureConfig struct{ jobs int }
+
+// WithJobs bounds the number of concurrent simulations (and, when above
+// one, enables concurrent figure rendering). n <= 0 selects GOMAXPROCS.
+func WithJobs(n int) FigureOption {
+	return func(c *figureConfig) { c.jobs = n }
 }
 
 // NewFigureRunner returns a figure runner. scale stretches or shrinks run
 // lengths (1 = the calibrated default of two phase-schedule passes; runs
 // never drop below one full pass).
-func NewFigureRunner(scale float64) *FigureRunner {
-	return &FigureRunner{runner: experiments.NewRunner(scale)}
+func NewFigureRunner(scale float64, opts ...FigureOption) *FigureRunner {
+	var c figureConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	r := experiments.NewParallelRunner(scale, c.jobs)
+	return &FigureRunner{runner: r, jobs: r.Jobs()}
 }
 
 // figureSpec describes one renderable experiment.
@@ -144,13 +164,36 @@ func (f *FigureRunner) RenderFigure(w io.Writer, id string) error {
 	return fmt.Errorf("powerchop: unknown figure %q (known: %v)", id, FigureIDs())
 }
 
-// RenderAll regenerates every experiment in order.
+// RenderAll regenerates every experiment. With more than one job the
+// figures render concurrently — the Runner's singleflight cache ensures
+// shared simulations still happen once — but the output is written
+// strictly in spec order, so it is byte-identical to a serial render.
 func (f *FigureRunner) RenderAll(w io.Writer) error {
-	for _, s := range figureSpecs {
+	outs := make([]string, len(figureSpecs))
+	errs := make([]error, len(figureSpecs))
+	if f.jobs > 1 {
+		var wg sync.WaitGroup
+		for i, s := range figureSpecs {
+			wg.Add(1)
+			go func(i int, s figureSpec) {
+				defer wg.Done()
+				outs[i], errs[i] = s.render(f)
+			}(i, s)
+		}
+		wg.Wait()
+	} else {
+		for i, s := range figureSpecs {
+			outs[i], errs[i] = s.render(f)
+		}
+	}
+	for i, s := range figureSpecs {
 		if _, err := fmt.Fprintf(w, "==== %s ====\n", s.title); err != nil {
 			return err
 		}
-		if err := f.RenderFigure(w, s.id); err != nil {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		if _, err := io.WriteString(w, outs[i]); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintln(w); err != nil {
@@ -171,15 +214,31 @@ type SuiteAverages struct {
 	Benchmarks int
 }
 
-// Headline computes per-suite and overall averages.
+// Headline computes per-suite and overall averages. Its two underlying
+// sweeps share most simulations; with more than one job they run
+// concurrently and the Runner deduplicates the overlap.
 func (f *FigureRunner) Headline() ([]SuiteAverages, error) {
-	perf, err := experiments.Figure12(f.runner)
-	if err != nil {
-		return nil, err
+	var (
+		perf    *experiments.PerfResult
+		pwr     *experiments.PowerResult
+		perfErr error
+		pwrErr  error
+	)
+	if f.jobs > 1 {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); perf, perfErr = experiments.Figure12(f.runner) }()
+		go func() { defer wg.Done(); pwr, pwrErr = experiments.PowerReductions(f.runner) }()
+		wg.Wait()
+	} else {
+		perf, perfErr = experiments.Figure12(f.runner)
+		pwr, pwrErr = experiments.PowerReductions(f.runner)
 	}
-	pwr, err := experiments.PowerReductions(f.runner)
-	if err != nil {
-		return nil, err
+	if perfErr != nil {
+		return nil, perfErr
+	}
+	if pwrErr != nil {
+		return nil, pwrErr
 	}
 	slows := map[string][]float64{}
 	for _, row := range perf.Rows {

@@ -7,7 +7,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"powerchop/internal/arch"
 	"powerchop/internal/core"
@@ -46,10 +48,19 @@ const (
 
 // Runner executes and memoizes benchmark runs. Figures share a Runner so
 // that, e.g., the PowerChop runs behind Figures 9-14 happen once.
+//
+// The Runner is safe for concurrent use: simultaneous Result calls for
+// the same benchmark×kind key are deduplicated singleflight-style (one
+// caller simulates, the rest wait for its result), and the total number
+// of in-flight simulations is bounded by the runner's job count. Each
+// simulation itself is single-threaded and deterministic, so the set of
+// cached Results is identical however calls interleave.
 type Runner struct {
-	mu    sync.Mutex
-	scale float64
-	cache map[string]*sim.Result
+	mu      sync.Mutex
+	scale   float64
+	flights map[string]*flight
+	sem     chan struct{}
+	sims    atomic.Uint64
 
 	// Tracer, when non-nil, is threaded into every simulation the runner
 	// launches (cached results are not re-run, so set it before the first
@@ -58,15 +69,46 @@ type Runner struct {
 	Tracer obs.Tracer
 }
 
-// NewRunner returns a runner. scale multiplies the default run length of
-// two full passes through each benchmark's phase schedule; 1 is the
-// calibrated default, smaller values shorten smoke runs.
+// flight is one cache entry: the simulation's result once done is
+// closed, and the dedup point for concurrent callers until then.
+type flight struct {
+	done chan struct{}
+	res  *sim.Result
+	err  error
+}
+
+// NewRunner returns a runner with GOMAXPROCS parallelism. scale
+// multiplies the default run length of two full passes through each
+// benchmark's phase schedule; 1 is the calibrated default, smaller
+// values shorten smoke runs.
 func NewRunner(scale float64) *Runner {
+	return NewParallelRunner(scale, 0)
+}
+
+// NewParallelRunner returns a runner that allows at most jobs concurrent
+// simulations (jobs <= 0 selects GOMAXPROCS). jobs bounds simulation
+// work only; any number of callers may block in Result waiting on
+// flights without occupying a job slot.
+func NewParallelRunner(scale float64, jobs int) *Runner {
 	if scale <= 0 {
 		scale = 1
 	}
-	return &Runner{scale: scale, cache: map[string]*sim.Result{}}
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		scale:   scale,
+		flights: map[string]*flight{},
+		sem:     make(chan struct{}, jobs),
+	}
 }
+
+// Jobs returns the maximum number of concurrent simulations.
+func (r *Runner) Jobs() int { return cap(r.sem) }
+
+// Simulations returns how many simulations the runner has actually
+// executed (cache hits and deduplicated waiters do not count).
+func (r *Runner) Simulations() uint64 { return r.sims.Load() }
 
 // runLength scales the default run of two schedule passes, but never
 // below one full pass: every phase must execute at least once for the
@@ -120,43 +162,46 @@ func designFor(b workload.Benchmark) arch.Design {
 }
 
 // Result returns the (cached) run of the benchmark under the kind.
+// Concurrent calls for the same key simulate exactly once: the first
+// caller registers a flight and runs, later callers wait on it. Errors
+// are not cached — a failed flight is dropped so a subsequent call can
+// retry, matching the serial runner's cache-on-success semantics.
 func (r *Runner) Result(b workload.Benchmark, kind Kind) (*sim.Result, error) {
 	key := b.Name + "/" + string(kind)
 	r.mu.Lock()
-	cached := r.cache[key]
-	r.mu.Unlock()
-	if cached != nil {
-		return cached, nil
+	if f, ok := r.flights[key]; ok {
+		r.mu.Unlock()
+		<-f.done
+		return f.res, f.err
 	}
+	f := &flight{done: make(chan struct{})}
+	r.flights[key] = f
+	r.mu.Unlock()
 
-	m, err := manager(kind)
-	if err != nil {
-		return nil, err
+	f.res, f.err = r.simulate(b, kind, 0)
+	if f.err != nil {
+		r.mu.Lock()
+		delete(r.flights, key)
+		r.mu.Unlock()
 	}
-	p, err := b.Build()
-	if err != nil {
-		return nil, err
-	}
-	runLen := r.runLength(p.TotalScheduleTranslations())
-	res, err := sim.Run(p, sim.Config{
-		Design:          designFor(b),
-		Manager:         m,
-		MaxTranslations: runLen,
-		TrackQuality:    kind == KindPowerChop,
-		Tracer:          r.Tracer,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s/%s: %w", b.Name, kind, err)
-	}
-	r.mu.Lock()
-	r.cache[key] = res
-	r.mu.Unlock()
-	return res, nil
+	close(f.done)
+	return f.res, f.err
 }
 
 // Sampled runs the benchmark with time-series sampling enabled (used by
-// the Figure 1-3 time-series plots; not cached).
+// the Figure 1-3 time-series plots; not cached, but still bounded by the
+// runner's job slots).
 func (r *Runner) Sampled(b workload.Benchmark, kind Kind, sampleInterval uint64) (*sim.Result, error) {
+	return r.simulate(b, kind, sampleInterval)
+}
+
+// simulate executes one run while holding a job slot. Only simulating
+// goroutines occupy slots — flight waiters block outside, so the pool
+// cannot deadlock however callers fan out.
+func (r *Runner) simulate(b workload.Benchmark, kind Kind, sampleInterval uint64) (*sim.Result, error) {
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+
 	m, err := manager(kind)
 	if err != nil {
 		return nil, err
@@ -165,16 +210,18 @@ func (r *Runner) Sampled(b workload.Benchmark, kind Kind, sampleInterval uint64)
 	if err != nil {
 		return nil, err
 	}
+	r.sims.Add(1)
 	runLen := r.runLength(p.TotalScheduleTranslations())
 	res, err := sim.Run(p, sim.Config{
 		Design:          designFor(b),
 		Manager:         m,
 		MaxTranslations: runLen,
 		SampleInterval:  sampleInterval,
+		TrackQuality:    sampleInterval == 0 && kind == KindPowerChop,
 		Tracer:          r.Tracer,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s/%s sampled: %w", b.Name, kind, err)
+		return nil, fmt.Errorf("experiments: %s/%s: %w", b.Name, kind, err)
 	}
 	return res, nil
 }

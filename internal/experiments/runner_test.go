@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"powerchop/internal/workload"
+)
+
+// allKinds is every run configuration the figures use.
+var allKinds = []Kind{
+	KindFullPower, KindPowerChop, KindMinPower, KindTimeout,
+	KindSmallBPU, KindMLCOne, KindChopVPU, KindChopBPU, KindChopMLC,
+}
+
+// TestResultSingleflight is the regression test for the duplicate-run
+// hole: concurrent Result calls for one key must simulate exactly once,
+// with every caller receiving the same cached result.
+func TestResultSingleflight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow; skipped with -short")
+	}
+	r := NewParallelRunner(0.05, 8)
+	b, err := workload.ByName("namd")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 16
+	results := make([]interface{}, callers)
+	errs := make([]error, callers)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer done.Done()
+			start.Wait() // maximize overlap
+			res, err := r.Result(b, KindFullPower)
+			results[i], errs[i] = res, err
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different result object", i)
+		}
+	}
+	if n := r.Simulations(); n != 1 {
+		t.Fatalf("%d concurrent Result calls ran %d simulations, want 1", callers, n)
+	}
+}
+
+// TestResultGoldenSerialVsParallel checks the parallel runner computes
+// exactly the serial runner's results: every Kind for one benchmark,
+// launched concurrently on a parallel runner, must deep-equal the same
+// runs done one at a time.
+func TestResultGoldenSerialVsParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow; skipped with -short")
+	}
+	b, err := workload.ByName("gobmk")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial := NewParallelRunner(0.05, 1)
+	golden := make(map[Kind]interface{}, len(allKinds))
+	for _, k := range allKinds {
+		res, err := serial.Result(b, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden[k] = res
+	}
+
+	par := NewParallelRunner(0.05, 8)
+	var wg sync.WaitGroup
+	got := make([]interface{}, len(allKinds))
+	errs := make([]error, len(allKinds))
+	for i, k := range allKinds {
+		wg.Add(1)
+		go func(i int, k Kind) {
+			defer wg.Done()
+			got[i], errs[i] = par.Result(b, k)
+		}(i, k)
+	}
+	wg.Wait()
+
+	for i, k := range allKinds {
+		if errs[i] != nil {
+			t.Fatalf("%s: %v", k, errs[i])
+		}
+		if !reflect.DeepEqual(got[i], golden[k]) {
+			t.Errorf("%s: parallel result differs from serial", k)
+		}
+	}
+	if n := par.Simulations(); n != uint64(len(allKinds)) {
+		t.Errorf("parallel runner ran %d simulations, want %d", n, len(allKinds))
+	}
+}
+
+// TestResultErrorNotCached verifies failed flights are dropped so a later
+// call retries, preserving the serial cache-on-success semantics.
+func TestResultErrorNotCached(t *testing.T) {
+	r := NewParallelRunner(1, 2)
+	b, err := workload.ByName("namd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Result(b, Kind("bogus")); err == nil {
+		t.Fatal("bogus kind ran")
+	}
+	if _, err := r.Result(b, Kind("bogus")); err == nil {
+		t.Fatal("bogus kind cached as a success")
+	}
+	if n := r.Simulations(); n != 0 {
+		t.Fatalf("failed runs counted %d simulations", n)
+	}
+}

@@ -7,6 +7,12 @@
 // Power levels are expressed as the fraction of the unit's circuits that
 // remain powered: 1 is fully on, 0 fully gated, and the MLC's way-gating
 // states use 0.5 (half the ways) and 1/ways (a single way).
+//
+// A Unit is not internally synchronized: it belongs to the single
+// simulation goroutine of the managed unit that owns it (see
+// internal/sim). Concurrent simulations each build their own trackers;
+// only the obs.Tracer they emit into may be shared, and those sinks are
+// documented concurrency-safe.
 package gating
 
 import (

@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"powerchop/internal/arch"
+	"powerchop/internal/bt"
+	"powerchop/internal/core"
+	"powerchop/internal/isa"
+	"powerchop/internal/obs"
+	"powerchop/internal/phase"
+	"powerchop/internal/power"
+	"powerchop/internal/program"
+	"powerchop/internal/pvt"
+)
+
+// engine is the live simulation: the clock, the issue pipeline, the BT
+// runtime and the window machinery. Everything unit-specific — gating,
+// timeout bookkeeping, per-window profiling counters, dynamic-access
+// tallies — lives in the managedUnit components (unit.go); the engine
+// only dispatches instruction events to them and closes windows.
+type engine struct {
+	cfg    Config
+	design arch.Design
+	prog   *program.Program
+
+	walker  *program.Walker
+	btSys   *bt.System
+	htb     *phase.HTB
+	acct    *power.Accountant
+	quality *phase.QualityTracker
+
+	// The managed units in enactment order (VPU, BPU, MLC). The typed
+	// fields alias the same components for instruction dispatch.
+	units []managedUnit
+	vpu   *vpuUnit
+	bpu   *bpuUnit
+	mlc   *mlcUnit
+
+	// Observability: tracer is the stamped event sink (nil when off);
+	// collector feeds Result.Metrics; lastXl8 detects fresh translations.
+	tracer    obs.Tracer
+	collector *obs.Collector
+	lastXl8   uint64
+
+	cycles     float64
+	guestInsns uint64
+	uops       uint64
+	gateStalls float64
+	cdeCycles  float64
+
+	// Current directive state.
+	policy pvt.Policy
+	// fullWindowStreak counts consecutive completed windows that ran
+	// entirely at the full measurement configuration (large BPU, all MLC
+	// ways); measurements are warm after two such windows.
+	fullWindowStreak int
+
+	// Window instruction counter (unit-specific window counters live in
+	// the unit components).
+	winInsns uint64
+
+	// Core-pipeline dynamic-energy access tally, flushed at the end.
+	coreAccesses uint64
+
+	// Sampling.
+	sampleAt    uint64
+	lastSampleI uint64
+	lastSampleC float64
+	samples     []Sample
+
+	// Figure 15 shards.
+	shardInsns uint64
+	shards     VectorShards
+}
+
+// newEngine assembles the engine and its managed units for a validated
+// configuration.
+func newEngine(p *program.Program, cfg Config) (*engine, error) {
+	walker, err := program.NewWalker(p)
+	if err != nil {
+		return nil, err
+	}
+	d := cfg.Design
+	btSys, err := bt.New(bt.Config{
+		HotThreshold:           d.HotThreshold,
+		InterpCPI:              d.InterpCPI,
+		TranslateCyclesPerInsn: d.TranslateCyclesPerInsn,
+	}, p)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &engine{
+		cfg:    cfg,
+		design: d,
+		prog:   p,
+		walker: walker,
+		btSys:  btSys,
+		htb:    phase.NewHTB(cfg.Phase),
+		acct:   power.NewAccountant(d.ClockHz),
+
+		policy:   pvt.FullOn,
+		sampleAt: cfg.SampleInterval,
+	}
+	s.vpu = newVPUUnit(s)
+	s.bpu = newBPUUnit(s)
+	s.mlc = newMLCUnit(s)
+	s.units = []managedUnit{s.vpu, s.bpu, s.mlc}
+
+	for _, spec := range d.UnitSpecs() {
+		s.acct.AddUnit(spec)
+	}
+	// PowerChop's own hardware: the HTB and PVT draw constant power.
+	s.acct.AddUnit(power.UnitSpec{Name: arch.UnitHTB, LeakageW: power.HTBPowerW})
+	if cfg.TrackQuality {
+		s.quality = phase.NewQualityTracker(cfg.Phase.WindowSize)
+	}
+	s.wireObservability()
+	return s, nil
+}
+
+// wireObservability assembles the run's event sink — the configured
+// tracer plus, when metrics are on, the standard collector — wraps it so
+// every event is stamped with the simulation clock, and hands it to each
+// instrumented component. With no tracer and no metrics everything stays
+// nil and the hot path pays only dead nil-checks.
+func (s *engine) wireObservability() {
+	var sinks []obs.Tracer
+	if s.cfg.Tracer != nil {
+		sinks = append(sinks, s.cfg.Tracer)
+	}
+	if s.cfg.Metrics {
+		s.collector = obs.NewCollector()
+		sinks = append(sinks, s.collector)
+	}
+	t := obs.Multi(sinks...)
+	if t == nil {
+		return
+	}
+	t = obs.Stamped(t, func() (float64, uint64) { return s.cycles, s.htb.Windows() })
+	s.tracer = t
+	s.htb.SetTracer(t)
+	for _, u := range s.units {
+		u.gate().SetTracer(t)
+	}
+	if m, ok := s.cfg.Manager.(interface{ SetTracer(obs.Tracer) }); ok {
+		m.SetTracer(t)
+	}
+}
+
+// applyPolicy enacts a gating policy by delegating to each managed unit,
+// which charges its own transition stalls, state management costs and
+// switch energies.
+func (s *engine) applyPolicy(policy pvt.Policy) {
+	for _, u := range s.units {
+		u.enact(policy)
+	}
+	s.policy = policy
+}
+
+// absorbDirective hands each unit its slice of a manager directive's
+// non-policy state (the VPU's timeout semantics) before the policy is
+// enacted.
+func (s *engine) absorbDirective(d core.Directive) {
+	for _, u := range s.units {
+		u.absorbDirective(d)
+	}
+}
+
+// currentPolicy reconstructs the policy currently in effect from unit
+// state.
+func (s *engine) currentPolicy() pvt.Policy {
+	var p pvt.Policy
+	for _, u := range s.units {
+		u.fillPolicy(&p)
+	}
+	return p
+}
+
+// stallFor charges stall cycles attributable to gating transitions.
+func (s *engine) stallFor(cycles float64) {
+	s.cycles += cycles
+	s.gateStalls += cycles
+}
+
+// run is the main simulation loop: walk region executions through the BT
+// system, dispatch each instruction event to the issue pipeline and the
+// owning unit, and close windows at HTB boundaries.
+func (s *engine) run() {
+	issueCycle := 1 / s.design.IssueWidth
+	for s.walker.Executed() < s.cfg.MaxTranslations {
+		ri := s.walker.Next()
+		tr, extra := s.btSys.Execute(ri)
+		s.cycles += extra
+		if s.tracer != nil {
+			// Execute returns nil on the install execution, so fresh
+			// translations are detected by a counter delta.
+			if n := s.btSys.Translations(); n > s.lastXl8 {
+				s.lastXl8 = n
+				if nt := s.btSys.Translation(ri); nt != nil {
+					s.tracer.Emit(obs.Event{
+						Kind:   obs.KindTranslate,
+						Detail: "install",
+						Count:  uint64(nt.ID),
+						Value:  float64(nt.Insns),
+					})
+				}
+			}
+		}
+		region := s.walker.Region(ri)
+
+		for _, inst := range region.Body {
+			s.guestInsns++
+			s.winInsns++
+			s.shardInsns++
+			switch inst.Kind {
+			case isa.Scalar:
+				s.uops++
+				s.coreAccesses++
+				s.cycles += issueCycle
+			case isa.Vector:
+				s.vpu.execVector(issueCycle)
+			case isa.Branch:
+				s.bpu.execBranch(ri, inst, issueCycle)
+			case isa.Load, isa.Store:
+				s.mlc.execMem(ri, inst, issueCycle)
+			}
+			if s.shardInsns >= 1000 {
+				s.closeShard()
+			}
+			if s.cfg.SampleInterval > 0 && s.guestInsns >= s.sampleAt {
+				s.takeSample()
+			}
+		}
+
+		if tr != nil {
+			if s.htb.Record(tr.ID, uint64(tr.Insns)) {
+				s.endWindow()
+			}
+		}
+	}
+}
+
+// finish closes out accounting and assembles the Result.
+func (s *engine) finish() *Result {
+	// Close residency tracking.
+	for _, u := range s.units {
+		u.gate().CloseOut(s.cycles)
+	}
+	for _, u := range s.units {
+		g := u.gate()
+		for _, level := range g.Levels() {
+			s.acct.AddResidency(g.Name(), level, g.Residency(level))
+		}
+	}
+	s.acct.AddResidency(arch.UnitCore, 1, s.cycles)
+	s.acct.AddResidency(arch.UnitHTB, 1, s.cycles)
+
+	// Flush dynamic access tallies: the core pipeline's, then each unit's.
+	s.acct.AddAccesses(arch.UnitCore, s.coreAccesses, 1)
+	for _, u := range s.units {
+		u.flushAccesses(s.acct)
+	}
+
+	rep := s.acct.Report(s.cycles)
+
+	r := &Result{
+		Benchmark: s.prog.Name,
+		Suite:     s.prog.Suite,
+		Arch:      s.design.Name,
+		Manager:   s.cfg.Manager.Name(),
+
+		Cycles:     s.cycles,
+		GuestInsns: s.guestInsns,
+		Uops:       s.uops,
+		Seconds:    rep.Seconds,
+
+		Power: rep,
+
+		BT:          s.btSys.Stats(),
+		PVTMissInts: s.btSys.Nucleus().Count(bt.IntPVTMiss),
+		CDECycles:   s.cdeCycles,
+		GateStalls:  s.gateStalls,
+		Windows:     s.htb.Windows(),
+
+		Samples: s.samples,
+		Shards:  s.shards,
+	}
+	for _, u := range s.units {
+		u.report(r)
+	}
+	if s.cycles > 0 {
+		r.IPC = float64(s.guestInsns) / s.cycles
+	}
+	if pc, ok := s.cfg.Manager.(*core.PowerChop); ok {
+		r.PVT = pc.PVT().Stats()
+		r.CDE = pc.Engine().Stats()
+	}
+	if s.quality != nil {
+		r.QualityMeanFrac = s.quality.MeanDistanceFrac()
+		r.QualityMaxFrac = s.quality.MaxDistanceFrac()
+		r.QualityPhases = s.quality.DistinctSignatures()
+		r.QualityCompared = s.quality.Comparisons()
+	}
+	if s.collector != nil {
+		r.Metrics = s.collector.Snapshot()
+	}
+	return r
+}

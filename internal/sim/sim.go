@@ -11,25 +11,28 @@
 // the relative costs that determine unit criticality — mispredict
 // penalties, MLC/memory latencies, emulation expansion, gating overheads —
 // which is the fidelity the paper's results depend on.
+//
+// Structurally the simulator is an engine (engine.go) orchestrating one
+// managedUnit component per gateable unit (unit.go): the engine owns the
+// clock, the issue pipeline and the window machinery (window.go), while
+// each unit owns its gating tracker, policy enactment, per-window and
+// whole-run counters, dynamic-access tallies and its slice of the Result.
+// Adding a fourth managed unit means writing one component, not editing
+// the engine loop.
 package sim
 
 import (
 	"fmt"
 
 	"powerchop/internal/arch"
-	"powerchop/internal/bpu"
 	"powerchop/internal/bt"
-	"powerchop/internal/cache"
 	"powerchop/internal/cde"
 	"powerchop/internal/core"
-	"powerchop/internal/gating"
-	"powerchop/internal/isa"
 	"powerchop/internal/obs"
 	"powerchop/internal/phase"
 	"powerchop/internal/power"
 	"powerchop/internal/program"
 	"powerchop/internal/pvt"
-	"powerchop/internal/vpu"
 )
 
 // Config parameterizes one simulation run.
@@ -171,87 +174,6 @@ func (r *Result) MispredictRate() float64 {
 	return float64(r.Mispredicts) / float64(r.Branches)
 }
 
-// state bundles the live simulation.
-type state struct {
-	cfg    Config
-	design arch.Design
-	prog   *program.Program
-
-	walker  *program.Walker
-	btSys   *bt.System
-	bpuUnit *bpu.Unit
-	hier    *cache.Hierarchy
-	vpuUnit *vpu.Unit
-	htb     *phase.HTB
-	acct    *power.Accountant
-	quality *phase.QualityTracker
-
-	gateVPU *gating.Unit
-	gateBPU *gating.Unit
-	gateMLC *gating.Unit
-
-	// Observability: tracer is the stamped event sink (nil when off);
-	// collector feeds Result.Metrics; lastXl8 detects fresh translations.
-	tracer    obs.Tracer
-	collector *obs.Collector
-	lastXl8   uint64
-
-	cycles     float64
-	guestInsns uint64
-	uops       uint64
-	gateStalls float64
-	cdeCycles  float64
-
-	// Current directive state.
-	policy     pvt.Policy
-	vpuTimeout float64
-	// Timeout-mode VPU bookkeeping.
-	lastVectorCycle float64
-	vpuIdleGated    bool
-	// fullWindowStreak counts consecutive completed windows that ran
-	// entirely at the full measurement configuration (large BPU, all MLC
-	// ways); measurements are warm after two such windows.
-	fullWindowStreak int
-
-	// Window performance counters (reset at each boundary).
-	winInsns    uint64
-	winSIMD     uint64
-	winL2Hits   uint64
-	winBranches uint64
-	winMispred  uint64
-
-	// Whole-run counters.
-	branches    uint64
-	mispredicts uint64
-	vectorOps   uint64
-	memOps      uint64
-	mlcHits     uint64
-
-	// Dynamic-energy access tallies, flushed to the accountant at the end.
-	coreAccesses uint64
-	vpuAccesses  uint64
-	bpuLargeAcc  uint64
-	bpuSmallAcc  uint64
-	mlcAccByFrac map[float64]uint64
-
-	// Sampling.
-	sampleAt    uint64
-	lastSampleI uint64
-	lastSampleC float64
-	intVecOps   uint64
-	intMLCHits  uint64
-	samples     []Sample
-
-	// Figure 15 shards.
-	shardInsns uint64
-	shardVec   uint64
-	shards     VectorShards
-}
-
-// bpuOffPowerFrac models the gated-off BPU: the small local predictor and
-// its small BTB stay powered, roughly a tenth of the BPU's area.
-const bpuOffPowerFrac = 0.1
-
 // Run executes the program under the configuration and returns the
 // measurements.
 func Run(p *program.Program, cfg Config) (*Result, error) {
@@ -261,85 +183,17 @@ func Run(p *program.Program, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	walker, err := program.NewWalker(p)
+	s, err := newEngine(p, cfg)
 	if err != nil {
 		return nil, err
 	}
-	d := cfg.Design
-	btSys, err := bt.New(bt.Config{
-		HotThreshold:           d.HotThreshold,
-		InterpCPI:              d.InterpCPI,
-		TranslateCyclesPerInsn: d.TranslateCyclesPerInsn,
-	}, p)
-	if err != nil {
-		return nil, err
-	}
-
-	s := &state{
-		cfg:     cfg,
-		design:  d,
-		prog:    p,
-		walker:  walker,
-		btSys:   btSys,
-		bpuUnit: bpu.NewUnit(d.BPU),
-		hier:    cache.NewHierarchy(d.Mem),
-		vpuUnit: vpu.New(d.VPU),
-		htb:     phase.NewHTB(cfg.Phase),
-		acct:    power.NewAccountant(d.ClockHz),
-
-		gateVPU: gating.NewUnit(arch.UnitVPU, 1),
-		gateBPU: gating.NewUnit(arch.UnitBPU, 1),
-		gateMLC: gating.NewUnit(arch.UnitMLC, 1),
-
-		policy:       pvt.FullOn,
-		mlcAccByFrac: map[float64]uint64{},
-		sampleAt:     cfg.SampleInterval,
-	}
-	for _, spec := range d.UnitSpecs() {
-		s.acct.AddUnit(spec)
-	}
-	// PowerChop's own hardware: the HTB and PVT draw constant power.
-	s.acct.AddUnit(power.UnitSpec{Name: arch.UnitHTB, LeakageW: power.HTBPowerW})
-	if cfg.TrackQuality {
-		s.quality = phase.NewQualityTracker(cfg.Phase.WindowSize)
-	}
-	s.wireObservability()
 
 	boot := cfg.Manager.Boot()
-	s.vpuTimeout = boot.VPUTimeout
+	s.absorbDirective(boot)
 	s.applyPolicy(boot.Policy)
 
 	s.run()
 	return s.finish(), nil
-}
-
-// wireObservability assembles the run's event sink — the configured
-// tracer plus, when metrics are on, the standard collector — wraps it so
-// every event is stamped with the simulation clock, and hands it to each
-// instrumented component. With no tracer and no metrics everything stays
-// nil and the hot path pays only dead nil-checks.
-func (s *state) wireObservability() {
-	var sinks []obs.Tracer
-	if s.cfg.Tracer != nil {
-		sinks = append(sinks, s.cfg.Tracer)
-	}
-	if s.cfg.Metrics {
-		s.collector = obs.NewCollector()
-		sinks = append(sinks, s.collector)
-	}
-	t := obs.Multi(sinks...)
-	if t == nil {
-		return
-	}
-	t = obs.Stamped(t, func() (float64, uint64) { return s.cycles, s.htb.Windows() })
-	s.tracer = t
-	s.htb.SetTracer(t)
-	s.gateVPU.SetTracer(t)
-	s.gateBPU.SetTracer(t)
-	s.gateMLC.SetTracer(t)
-	if m, ok := s.cfg.Manager.(interface{ SetTracer(obs.Tracer) }); ok {
-		m.SetTracer(t)
-	}
 }
 
 // MustRun is a helper for tests, examples and benchmarks.
@@ -349,400 +203,4 @@ func MustRun(p *program.Program, cfg Config) *Result {
 		panic(err)
 	}
 	return r
-}
-
-// applyPolicy enacts a gating policy, charging transition stalls, state
-// management costs and switch energies.
-func (s *state) applyPolicy(policy pvt.Policy) {
-	d := s.design
-	// VPU — skipped in timeout mode, where idleness machinery owns it.
-	if s.vpuTimeout == 0 && policy.VPUOn != s.vpuUnit.On() {
-		stall := d.GateStallVPU + s.vpuUnit.SetOn(policy.VPUOn)
-		s.stallFor(stall)
-		s.gateVPU.Transition(boolFrac(policy.VPUOn), s.cycles, stall)
-		s.acct.AddSwitch(arch.UnitVPU)
-		s.btSys.Nucleus().Raise(bt.IntGateSwitch, 0)
-	}
-	// BPU.
-	if policy.BPUOn != s.bpuUnit.LargeOn() {
-		s.stallFor(d.GateStallBPU)
-		s.bpuUnit.SetLargeOn(policy.BPUOn)
-		frac := 1.0
-		if !policy.BPUOn {
-			frac = bpuOffPowerFrac
-		}
-		s.gateBPU.Transition(frac, s.cycles, d.GateStallBPU)
-		s.acct.AddSwitch(arch.UnitBPU)
-		s.btSys.Nucleus().Raise(bt.IntGateSwitch, 0)
-	}
-	// MLC.
-	totalWays := d.Mem.MLC.Ways
-	wantWays := policy.MLC.Ways(totalWays)
-	if wantWays != s.hier.MLC().ActiveWays() {
-		dirty := s.hier.GateMLC(wantWays)
-		stall := d.GateStallMLC + float64(dirty)*d.WritebackCyclesPerLine
-		s.stallFor(stall)
-		s.gateMLC.Transition(policy.MLC.PowerFrac(totalWays), s.cycles, stall)
-		s.acct.AddSwitch(arch.UnitMLC)
-		s.btSys.Nucleus().Raise(bt.IntGateSwitch, 0)
-	}
-	s.policy = policy
-}
-
-// currentPolicy reconstructs the policy currently in effect from unit
-// state.
-func (s *state) currentPolicy() pvt.Policy {
-	p := pvt.Policy{VPUOn: s.vpuUnit.On(), BPUOn: s.bpuUnit.LargeOn()}
-	switch w := s.hier.MLC().ActiveWays(); {
-	case w == s.design.Mem.MLC.Ways:
-		p.MLC = pvt.MLCAll
-	case w == 1:
-		p.MLC = pvt.MLCOne
-	default:
-		p.MLC = pvt.MLCHalf
-	}
-	return p
-}
-
-func boolFrac(on bool) float64 {
-	if on {
-		return 1
-	}
-	return 0
-}
-
-// stallFor charges stall cycles attributable to gating transitions.
-func (s *state) stallFor(cycles float64) {
-	s.cycles += cycles
-	s.gateStalls += cycles
-}
-
-// run is the main simulation loop.
-func (s *state) run() {
-	issueCycle := 1 / s.design.IssueWidth
-	for s.walker.Executed() < s.cfg.MaxTranslations {
-		ri := s.walker.Next()
-		tr, extra := s.btSys.Execute(ri)
-		s.cycles += extra
-		if s.tracer != nil {
-			// Execute returns nil on the install execution, so fresh
-			// translations are detected by a counter delta.
-			if n := s.btSys.Translations(); n > s.lastXl8 {
-				s.lastXl8 = n
-				if nt := s.btSys.Translation(ri); nt != nil {
-					s.tracer.Emit(obs.Event{
-						Kind:   obs.KindTranslate,
-						Detail: "install",
-						Count:  uint64(nt.ID),
-						Value:  float64(nt.Insns),
-					})
-				}
-			}
-		}
-		region := s.walker.Region(ri)
-
-		for _, inst := range region.Body {
-			s.guestInsns++
-			s.winInsns++
-			s.shardInsns++
-			switch inst.Kind {
-			case isa.Scalar:
-				s.uops++
-				s.coreAccesses++
-				s.cycles += issueCycle
-			case isa.Vector:
-				s.execVector(issueCycle)
-			case isa.Branch:
-				taken := s.walker.BranchOutcome(ri, inst.Sel)
-				correct := s.bpuUnit.Access(inst.PC, taken)
-				s.uops++
-				s.coreAccesses++
-				s.cycles += issueCycle
-				s.branches++
-				s.winBranches++
-				if s.bpuUnit.LargeOn() {
-					s.bpuLargeAcc++
-				} else {
-					s.bpuSmallAcc++
-				}
-				if !correct {
-					s.mispredicts++
-					s.winMispred++
-					s.cycles += s.design.MispredictPenalty
-				}
-			case isa.Load, isa.Store:
-				addr := s.walker.Address(ri, inst.Sel)
-				res := s.hier.Access(addr, inst.Kind == isa.Store)
-				s.uops++
-				s.coreAccesses++
-				s.cycles += issueCycle + res.StallCycles
-				s.memOps++
-				if res.MLCAccessed {
-					s.mlcAccByFrac[s.gateMLC.PowerFrac()]++
-				}
-				if res.MLCHit {
-					s.mlcHits++
-					s.winL2Hits++
-					s.intMLCHits++
-				}
-			}
-			if s.shardInsns >= 1000 {
-				s.closeShard()
-			}
-			if s.cfg.SampleInterval > 0 && s.guestInsns >= s.sampleAt {
-				s.takeSample()
-			}
-		}
-
-		if tr != nil {
-			if s.htb.Record(tr.ID, uint64(tr.Insns)) {
-				s.endWindow()
-			}
-		}
-	}
-}
-
-// execVector models one guest vector instruction under the current VPU
-// state and manager semantics.
-func (s *state) execVector(issueCycle float64) {
-	s.vectorOps++
-	s.winSIMD++
-	s.intVecOps++
-	s.shardVec++
-
-	if s.vpuTimeout > 0 {
-		s.timeoutVectorOp()
-	}
-	slots := s.vpuUnit.Execute()
-	if slots == 1 {
-		s.vpuAccesses++
-	} else {
-		// Scalar emulation: the expansion uops run on the core pipeline.
-		s.coreAccesses += uint64(slots)
-	}
-	s.uops += uint64(slots)
-	s.cycles += float64(slots) * issueCycle
-}
-
-// timeoutVectorOp implements the hardware-timeout baseline's wake path: if
-// the VPU was (or should have been) gated off for idleness, it is woken
-// with full gating penalties before the vector op can execute.
-func (s *state) timeoutVectorOp() {
-	idleStart := s.lastVectorCycle + s.vpuTimeout
-	if !s.vpuIdleGated && s.cycles > idleStart {
-		// The unit crossed the idle threshold since the last vector op:
-		// it was gated off at idleStart (retroactively; saving the
-		// register file paused execution then, charged now).
-		offStall := s.design.GateStallVPU + s.design.VPU.SaveRestoreCycles
-		s.gateVPU.Transition(0, idleStart, offStall)
-		s.acct.AddSwitch(arch.UnitVPU)
-		s.vpuUnit.SetOn(false)
-		s.stallFor(offStall)
-		s.vpuIdleGated = true
-	}
-	if s.vpuIdleGated {
-		// Wake on demand.
-		wakeStall := s.design.GateStallVPU + s.vpuUnit.SetOn(true)
-		s.gateVPU.Transition(1, s.cycles, wakeStall)
-		s.acct.AddSwitch(arch.UnitVPU)
-		s.stallFor(wakeStall)
-		s.vpuIdleGated = false
-	}
-	s.lastVectorCycle = s.cycles
-}
-
-// timeoutWindowCheck gates the VPU off at window boundaries when the idle
-// threshold has been crossed without an intervening vector op.
-func (s *state) timeoutWindowCheck() {
-	if s.vpuTimeout == 0 || s.vpuIdleGated {
-		return
-	}
-	idleStart := s.lastVectorCycle + s.vpuTimeout
-	if s.cycles > idleStart {
-		offStall := s.design.GateStallVPU + s.design.VPU.SaveRestoreCycles
-		s.gateVPU.Transition(0, idleStart, offStall)
-		s.acct.AddSwitch(arch.UnitVPU)
-		s.vpuUnit.SetOn(false)
-		s.stallFor(offStall)
-		s.vpuIdleGated = true
-	}
-}
-
-// endWindow closes an execution window: form the signature, consult the
-// manager, charge any CDE invocation, and enact the directive.
-func (s *state) endWindow() {
-	sig, vec := s.htb.EndWindow()
-	if s.quality != nil {
-		s.quality.Observe(sig, vec)
-	}
-	mlcFullyOn := s.hier.MLC().ActiveWays() == s.design.Mem.MLC.Ways
-	wasFull := s.bpuUnit.LargeOn() && mlcFullyOn
-	prof := cde.WindowProfile{
-		TotalInsns:     s.winInsns,
-		SIMDInsns:      s.winSIMD,
-		L2Hits:         s.winL2Hits,
-		Branches:       s.winBranches,
-		Mispredicts:    s.winMispred,
-		LargeBPUActive: s.bpuUnit.LargeOn(),
-		MLCFullyOn:     mlcFullyOn,
-		VPUOn:          s.vpuUnit.On(),
-		Warm:           wasFull && s.fullWindowStreak >= 2,
-		Current:        s.currentPolicy(),
-	}
-	if wasFull {
-		s.fullWindowStreak++
-	} else {
-		s.fullWindowStreak = 0
-	}
-	s.winInsns, s.winSIMD, s.winL2Hits, s.winBranches, s.winMispred = 0, 0, 0, 0, 0
-
-	s.timeoutWindowCheck()
-
-	d := s.cfg.Manager.WindowEnd(core.WindowReport{Signature: sig, Profile: prof, Cycle: s.cycles})
-	if d.CDEInvoked {
-		cost := s.btSys.Nucleus().Raise(bt.IntPVTMiss, s.design.CDEInvokeCycles)
-		s.cycles += cost
-		s.cdeCycles += cost
-		if s.tracer != nil {
-			s.tracer.Emit(obs.Event{
-				Kind:   obs.KindCDEInvoke,
-				SigIDs: sig.IDs,
-				SigN:   sig.N,
-				Value:  cost,
-			})
-		}
-	}
-	s.vpuTimeout = d.VPUTimeout
-	s.applyPolicy(d.Policy)
-}
-
-func (s *state) closeShard() {
-	switch {
-	case s.shardVec == 0:
-		s.shards.Zero++
-	case s.shardVec <= 4:
-		s.shards.OneToFour++
-	case s.shardVec <= 20:
-		s.shards.UpToTwenty++
-	default:
-		s.shards.Above++
-	}
-	s.shardInsns, s.shardVec = 0, 0
-}
-
-func (s *state) takeSample() {
-	dI := s.guestInsns - s.lastSampleI
-	dC := s.cycles - s.lastSampleC
-	ipc := 0.0
-	if dC > 0 {
-		ipc = float64(dI) / dC
-	}
-	s.samples = append(s.samples, Sample{
-		Insns:     s.guestInsns,
-		IPC:       ipc,
-		VectorOps: s.intVecOps,
-		MLCHits:   s.intMLCHits,
-	})
-	s.lastSampleI = s.guestInsns
-	s.lastSampleC = s.cycles
-	s.intVecOps, s.intMLCHits = 0, 0
-	s.sampleAt += s.cfg.SampleInterval
-}
-
-// finish closes out accounting and assembles the Result.
-func (s *state) finish() *Result {
-	// Close residency tracking.
-	s.gateVPU.CloseOut(s.cycles)
-	s.gateBPU.CloseOut(s.cycles)
-	s.gateMLC.CloseOut(s.cycles)
-	for _, g := range []*gating.Unit{s.gateVPU, s.gateBPU, s.gateMLC} {
-		for _, level := range g.Levels() {
-			s.acct.AddResidency(g.Name(), level, g.Residency(level))
-		}
-	}
-	s.acct.AddResidency(arch.UnitCore, 1, s.cycles)
-	s.acct.AddResidency(arch.UnitHTB, 1, s.cycles)
-
-	// Flush dynamic access tallies.
-	s.acct.AddAccesses(arch.UnitCore, s.coreAccesses, 1)
-	s.acct.AddAccesses(arch.UnitVPU, s.vpuAccesses, 1)
-	s.acct.AddAccesses(arch.UnitBPU, s.bpuLargeAcc, 1)
-	s.acct.AddAccesses(arch.UnitBPU, s.bpuSmallAcc, bpuOffPowerFrac)
-	var mlcAccesses uint64
-	for frac, n := range s.mlcAccByFrac {
-		s.acct.AddAccesses(arch.UnitMLC, n, frac)
-		mlcAccesses += n
-	}
-
-	rep := s.acct.Report(s.cycles)
-	totalWays := s.design.Mem.MLC.Ways
-	oneFrac := 1.0 / float64(totalWays)
-
-	r := &Result{
-		Benchmark: s.prog.Name,
-		Suite:     s.prog.Suite,
-		Arch:      s.design.Name,
-		Manager:   s.cfg.Manager.Name(),
-
-		Cycles:     s.cycles,
-		GuestInsns: s.guestInsns,
-		Uops:       s.uops,
-		Seconds:    rep.Seconds,
-
-		VPU: unitActivity(s.gateVPU, 0, 0),
-		BPU: unitActivity(s.gateBPU, bpuOffPowerFrac, 0),
-		MLC: unitActivity(s.gateMLC, oneFrac, 0.5),
-
-		Power: rep,
-
-		Branches:    s.branches,
-		Mispredicts: s.mispredicts,
-		VectorOps:   s.vectorOps,
-		MemOps:      s.memOps,
-		MLCHits:     s.mlcHits,
-		MLCAccesses: mlcAccesses,
-
-		BT:          s.btSys.Stats(),
-		PVTMissInts: s.btSys.Nucleus().Count(bt.IntPVTMiss),
-		CDECycles:   s.cdeCycles,
-		GateStalls:  s.gateStalls,
-		Windows:     s.htb.Windows(),
-
-		Samples: s.samples,
-		Shards:  s.shards,
-	}
-	if s.cycles > 0 {
-		r.IPC = float64(s.guestInsns) / s.cycles
-	}
-	if pc, ok := s.cfg.Manager.(*core.PowerChop); ok {
-		r.PVT = pc.PVT().Stats()
-		r.CDE = pc.Engine().Stats()
-	}
-	if s.quality != nil {
-		r.QualityMeanFrac = s.quality.MeanDistanceFrac()
-		r.QualityMaxFrac = s.quality.MaxDistanceFrac()
-		r.QualityPhases = s.quality.DistinctSignatures()
-		r.QualityCompared = s.quality.Comparisons()
-	}
-	if s.collector != nil {
-		r.Metrics = s.collector.Snapshot()
-	}
-	return r
-}
-
-// unitActivity converts a gating tracker into the reported summary.
-func unitActivity(g *gating.Unit, deepLevel, halfLevel float64) UnitActivity {
-	a := UnitActivity{
-		GatedFrac:    g.GatedFrac(),
-		SwitchesPerM: g.SwitchesPerMillionCycles(),
-		Switches:     g.Switches(),
-	}
-	t := g.TotalCycles()
-	if t > 0 {
-		a.OneWayFrac = g.Residency(deepLevel) / t
-		if halfLevel > 0 {
-			a.HalfFrac = g.Residency(halfLevel) / t
-		}
-	}
-	return a
 }

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"powerchop/internal/bt"
+	"powerchop/internal/cde"
+	"powerchop/internal/core"
+	"powerchop/internal/obs"
+)
+
+// endWindow closes an HTB execution window: build the window's profile
+// from the units, run unit boundary machinery, consult the manager, and
+// enact the resulting directive.
+func (s *engine) endWindow() {
+	sig, vec := s.htb.EndWindow()
+	if s.quality != nil {
+		s.quality.Observe(sig, vec)
+	}
+
+	prof := cde.WindowProfile{TotalInsns: s.winInsns}
+	for _, u := range s.units {
+		u.windowProfile(&prof)
+	}
+	// A window is warm for measurement when it ran entirely at the full
+	// configuration and at least two such windows precede it.
+	wasFull := prof.LargeBPUActive && prof.MLCFullyOn
+	prof.Warm = wasFull && s.fullWindowStreak >= 2
+	if wasFull {
+		s.fullWindowStreak++
+	} else {
+		s.fullWindowStreak = 0
+	}
+	prof.Current = s.currentPolicy()
+	s.winInsns = 0
+
+	// Unit-owned boundary machinery (the VPU idle-timeout check) runs
+	// against the outgoing directive before the manager issues a new one.
+	for _, u := range s.units {
+		u.windowBoundary()
+	}
+
+	d := s.cfg.Manager.WindowEnd(core.WindowReport{
+		Signature: sig,
+		Profile:   prof,
+		Cycle:     s.cycles,
+	})
+	if d.CDEInvoked {
+		cost := s.btSys.Nucleus().Raise(bt.IntPVTMiss, s.design.CDEInvokeCycles)
+		s.cycles += cost
+		s.cdeCycles += cost
+		if s.tracer != nil {
+			s.tracer.Emit(obs.Event{
+				Kind:   obs.KindCDEInvoke,
+				SigIDs: sig.IDs,
+				SigN:   sig.N,
+				Value:  cost,
+			})
+		}
+	}
+	s.absorbDirective(d)
+	s.applyPolicy(d.Policy)
+}
+
+// closeShard buckets the finished 1000-instruction shard by vector-op
+// count (Figure 15).
+func (s *engine) closeShard() {
+	v := s.vpu.takeShardVec()
+	switch {
+	case v == 0:
+		s.shards.Zero++
+	case v <= 4:
+		s.shards.OneToFour++
+	case v <= 20:
+		s.shards.UpToTwenty++
+	default:
+		s.shards.Above++
+	}
+	s.shardInsns = 0
+}
+
+// takeSample records one time-series point and schedules the next.
+func (s *engine) takeSample() {
+	smp := Sample{Insns: s.guestInsns}
+	dI := s.guestInsns - s.lastSampleI
+	dC := s.cycles - s.lastSampleC
+	if dC > 0 {
+		smp.IPC = float64(dI) / dC
+	}
+	for _, u := range s.units {
+		u.sampleInterval(&smp)
+	}
+	s.samples = append(s.samples, smp)
+	s.lastSampleI = s.guestInsns
+	s.lastSampleC = s.cycles
+	s.sampleAt += s.cfg.SampleInterval
+}

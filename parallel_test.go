@@ -1,0 +1,55 @@
+package powerchop
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestRenderAllParallelByteIdentical is the pipeline's determinism gate:
+// at smoke scale, an 8-job render of every figure must be byte-identical
+// to a serial render.
+func TestRenderAllParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure renders are slow; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("two full figure renders under the race detector are too slow; " +
+			"runner concurrency is race-tested in internal/experiments")
+	}
+	var serial, parallel bytes.Buffer
+	if err := NewFigureRunner(0.02, WithJobs(1)).RenderAll(&serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewFigureRunner(0.02, WithJobs(8)).RenderAll(&parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		sl, pl := bytes.Split(serial.Bytes(), []byte("\n")), bytes.Split(parallel.Bytes(), []byte("\n"))
+		for i := 0; i < len(sl) && i < len(pl); i++ {
+			if !bytes.Equal(sl[i], pl[i]) {
+				t.Fatalf("outputs diverge at line %d:\n serial:   %s\n parallel: %s", i+1, sl[i], pl[i])
+			}
+		}
+		t.Fatalf("outputs differ in length: serial %d lines, parallel %d lines", len(sl), len(pl))
+	}
+}
+
+// TestCompareParallelMatchesSerial checks Options.Parallelism changes
+// only wall-clock, never results.
+func TestCompareParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison runs are slow; skipped with -short")
+	}
+	serial, err := Compare("namd", Options{Passes: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Compare("namd", Options{Passes: 0.25, Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("parallel Compare diverged from serial:\n serial:   %+v\n parallel: %+v", serial, par)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"powerchop/internal/arch"
 	"powerchop/internal/core"
@@ -84,6 +85,12 @@ type Options struct {
 	// Metrics enables metrics collection; the snapshot lands in
 	// Report.Metrics.
 	Metrics bool
+	// Parallelism, when above one, lets Compare run its three
+	// configurations concurrently (each simulation stays
+	// single-threaded and deterministic, so the Reports are identical
+	// to a serial run). It is ignored when TraceWriter is set, where
+	// serial execution keeps the three event streams from interleaving.
+	Parallelism int
 }
 
 // Thresholds mirrors the CDE criticality cut-offs.
@@ -392,23 +399,50 @@ func (c *Comparison) EnergyReduction() float64 {
 }
 
 // Compare runs the benchmark under full-power, PowerChop and min-power.
+// With Options.Parallelism above one (and no TraceWriter) the three runs
+// execute concurrently.
 func Compare(benchmark string, opts Options) (*Comparison, error) {
 	c := &Comparison{Benchmark: benchmark}
-	for _, cfg := range []struct {
+	configs := []struct {
 		manager string
 		into    **Report
 	}{
 		{ManagerFullPower, &c.FullPower},
 		{ManagerPowerChop, &c.PowerChop},
 		{ManagerMinPower, &c.MinPower},
-	} {
+	}
+	run := func(manager string, into **Report) error {
 		o := opts
-		o.Manager = cfg.manager
+		o.Manager = manager
 		rep, err := Run(benchmark, o)
 		if err != nil {
+			return err
+		}
+		*into = rep
+		return nil
+	}
+	if opts.Parallelism > 1 && opts.TraceWriter == nil {
+		errs := make([]error, len(configs))
+		var wg sync.WaitGroup
+		for i, cfg := range configs {
+			wg.Add(1)
+			go func(i int, manager string, into **Report) {
+				defer wg.Done()
+				errs[i] = run(manager, into)
+			}(i, cfg.manager, cfg.into)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return c, nil
+	}
+	for _, cfg := range configs {
+		if err := run(cfg.manager, cfg.into); err != nil {
 			return nil, err
 		}
-		*cfg.into = rep
 	}
 	return c, nil
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package powerchop
+
+// raceEnabled reports whether the race detector is compiled in; the
+// full-figure determinism test skips itself under race (simulations run
+// ~10x slower there) — the concurrency machinery is still race-tested by
+// the cheaper runner-level tests in internal/experiments.
+const raceEnabled = true
