@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench bench-overhead clean
+.PHONY: build vet test race check bench bench-overhead bench-json clean
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,11 @@ bench:
 # Observability hot-path overhead only.
 bench-overhead:
 	$(GO) test -run '^$$' -bench BenchmarkTracerOverhead -benchtime 5x -benchmem
+
+# One quick pass over every benchmark, recorded as BENCH_<stamp>.json —
+# the perf-trajectory artifact CI uploads (non-blocking).
+bench-json:
+	$(GO) run ./cmd/benchjson -benchtime 1x
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,166 @@
+// Command benchjson runs the repository's Go benchmarks and writes the
+// results as a JSON artifact (BENCH_<stamp>.json), so CI can archive a
+// perf trajectory without failing the build on noisy runners.
+//
+// Usage:
+//
+//	benchjson [-bench REGEX] [-benchtime 1x] [-pkg ./...] [-count 1] [-o FILE]
+//
+// The output records one entry per benchmark line with iterations,
+// ns/op, and any extra metrics (B/op, allocs/op, custom units).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchResult is one parsed benchmark line.
+type BenchResult struct {
+	// Name is the full benchmark name, including any -N GOMAXPROCS
+	// suffix (e.g. "BenchmarkTracerOverhead/traced-8").
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline ns/op figure.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every reported unit, ns/op included (also B/op,
+	// allocs/op and custom b.ReportMetric units when present).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Artifact is the JSON document benchjson writes.
+type Artifact struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	Command     string        `json:"command"`
+	Results     []BenchResult `json:"results"`
+}
+
+// parseBenchLine parses one `go test -bench` output line of the form
+//
+//	BenchmarkName-8   100   11234567 ns/op   42 B/op   7 allocs/op
+//
+// returning ok=false for non-benchmark lines (headers, PASS, ok ...).
+func parseBenchLine(line string) (BenchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return BenchResult{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return BenchResult{}, false
+	}
+	r := BenchResult{
+		Name:       fields[0],
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	// The remainder alternates value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return BenchResult{}, false
+		}
+		unit := fields[i+1]
+		r.Metrics[unit] = v
+		if unit == "ns/op" {
+			r.NsPerOp = v
+		}
+	}
+	if len(r.Metrics) == 0 {
+		return BenchResult{}, false
+	}
+	return r, true
+}
+
+// parseBench collects every benchmark line from a `go test -bench` run.
+func parseBench(r io.Reader) ([]BenchResult, error) {
+	var out []BenchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if res, ok := parseBenchLine(sc.Text()); ok {
+			out = append(out, res)
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark regex passed to -bench")
+	benchtime := flag.String("benchtime", "1x", "passed to -benchtime")
+	pkg := flag.String("pkg", "./...", "package pattern to benchmark")
+	count := flag.Int("count", 1, "passed to -count")
+	outPath := flag.String("o", "", "output file (default BENCH_<stamp>.json)")
+	flag.Parse()
+
+	if err := run(*bench, *benchtime, *pkg, *count, *outPath, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, benchtime, pkg string, count int, outPath string, stderr io.Writer) error {
+	args := []string{"test", "-run", "^$",
+		"-bench", bench,
+		"-benchtime", benchtime,
+		"-benchmem",
+		"-count", strconv.Itoa(count),
+		pkg,
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = stderr
+	raw, err := cmd.Output()
+	// Benchmarks across many packages can include some with no matching
+	// benchmarks; go test still exits 0. A real failure aborts here.
+	if err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	results, err := parseBench(strings.NewReader(string(raw)))
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results matched %q", bench)
+	}
+
+	now := time.Now().UTC()
+	art := Artifact{
+		GeneratedAt: now.Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Command:     "go " + strings.Join(args, " "),
+		Results:     results,
+	}
+	if outPath == "" {
+		outPath = "BENCH_" + now.Format("20060102T150405Z") + ".json"
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %d benchmark results to %s\n", len(results), outPath)
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkTracerOverhead/traced-8   \t     100\t  11234567 ns/op\t  42 B/op\t       7 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line rejected")
+	}
+	if r.Name != "BenchmarkTracerOverhead/traced-8" || r.Iterations != 100 {
+		t.Fatalf("parsed: %+v", r)
+	}
+	if r.NsPerOp != 11234567 || r.Metrics["B/op"] != 42 || r.Metrics["allocs/op"] != 7 {
+		t.Fatalf("metrics: %+v", r.Metrics)
+	}
+
+	// Custom metric units pass through.
+	r, ok = parseBenchLine("BenchmarkX-4 200 5000 ns/op 1.5 windows/op")
+	if !ok || r.Metrics["windows/op"] != 1.5 {
+		t.Fatalf("custom metric: %+v ok=%v", r, ok)
+	}
+
+	for _, bad := range []string{
+		"",
+		"goos: linux",
+		"PASS",
+		"ok  \tpowerchop\t1.2s",
+		"BenchmarkBroken-8 notanumber 5 ns/op",
+		"BenchmarkNoMetrics-8 100",
+	} {
+		if _, ok := parseBenchLine(bad); ok {
+			t.Errorf("accepted non-benchmark line %q", bad)
+		}
+	}
+}
+
+func TestParseBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: powerchop
+BenchmarkA-8   	     100	  1000 ns/op	  16 B/op	  1 allocs/op
+BenchmarkB/sub-8 	      50	  2000 ns/op
+PASS
+ok  	powerchop	2.0s
+`
+	results, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results", len(results))
+	}
+	if results[0].Name != "BenchmarkA-8" || results[1].NsPerOp != 2000 {
+		t.Fatalf("results: %+v", results)
+	}
+}

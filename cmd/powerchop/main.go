@@ -6,12 +6,21 @@
 // Usage:
 //
 //	powerchop list
-//	powerchop run -bench gobmk [-manager powerchop|full-power|min-power|timeout] [-arch server|mobile] [-passes 2] [-trace out.jsonl] [-metrics]
+//	powerchop run -bench gobmk [-manager powerchop|full-power|min-power|timeout] [-arch server|mobile] [-passes 2] [-trace out.jsonl] [-metrics] [-http :8080]
 //	powerchop compare -bench namd [-passes 2]
 //	powerchop trace [-top 20] out.jsonl
-//	powerchop figure -id fig12 [-scale 1] [-jobs N]
-//	powerchop all [-scale 1] [-jobs N]
-//	powerchop headline [-scale 1] [-jobs N]
+//	powerchop trace timeline [-last 40] out.jsonl
+//	powerchop trace chrome [-o out.json] out.jsonl
+//	powerchop figure -id fig12 [-scale 1] [-jobs N] [-http :8080]
+//	powerchop all [-scale 1] [-jobs N] [-http :8080]
+//	powerchop headline [-scale 1] [-jobs N] [-http :8080]
+//	powerchop serve [-addr :8080] [-scale 1] [-jobs N]
+//
+// The -http flag attaches a live monitor to the run: Prometheus metrics
+// at /metrics, per-run progress at /progress, the event stream at
+// /events (SSE or NDJSON), and pprof at /debug/pprof. serve keeps that
+// monitor up as a standing service with an /api tree for triggering
+// figures and runs.
 package main
 
 import (
@@ -72,6 +81,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdAll(args[1:])
 	case "headline":
 		err = cmdHeadline(args[1:])
+	case "serve":
+		err = cmdServe(args[1:], stderr)
 	case "help", "-h", "--help":
 		usage(stdout)
 		return 0
@@ -105,9 +116,16 @@ commands:
   run -bench NAME [flags]       simulate one benchmark
   compare -bench NAME [flags]   full-power vs PowerChop vs min-power
   trace [-top N] FILE           summarize a JSONL event trace per phase
+  trace timeline [-last N] FILE per-window phase/gating timeline table
+  trace chrome [-o OUT] FILE    export as Chrome trace-event JSON (chrome://tracing)
   figure -id ID [-scale F] [-jobs N]   regenerate one paper figure/table
   all [-scale F] [-jobs N]             regenerate every figure/table
   headline [-scale F] [-jobs N]        per-suite slowdown/power/energy summary
+  serve [-addr :8080] [-scale F]       standing monitor + figure API
+
+run, figure, all and headline accept -http ADDR to expose a live monitor
+for the duration of the command: /metrics (Prometheus), /progress (JSON),
+/events (SSE or NDJSON), /debug/pprof.
 `)
 	fmt.Fprintf(w, "\nfigure ids: %v\n", powerchop.FigureIDs())
 }
@@ -125,11 +143,12 @@ func cmdList() error {
 
 // runArgs carries the parsed flags of run and compare.
 type runArgs struct {
-	bench   string
-	opts    powerchop.Options
-	json    bool
-	trace   string
-	metrics bool
+	bench    string
+	opts     powerchop.Options
+	json     bool
+	trace    string
+	metrics  bool
+	httpAddr string
 }
 
 func runFlags(args []string) (runArgs, error) {
@@ -142,6 +161,7 @@ func runFlags(args []string) (runArgs, error) {
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	trace := fs.String("trace", "", "write the event trace as JSONL to this file")
 	metrics := fs.Bool("metrics", false, "collect and print run metrics")
+	httpAddr := fs.String("http", "", "serve a live monitor on this address for the run's duration")
 	if err := fs.Parse(args); err != nil {
 		return runArgs{}, errParse(err)
 	}
@@ -157,9 +177,10 @@ func runFlags(args []string) (runArgs, error) {
 			SampleInterval: *sample,
 			Metrics:        *metrics,
 		},
-		json:    *asJSON,
-		trace:   *trace,
-		metrics: *metrics,
+		json:     *asJSON,
+		trace:    *trace,
+		metrics:  *metrics,
+		httpAddr: *httpAddr,
 	}, nil
 }
 
@@ -187,9 +208,14 @@ func cmdRun(args []string) error {
 		return err
 	}
 	var rep *powerchop.Report
-	if err := withTrace(&a, func() error {
-		rep, err = powerchop.Run(a.bench, a.opts)
-		return err
+	if err := withMonitor(a.httpAddr, os.Stderr, func(l *liveMonitor) {
+		a.opts.Tracer = l.tracer
+		a.opts.Progress = l.progress
+	}, func() error {
+		return withTrace(&a, func() error {
+			rep, err = powerchop.Run(a.bench, a.opts)
+			return err
+		})
 	}); err != nil {
 		return err
 	}
@@ -226,11 +252,16 @@ func cmdCompare(args []string) error {
 		return err
 	}
 	var c *powerchop.Comparison
-	if err := withTrace(&a, func() error {
-		// With -trace the three runs' events land in one file, in run
-		// order: full-power, powerchop, min-power.
-		c, err = powerchop.Compare(a.bench, a.opts)
-		return err
+	if err := withMonitor(a.httpAddr, os.Stderr, func(l *liveMonitor) {
+		a.opts.Tracer = l.tracer
+		a.opts.Progress = l.progress
+	}, func() error {
+		return withTrace(&a, func() error {
+			// With -trace the three runs' events land in one file, in run
+			// order: full-power, powerchop, min-power.
+			c, err = powerchop.Compare(a.bench, a.opts)
+			return err
+		})
 	}); err != nil {
 		return err
 	}
@@ -249,32 +280,24 @@ func cmdCompare(args []string) error {
 	return nil
 }
 
+// cmdTrace dispatches the trace tooling: the default per-phase summary,
+// plus "timeline" (per-window table) and "chrome" (trace-event export).
 func cmdTrace(args []string, stdout io.Writer) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "timeline":
+			return cmdTraceTimeline(args[1:], stdout)
+		case "chrome":
+			return cmdTraceChrome(args[1:], stdout)
+		}
+	}
 	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
 	in := fs.String("in", "", "trace file (JSONL); also accepted as a positional argument")
 	top := fs.Int("top", 20, "maximum phases to list")
 	if err := fs.Parse(args); err != nil {
 		return errParse(err)
 	}
-	path := *in
-	if path == "" && fs.NArg() > 0 {
-		path = fs.Arg(0)
-	}
-	if path == "" {
-		return usageError{msg: "missing trace file (powerchop trace FILE, or -in FILE)"}
-	}
-	var r io.Reader
-	if path == "-" {
-		r = os.Stdin
-	} else {
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		r = f
-	}
-	events, err := obs.ReadJSONL(r)
+	events, err := readTraceEvents(fs, *in)
 	if err != nil {
 		return err
 	}
@@ -282,38 +305,137 @@ func cmdTrace(args []string, stdout io.Writer) error {
 	return nil
 }
 
-func cmdFigure(args []string) error {
-	fs := flag.NewFlagSet("figure", flag.ContinueOnError)
-	id := fs.String("id", "", "figure id")
-	scale := fs.Float64("scale", 1, "run-length scale")
-	jobs := fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+// readTraceEvents loads a JSONL trace named by -in or the first
+// positional argument ("-" reads stdin).
+func readTraceEvents(fs *flag.FlagSet, in string) ([]obs.Event, error) {
+	path := in
+	if path == "" && fs.NArg() > 0 {
+		path = fs.Arg(0)
+	}
+	if path == "" {
+		return nil, usageError{msg: "missing trace file (pass FILE, or -in FILE)"}
+	}
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return obs.ReadJSONL(r)
+}
+
+func cmdTraceTimeline(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("trace timeline", flag.ContinueOnError)
+	in := fs.String("in", "", "trace file (JSONL); also accepted as a positional argument")
+	last := fs.Int("last", 40, "show only the newest N windows (0 = all)")
 	if err := fs.Parse(args); err != nil {
 		return errParse(err)
 	}
-	if *id == "" {
-		return usageError{msg: fmt.Sprintf("missing -id (known: %v)", powerchop.FigureIDs())}
+	events, err := readTraceEvents(fs, *in)
+	if err != nil {
+		return err
 	}
-	return powerchop.NewFigureRunner(*scale, powerchop.WithJobs(*jobs)).RenderFigure(os.Stdout, *id)
+	fmt.Fprint(stdout, obs.NewTimeline(events).Render(*last))
+	return nil
+}
+
+func cmdTraceChrome(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("trace chrome", flag.ContinueOnError)
+	in := fs.String("in", "", "trace file (JSONL); also accepted as a positional argument")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return errParse(err)
+	}
+	events, err := readTraceEvents(fs, *in)
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChrome(f, events); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *out)
+		return nil
+	}
+	return obs.WriteChrome(w, events)
+}
+
+// figureRunnerFlags parses the shared figure/all/headline flag set and
+// builds the runner, attaching a live monitor when -http is given. The
+// returned cleanup stops the monitor (a no-op without -http).
+func figureRunnerFlags(name string, args []string) (runner *powerchop.FigureRunner, id string, cleanup func(), err error) {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	var idFlag *string
+	if name == "figure" {
+		idFlag = fs.String("id", "", "figure id")
+	}
+	scale := fs.Float64("scale", 1, "run-length scale")
+	jobs := fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	httpAddr := fs.String("http", "", "serve a live monitor on this address for the command's duration")
+	if err := fs.Parse(args); err != nil {
+		return nil, "", nil, errParse(err)
+	}
+	if idFlag != nil {
+		if *idFlag == "" {
+			return nil, "", nil, usageError{msg: fmt.Sprintf("missing -id (known: %v)", powerchop.FigureIDs())}
+		}
+		id = *idFlag
+	}
+	opts := []powerchop.FigureOption{powerchop.WithJobs(*jobs)}
+	cleanup = func() {}
+	if *httpAddr != "" {
+		l := newLiveMonitor()
+		opts = append(opts,
+			powerchop.WithTracer(l.tracer),
+			powerchop.WithProgress(l.progress),
+		)
+		if err := l.start(*httpAddr, os.Stderr); err != nil {
+			return nil, "", nil, err
+		}
+		cleanup = l.stop
+	}
+	return powerchop.NewFigureRunner(*scale, opts...), id, cleanup, nil
+}
+
+func cmdFigure(args []string) error {
+	runner, id, cleanup, err := figureRunnerFlags("figure", args)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	return runner.RenderFigure(os.Stdout, id)
 }
 
 func cmdAll(args []string) error {
-	fs := flag.NewFlagSet("all", flag.ContinueOnError)
-	scale := fs.Float64("scale", 1, "run-length scale")
-	jobs := fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-	if err := fs.Parse(args); err != nil {
-		return errParse(err)
+	runner, _, cleanup, err := figureRunnerFlags("all", args)
+	if err != nil {
+		return err
 	}
-	return powerchop.NewFigureRunner(*scale, powerchop.WithJobs(*jobs)).RenderAll(os.Stdout)
+	defer cleanup()
+	return runner.RenderAll(os.Stdout)
 }
 
 func cmdHeadline(args []string) error {
-	fs := flag.NewFlagSet("headline", flag.ContinueOnError)
-	scale := fs.Float64("scale", 1, "run-length scale")
-	jobs := fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-	if err := fs.Parse(args); err != nil {
-		return errParse(err)
+	runner, _, cleanup, err := figureRunnerFlags("headline", args)
+	if err != nil {
+		return err
 	}
-	rows, err := powerchop.NewFigureRunner(*scale, powerchop.WithJobs(*jobs)).Headline()
+	defer cleanup()
+	rows, err := runner.Headline()
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"powerchop"
+	"powerchop/internal/obs"
+	"powerchop/internal/obs/serve"
+)
+
+// liveMonitor bundles a serve.Monitor with the tracer and progress
+// callback that feed it, ready to plug into powerchop.Options or
+// FigureRunner options.
+type liveMonitor struct {
+	mon    *serve.Monitor
+	tracer obs.Tracer
+}
+
+// newLiveMonitor builds a monitor over a fresh metrics collector: the
+// returned tracer fans events out to the collector (backing /metrics)
+// and the monitor's hub (backing /events).
+func newLiveMonitor() *liveMonitor {
+	collector := obs.NewCollector()
+	mon := serve.NewMonitor(collector.Registry())
+	return &liveMonitor{
+		mon:    mon,
+		tracer: obs.Multi(collector, mon.Hub()),
+	}
+}
+
+// progress adapts RunProgress reports onto the monitor's board.
+func (l *liveMonitor) progress(p powerchop.RunProgress) {
+	l.mon.Board().Update(serve.RunUpdate{
+		Benchmark:    p.Benchmark,
+		Kind:         p.Kind,
+		State:        p.State,
+		Cycles:       p.Cycles,
+		Translations: p.Translations,
+		Total:        p.Total,
+		Elapsed:      p.Elapsed,
+		Err:          p.Err,
+	})
+}
+
+// start listens on addr and prints where the endpoints live.
+func (l *liveMonitor) start(addr string, stderr io.Writer) error {
+	if err := l.mon.Start(addr); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "monitor listening on http://%s (/metrics /progress /events /debug/pprof)\n", l.mon.Addr())
+	return nil
+}
+
+// stop shuts the monitor down, bounding the drain.
+func (l *liveMonitor) stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	l.mon.Shutdown(ctx)
+}
+
+// withMonitor starts a monitor on addr (when non-empty), wires it into
+// the options via hook, runs f, and shuts the monitor down afterwards.
+func withMonitor(addr string, stderr io.Writer, hook func(*liveMonitor), f func() error) error {
+	if addr == "" {
+		return f()
+	}
+	l := newLiveMonitor()
+	hook(l)
+	if err := l.start(addr, stderr); err != nil {
+		return err
+	}
+	defer l.stop()
+	return f()
+}
+
+// mountAPI adds the serve subcommand's /api tree to the monitor's mux:
+//
+//	GET /api/benchmarks      benchmark names and suites
+//	GET /api/figures         figure ids and titles
+//	GET /api/figure?id=ID    render one figure (text; simulates on demand)
+//	GET /api/headline        per-suite headline averages (JSON)
+//	GET /api/run?bench=NAME[&manager=M]  simulate one benchmark (JSON report)
+//
+// Figure and run requests execute through the shared runner, so their
+// simulations show up live on /progress, /metrics and /events.
+func mountAPI(l *liveMonitor, runner *powerchop.FigureRunner) {
+	mux := l.mon.Mux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	}
+	mux.HandleFunc("GET /api/benchmarks", func(w http.ResponseWriter, r *http.Request) {
+		type bench struct {
+			Name  string `json:"name"`
+			Suite string `json:"suite"`
+		}
+		var out []bench
+		for _, name := range powerchop.SortedBenchmarks() {
+			suite, _ := powerchop.SuiteOf(name)
+			out = append(out, bench{Name: name, Suite: suite})
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("GET /api/figures", func(w http.ResponseWriter, r *http.Request) {
+		type fig struct {
+			ID    string `json:"id"`
+			Title string `json:"title"`
+		}
+		var out []fig
+		for _, id := range powerchop.FigureIDs() {
+			title, _ := powerchop.FigureTitle(id)
+			out = append(out, fig{ID: id, Title: title})
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("GET /api/figure", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			http.Error(w, "missing id parameter", http.StatusBadRequest)
+			return
+		}
+		if _, err := powerchop.FigureTitle(id); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := runner.RenderFigure(w, id); err != nil {
+			// Headers are gone; report in-band.
+			fmt.Fprintf(w, "\nerror: %v\n", err)
+		}
+	})
+	mux.HandleFunc("GET /api/headline", func(w http.ResponseWriter, r *http.Request) {
+		rows, err := runner.Headline()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, rows)
+	})
+	mux.HandleFunc("GET /api/run", func(w http.ResponseWriter, r *http.Request) {
+		bench := r.URL.Query().Get("bench")
+		if bench == "" {
+			http.Error(w, "missing bench parameter", http.StatusBadRequest)
+			return
+		}
+		rep, err := powerchop.Run(bench, powerchop.Options{
+			Manager:  r.URL.Query().Get("manager"),
+			Tracer:   l.tracer,
+			Progress: l.progress,
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, rep)
+	})
+}
+
+// newServeMonitor assembles the serve subcommand's monitor and runner —
+// split from cmdServe so tests can exercise the wiring without a
+// listener or signal handling.
+func newServeMonitor(scale float64, jobs int) *liveMonitor {
+	l := newLiveMonitor()
+	runner := powerchop.NewFigureRunner(scale,
+		powerchop.WithJobs(jobs),
+		powerchop.WithTracer(l.tracer),
+		powerchop.WithProgress(l.progress),
+	)
+	mountAPI(l, runner)
+	return l
+}
+
+func cmdServe(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	scale := fs.Float64("scale", 1, "run-length scale for figure requests")
+	jobs := fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return errParse(err)
+	}
+	l := newServeMonitor(*scale, *jobs)
+	if err := l.start(*addr, stderr); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "figure API at http://%s/api/figures; interrupt to stop\n", l.mon.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	<-sig
+	fmt.Fprintln(stderr, "shutting down")
+	l.stop()
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"powerchop/internal/experiments"
+	"powerchop/internal/obs"
 	"powerchop/internal/workload"
 )
 
@@ -22,12 +23,32 @@ type FigureRunner struct {
 // FigureOption configures a FigureRunner.
 type FigureOption func(*figureConfig)
 
-type figureConfig struct{ jobs int }
+type figureConfig struct {
+	jobs     int
+	tracer   obs.Tracer
+	progress func(RunProgress)
+}
 
 // WithJobs bounds the number of concurrent simulations (and, when above
 // one, enables concurrent figure rendering). n <= 0 selects GOMAXPROCS.
 func WithJobs(n int) FigureOption {
 	return func(c *figureConfig) { c.jobs = n }
+}
+
+// WithTracer attaches an event sink to every simulation the runner
+// launches. Simulations run concurrently, so the tracer must be safe for
+// concurrent emission (obs/serve's fan-out hub and the metrics collector
+// both are). Figure output stays byte-identical with or without it.
+func WithTracer(t obs.Tracer) FigureOption {
+	return func(c *figureConfig) { c.tracer = t }
+}
+
+// WithProgress registers a callback for run lifecycle updates: queued
+// when a (benchmark, kind) run is registered, simulating with live
+// counters at every window boundary, done or error at completion.
+// Callbacks arrive concurrently from the simulating goroutines.
+func WithProgress(fn func(RunProgress)) FigureOption {
+	return func(c *figureConfig) { c.progress = fn }
 }
 
 // NewFigureRunner returns a figure runner. scale stretches or shrinks run
@@ -39,6 +60,25 @@ func NewFigureRunner(scale float64, opts ...FigureOption) *FigureRunner {
 		o(&c)
 	}
 	r := experiments.NewParallelRunner(scale, c.jobs)
+	r.Tracer = c.tracer
+	if fn := c.progress; fn != nil {
+		r.Progress = experiments.ProgressFunc(func(u experiments.RunUpdate) {
+			rp := RunProgress{
+				Benchmark:    u.Benchmark,
+				Kind:         string(u.Kind),
+				State:        string(u.State),
+				Cycles:       u.Cycles,
+				Translations: u.Translations,
+				Total:        u.Total,
+				Windows:      u.Windows,
+				Elapsed:      u.Elapsed,
+			}
+			if u.Err != nil {
+				rp.Err = u.Err.Error()
+			}
+			fn(rp)
+		})
+	}
 	return &FigureRunner{runner: r, jobs: r.Jobs()}
 }
 

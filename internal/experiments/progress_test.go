@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"powerchop/internal/workload"
+)
+
+// recordingSink captures every RunUpdate, safe for concurrent emission.
+type recordingSink struct {
+	mu      sync.Mutex
+	updates []RunUpdate
+}
+
+func (s *recordingSink) RunUpdate(u RunUpdate) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.updates = append(s.updates, u)
+}
+
+func (s *recordingSink) all() []RunUpdate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]RunUpdate(nil), s.updates...)
+}
+
+// TestRunnerProgressLifecycle drives one run and checks the sink sees the
+// full queued → simulating → done sequence with sane counters, and that a
+// deduplicated second call stays silent.
+func TestRunnerProgressLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow; skipped with -short")
+	}
+	sink := &recordingSink{}
+	r := NewParallelRunner(0.05, 2)
+	r.Progress = sink
+	b, err := workload.ByName("namd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Result(b, KindPowerChop)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ups := sink.all()
+	if len(ups) < 3 {
+		t.Fatalf("only %d updates for a full lifecycle", len(ups))
+	}
+	if ups[0].State != RunQueued || ups[1].State != RunSimulating {
+		t.Fatalf("lifecycle starts %v, %v", ups[0].State, ups[1].State)
+	}
+	last := ups[len(ups)-1]
+	if last.State != RunDone || last.Elapsed <= 0 {
+		t.Fatalf("final update = %+v", last)
+	}
+	if last.Cycles != res.Cycles || last.Windows != res.Windows {
+		t.Fatalf("final update %+v does not match result (cycles %v windows %d)",
+			last, res.Cycles, res.Windows)
+	}
+	for i, u := range ups {
+		if u.Benchmark != "namd" || u.Kind != KindPowerChop {
+			t.Fatalf("update %d for wrong run: %+v", i, u)
+		}
+		if u.State == RunSimulating && u.Translations > 0 && u.Total == 0 {
+			t.Fatalf("update %d has translations without a budget: %+v", i, u)
+		}
+	}
+	// In-flight updates advance monotonically.
+	var cyc float64
+	for _, u := range ups[:len(ups)-1] {
+		if u.State == RunSimulating && u.Cycles > 0 {
+			if u.Cycles < cyc {
+				t.Fatalf("cycles regressed: %v after %v", u.Cycles, cyc)
+			}
+			cyc = u.Cycles
+		}
+	}
+
+	// A cached call must not replay the lifecycle.
+	before := len(sink.all())
+	if _, err := r.Result(b, KindPowerChop); err != nil {
+		t.Fatal(err)
+	}
+	if after := len(sink.all()); after != before {
+		t.Fatalf("cached Result emitted %d extra updates", after-before)
+	}
+}
+
+// TestRunnerProgressError checks a failing run reports RunError.
+func TestRunnerProgressError(t *testing.T) {
+	sink := &recordingSink{}
+	r := NewParallelRunner(0.05, 1)
+	r.Progress = sink
+	bad := workload.Benchmark{Name: "broken"}
+	if _, err := r.Result(bad, Kind("nonsense")); err == nil {
+		t.Fatal("bogus kind succeeded")
+	}
+	ups := sink.all()
+	if len(ups) == 0 {
+		t.Fatal("no updates for failed run")
+	}
+	last := ups[len(ups)-1]
+	if last.State != RunError || last.Err == nil {
+		t.Fatalf("final update for failed run = %+v", last)
+	}
+}
+
+// TestRunnerProgressDeterminism checks a progress-observed runner
+// computes exactly the results of a silent one.
+func TestRunnerProgressDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow; skipped with -short")
+	}
+	b, err := workload.ByName("gobmk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	silent := NewParallelRunner(0.05, 1)
+	want, err := silent.Result(b, KindPowerChop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := NewParallelRunner(0.05, 1)
+	observed.Progress = &recordingSink{}
+	got, err := observed.Result(b, KindPowerChop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != want.Cycles || got.GuestInsns != want.GuestInsns ||
+		got.Power.AvgPowerW() != want.Power.AvgPowerW() {
+		t.Fatalf("progress observation perturbed the run: cycles %v vs %v",
+			got.Cycles, want.Cycles)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"powerchop/internal/arch"
 	"powerchop/internal/core"
@@ -67,6 +68,13 @@ type Runner struct {
 	// Result call). Figures run many benchmarks through one Runner, so a
 	// shared sink must be safe for concurrent emission.
 	Tracer obs.Tracer
+
+	// Progress, when non-nil, receives run lifecycle updates: queued when
+	// a flight is registered, simulating once it holds a job slot (then
+	// again at every window boundary with live counters), and done or
+	// error at completion. Like Tracer, set it before the first Result
+	// call; implementations must be safe for concurrent use.
+	Progress ProgressSink
 }
 
 // flight is one cache entry: the simulation's result once done is
@@ -178,7 +186,10 @@ func (r *Runner) Result(b workload.Benchmark, kind Kind) (*sim.Result, error) {
 	r.flights[key] = f
 	r.mu.Unlock()
 
-	f.res, f.err = r.simulate(b, kind, 0)
+	// Only the flight owner reports progress: deduplicated waiters would
+	// otherwise produce duplicate lifecycle transitions for the same run.
+	r.report(RunUpdate{Benchmark: b.Name, Kind: kind, State: RunQueued})
+	f.res, f.err = r.simulate(b, kind, 0, true)
 	if f.err != nil {
 		r.mu.Lock()
 		delete(r.flights, key)
@@ -192,15 +203,34 @@ func (r *Runner) Result(b workload.Benchmark, kind Kind) (*sim.Result, error) {
 // the Figure 1-3 time-series plots; not cached, but still bounded by the
 // runner's job slots).
 func (r *Runner) Sampled(b workload.Benchmark, kind Kind, sampleInterval uint64) (*sim.Result, error) {
-	return r.simulate(b, kind, sampleInterval)
+	// Sampled runs are uncached extras sharing a key with the canonical
+	// run, so they stay silent on the progress board.
+	return r.simulate(b, kind, sampleInterval, false)
 }
 
 // simulate executes one run while holding a job slot. Only simulating
 // goroutines occupy slots — flight waiters block outside, so the pool
 // cannot deadlock however callers fan out.
-func (r *Runner) simulate(b workload.Benchmark, kind Kind, sampleInterval uint64) (*sim.Result, error) {
+func (r *Runner) simulate(b workload.Benchmark, kind Kind, sampleInterval uint64, report bool) (res *sim.Result, err error) {
 	r.sem <- struct{}{}
 	defer func() { <-r.sem }()
+
+	report = report && r.Progress != nil
+	var runLen uint64
+	if report {
+		started := time.Now()
+		r.report(RunUpdate{Benchmark: b.Name, Kind: kind, State: RunSimulating})
+		defer func() {
+			u := RunUpdate{Benchmark: b.Name, Kind: kind, State: RunDone, Elapsed: time.Since(started)}
+			if err != nil {
+				u.State, u.Err = RunError, err
+			} else {
+				u.Cycles, u.Windows = res.Cycles, res.Windows
+				u.Translations, u.Total = runLen, runLen
+			}
+			r.report(u)
+		}()
+	}
 
 	m, err := manager(kind)
 	if err != nil {
@@ -211,15 +241,29 @@ func (r *Runner) simulate(b workload.Benchmark, kind Kind, sampleInterval uint64
 		return nil, err
 	}
 	r.sims.Add(1)
-	runLen := r.runLength(p.TotalScheduleTranslations())
-	res, err := sim.Run(p, sim.Config{
+	runLen = r.runLength(p.TotalScheduleTranslations())
+	cfg := sim.Config{
 		Design:          designFor(b),
 		Manager:         m,
 		MaxTranslations: runLen,
 		SampleInterval:  sampleInterval,
 		TrackQuality:    sampleInterval == 0 && kind == KindPowerChop,
 		Tracer:          r.Tracer,
-	})
+	}
+	if report {
+		cfg.Progress = func(pr sim.Progress) {
+			r.report(RunUpdate{
+				Benchmark:    b.Name,
+				Kind:         kind,
+				State:        RunSimulating,
+				Cycles:       pr.Cycle,
+				Translations: pr.Translations,
+				Total:        pr.MaxTranslations,
+				Windows:      pr.Windows,
+			})
+		}
+	}
+	res, err = sim.Run(p, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s: %w", b.Name, kind, err)
 	}

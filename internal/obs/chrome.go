@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing and Perfetto both load it). Only the fields this
+// exporter uses are modelled.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the exported JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// chromePID is the single process id all tracks share.
+const chromePID = 1
+
+// WriteChrome exports a single-run, time-ordered event stream as Chrome
+// trace-event JSON: one track (thread) per gated unit carrying a
+// duration event for every gating state interval (named by the
+// interval's power fraction), one track of instant events for PVT hits
+// and misses, and one for CDE invocations. Simulated cycles map 1:1 to
+// trace microseconds. Events are written in non-decreasing timestamp
+// order.
+//
+// Traces holding several concatenated runs (e.g. `compare -trace`)
+// restart their clocks mid-stream; export those one run at a time.
+func WriteChrome(w io.Writer, events []Event) error {
+	// Track layout: units (sorted) first, then PVT and CDE.
+	unitSet := map[string]bool{}
+	end := 0.0
+	for _, e := range events {
+		if e.Kind == KindGate && e.Unit != "" {
+			unitSet[e.Unit] = true
+		}
+		if e.Cycle > end {
+			end = e.Cycle
+		}
+	}
+	units := make([]string, 0, len(unitSet))
+	for u := range unitSet {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	tid := make(map[string]int, len(units))
+	var out []chromeEvent
+	meta := func(id int, name string) {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: chromePID, TID: id,
+			Args: map[string]any{"name": name},
+		})
+	}
+	out = append(out, chromeEvent{
+		Name: "process_name", Phase: "M", PID: chromePID,
+		Args: map[string]any{"name": "powerchop"},
+	})
+	for i, u := range units {
+		tid[u] = i + 1
+		meta(i+1, "gate:"+u)
+	}
+	pvtTID := len(units) + 1
+	cdeTID := len(units) + 2
+	meta(pvtTID, "pvt")
+	meta(cdeTID, "cde")
+
+	// Per-unit gating intervals: every unit boots at full power; each
+	// gate event closes the current interval and opens the next.
+	type state struct {
+		since float64
+		frac  float64
+	}
+	cur := make(map[string]state, len(units))
+	for _, u := range units {
+		cur[u] = state{since: 0, frac: 1}
+	}
+	interval := func(u string, s state, until float64) {
+		if until < s.since {
+			until = s.since
+		}
+		out = append(out, chromeEvent{
+			Name:  fmt.Sprintf("p=%.2f", s.frac),
+			Phase: "X", TS: s.since, Dur: until - s.since,
+			PID: chromePID, TID: tid[u],
+			Args: map[string]any{"unit": u, "power_frac": s.frac},
+		})
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case KindGate:
+			s, ok := cur[e.Unit]
+			if !ok {
+				continue
+			}
+			interval(e.Unit, s, e.Cycle)
+			cur[e.Unit] = state{since: e.Cycle, frac: e.Next}
+		case KindPVTHit, KindPVTMiss:
+			name := "hit"
+			if e.Kind == KindPVTMiss {
+				name = "miss"
+			}
+			out = append(out, chromeEvent{
+				Name: name, Phase: "i", TS: e.Cycle, Scope: "t",
+				PID: chromePID, TID: pvtTID,
+				Args: map[string]any{"sig": e.SigString(), "occupancy": e.Count},
+			})
+		case KindCDEInvoke:
+			out = append(out, chromeEvent{
+				Name: "invoke", Phase: "i", TS: e.Cycle, Scope: "t",
+				PID: chromePID, TID: cdeTID,
+				Args: map[string]any{"sig": e.SigString(), "cost_cycles": e.Value},
+			})
+		}
+	}
+	// Close the final interval of every unit at the trace's end.
+	for _, u := range units {
+		interval(u, cur[u], end)
+	}
+
+	// Viewers tolerate any order, but a monotonic stream is both easier
+	// to diff and required by our round-trip tests. Stable keeps equal
+	// timestamps (metadata, simultaneous boundary events) in track order.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{
+		TraceEvents:     out,
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{"generator": "powerchop", "time_unit": "1 cycle = 1us"},
+	})
+}

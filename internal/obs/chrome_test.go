@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestWriteChromeRoundTrip exports a synthetic trace and re-parses it,
+// asserting the output is well-formed trace-event JSON: every entry has
+// a phase and name, samples sit on declared tracks, and timestamps are
+// monotonically non-decreasing.
+func TestWriteChromeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, timelineEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    *float64       `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Scope string         `json:"s"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", trace.DisplayTimeUnit)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+
+	last := -1.0
+	counts := map[string]int{}
+	var durSum float64
+	for i, e := range trace.TraceEvents {
+		if e.Name == "" || e.Phase == "" || e.TS == nil {
+			t.Fatalf("event %d missing required fields: %+v", i, e)
+		}
+		switch e.Phase {
+		case "M", "X", "i":
+		default:
+			t.Fatalf("event %d: unexpected phase %q", i, e.Phase)
+		}
+		if e.Phase == "i" && e.Scope != "t" {
+			t.Errorf("instant event %d missing thread scope: %+v", i, e)
+		}
+		if *e.TS < last {
+			t.Fatalf("event %d: timestamp %v < previous %v (not monotonic)", i, *e.TS, last)
+		}
+		last = *e.TS
+		counts[e.Phase]++
+		if e.Phase == "X" {
+			if e.Dur < 0 {
+				t.Errorf("event %d: negative duration %v", i, e.Dur)
+			}
+			durSum += e.Dur
+		}
+	}
+	// One process_name + three thread_name records (VPU, pvt, cde).
+	if counts["M"] != 4 {
+		t.Errorf("metadata events = %d, want 4", counts["M"])
+	}
+	// VPU: full-power, gated, full-power again = 3 intervals.
+	if counts["X"] != 3 {
+		t.Errorf("gate intervals = %d, want 3", counts["X"])
+	}
+	// 1 pvt miss + 1 pvt hit + 1 cde invoke.
+	if counts["i"] != 3 {
+		t.Errorf("instant events = %d, want 3", counts["i"])
+	}
+	// The VPU intervals tile the whole [0, end] range exactly.
+	if durSum != 2500 {
+		t.Errorf("summed interval duration = %v, want 2500", durSum)
+	}
+}
+
+// TestWriteChromeEmpty checks an empty trace still produces a loadable
+// document (just process metadata).
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var trace map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := trace["traceEvents"]; !ok {
+		t.Fatal("missing traceEvents")
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -76,13 +77,52 @@ func (h *Histogram) Count() uint64 {
 	return h.count
 }
 
+// CheckName validates a registry metric name. Names follow the dotted
+// style of this package ("events.pvt-hit") but must remain mechanically
+// convertible to legal Prometheus exposition names (see PromName): the
+// first character must be a letter or '_', the rest letters, digits or
+// one of "_:.-". An illegal name is reported here, at registration, so
+// it can never surface later as an unscrapable /metrics page.
+func CheckName(name string) error {
+	if name == "" {
+		return fmt.Errorf("obs: empty metric name")
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case i > 0 && (c >= '0' && c <= '9' || c == ':' || c == '.' || c == '-'):
+		default:
+			return fmt.Errorf("obs: metric name %q: illegal character %q at %d (want [a-zA-Z_][a-zA-Z0-9_:.-]*)", name, c, i)
+		}
+	}
+	return nil
+}
+
+// PromName converts a registry name to its Prometheus exposition form:
+// '.' and '-' become '_'. The mapping is total over names accepted by
+// CheckName.
+func PromName(name string) string {
+	return strings.Map(func(c rune) rune {
+		if c == '.' || c == '-' {
+			return '_'
+		}
+		return c
+	}, name)
+}
+
 // Registry is a namespace of counters and histograms. Names are
 // lazily created on first use; looking a name up twice returns the same
 // instrument. Safe for concurrent use.
+//
+// Registration is where names fail fast: a name rejected by CheckName
+// panics, as does a name whose Prometheus form (PromName) collides with
+// a different already-registered name — both would otherwise surface
+// only later, as an unscrapable or ambiguous /metrics exposition.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	hists    map[string]*Histogram
+	byProm   map[string]string // PromName(name) → name, across both maps
 }
 
 // NewRegistry returns an empty registry.
@@ -90,15 +130,30 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		hists:    make(map[string]*Histogram),
+		byProm:   make(map[string]string),
 	}
 }
 
-// Counter returns the named counter, creating it on first use.
+// register validates a new instrument's name (under r.mu).
+func (r *Registry) register(name string) {
+	if err := CheckName(name); err != nil {
+		panic(err.Error())
+	}
+	prom := PromName(name)
+	if prior, ok := r.byProm[prom]; ok {
+		panic(fmt.Sprintf("obs: metric name %q collides with %q (both expose as %q)", name, prior, prom))
+	}
+	r.byProm[prom] = name
+}
+
+// Counter returns the named counter, creating it on first use. An
+// invalid or colliding name panics (see Registry).
 func (r *Registry) Counter(name string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c := r.counters[name]
 	if c == nil {
+		r.register(name)
 		c = &Counter{}
 		r.counters[name] = c
 	}
@@ -107,12 +162,13 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Histogram returns the named histogram, creating it with the given
 // bounds on first use. Later calls ignore bounds and return the existing
-// histogram.
+// histogram. An invalid or colliding name panics (see Registry).
 func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h := r.hists[name]
 	if h == nil {
+		r.register(name)
 		h = NewHistogram(bounds...)
 		r.hists[name] = h
 	}

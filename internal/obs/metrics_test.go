@@ -130,6 +130,60 @@ func TestCollector(t *testing.T) {
 	}
 }
 
+func TestCheckName(t *testing.T) {
+	for _, ok := range []string{"a", "events.total", "events.pvt-hit", "gate.residency.VPU", "_x", "ns:metric", "x9"} {
+		if err := CheckName(ok); err != nil {
+			t.Errorf("CheckName(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "9lives", ".dot", "-dash", "has space", "quo\"te", "new\nline", "héllo", "curly{}"} {
+		if err := CheckName(bad); err == nil {
+			t.Errorf("CheckName(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for name, want := range map[string]string{
+		"events.pvt-hit":     "events_pvt_hit",
+		"gate.residency.VPU": "gate_residency_VPU",
+		"plain":              "plain",
+	} {
+		if got := PromName(name); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+// TestRegistryRejectsBadNames is the fail-fast contract: an illegal or
+// colliding name must panic at registration, not surface later as an
+// unscrapable /metrics page.
+func TestRegistryRejectsBadNames(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s registered without panic", name)
+			}
+		}()
+		f()
+	}
+	reg := NewRegistry()
+	mustPanic("counter with space", func() { reg.Counter("has space") })
+	mustPanic("empty histogram name", func() { reg.Histogram("", 1) })
+	// Distinct names whose Prometheus forms collide.
+	reg.Counter("gate.stalls")
+	mustPanic("prom-form collision", func() { reg.Counter("gate-stalls") })
+	// Same name as both counter and histogram would expose duplicate
+	// families.
+	reg.Counter("dual")
+	mustPanic("counter/histogram name reuse", func() { reg.Histogram("dual", 1) })
+	// The originals are still intact and reusable.
+	if reg.Counter("gate.stalls") == nil || reg.Counter("dual") == nil {
+		t.Fatal("valid instruments lost after rejected registrations")
+	}
+}
+
 func TestSnapshotRenderEmpty(t *testing.T) {
 	if got := (&Snapshot{}).Render(); !strings.Contains(got, "no metrics") {
 		t.Fatalf("empty render = %q", got)

@@ -120,6 +120,27 @@ func TestJSONLRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMarshalEvent checks the one-object encoder matches the JSONL wire
+// format exactly: its output parses back with ReadJSONL to the original
+// event.
+func TestMarshalEvent(t *testing.T) {
+	want := Event{Kind: KindPVTHit, Cycle: 11, Window: 2, SigIDs: [MaxSigIDs]uint32{9, 11}, SigN: 2, Policy: 0xF, Count: 5}
+	b, err := MarshalEvent(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.ContainsRune(b, '\n') {
+		t.Fatalf("MarshalEvent output contains a newline: %q", b)
+	}
+	got, err := ReadJSONL(bytes.NewReader(append(b, '\n')))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != want {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+}
+
 func TestReadJSONLErrors(t *testing.T) {
 	if _, err := ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
 		t.Fatal("malformed line accepted")

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestBoardLifecycle(t *testing.T) {
+	b := NewBoard()
+	clock := time.Unix(1000, 0)
+	b.now = func() time.Time { return clock }
+
+	b.Update(RunUpdate{Benchmark: "mcf", Kind: "powerchop", State: StateQueued, Total: 5000})
+	b.Update(RunUpdate{Benchmark: "mcf", Kind: "powerchop", State: StateSimulating})
+	clock = clock.Add(2 * time.Second)
+	b.Update(RunUpdate{Benchmark: "mcf", Kind: "powerchop", State: StateSimulating,
+		Cycles: 1e6, Translations: 2500})
+	b.Update(RunUpdate{Benchmark: "astar", Kind: "full-power", State: StateQueued})
+
+	snap := b.Snapshot()
+	if len(snap.Runs) != 2 {
+		t.Fatalf("runs = %d", len(snap.Runs))
+	}
+	// Sorted by benchmark: astar first.
+	if snap.Runs[0].Benchmark != "astar" || snap.Runs[1].Benchmark != "mcf" {
+		t.Fatalf("sort order: %+v", snap.Runs)
+	}
+	mcf := snap.Runs[1]
+	// Partial update must not wipe the translation budget.
+	if mcf.Total != 5000 || mcf.Translations != 2500 || mcf.Cycles != 1e6 {
+		t.Errorf("mcf progress = %+v", mcf)
+	}
+	if mcf.ElapsedSeconds != 2 {
+		t.Errorf("live elapsed = %v, want 2", mcf.ElapsedSeconds)
+	}
+	if snap.Counts[StateQueued] != 1 || snap.Counts[StateSimulating] != 1 {
+		t.Errorf("counts = %v", snap.Counts)
+	}
+
+	clock = clock.Add(1 * time.Second)
+	b.Update(RunUpdate{Benchmark: "mcf", Kind: "powerchop", State: StateDone,
+		Cycles: 2e6, Translations: 5000, Elapsed: 3 * time.Second})
+	clock = clock.Add(time.Hour) // done rows keep their final elapsed
+	snap = b.Snapshot()
+	mcf = snap.Runs[1]
+	if mcf.State != StateDone || mcf.ElapsedSeconds != 3 {
+		t.Errorf("done row = %+v", mcf)
+	}
+
+	b.Update(RunUpdate{Benchmark: "astar", Kind: "full-power", State: StateError, Err: "boom"})
+	snap = b.Snapshot()
+	if snap.Runs[0].State != StateError || snap.Runs[0].Err != "boom" {
+		t.Errorf("error row = %+v", snap.Runs[0])
+	}
+	if snap.Counts[StateDone] != 1 || snap.Counts[StateError] != 1 {
+		t.Errorf("final counts = %v", snap.Counts)
+	}
+}
+
+func TestBoardJSON(t *testing.T) {
+	b := NewBoard()
+	b.Update(RunUpdate{Benchmark: "mcf", Kind: "powerchop", State: StateQueued})
+	raw, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Runs []struct {
+			Benchmark string `json:"benchmark"`
+			State     string `json:"state"`
+		} `json:"runs"`
+		Counts map[string]int `json:"counts"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 1 || doc.Runs[0].State != StateQueued || doc.Counts[StateQueued] != 1 {
+		t.Fatalf("json doc = %s", raw)
+	}
+}

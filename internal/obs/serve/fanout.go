@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"powerchop/internal/obs"
+)
+
+// Hub is a bounded fan-out obs.Tracer: every emitted event is offered to
+// each subscriber's buffered channel, and a subscriber that cannot keep
+// up loses events (counted, never blocking the simulation). Emit never
+// blocks and takes no locks on the hot path — the subscriber list is a
+// copy-on-write slice behind an atomic pointer.
+//
+// Subscriber channels are never closed: closing would race with a
+// concurrent Emit. A reader detaches with Sub.Close and stops reading;
+// events already buffered simply become garbage.
+type Hub struct {
+	subs    atomic.Pointer[[]*Sub]
+	mu      sync.Mutex // serializes Subscribe/Close rewrites
+	dropped atomic.Uint64
+}
+
+// DefaultSubBuffer is the per-subscriber channel capacity used when
+// Subscribe is called with a non-positive buffer size.
+const DefaultSubBuffer = 1024
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	h := &Hub{}
+	h.subs.Store(&[]*Sub{})
+	return h
+}
+
+// Sub is one subscription to a Hub's event stream.
+type Sub struct {
+	hub     *Hub
+	ch      chan obs.Event
+	dropped atomic.Uint64
+	closed  atomic.Bool
+}
+
+// Emit implements obs.Tracer. Events are offered to every live
+// subscriber; a full subscriber buffer drops the event for that
+// subscriber and increments both its and the hub's drop counters.
+func (h *Hub) Emit(e obs.Event) {
+	for _, s := range *h.subs.Load() {
+		select {
+		case s.ch <- e:
+		default:
+			s.dropped.Add(1)
+			h.dropped.Add(1)
+		}
+	}
+}
+
+// Subscribe registers a new subscriber whose channel buffers up to buf
+// events (DefaultSubBuffer when buf <= 0).
+func (h *Hub) Subscribe(buf int) *Sub {
+	if buf <= 0 {
+		buf = DefaultSubBuffer
+	}
+	s := &Sub{hub: h, ch: make(chan obs.Event, buf)}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	old := *h.subs.Load()
+	next := make([]*Sub, len(old), len(old)+1)
+	copy(next, old)
+	next = append(next, s)
+	h.subs.Store(&next)
+	return s
+}
+
+// Events returns the subscription's receive channel. It is never closed;
+// callers must also select on their own cancellation signal.
+func (s *Sub) Events() <-chan obs.Event { return s.ch }
+
+// Dropped returns how many events this subscriber has lost to a full
+// buffer.
+func (s *Sub) Dropped() uint64 { return s.dropped.Load() }
+
+// Close detaches the subscription from the hub. The channel is left open
+// (and may still hold buffered events); Close is idempotent.
+func (s *Sub) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	h := s.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	old := *h.subs.Load()
+	next := make([]*Sub, 0, len(old))
+	for _, o := range old {
+		if o != s {
+			next = append(next, o)
+		}
+	}
+	h.subs.Store(&next)
+}
+
+// Dropped returns the total events dropped across all subscribers since
+// the hub was created (including subscribers since closed).
+func (h *Hub) Dropped() uint64 { return h.dropped.Load() }
+
+// Subscribers returns the current number of live subscriptions.
+func (h *Hub) Subscribers() int { return len(*h.subs.Load()) }

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"powerchop/internal/obs"
+)
+
+func TestHubFastClientLossless(t *testing.T) {
+	h := NewHub()
+	sub := h.Subscribe(16)
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		h.Emit(obs.Event{Kind: obs.KindGate, Count: uint64(i)})
+	}
+	for i := 0; i < 10; i++ {
+		e := <-sub.Events()
+		if e.Count != uint64(i) {
+			t.Fatalf("event %d arrived as %d (reordered or lost)", i, e.Count)
+		}
+	}
+	if sub.Dropped() != 0 || h.Dropped() != 0 {
+		t.Fatalf("drops on an unfilled buffer: sub=%d hub=%d", sub.Dropped(), h.Dropped())
+	}
+}
+
+// TestHubSlowClientDrops fills a small buffer and checks overflow is
+// counted on both the subscriber and the hub, without Emit ever blocking.
+func TestHubSlowClientDrops(t *testing.T) {
+	h := NewHub()
+	slow := h.Subscribe(4)
+	defer slow.Close()
+	fast := h.Subscribe(64)
+	defer fast.Close()
+	for i := 0; i < 20; i++ {
+		h.Emit(obs.Event{Kind: obs.KindTranslate})
+	}
+	if got := slow.Dropped(); got != 16 {
+		t.Errorf("slow subscriber dropped %d, want 16", got)
+	}
+	if got := fast.Dropped(); got != 0 {
+		t.Errorf("fast subscriber dropped %d, want 0", got)
+	}
+	if got := h.Dropped(); got != 16 {
+		t.Errorf("hub dropped %d, want 16", got)
+	}
+	// The slow subscriber still holds its first 4 events.
+	for i := 0; i < 4; i++ {
+		<-slow.Events()
+	}
+	select {
+	case e := <-slow.Events():
+		t.Fatalf("unexpected extra buffered event %+v", e)
+	default:
+	}
+}
+
+func TestHubCloseDetaches(t *testing.T) {
+	h := NewHub()
+	a := h.Subscribe(4)
+	b := h.Subscribe(4)
+	if h.Subscribers() != 2 {
+		t.Fatalf("subscribers = %d", h.Subscribers())
+	}
+	a.Close()
+	a.Close() // idempotent
+	if h.Subscribers() != 1 {
+		t.Fatalf("subscribers after close = %d", h.Subscribers())
+	}
+	h.Emit(obs.Event{Kind: obs.KindGate})
+	select {
+	case e := <-a.Events():
+		t.Fatalf("closed subscriber received %+v", e)
+	default:
+	}
+	if e := <-b.Events(); e.Kind != obs.KindGate {
+		t.Fatalf("live subscriber got %+v", e)
+	}
+	if a.Dropped() != 0 {
+		t.Fatalf("closed subscriber charged %d drops", a.Dropped())
+	}
+}
+
+func TestHubDefaultBuffer(t *testing.T) {
+	h := NewHub()
+	sub := h.Subscribe(0)
+	defer sub.Close()
+	if cap(sub.ch) != DefaultSubBuffer {
+		t.Fatalf("default buffer = %d, want %d", cap(sub.ch), DefaultSubBuffer)
+	}
+}
+
+// TestHubConcurrent hammers Emit, Subscribe and Close together; with
+// -race this pins the copy-on-write subscriber list.
+func TestHubConcurrent(t *testing.T) {
+	h := NewHub()
+	stop := make(chan struct{})
+	emitterDone := make(chan struct{})
+	go func() {
+		defer close(emitterDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Emit(obs.Event{Kind: obs.KindPVTHit})
+			}
+		}
+	}()
+	var subs sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		subs.Add(1)
+		go func() {
+			defer subs.Done()
+			for i := 0; i < 100; i++ {
+				s := h.Subscribe(2)
+				<-s.Events()
+				s.Close()
+			}
+		}()
+	}
+	subs.Wait()
+	close(stop)
+	<-emitterDone
+	if h.Subscribers() != 0 {
+		t.Fatalf("leaked %d subscribers", h.Subscribers())
+	}
+}

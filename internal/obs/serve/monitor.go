@@ -1,0 +1,212 @@
+// Package serve is the live monitoring layer over the obs subsystem: an
+// HTTP server exposing registry metrics in the Prometheus text format,
+// runner progress as JSON, the raw event stream as SSE or NDJSON, and
+// the standard pprof handlers — all on one mux. It is deliberately
+// read-only with respect to the simulation: metrics are snapshotted,
+// progress is reported through callbacks, and events reach clients via a
+// bounded fan-out that drops rather than blocks.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+
+	"powerchop/internal/obs"
+)
+
+// Monitor bundles the monitoring endpoints:
+//
+//	GET /metrics   Prometheus text exposition of the registry
+//	GET /progress  JSON snapshot of per-run progress
+//	GET /events    live event stream (SSE; ?format=ndjson for NDJSON)
+//	GET /debug/pprof/...  standard profiling handlers
+type Monitor struct {
+	mux   *http.ServeMux
+	reg   *obs.Registry
+	hub   *Hub
+	board *Board
+
+	mu   sync.Mutex
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+}
+
+// NewMonitor builds a monitor over the given registry (nil is allowed;
+// /metrics then serves only the hub's own stats).
+func NewMonitor(reg *obs.Registry) *Monitor {
+	m := &Monitor{
+		mux:   http.NewServeMux(),
+		reg:   reg,
+		hub:   NewHub(),
+		board: NewBoard(),
+		done:  make(chan struct{}),
+	}
+	m.mux.HandleFunc("GET /metrics", m.handleMetrics)
+	m.mux.HandleFunc("GET /progress", m.handleProgress)
+	m.mux.HandleFunc("GET /events", m.handleEvents)
+	m.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	m.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	m.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	m.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	m.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	m.mux.HandleFunc("GET /{$}", m.handleIndex)
+	return m
+}
+
+// Hub returns the monitor's event fan-out; attach it to a simulation as
+// an obs.Tracer (typically via obs.Multi next to a Collector).
+func (m *Monitor) Hub() *Hub { return m.hub }
+
+// Board returns the monitor's progress board; feed it RunUpdates from
+// runner progress callbacks.
+func (m *Monitor) Board() *Board { return m.board }
+
+// Mux exposes the underlying mux so callers can mount extra endpoints
+// (the serve subcommand adds its /api tree here).
+func (m *Monitor) Mux() *http.ServeMux { return m.mux }
+
+// Handler returns the monitor as an http.Handler, for use without Start.
+func (m *Monitor) Handler() http.Handler { return m.mux }
+
+func (m *Monitor) handleIndex(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `powerchop monitor
+  /metrics   Prometheus text exposition
+  /progress  per-run progress (JSON)
+  /events    live event stream (SSE; ?format=ndjson for NDJSON)
+  /debug/pprof/  profiling
+`)
+}
+
+func (m *Monitor) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap := &obs.Snapshot{}
+	if m.reg != nil {
+		snap = m.reg.Snapshot()
+	}
+	WriteMetrics(w, snap)
+	// The hub's own health, outside any registry.
+	fmt.Fprintf(w, "# TYPE serve_events_dropped counter\nserve_events_dropped %d\n", m.hub.Dropped())
+	fmt.Fprintf(w, "# TYPE serve_event_subscribers gauge\nserve_event_subscribers %d\n", m.hub.Subscribers())
+}
+
+func (m *Monitor) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	b, err := m.board.MarshalJSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(append(b, '\n'))
+}
+
+// handleEvents streams the live event feed. The default framing is
+// server-sent events (`data: <json>\n\n`); `?format=ndjson` switches to
+// one JSON object per line. Events a slow client misses are dropped by
+// the hub; the running drop count is reported in-band (an SSE comment,
+// or a `{"dropped":n}` NDJSON line). The stream ends when the client
+// disconnects or the monitor shuts down.
+func (m *Monitor) handleEvents(w http.ResponseWriter, r *http.Request) {
+	ndjson := r.URL.Query().Get("format") == "ndjson"
+	buf := 0
+	if s := r.URL.Query().Get("buffer"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			buf = n
+		}
+	}
+	flusher, _ := w.(http.Flusher)
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	}
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
+
+	sub := m.hub.Subscribe(buf)
+	defer sub.Close()
+	var reported uint64
+	for {
+		select {
+		case e := <-sub.Events():
+			b, err := obs.MarshalEvent(e)
+			if err != nil {
+				continue
+			}
+			if ndjson {
+				w.Write(append(b, '\n'))
+			} else {
+				fmt.Fprintf(w, "data: %s\n\n", b)
+			}
+			if d := sub.Dropped(); d != reported {
+				reported = d
+				if ndjson {
+					fmt.Fprintf(w, "{\"dropped\":%d}\n", d)
+				} else {
+					fmt.Fprintf(w, ": dropped=%d\n\n", d)
+				}
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		case <-m.done:
+			return
+		}
+	}
+}
+
+// Start listens on addr (":0" picks a free port) and serves in the
+// background until Shutdown.
+func (m *Monitor) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.ln = ln
+	m.srv = &http.Server{Handler: m.mux, ReadHeaderTimeout: 5 * time.Second}
+	srv := m.srv
+	m.mu.Unlock()
+	go srv.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (m *Monitor) Addr() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ln == nil {
+		return ""
+	}
+	return m.ln.Addr().String()
+}
+
+// Shutdown unblocks all event streams and gracefully stops the server.
+// Safe to call more than once and without a prior Start.
+func (m *Monitor) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	select {
+	case <-m.done:
+	default:
+		close(m.done) // release streaming handlers first, or Shutdown hangs
+	}
+	srv := m.srv
+	m.srv = nil
+	m.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}

@@ -1,0 +1,386 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"powerchop/internal/obs"
+)
+
+// formatFloat renders a float the way the Prometheus text format expects:
+// shortest round-trippable decimal, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteMetrics renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): every counter as a `counter` family
+// and every histogram as a `histogram` family with cumulative
+// `_bucket{le=...}` series, a closing `le="+Inf"` bucket, `_sum` and
+// `_count`. Registry names are converted with obs.PromName (the registry
+// guarantees at registration time that the conversion is legal and
+// collision-free).
+func WriteMetrics(w io.Writer, s *obs.Snapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range s.Counters {
+		name := obs.PromName(c.Name)
+		fmt.Fprintf(bw, "# HELP %s powerchop counter %s\n", name, c.Name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", name)
+		fmt.Fprintf(bw, "%s %d\n", name, c.Value)
+	}
+	for _, h := range s.Histograms {
+		name := obs.PromName(h.Name)
+		fmt.Fprintf(bw, "# HELP %s powerchop histogram %s\n", name, h.Name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		cum := uint64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(bw, "%s_sum %s\n", name, formatFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", name, h.Count)
+	}
+	return bw.Flush()
+}
+
+// promSample is one parsed sample line of an exposition.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+// CheckExposition is a Prometheus text-format (0.0.4) conformance check,
+// used by tests and by `powerchop serve` self-checks. It verifies:
+//
+//   - every line is a comment, a `# HELP`/`# TYPE` header, or a
+//     well-formed sample (`name{labels} value [timestamp]`);
+//   - metric and label names match the Prometheus grammar;
+//   - every sample belongs to a family with a declared TYPE, declared
+//     at most once and before its samples;
+//   - no duplicate samples (same name and label set);
+//   - histogram families have non-decreasing cumulative buckets, a
+//     `+Inf` bucket, and `_count` equal to the `+Inf` bucket;
+//   - the exposition ends with a newline.
+func CheckExposition(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	if data[len(data)-1] != '\n' {
+		return fmt.Errorf("prom: exposition does not end with a newline")
+	}
+	types := map[string]string{}    // family → TYPE
+	sampled := map[string]bool{}    // family → samples seen
+	seen := map[string]int{}        // name+labels → line (duplicate check)
+	var samples []promSample
+	for i, line := range strings.Split(strings.TrimSuffix(string(data), "\n"), "\n") {
+		n := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, err := parsePromHeader(line)
+			if err != nil {
+				return fmt.Errorf("prom: line %d: %w", n, err)
+			}
+			if kind == "TYPE" {
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("prom: line %d: duplicate TYPE for %s", n, name)
+				}
+				if sampled[name] {
+					return fmt.Errorf("prom: line %d: TYPE for %s after its samples", n, name)
+				}
+				types[name] = strings.Fields(line)[3]
+			}
+			continue
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return fmt.Errorf("prom: line %d: %w", n, err)
+		}
+		s.line = n
+		fam := promFamily(s.name, types)
+		if _, ok := types[fam]; !ok {
+			return fmt.Errorf("prom: line %d: sample %s has no TYPE declaration", n, s.name)
+		}
+		sampled[fam] = true
+		key := s.name + "{" + canonicalLabels(s.labels) + "}"
+		if prev, dup := seen[key]; dup {
+			return fmt.Errorf("prom: line %d: duplicate sample %s (first at line %d)", n, key, prev)
+		}
+		seen[key] = n
+		samples = append(samples, s)
+	}
+	return checkPromHistograms(samples, types)
+}
+
+// canonicalLabels renders a label map in sorted order, for duplicate
+// detection.
+func canonicalLabels(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+// parsePromHeader validates a comment line and returns ("HELP"|"TYPE"|"",
+// metric name) for header comments.
+func parsePromHeader(line string) (kind, name string, err error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return "", "", nil // free-form comment
+	}
+	if len(fields) < 4 {
+		return "", "", fmt.Errorf("malformed %s line %q", fields[1], line)
+	}
+	if !validPromName(fields[2]) {
+		return "", "", fmt.Errorf("%s for illegal metric name %q", fields[1], fields[2])
+	}
+	if fields[1] == "TYPE" {
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return "", "", fmt.Errorf("unknown TYPE %q", fields[3])
+		}
+	}
+	return fields[1], fields[2], nil
+}
+
+// parsePromSample parses `name{labels} value [timestamp]`.
+func parsePromSample(line string) (promSample, error) {
+	s := promSample{labels: map[string]string{}}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var nameEnd int
+	if brace >= 0 && brace < strings.IndexByte(rest+" ", ' ') {
+		nameEnd = brace
+	} else {
+		nameEnd = strings.IndexByte(rest, ' ')
+		if nameEnd < 0 {
+			return s, fmt.Errorf("no value in sample %q", line)
+		}
+	}
+	s.name = rest[:nameEnd]
+	if !validPromName(s.name) {
+		return s, fmt.Errorf("illegal metric name %q", s.name)
+	}
+	rest = rest[nameEnd:]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parsePromLabels(rest[1:end], s.labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want `value [timestamp]` after name, got %q", rest)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parsePromValue accepts Go float syntax plus the spec's +Inf/-Inf/NaN.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return v, nil
+}
+
+// parsePromLabels parses `k1="v1",k2="v2"` into dst.
+func parsePromLabels(s string, dst map[string]string) error {
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("label without '=' in %q", s)
+		}
+		key := s[:eq]
+		if !validPromLabelName(key) {
+			return fmt.Errorf("illegal label name %q", key)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return fmt.Errorf("unquoted label value for %q", key)
+		}
+		// Find the closing quote, honouring backslash escapes.
+		i := 1
+		for ; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+		}
+		if i >= len(s) {
+			return fmt.Errorf("unterminated label value for %q", key)
+		}
+		if _, dup := dst[key]; dup {
+			return fmt.Errorf("duplicate label %q", key)
+		}
+		dst[key] = s[1:i]
+		s = s[i+1:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return nil
+}
+
+// validPromName reports whether s is a legal metric name.
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case i > 0 && c >= '0' && c <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validPromLabelName reports whether s is a legal label name.
+func validPromLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case i > 0 && c >= '0' && c <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// promFamily maps a sample name to its metric family: histogram series
+// carry _bucket/_sum/_count suffixes over the declared family name.
+func promFamily(name string, types map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// checkPromHistograms verifies the bucket invariants of every histogram
+// family present in the sample set.
+func checkPromHistograms(samples []promSample, types map[string]string) error {
+	type histAgg struct {
+		buckets map[float64]float64 // le → cumulative count
+		count   float64
+		hasCnt  bool
+		hasSum  bool
+	}
+	hists := map[string]*histAgg{}
+	for name, typ := range types {
+		if typ == "histogram" {
+			hists[name] = &histAgg{buckets: map[float64]float64{}}
+		}
+	}
+	for _, s := range samples {
+		fam := promFamily(s.name, types)
+		h, ok := hists[fam]
+		if !ok {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			leStr, ok := s.labels["le"]
+			if !ok {
+				return fmt.Errorf("prom: line %d: histogram bucket %s without le label", s.line, s.name)
+			}
+			le, err := parsePromValue(leStr)
+			if err != nil {
+				return fmt.Errorf("prom: line %d: bad le %q", s.line, leStr)
+			}
+			h.buckets[le] = s.value
+		case strings.HasSuffix(s.name, "_count"):
+			h.count, h.hasCnt = s.value, true
+		case strings.HasSuffix(s.name, "_sum"):
+			h.hasSum = true
+		}
+	}
+	for name, h := range hists {
+		if len(h.buckets) == 0 && !h.hasCnt && !h.hasSum {
+			continue // declared but not sampled
+		}
+		inf, ok := h.buckets[math.Inf(1)]
+		if !ok {
+			return fmt.Errorf("prom: histogram %s has no +Inf bucket", name)
+		}
+		if !h.hasCnt || !h.hasSum {
+			return fmt.Errorf("prom: histogram %s missing _sum or _count", name)
+		}
+		if inf != h.count {
+			return fmt.Errorf("prom: histogram %s: +Inf bucket %v != count %v", name, inf, h.count)
+		}
+		les := make([]float64, 0, len(h.buckets))
+		for le := range h.buckets {
+			les = append(les, le)
+		}
+		sort.Float64s(les)
+		prev := -math.MaxFloat64
+		prevCum := -1.0
+		for _, le := range les {
+			if h.buckets[le] < prevCum {
+				return fmt.Errorf("prom: histogram %s: bucket le=%v count %v below le=%v count %v (not cumulative)",
+					name, le, h.buckets[le], prev, prevCum)
+			}
+			prev, prevCum = le, h.buckets[le]
+		}
+	}
+	return nil
+}

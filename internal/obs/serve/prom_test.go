@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"powerchop/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds the fixed registry behind testdata/metrics.golden.
+func goldenRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Counter("events.total").Add(42)
+	reg.Counter("events.pvt-hit").Add(7)
+	h := reg.Histogram("window.insns", 10, 100, 1000)
+	for _, v := range []float64{5, 10, 50, 1000, 2500} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+// TestWriteMetricsGolden pins the exact exposition bytes: counter lines,
+// cumulative histogram buckets, the +Inf bucket equal to _count, and
+// dotted/dashed names sanitized to underscores.
+func TestWriteMetricsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, goldenRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden (rerun with -update to accept):\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Errorf("golden exposition fails conformance: %v", err)
+	}
+}
+
+func TestCheckExpositionAccepts(t *testing.T) {
+	good := `# A free-form comment.
+# TYPE up gauge
+up 1
+# TYPE http_requests_total counter
+http_requests_total{method="get",code="200"} 1027 1395066363000
+http_requests_total{method="post"} 3
+# TYPE lat histogram
+lat_bucket{le="0.1"} 2
+lat_bucket{le="+Inf"} 5
+lat_sum 12.5
+lat_count 5
+`
+	if err := CheckExposition([]byte(good)); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	if err := CheckExposition(nil); err != nil {
+		t.Fatalf("empty exposition rejected: %v", err)
+	}
+}
+
+func TestCheckExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"no trailing newline": "# TYPE a counter\na 1",
+		"sample without TYPE": "a 1\n",
+		"TYPE after samples":  "# TYPE a counter\na 1\n# TYPE a counter\n",
+		"illegal name":        "# TYPE 9a counter\n9a 1\n",
+		"unknown type":        "# TYPE a widget\na 1\n",
+		"bad value":           "# TYPE a counter\na one\n",
+		"duplicate sample":    "# TYPE a counter\na 1\na 2\n",
+		"duplicate label":     "# TYPE a counter\na{x=\"1\",x=\"2\"} 1\n",
+		"reserved label":      "# TYPE a counter\na{__x=\"1\"} 1\n",
+		"missing +Inf bucket": "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2\n",
+		"+Inf != count":       "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 2\n",
+		"missing _sum":        "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n",
+		"non-cumulative buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n" +
+			"h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+	}
+	for name, body := range cases {
+		if err := CheckExposition([]byte(body)); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, body)
+		}
+	}
+}
+
+// TestWriteMetricsConcurrent scrapes while instruments are being updated;
+// run with -race this pins the snapshot isolation of the exposition path.
+func TestWriteMetricsConcurrent(t *testing.T) {
+	reg := obs.NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				reg.Counter("spin.count").Inc()
+				reg.Histogram("spin.lat", 1, 10, 100).Observe(float64(i % 200))
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := WriteMetrics(&buf, reg.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckExposition(buf.Bytes()); err != nil {
+			t.Fatalf("scrape %d nonconformant: %v\n%s", i, err, buf.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestFormatFloat(t *testing.T) {
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	reg.Histogram("frac", 0.25, 0.5).Observe(0.3)
+	if err := WriteMetrics(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`le="0.25"`, `le="0.5"`, "frac_sum 0.3"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -26,6 +26,44 @@ type wireEvent struct {
 	Count  uint64   `json:"count,omitempty"`
 }
 
+// wireOf converts an Event to its wire form. sig, when non-nil, is used
+// as the backing array for the signature slice (callers reusing scratch
+// space); a nil sig allocates.
+func wireOf(e Event, sig []uint32) wireEvent {
+	we := wireEvent{
+		Kind:   e.Kind.String(),
+		Cycle:  e.Cycle,
+		Window: e.Window,
+		Unit:   e.Unit,
+		Detail: e.Detail,
+		Policy: e.Policy,
+		Prev:   e.Prev,
+		Next:   e.Next,
+		Stall:  e.Stall,
+		Value:  e.Value,
+		Count:  e.Count,
+	}
+	if e.SigN > 0 {
+		n := int(e.SigN)
+		if n > MaxSigIDs {
+			n = MaxSigIDs
+		}
+		if sig == nil {
+			sig = make([]uint32, n)
+		}
+		copy(sig[:n], e.SigIDs[:n])
+		we.Sig = sig[:n]
+	}
+	return we
+}
+
+// MarshalEvent renders one event as a single JSON object (no trailing
+// newline) in the same wire format JSONL streams and ReadJSONL parses.
+// It is the building block for network event feeds (SSE/NDJSON).
+func MarshalEvent(e Event) ([]byte, error) {
+	return json.Marshal(wireOf(e, nil))
+}
+
 // JSONL is a Tracer that streams events to a writer, one JSON object per
 // line. Writes are buffered; call Flush before reading the destination.
 // JSONL is safe for concurrent use.
@@ -49,27 +87,7 @@ func NewJSONL(w io.Writer) *JSONL {
 func (j *JSONL) Emit(e Event) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	we := wireEvent{
-		Kind:   e.Kind.String(),
-		Cycle:  e.Cycle,
-		Window: e.Window,
-		Unit:   e.Unit,
-		Detail: e.Detail,
-		Policy: e.Policy,
-		Prev:   e.Prev,
-		Next:   e.Next,
-		Stall:  e.Stall,
-		Value:  e.Value,
-		Count:  e.Count,
-	}
-	if e.SigN > 0 {
-		n := int(e.SigN)
-		if n > MaxSigIDs {
-			n = MaxSigIDs
-		}
-		copy(j.sig[:n], e.SigIDs[:n])
-		we.Sig = j.sig[:n]
-	}
+	we := wireOf(e, j.sig[:])
 	if err := j.enc.Encode(we); err != nil && j.lastErr == nil {
 		j.lastErr = err
 	}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"powerchop/internal/textplot"
+)
+
+// TimelineRow is one execution window of a trace: the window's identity
+// and contents (from its window-close event) plus the phase-boundary
+// machinery that ran at its close — the PVT lookup outcome, CDE
+// invocations, gating transitions — and each unit's power fraction once
+// the boundary settled.
+type TimelineRow struct {
+	// Window is the window's ordinal (1-based).
+	Window uint64
+	// EndCycle is the simulated cycle at the window's close.
+	EndCycle float64
+	// Sig is the rendered phase signature ("<t1a,t2b>").
+	Sig string
+	// Insns is the window's translated dynamic instruction count.
+	Insns uint64
+	// Lookup is the PVT outcome at the boundary: "hit", "miss" or "-"
+	// (no lookup observed, e.g. a non-PowerChop manager).
+	Lookup string
+	// Policy is the policy vector applied at the boundary ("0110"), or
+	// "-" when none was observed.
+	Policy string
+	// CDEInvokes counts CDE invocations at the boundary.
+	CDEInvokes uint64
+	// Gates counts gating transitions at the boundary and Stall their
+	// total stall-cycle cost.
+	Gates uint64
+	Stall float64
+	// Fracs holds each unit's power fraction after the boundary, aligned
+	// with Timeline.Units. Units never seen gating yet report 1 (full
+	// power, the simulator's boot state).
+	Fracs []float64
+}
+
+// Timeline is a per-window replay of a single-run trace: one row per
+// execution window, in close order, tracking unit power state across the
+// run. Built by NewTimeline from a time-ordered event stream.
+type Timeline struct {
+	// Units lists the gated units observed, sorted; every row's Fracs
+	// aligns with it.
+	Units []string
+	Rows  []TimelineRow
+}
+
+// NewTimeline replays a time-ordered event stream (one run, as written
+// by a JSONL trace) into a per-window timeline. Events between two
+// window closes — the boundary machinery runs right after the close —
+// are attributed to the earlier window.
+func NewTimeline(events []Event) *Timeline {
+	// Discover the gated units first so every row's Fracs has one slot
+	// per unit regardless of when the unit first switches.
+	unitSet := map[string]bool{}
+	for _, e := range events {
+		if e.Kind == KindGate && e.Unit != "" {
+			unitSet[e.Unit] = true
+		}
+	}
+	units := make([]string, 0, len(unitSet))
+	for u := range unitSet {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	slot := make(map[string]int, len(units))
+	for i, u := range units {
+		slot[u] = i
+	}
+
+	tl := &Timeline{Units: units}
+	// All units boot at full power.
+	fracs := make([]float64, len(units))
+	for i := range fracs {
+		fracs[i] = 1
+	}
+	var cur *TimelineRow
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		cur.Fracs = append([]float64(nil), fracs...)
+		tl.Rows = append(tl.Rows, *cur)
+		cur = nil
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case KindWindowClose:
+			flush()
+			cur = &TimelineRow{
+				Window:   e.Window,
+				EndCycle: e.Cycle,
+				Sig:      e.SigString(),
+				Insns:    e.Count,
+				Lookup:   "-",
+				Policy:   "-",
+			}
+		case KindPVTHit:
+			if cur != nil {
+				cur.Lookup = "hit"
+				cur.Policy = e.PolicyString()
+			}
+		case KindPVTMiss:
+			if cur != nil {
+				cur.Lookup = "miss"
+			}
+		case KindCDEInvoke:
+			if cur != nil {
+				cur.CDEInvokes++
+			}
+		case KindCDERegister:
+			if cur != nil {
+				cur.Policy = e.PolicyString()
+			}
+		case KindGate:
+			if i, ok := slot[e.Unit]; ok {
+				fracs[i] = e.Next
+			}
+			if cur != nil {
+				cur.Gates++
+				cur.Stall += e.Stall
+			}
+		}
+	}
+	flush()
+	return tl
+}
+
+// Render formats the timeline as a text table. last bounds the output to
+// the most recent rows (<= 0 shows every window); skipped leading rows
+// are counted in a heading note.
+func (tl *Timeline) Render(last int) string {
+	rows := tl.Rows
+	skipped := 0
+	if last > 0 && len(rows) > last {
+		skipped = len(rows) - last
+		rows = rows[skipped:]
+	}
+	header := []string{"win", "cycle", "phase", "insns", "lookup", "policy", "cde", "gates", "stall"}
+	for _, u := range tl.Units {
+		header = append(header, u)
+	}
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells := []string{
+			fmt.Sprintf("%d", r.Window),
+			fmt.Sprintf("%.6g", r.EndCycle),
+			r.Sig,
+			fmt.Sprintf("%d", r.Insns),
+			r.Lookup,
+			r.Policy,
+			fmt.Sprintf("%d", r.CDEInvokes),
+			fmt.Sprintf("%d", r.Gates),
+			fmt.Sprintf("%.4g", r.Stall),
+		}
+		for _, f := range r.Fracs {
+			cells = append(cells, fmt.Sprintf("%.2f", f))
+		}
+		table = append(table, cells)
+	}
+	out := fmt.Sprintf("timeline: %d windows, %d gated units\n", len(tl.Rows), len(tl.Units))
+	if skipped > 0 {
+		out += fmt.Sprintf("(%d earlier windows skipped)\n", skipped)
+	}
+	return out + textplot.Table(header, table)
+}

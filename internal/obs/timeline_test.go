@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// timelineEvents is a small two-window trace: window 1 misses the PVT,
+// invokes the CDE and gates the VPU off; window 2 hits and gates it back
+// on.
+func timelineEvents() []Event {
+	sig := [MaxSigIDs]uint32{0x10}
+	return []Event{
+		{Kind: KindTranslate, Cycle: 50, Count: 0x10, Value: 40},
+		{Kind: KindWindowClose, Cycle: 1000, Window: 1, SigIDs: sig, SigN: 1, Count: 4000},
+		{Kind: KindPVTMiss, Cycle: 1000, Window: 1, SigIDs: sig, SigN: 1, Count: 3},
+		{Kind: KindCDEInvoke, Cycle: 1000, Window: 1, SigIDs: sig, SigN: 1, Value: 5000},
+		{Kind: KindCDERegister, Cycle: 1000, Window: 1, SigIDs: sig, SigN: 1, Policy: 0x7, Detail: "computed"},
+		{Kind: KindGate, Cycle: 1000, Window: 1, Unit: "VPU", Prev: 1, Next: 0.05, Stall: 30, Count: 1},
+		{Kind: KindWindowClose, Cycle: 2500, Window: 2, SigIDs: sig, SigN: 1, Count: 4100},
+		{Kind: KindPVTHit, Cycle: 2500, Window: 2, SigIDs: sig, SigN: 1, Policy: 0xF, Count: 4},
+		{Kind: KindGate, Cycle: 2500, Window: 2, Unit: "VPU", Prev: 0.05, Next: 1, Stall: 30, Count: 2},
+	}
+}
+
+func TestTimelineRows(t *testing.T) {
+	tl := NewTimeline(timelineEvents())
+	if len(tl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tl.Rows))
+	}
+	if got := tl.Units; len(got) != 1 || got[0] != "VPU" {
+		t.Fatalf("units = %v", got)
+	}
+	w1, w2 := tl.Rows[0], tl.Rows[1]
+	if w1.Window != 1 || w1.Lookup != "miss" || w1.CDEInvokes != 1 || w1.Gates != 1 {
+		t.Errorf("window 1 = %+v", w1)
+	}
+	if w1.Policy != "0111" {
+		t.Errorf("window 1 policy = %q (from register), want 0111", w1.Policy)
+	}
+	if w1.Fracs[0] != 0.05 {
+		t.Errorf("window 1 VPU frac = %v, want 0.05 (gated at its boundary)", w1.Fracs[0])
+	}
+	if w2.Lookup != "hit" || w2.Policy != "1111" || w2.Fracs[0] != 1 {
+		t.Errorf("window 2 = %+v", w2)
+	}
+	if w2.Stall != 30 {
+		t.Errorf("window 2 stall = %v", w2.Stall)
+	}
+}
+
+func TestTimelineRender(t *testing.T) {
+	tl := NewTimeline(timelineEvents())
+	out := tl.Render(0)
+	for _, want := range []string{"timeline: 2 windows", "VPU", "<t10>", "miss", "hit", "0.05", "1.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// last=1 keeps only the newest window and notes the skip.
+	out = tl.Render(1)
+	if !strings.Contains(out, "(1 earlier windows skipped)") || strings.Contains(out, "miss") {
+		t.Errorf("render(1):\n%s", out)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	tl := NewTimeline(nil)
+	if len(tl.Rows) != 0 || len(tl.Units) != 0 {
+		t.Fatalf("empty timeline = %+v", tl)
+	}
+	if out := tl.Render(10); !strings.Contains(out, "0 windows") {
+		t.Errorf("empty render: %q", out)
+	}
+}

@@ -235,13 +235,31 @@ func (s *engine) run() {
 		if tr != nil {
 			if s.htb.Record(tr.ID, uint64(tr.Insns)) {
 				s.endWindow()
+				s.reportProgress(false)
 			}
 		}
 	}
 }
 
+// reportProgress delivers a read-only snapshot to the configured
+// progress callback. It must stay free of simulation side effects.
+func (s *engine) reportProgress(done bool) {
+	if s.cfg.Progress == nil {
+		return
+	}
+	s.cfg.Progress(Progress{
+		Cycle:           s.cycles,
+		GuestInsns:      s.guestInsns,
+		Translations:    s.walker.Executed(),
+		MaxTranslations: s.cfg.MaxTranslations,
+		Windows:         s.htb.Windows(),
+		Done:            done,
+	})
+}
+
 // finish closes out accounting and assembles the Result.
 func (s *engine) finish() *Result {
+	s.reportProgress(true)
 	// Close residency tracking.
 	for _, u := range s.units {
 		u.gate().CloseOut(s.cycles)

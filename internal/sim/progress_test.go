@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+
+	"powerchop/internal/arch"
+	"powerchop/internal/core"
+)
+
+// TestProgressReports checks the callback fires once per window plus a
+// final done report, with monotonic counters capped by the budget.
+func TestProgressReports(t *testing.T) {
+	p := vectorPhasedProgram(t)
+	var reports []Progress
+	r, err := Run(p, Config{
+		Design:          arch.Server(),
+		Manager:         core.MustPowerChop(core.DefaultConfig()),
+		Phase:           smallPhaseConfig(),
+		MaxTranslations: 3000,
+		Progress:        func(pr Progress) { reports = append(reports, pr) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("no progress reports")
+	}
+	// One report per closed window, plus the final done report (the last
+	// window may close exactly at the end, so allow windows or windows+1).
+	n := uint64(len(reports))
+	if n != r.Windows && n != r.Windows+1 {
+		t.Errorf("%d reports for %d windows", n, r.Windows)
+	}
+	final := reports[len(reports)-1]
+	if !final.Done {
+		t.Errorf("final report not marked done: %+v", final)
+	}
+	if final.Cycle != r.Cycles || final.GuestInsns != r.GuestInsns || final.Windows != r.Windows {
+		t.Errorf("final report %+v does not match result (cycles %v insns %d windows %d)",
+			final, r.Cycles, r.GuestInsns, r.Windows)
+	}
+	var prev Progress
+	for i, pr := range reports {
+		if pr.MaxTranslations != 3000 {
+			t.Fatalf("report %d: budget %d", i, pr.MaxTranslations)
+		}
+		if pr.Translations > pr.MaxTranslations {
+			t.Fatalf("report %d: translations %d over budget", i, pr.Translations)
+		}
+		if pr.Cycle < prev.Cycle || pr.GuestInsns < prev.GuestInsns || pr.Windows < prev.Windows {
+			t.Fatalf("report %d regressed: %+v after %+v", i, pr, prev)
+		}
+		prev = pr
+	}
+}
+
+// TestProgressMatchesUnobserved checks the progress hook is passive: a
+// run with a callback is bit-identical to one without.
+func TestProgressMatchesUnobserved(t *testing.T) {
+	plain := runWith(t, vectorPhasedProgram(t), core.MustPowerChop(core.DefaultConfig()), 3000)
+	observed, err := Run(vectorPhasedProgram(t), Config{
+		Design:          arch.Server(),
+		Manager:         core.MustPowerChop(core.DefaultConfig()),
+		Phase:           smallPhaseConfig(),
+		MaxTranslations: 3000,
+		Progress:        func(Progress) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != observed.Cycles || plain.GuestInsns != observed.GuestInsns ||
+		plain.Power.AvgPowerW() != observed.Power.AvgPowerW() {
+		t.Errorf("progress callback perturbed the run: cycles %v vs %v, insns %d vs %d, power %v vs %v",
+			plain.Cycles, observed.Cycles, plain.GuestInsns, observed.GuestInsns,
+			plain.Power.AvgPowerW(), observed.Power.AvgPowerW())
+	}
+}

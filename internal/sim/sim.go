@@ -59,6 +59,28 @@ type Config struct {
 	// metrics registry (counters and histograms) and attaches the
 	// snapshot to Result.Metrics.
 	Metrics bool
+	// Progress, when non-nil, is called at every window boundary and once
+	// at the end of the run. It is a pure observer: it sees the engine's
+	// counters but charges no cycles, so a run with a Progress callback is
+	// bit-identical to one without.
+	Progress func(Progress)
+}
+
+// Progress is a point-in-time view of a running simulation, delivered to
+// Config.Progress at window boundaries.
+type Progress struct {
+	// Cycle is the current simulated cycle.
+	Cycle float64
+	// GuestInsns is the cumulative guest instruction count.
+	GuestInsns uint64
+	// Translations is the number of region executions so far.
+	Translations uint64
+	// MaxTranslations is the run's translation budget.
+	MaxTranslations uint64
+	// Windows is the number of closed HTB windows.
+	Windows uint64
+	// Done is true on the final report, after the run completes.
+	Done bool
 }
 
 // Validate reports an error for inconsistent configurations.

@@ -1,0 +1,197 @@
+package powerchop
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"powerchop/internal/obs"
+	"powerchop/internal/obs/serve"
+)
+
+// TestMonitorAttachedByteIdentical is the live-monitoring determinism
+// gate: rendering the full figure set with a monitor attached — metrics
+// collector, progress board and one live SSE client — must be
+// byte-identical to an unobserved render. Observation is pure; it may
+// never perturb simulation results.
+func TestMonitorAttachedByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure renders are slow; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("two full figure renders under the race detector are too slow; " +
+			"monitor concurrency is race-tested in internal/obs/serve")
+	}
+
+	var silent bytes.Buffer
+	if err := NewFigureRunner(0.02, WithJobs(4)).RenderAll(&silent); err != nil {
+		t.Fatal(err)
+	}
+
+	collector := obs.NewCollector()
+	mon := serve.NewMonitor(collector.Registry())
+	if err := mon.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := mon.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	base := "http://" + mon.Addr()
+
+	// A live SSE client consuming (and possibly dropping) events while
+	// the figures render.
+	clientCtx, stopClient := context.WithCancel(context.Background())
+	defer stopClient()
+	req, err := http.NewRequestWithContext(clientCtx, http.MethodGet, base+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientDone := make(chan struct{})
+	go func() {
+		defer close(clientDone)
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+	}()
+
+	progress := func(p RunProgress) {
+		mon.Board().Update(serve.RunUpdate{
+			Benchmark:    p.Benchmark,
+			Kind:         p.Kind,
+			State:        p.State,
+			Cycles:       p.Cycles,
+			Translations: p.Translations,
+			Total:        p.Total,
+			Elapsed:      p.Elapsed,
+			Err:          p.Err,
+		})
+	}
+	observed := NewFigureRunner(0.02, WithJobs(4),
+		WithTracer(obs.Multi(collector, mon.Hub())),
+		WithProgress(progress))
+	var live bytes.Buffer
+	if err := observed.RenderAll(&live); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(silent.Bytes(), live.Bytes()) {
+		sl, ll := bytes.Split(silent.Bytes(), []byte("\n")), bytes.Split(live.Bytes(), []byte("\n"))
+		for i := 0; i < len(sl) && i < len(ll); i++ {
+			if !bytes.Equal(sl[i], ll[i]) {
+				t.Fatalf("outputs diverge at line %d:\n silent:    %s\n monitored: %s", i+1, sl[i], ll[i])
+			}
+		}
+		t.Fatalf("outputs differ in length: silent %d lines, monitored %d lines", len(sl), len(ll))
+	}
+
+	// The scrape surface must hold up after a real run: /metrics passes
+	// the Prometheus text-format conformance check over HTTP, and
+	// /progress saw the runs complete.
+	metrics := getBody(t, base+"/metrics")
+	if err := serve.CheckExposition(metrics); err != nil {
+		t.Fatalf("/metrics nonconformant after run: %v", err)
+	}
+	if !bytes.Contains(metrics, []byte("events_total")) {
+		t.Error("/metrics missing events_total after a traced run")
+	}
+	prog := getBody(t, base+"/progress")
+	if !bytes.Contains(prog, []byte(`"`+serve.StateDone+`"`)) {
+		t.Errorf("/progress has no completed runs:\n%s", prog)
+	}
+
+	stopClient()
+	select {
+	case <-clientDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE client did not terminate after cancel")
+	}
+}
+
+// TestMonitorEventsLiveDuringRun checks the SSE stream actually carries
+// simulator events while a run executes, end to end over HTTP.
+func TestMonitorEventsLiveDuringRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a benchmark; skipped with -short")
+	}
+	mon := serve.NewMonitor(nil)
+	if err := mon.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		mon.Shutdown(ctx)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+mon.Addr()+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	type frame struct {
+		line string
+		err  error
+	}
+	frames := make(chan frame, 64)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			frames <- frame{line: sc.Text()}
+		}
+		frames <- frame{err: sc.Err()}
+	}()
+
+	if _, err := Run("namd", Options{Passes: 0.25, Tracer: mon.Hub()}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		select {
+		case f := <-frames:
+			if f.err != nil {
+				t.Fatalf("stream ended without a data frame: %v", f.err)
+			}
+			if strings.HasPrefix(f.line, "data: ") && strings.Contains(f.line, `"kind"`) {
+				return // saw a live event frame
+			}
+		case <-ctx.Done():
+			t.Fatal("no SSE data frame observed during the run")
+		}
+	}
+}
+
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	return body
+}

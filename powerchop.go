@@ -29,6 +29,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"powerchop/internal/arch"
 	"powerchop/internal/core"
@@ -85,6 +86,15 @@ type Options struct {
 	// Metrics enables metrics collection; the snapshot lands in
 	// Report.Metrics.
 	Metrics bool
+	// Tracer, when non-nil, receives the run's event stream alongside any
+	// TraceWriter — the hook live monitors attach to (see internal
+	// obs/serve). It must be safe for concurrent emission if the caller
+	// also sets Parallelism above one.
+	Tracer obs.Tracer
+	// Progress, when non-nil, is called at every window boundary and once
+	// on completion. The callback is a pure observer: results are
+	// bit-identical with or without it.
+	Progress func(RunProgress)
 	// Parallelism, when above one, lets Compare run its three
 	// configurations concurrently (each simulation stays
 	// single-threaded and deterministic, so the Reports are identical
@@ -96,6 +106,36 @@ type Options struct {
 // Thresholds mirrors the CDE criticality cut-offs.
 type Thresholds struct {
 	VPU, BPU, MLC1, MLC2 float64
+}
+
+// Run states reported through RunProgress.
+const (
+	StateQueued     = "queued"
+	StateSimulating = "simulating"
+	StateDone       = "done"
+	StateError      = "error"
+)
+
+// RunProgress is one progress report about a simulation: which
+// (benchmark, kind) run it concerns, where it is in its lifecycle, and
+// how far along the simulated clock has advanced.
+type RunProgress struct {
+	Benchmark string
+	// Kind is the run's configuration (a manager name for single runs, an
+	// experiments kind like "full-power" for figure sweeps).
+	Kind  string
+	State string
+	// Cycles is the current simulated cycle count.
+	Cycles float64
+	// Translations/Total are region executions done vs budgeted.
+	Translations uint64
+	Total        uint64
+	// Windows is the number of closed HTB windows.
+	Windows uint64
+	// Elapsed is wall-clock time spent simulating.
+	Elapsed time.Duration
+	// Err is the failure message when State is "error".
+	Err string
 }
 
 // Sample is one time-series point of a sampled run.
@@ -289,19 +329,43 @@ func runProgram(p *program.Program, b workload.Benchmark, opts Options) (*Report
 		passes = 2
 	}
 	var trace *obs.JSONL
-	var tracer obs.Tracer
+	var sinks []obs.Tracer
 	if opts.TraceWriter != nil {
 		trace = obs.NewJSONL(opts.TraceWriter)
-		tracer = trace
+		sinks = append(sinks, trace)
 	}
-	res, err := sim.Run(p, sim.Config{
+	if opts.Tracer != nil {
+		sinks = append(sinks, opts.Tracer)
+	}
+	cfg := sim.Config{
 		Design:          design,
 		Manager:         m,
 		MaxTranslations: uint64(passes * float64(p.TotalScheduleTranslations())),
 		SampleInterval:  opts.SampleInterval,
-		Tracer:          tracer,
+		Tracer:          obs.Multi(sinks...),
 		Metrics:         opts.Metrics,
-	})
+	}
+	if progress := opts.Progress; progress != nil {
+		started := time.Now()
+		name, kind := b.Name, m.Name()
+		cfg.Progress = func(pr sim.Progress) {
+			state := StateSimulating
+			if pr.Done {
+				state = StateDone
+			}
+			progress(RunProgress{
+				Benchmark:    name,
+				Kind:         kind,
+				State:        state,
+				Cycles:       pr.Cycle,
+				Translations: pr.Translations,
+				Total:        pr.MaxTranslations,
+				Windows:      pr.Windows,
+				Elapsed:      time.Since(started),
+			})
+		}
+	}
+	res, err := sim.Run(p, cfg)
 	if err != nil {
 		return nil, err
 	}
