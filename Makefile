@@ -3,12 +3,18 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench bench-overhead bench-json clean
+.PHONY: build vet lint test race check bench bench-overhead bench-json clean
 
 build:
 	$(GO) build ./...
 
 vet:
+	$(GO) vet ./...
+
+# Formatting + vet gate. gofmt -l prints offending files; fail if any.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
 test:

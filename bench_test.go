@@ -515,6 +515,48 @@ func BenchmarkTracerOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkExplainOverhead measures what attaching the decision-
+// provenance auditor costs a run: detached is the plain simulation,
+// attached adds audit collection (and the metrics collector whose
+// registry hosts the audit histograms), mirroring what `powerchop
+// explain` and /api/explain pay over `powerchop run`.
+func BenchmarkExplainOverhead(b *testing.B) {
+	bench := mustBench(b, "bzip2")
+	p := bench.MustBuild()
+	cases := []struct {
+		name    string
+		audit   bool
+		metrics bool
+	}{
+		{"detached", false, false},
+		{"attached", true, true},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var insns uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(p, sim.Config{
+					Design:          arch.Server(),
+					Manager:         core.MustPowerChop(core.DefaultConfig()),
+					MaxTranslations: 50000,
+					Audit:           c.audit,
+					Metrics:         c.metrics,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				insns = res.GuestInsns
+				if c.audit && res.Audit == nil {
+					b.Fatal("audit trail missing")
+				}
+			}
+			b.ReportMetric(float64(insns), "insns/op")
+		})
+	}
+}
+
 // BenchmarkRenderAll compares the serial figure pipeline against the
 // concurrent one (singleflight-deduplicated worker pool, GOMAXPROCS
 // jobs). Each iteration builds a fresh FigureRunner so the memoization

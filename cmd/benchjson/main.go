@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	benchjson [-bench REGEX] [-benchtime 1x] [-pkg ./...] [-count 1] [-o FILE]
+//	benchjson [-bench REGEX] [-benchtime 1x] [-pkg ./...] [-count 1] [-o FILE] [-baseline FILE]
 //
 // The output records one entry per benchmark line with iterations,
-// ns/op, and any extra metrics (B/op, allocs/op, custom units).
+// ns/op, and any extra metrics (B/op, allocs/op, custom units). With
+// -baseline, the new results are diffed against a previously committed
+// artifact and the per-benchmark ns/op deltas are printed — report-only,
+// never a failure, since shared runners are too noisy to gate on.
 package main
 
 import (
@@ -104,15 +107,63 @@ func main() {
 	pkg := flag.String("pkg", "./...", "package pattern to benchmark")
 	count := flag.Int("count", 1, "passed to -count")
 	outPath := flag.String("o", "", "output file (default BENCH_<stamp>.json)")
+	baseline := flag.String("baseline", "", "baseline artifact to diff against (report-only)")
 	flag.Parse()
 
-	if err := run(*bench, *benchtime, *pkg, *count, *outPath, os.Stderr); err != nil {
+	if err := run(*bench, *benchtime, *pkg, *count, *outPath, *baseline, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, benchtime, pkg string, count int, outPath string, stderr io.Writer) error {
+// diffReport renders the ns/op trajectory of new results against a
+// baseline artifact: one line per benchmark present in either set, with
+// the relative delta where both sides measured it. Informational only.
+func diffReport(baseline, current *Artifact) string {
+	var b strings.Builder
+	base := make(map[string]BenchResult, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	fmt.Fprintf(&b, "benchmark trajectory vs baseline (%s):\n", baseline.GeneratedAt)
+	seen := make(map[string]bool, len(current.Results))
+	for _, r := range current.Results {
+		seen[r.Name] = true
+		old, ok := base[r.Name]
+		switch {
+		case !ok:
+			fmt.Fprintf(&b, "  %-50s %14.0f ns/op  (new)\n", r.Name, r.NsPerOp)
+		case old.NsPerOp > 0:
+			delta := (r.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+			fmt.Fprintf(&b, "  %-50s %14.0f ns/op  %+7.1f%% (was %.0f)\n",
+				r.Name, r.NsPerOp, delta, old.NsPerOp)
+		default:
+			fmt.Fprintf(&b, "  %-50s %14.0f ns/op  (baseline had no ns/op)\n", r.Name, r.NsPerOp)
+		}
+	}
+	for _, r := range baseline.Results {
+		if !seen[r.Name] {
+			fmt.Fprintf(&b, "  %-50s %14s  (removed; was %.0f ns/op)\n", r.Name, "-", r.NsPerOp)
+		}
+	}
+	return b.String()
+}
+
+// loadArtifact reads a previously written BENCH_*.json document.
+func loadArtifact(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var art Artifact
+	if err := json.NewDecoder(f).Decode(&art); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &art, nil
+}
+
+func run(bench, benchtime, pkg string, count int, outPath, baseline string, stderr io.Writer) error {
 	args := []string{"test", "-run", "^$",
 		"-bench", bench,
 		"-benchtime", benchtime,
@@ -162,5 +213,15 @@ func run(bench, benchtime, pkg string, count int, outPath string, stderr io.Writ
 		return err
 	}
 	fmt.Fprintf(stderr, "wrote %d benchmark results to %s\n", len(results), outPath)
+	if baseline != "" {
+		prior, err := loadArtifact(baseline)
+		if err != nil {
+			// The diff is a courtesy report; a missing or malformed
+			// baseline must not fail the artifact run.
+			fmt.Fprintf(stderr, "benchjson: baseline skipped: %v\n", err)
+			return nil
+		}
+		fmt.Fprint(stderr, diffReport(prior, &art))
+	}
 	return nil
 }

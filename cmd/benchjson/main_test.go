@@ -37,6 +37,37 @@ func TestParseBenchLine(t *testing.T) {
 	}
 }
 
+func TestDiffReport(t *testing.T) {
+	baseline := &Artifact{
+		GeneratedAt: "2026-08-01T00:00:00Z",
+		Results: []BenchResult{
+			{Name: "BenchmarkA-8", NsPerOp: 1000},
+			{Name: "BenchmarkGone-8", NsPerOp: 500},
+		},
+	}
+	current := &Artifact{
+		Results: []BenchResult{
+			{Name: "BenchmarkA-8", NsPerOp: 1100},
+			{Name: "BenchmarkNew-8", NsPerOp: 200},
+		},
+	}
+	out := diffReport(baseline, current)
+	for _, want := range []string{
+		"2026-08-01T00:00:00Z",
+		"BenchmarkA-8",
+		"+10.0%",
+		"(was 1000)",
+		"BenchmarkNew-8",
+		"(new)",
+		"BenchmarkGone-8",
+		"(removed; was 500 ns/op)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff report missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestParseBench(t *testing.T) {
 	out := `goos: linux
 goarch: amd64

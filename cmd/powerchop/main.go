@@ -8,13 +8,15 @@
 //	powerchop list
 //	powerchop run -bench gobmk [-manager powerchop|full-power|min-power|timeout] [-arch server|mobile] [-passes 2] [-trace out.jsonl] [-metrics] [-http :8080]
 //	powerchop compare -bench namd [-passes 2]
+//	powerchop explain -bench gobmk [-manager M] [-arch A] [-top 20] [-json]
 //	powerchop trace [-top 20] out.jsonl
 //	powerchop trace timeline [-last 40] out.jsonl
 //	powerchop trace chrome [-o out.json] out.jsonl
+//	powerchop trace audit [-top 20] [-arch server] out.jsonl
 //	powerchop figure -id fig12 [-scale 1] [-jobs N] [-http :8080]
 //	powerchop all [-scale 1] [-jobs N] [-http :8080]
 //	powerchop headline [-scale 1] [-jobs N] [-http :8080]
-//	powerchop serve [-addr :8080] [-scale 1] [-jobs N]
+//	powerchop serve [-addr :8080] [-scale 1] [-jobs N] [-trace out.jsonl]
 //
 // The -http flag attaches a live monitor to the run: Prometheus metrics
 // at /metrics, per-run progress at /progress, the event stream at
@@ -32,7 +34,10 @@ import (
 	"os"
 
 	"powerchop"
+	"powerchop/internal/arch"
 	"powerchop/internal/obs"
+	"powerchop/internal/obs/audit"
+	"powerchop/internal/power"
 )
 
 func main() {
@@ -73,6 +78,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdRun(args[1:])
 	case "compare":
 		err = cmdCompare(args[1:])
+	case "explain":
+		err = cmdExplain(args[1:], stdout)
 	case "trace":
 		err = cmdTrace(args[1:], stdout)
 	case "figure":
@@ -115,17 +122,19 @@ commands:
   list                          list the built-in benchmarks
   run -bench NAME [flags]       simulate one benchmark
   compare -bench NAME [flags]   full-power vs PowerChop vs min-power
+  explain -bench NAME [flags]   decision provenance: scores, thresholds, attribution
   trace [-top N] FILE           summarize a JSONL event trace per phase
   trace timeline [-last N] FILE per-window phase/gating timeline table
   trace chrome [-o OUT] FILE    export as Chrome trace-event JSON (chrome://tracing)
+  trace audit [-arch A] FILE    replay a trace through the attribution engine
   figure -id ID [-scale F] [-jobs N]   regenerate one paper figure/table
   all [-scale F] [-jobs N]             regenerate every figure/table
   headline [-scale F] [-jobs N]        per-suite slowdown/power/energy summary
-  serve [-addr :8080] [-scale F]       standing monitor + figure API
+  serve [-addr :8080] [-scale F] [-trace FILE]  standing monitor + figure API
 
 run, figure, all and headline accept -http ADDR to expose a live monitor
 for the duration of the command: /metrics (Prometheus), /progress (JSON),
-/events (SSE or NDJSON), /debug/pprof.
+/events and /decisions (SSE or NDJSON), /debug/pprof.
 `)
 	fmt.Fprintf(w, "\nfigure ids: %v\n", powerchop.FigureIDs())
 }
@@ -280,8 +289,101 @@ func cmdCompare(args []string) error {
 	return nil
 }
 
+// cmdExplain runs a benchmark with the decision-provenance auditor
+// attached and prints the attribution report: every gating decision with
+// its criticality scores and threshold comparisons, the per-phase energy
+// attribution table, and a reconciliation of attributed savings against
+// the power model's per-unit leakage deltas.
+func cmdExplain(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	bench := fs.String("bench", "", "benchmark name (see 'powerchop list')")
+	manager := fs.String("manager", powerchop.ManagerPowerChop, "power manager")
+	archName := fs.String("arch", "", "design point (server|mobile; default per suite)")
+	passes := fs.Float64("passes", 2, "passes over the phase schedule")
+	top := fs.Int("top", 20, "maximum phases and decisions to list (0 = all)")
+	asJSON := fs.Bool("json", false, "emit the audit report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return errParse(err)
+	}
+	if *bench == "" {
+		return usageError{msg: "missing -bench (see 'powerchop list')"}
+	}
+	rep, err := powerchop.Run(*bench, powerchop.Options{
+		Arch:    *archName,
+		Manager: *manager,
+		Passes:  *passes,
+		Audit:   true,
+	})
+	if err != nil {
+		return err
+	}
+	if rep.Audit == nil {
+		return fmt.Errorf("explain: run produced no audit trail")
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep.Audit)
+	}
+	fmt.Fprintf(stdout, "%s (%s, %s manager)\n\n", rep.Benchmark, rep.Arch, rep.Manager)
+	fmt.Fprint(stdout, rep.Audit.Render(*top))
+	fmt.Fprintf(stdout, "\nreconciliation vs power model (attributed = leakage saved):\n")
+	for _, u := range []struct {
+		name string
+		rep  powerchop.UnitReport
+	}{
+		{arch.UnitVPU, rep.VPU},
+		{arch.UnitBPU, rep.BPU},
+		{arch.UnitMLC, rep.MLC},
+	} {
+		attributed := rep.Audit.EnergySavedJ[u.name]
+		fmt.Fprintf(stdout, "  %-4s attributed %.6g J, power model %.6g J (delta %.2g)\n",
+			u.name, attributed, u.rep.LeakageSavedJ, attributed-u.rep.LeakageSavedJ)
+	}
+	return nil
+}
+
+// cmdTraceAudit replays a recorded JSONL trace through the
+// decision-provenance auditor, pricing the attribution at the chosen
+// design point (a recorded trace carries no power model of its own).
+func cmdTraceAudit(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("trace audit", flag.ContinueOnError)
+	in := fs.String("in", "", "trace file (JSONL); also accepted as a positional argument")
+	top := fs.Int("top", 20, "maximum phases and decisions to list (0 = all)")
+	archName := fs.String("arch", "server", "design point pricing the attribution (server|mobile)")
+	if err := fs.Parse(args); err != nil {
+		return errParse(err)
+	}
+	d, err := arch.ByName(*archName)
+	if err != nil {
+		return err
+	}
+	events, err := readTraceEvents(fs, *in)
+	if err != nil {
+		return err
+	}
+	a, err := audit.New(audit.Config{
+		ClockHz: d.ClockHz,
+		Units: []audit.UnitPower{
+			{Name: d.PowerVPU.Name, LeakageW: d.PowerVPU.LeakageW},
+			{Name: d.PowerBPU.Name, LeakageW: d.PowerBPU.LeakageW},
+			{Name: d.PowerMLC.Name, LeakageW: d.PowerMLC.LeakageW},
+		},
+		TotalLeakageW: d.TotalLeakageW() + power.HTBPowerW,
+	})
+	if err != nil {
+		return err
+	}
+	for _, e := range events {
+		a.Emit(e)
+	}
+	fmt.Fprint(stdout, a.Snapshot().Render(*top))
+	return nil
+}
+
 // cmdTrace dispatches the trace tooling: the default per-phase summary,
-// plus "timeline" (per-window table) and "chrome" (trace-event export).
+// plus "timeline" (per-window table), "chrome" (trace-event export) and
+// "audit" (decision-provenance attribution replay).
 func cmdTrace(args []string, stdout io.Writer) error {
 	if len(args) > 0 {
 		switch args[0] {
@@ -289,6 +391,8 @@ func cmdTrace(args []string, stdout io.Writer) error {
 			return cmdTraceTimeline(args[1:], stdout)
 		case "chrome":
 			return cmdTraceChrome(args[1:], stdout)
+		case "audit":
+			return cmdTraceAudit(args[1:], stdout)
 		}
 	}
 	fs := flag.NewFlagSet("trace", flag.ContinueOnError)

@@ -13,8 +13,11 @@ import (
 	"time"
 
 	"powerchop"
+	"powerchop/internal/arch"
 	"powerchop/internal/obs"
+	"powerchop/internal/obs/audit"
 	"powerchop/internal/obs/serve"
+	"powerchop/internal/power"
 )
 
 // liveMonitor bundles a serve.Monitor with the tracer and progress
@@ -26,14 +29,31 @@ type liveMonitor struct {
 }
 
 // newLiveMonitor builds a monitor over a fresh metrics collector: the
-// returned tracer fans events out to the collector (backing /metrics)
-// and the monitor's hub (backing /events).
+// returned tracer fans events out to the collector (backing /metrics),
+// a decision-provenance auditor (backing /decisions?format=json) and
+// the monitor's hub (backing /events and the /decisions stream). The
+// shared auditor prices savings at the server design point; runs on
+// other designs still stream correctly, their attributed joules are
+// just scaled by the server leakage budget (per-run exact attribution
+// comes from 'powerchop explain').
 func newLiveMonitor() *liveMonitor {
 	collector := obs.NewCollector()
 	mon := serve.NewMonitor(collector.Registry())
+	d := arch.Server()
+	auditor := audit.MustNew(audit.Config{
+		ClockHz: d.ClockHz,
+		Units: []audit.UnitPower{
+			{Name: d.PowerVPU.Name, LeakageW: d.PowerVPU.LeakageW},
+			{Name: d.PowerBPU.Name, LeakageW: d.PowerBPU.LeakageW},
+			{Name: d.PowerMLC.Name, LeakageW: d.PowerMLC.LeakageW},
+		},
+		TotalLeakageW: d.TotalLeakageW() + power.HTBPowerW,
+		Registry:      collector.Registry(),
+	})
+	mon.SetDecisions(auditor)
 	return &liveMonitor{
 		mon:    mon,
-		tracer: obs.Multi(collector, mon.Hub()),
+		tracer: obs.Multi(collector, auditor, mon.Hub()),
 	}
 }
 
@@ -56,7 +76,7 @@ func (l *liveMonitor) start(addr string, stderr io.Writer) error {
 	if err := l.mon.Start(addr); err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "monitor listening on http://%s (/metrics /progress /events /debug/pprof)\n", l.mon.Addr())
+	fmt.Fprintf(stderr, "monitor listening on http://%s (/metrics /progress /events /decisions /debug/pprof)\n", l.mon.Addr())
 	return nil
 }
 
@@ -89,6 +109,7 @@ func withMonitor(addr string, stderr io.Writer, hook func(*liveMonitor), f func(
 //	GET /api/figure?id=ID    render one figure (text; simulates on demand)
 //	GET /api/headline        per-suite headline averages (JSON)
 //	GET /api/run?bench=NAME[&manager=M]  simulate one benchmark (JSON report)
+//	GET /api/explain?bench=NAME[&manager=M]  simulate with audit on, return the provenance report (JSON)
 //
 // Figure and run requests execute through the shared runner, so their
 // simulations show up live on /progress, /metrics and /events.
@@ -165,13 +186,37 @@ func mountAPI(l *liveMonitor, runner *powerchop.FigureRunner) {
 		}
 		writeJSON(w, rep)
 	})
+	mux.HandleFunc("GET /api/explain", func(w http.ResponseWriter, r *http.Request) {
+		bench := r.URL.Query().Get("bench")
+		if bench == "" {
+			http.Error(w, "missing bench parameter", http.StatusBadRequest)
+			return
+		}
+		rep, err := powerchop.Run(bench, powerchop.Options{
+			Manager:  r.URL.Query().Get("manager"),
+			Tracer:   l.tracer,
+			Progress: l.progress,
+			Audit:    true,
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, rep.Audit)
+	})
 }
 
 // newServeMonitor assembles the serve subcommand's monitor and runner —
 // split from cmdServe so tests can exercise the wiring without a
-// listener or signal handling.
-func newServeMonitor(scale float64, jobs int) *liveMonitor {
+// listener or signal handling. Extra sinks (the -trace JSONL recorder)
+// join the live tracer fan-out, so a standing monitor and an on-disk
+// event record compose.
+func newServeMonitor(scale float64, jobs int, sinks ...obs.Tracer) *liveMonitor {
 	l := newLiveMonitor()
+	if len(sinks) > 0 {
+		all := append([]obs.Tracer{l.tracer}, sinks...)
+		l.tracer = obs.Multi(all...)
+	}
 	runner := powerchop.NewFigureRunner(scale,
 		powerchop.WithJobs(jobs),
 		powerchop.WithTracer(l.tracer),
@@ -186,14 +231,33 @@ func cmdServe(args []string, stderr io.Writer) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	scale := fs.Float64("scale", 1, "run-length scale for figure requests")
 	jobs := fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	trace := fs.String("trace", "", "also record every event as JSONL to this file")
 	if err := fs.Parse(args); err != nil {
 		return errParse(err)
 	}
-	l := newServeMonitor(*scale, *jobs)
+	var sinks []obs.Tracer
+	var traceOut *os.File
+	var traceSink *obs.JSONL
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		traceOut = f
+		traceSink = obs.NewJSONL(f)
+		sinks = append(sinks, traceSink)
+	}
+	l := newServeMonitor(*scale, *jobs, sinks...)
 	if err := l.start(*addr, stderr); err != nil {
+		if traceOut != nil {
+			traceOut.Close()
+		}
 		return err
 	}
 	fmt.Fprintf(stderr, "figure API at http://%s/api/figures; interrupt to stop\n", l.mon.Addr())
+	if *trace != "" {
+		fmt.Fprintf(stderr, "recording events to %s\n", *trace)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -201,5 +265,15 @@ func cmdServe(args []string, stderr io.Writer) error {
 	<-sig
 	fmt.Fprintln(stderr, "shutting down")
 	l.stop()
+	if traceSink != nil {
+		if err := traceSink.Flush(); err != nil {
+			traceOut.Close()
+			return err
+		}
+		if err := traceOut.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "trace written to %s (%d events)\n", *trace, traceSink.Events())
+	}
 	return nil
 }

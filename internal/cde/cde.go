@@ -233,17 +233,18 @@ func (e *Engine) complete(st *profState) bool {
 	return true
 }
 
-// decide computes the gating policy from a completed profile.
-func (e *Engine) decide(st *profState) pvt.Policy {
+// decide computes the gating policy from a completed profile of sig,
+// emitting one fully-provenanced score event per managed unit.
+func (e *Engine) decide(sig phase.Signature, st *profState) pvt.Policy {
 	p := pvt.FullOn
 	if e.managed.VPU {
 		p.VPUOn = st.simdRatio > e.thr.VPU
-		e.score("VPU", "simd-ratio", st.simdRatio)
+		e.score(sig, st, "VPU", "simd-ratio", st.simdRatio, e.thr.VPU, 0, boolBit(p.VPUOn))
 	}
 	if e.managed.BPU {
 		critBPU := st.misPredSmall - st.misPredLarge
 		p.BPUOn = critBPU > e.thr.BPU
-		e.score("BPU", "mispred-delta", critBPU)
+		e.score(sig, st, "BPU", "mispred-delta", critBPU, e.thr.BPU, 0, boolBit(p.BPUOn))
 	}
 	if e.managed.MLC {
 		switch {
@@ -254,13 +255,24 @@ func (e *Engine) decide(st *profState) pvt.Policy {
 		default:
 			p.MLC = pvt.MLCHalf
 		}
-		e.score("MLC", "l2hit-ratio", st.l2HitRatio)
+		e.score(sig, st, "MLC", "l2hit-ratio", st.l2HitRatio, e.thr.MLC1, e.thr.MLC2, uint8(p.MLC))
 	}
 	return p
 }
 
-// score emits one unit's criticality measurement.
-func (e *Engine) score(unit, metric string, value float64) {
+// boolBit encodes an on/off outcome for the score event's Policy field.
+func boolBit(on bool) uint8 {
+	if on {
+		return 1
+	}
+	return 0
+}
+
+// score emits one unit's criticality measurement with its full decision
+// provenance: the phase, the threshold(s) the value was compared against
+// (thr2 is the MLC's second cut-off, zero elsewhere), the outcome and the
+// number of profile windows behind the measurement.
+func (e *Engine) score(sig phase.Signature, st *profState, unit, metric string, value, thr, thr2 float64, outcome uint8) {
 	if e.tracer == nil {
 		return
 	}
@@ -269,26 +281,38 @@ func (e *Engine) score(unit, metric string, value float64) {
 		Unit:   unit,
 		Detail: metric,
 		Value:  value,
+		SigIDs: sig.IDs,
+		SigN:   sig.N,
+		Prev:   thr,
+		Next:   thr2,
+		Policy: outcome,
+		Count:  uint64(st.windows),
 	})
 }
 
 // register installs the policy in the PVT and spills any evicted entry to
 // the backing store. how records the registration path for the event
-// stream: "computed", "restored" or "abandoned".
-func (e *Engine) register(sig phase.Signature, p pvt.Policy, how string) {
+// stream: "computed", "restored" or "abandoned"; st is the profile behind
+// the registration (nil on the restored path).
+func (e *Engine) register(sig phase.Signature, p pvt.Policy, how string, st *profState) {
 	e.backing[sig] = p
 	if evSig, evPol, ev := e.table.Register(sig, p); ev {
 		e.backing[evSig] = evPol
 	}
 	e.stats.Registrations++
 	if e.tracer != nil {
-		e.tracer.Emit(obs.Event{
+		ev := obs.Event{
 			Kind:   obs.KindCDERegister,
 			SigIDs: sig.IDs,
 			SigN:   sig.N,
 			Policy: p.Encode(),
 			Detail: how,
-		})
+		}
+		if st != nil {
+			ev.Value = float64(st.windows)
+			ev.Count = uint64(st.attempts)
+		}
+		e.tracer.Emit(ev)
 	}
 }
 
@@ -302,7 +326,7 @@ func (e *Engine) HandleMiss(sig phase.Signature, prof WindowProfile) Action {
 	// re-register with the PVT.
 	if policy, known := e.backing[sig]; known {
 		e.stats.CapacityMisses++
-		e.register(sig, policy, "restored")
+		e.register(sig, policy, "restored", nil)
 		return Action{Policy: policy, Registered: true}
 	}
 
@@ -321,13 +345,23 @@ func (e *Engine) HandleMiss(sig phase.Signature, prof WindowProfile) Action {
 	} else {
 		// Continued profiling: the window that just ended ran under a
 		// measurement configuration; consume its counters.
-		e.consume(st, prof)
+		disposition := e.consume(st, prof)
+		if e.tracer != nil {
+			e.tracer.Emit(obs.Event{
+				Kind:   obs.KindCDEProfile,
+				SigIDs: sig.IDs,
+				SigN:   sig.N,
+				Detail: disposition,
+				Count:  uint64(st.windows),
+				Value:  float64(st.attempts),
+			})
+		}
 	}
 
 	if e.complete(st) {
-		policy := e.decide(st)
+		policy := e.decide(sig, st)
 		delete(e.inprog, sig)
-		e.register(sig, policy, "computed")
+		e.register(sig, policy, "computed", st)
 		return Action{Policy: policy, Registered: true, NewPhase: newPhase}
 	}
 	st.attempts++
@@ -341,17 +375,20 @@ func (e *Engine) HandleMiss(sig phase.Signature, prof WindowProfile) Action {
 		// measurement attempts.
 		delete(e.inprog, sig)
 		e.stats.ProfileAbandons++
-		e.register(sig, prof.Current, "abandoned")
+		e.register(sig, prof.Current, "abandoned", st)
 		return Action{Policy: prof.Current, Registered: true, NewPhase: newPhase}
 	}
 	return Action{Policy: e.profilingPolicy(st), Profiling: true, NewPhase: newPhase}
 }
 
 // consume folds one window's counters into the profile when the window ran
-// under a valid measurement configuration.
-func (e *Engine) consume(st *profState, prof WindowProfile) {
+// under a valid measurement configuration, returning the window's
+// disposition for the event stream: "main" (full-power measurement
+// taken), "small" (small-BPU rate taken), "skipped" (preconditions
+// unmet) or "empty" (no instructions executed).
+func (e *Engine) consume(st *profState, prof WindowProfile) string {
 	if prof.TotalInsns == 0 {
-		return
+		return "empty"
 	}
 	st.windows++
 	e.stats.ProfileWindows++
@@ -360,12 +397,14 @@ func (e *Engine) consume(st *profState, prof WindowProfile) {
 		st.simdRatio = float64(prof.SIMDInsns) / float64(prof.TotalInsns)
 		st.l2HitRatio = float64(prof.L2Hits) / float64(prof.TotalInsns)
 		st.misPredLarge = prof.mispredRate()
-		return
+		return "main"
 	}
 	if st.haveMain && !st.haveSmall && !prof.LargeBPUActive {
 		st.haveSmall = true
 		st.misPredSmall = prof.mispredRate()
+		return "small"
 	}
+	return "skipped"
 }
 
 // PoliciesInFlight returns the number of phases currently being profiled.

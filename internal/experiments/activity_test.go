@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"powerchop/internal/sim"
+)
+
+func TestQualityResultRender(t *testing.T) {
+	q := &QualityResult{
+		Rows: []QualityRow{
+			{Benchmark: "gobmk", MeanFrac: 0.028, MaxFrac: 0.06, Phases: 12},
+			{Benchmark: "namd", MeanFrac: 0.01, MaxFrac: 0.02, Phases: 4},
+		},
+		MeanFrac:     0.019,
+		WorstAppFrac: 0.028,
+	}
+	out := q.Render()
+	for _, want := range []string{"Figure 8", "gobmk", "namd", "2.80%", "worst app 2.8%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestActivityResultRender(t *testing.T) {
+	a := &ActivityResult{
+		Title: "Figure 9: unit gating activity",
+		Rows: []ActivityRow{
+			{Benchmark: "msn", VPUGated: 0.9, BPUGated: 0.5, MLCGated: 0.7, MLCOneWay: 0.6, MLCHalf: 0.1},
+		},
+	}
+	out := a.Render()
+	for _, want := range []string{"Figure 9", "msn", "VPU", "BPU", "MLC", "90%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSwitchResultRender(t *testing.T) {
+	s := &SwitchResult{
+		Rows:   []SwitchRow{{Benchmark: "gcc", VPU: 1.5, BPU: 22.0, MLC: 0.4}},
+		AvgVPU: 1.5, AvgBPU: 22.0, AvgMLC: 0.4,
+	}
+	out := s.Render()
+	for _, want := range []string{"Figure 11", "gcc", "VPU 1.50", "BPU 22.00", "MLC 0.40"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPerUnitGated(t *testing.T) {
+	res := &sim.Result{}
+	res.VPU.GatedFrac = 0.1
+	res.BPU.GatedFrac = 0.2
+	res.MLC.GatedFrac = 0.3
+	if got := perUnitGated(res, "VPU"); got != 0.1 {
+		t.Errorf("VPU gated = %v", got)
+	}
+	if got := perUnitGated(res, "BPU"); got != 0.2 {
+		t.Errorf("BPU gated = %v", got)
+	}
+	if got := perUnitGated(res, "MLC"); got != 0.3 {
+		t.Errorf("MLC gated = %v", got)
+	}
+	if got := perUnitGated(res, "anything-else"); got != 0.3 {
+		t.Errorf("default gated = %v, want MLC's", got)
+	}
+}
+
+// TestFigure8RowsCoverAllApps pins the figure's structure: one row per
+// benchmark, aggregate fields consistent with the rows.
+func TestFigure8RowsCoverAllApps(t *testing.T) {
+	r := runner(t)
+	q, err := Figure8(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for _, row := range q.Rows {
+		if row.MeanFrac > worst {
+			worst = row.MeanFrac
+		}
+		if row.MeanFrac > row.MaxFrac {
+			t.Errorf("%s: mean %v exceeds max %v", row.Benchmark, row.MeanFrac, row.MaxFrac)
+		}
+	}
+	if worst != q.WorstAppFrac {
+		t.Errorf("worst app %v, rows say %v", q.WorstAppFrac, worst)
+	}
+}

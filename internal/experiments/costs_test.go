@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"powerchop/internal/power"
+)
+
+func TestTableIDesignPoints(t *testing.T) {
+	ti := TableI()
+	if ti.Server.Name != "server" || ti.Mobile.Name != "mobile" {
+		t.Fatalf("design points = %s/%s", ti.Server.Name, ti.Mobile.Name)
+	}
+	if ti.Server.ClockHz <= ti.Mobile.ClockHz {
+		t.Errorf("server clock %v not above mobile %v", ti.Server.ClockHz, ti.Mobile.ClockHz)
+	}
+	out := ti.Render()
+	for _, want := range []string{
+		"Table I", "Server (Nehalem-class)", "Mobile (Cortex-A9-class)",
+		"3.0 GHz", "1.0 GHz", "SPEC CPU2006", "MobileBench",
+		"-wide SIMD", "cyc/switch",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHardwareCostsMatchPowerModel(t *testing.T) {
+	h := HardwareCosts()
+	if h.PVTBytes != power.PVTBytes || h.HTBBytes != power.HTBBytes {
+		t.Errorf("sizes = %d/%d, want %d/%d", h.PVTBytes, h.HTBBytes, power.PVTBytes, power.HTBBytes)
+	}
+	if h.HTBPowerW != power.HTBPowerW || h.HTBAreaMM2 != power.HTBAreaMM2 {
+		t.Errorf("power/area = %v/%v, want %v/%v", h.HTBPowerW, h.HTBAreaMM2, power.HTBPowerW, power.HTBAreaMM2)
+	}
+	out := h.Render()
+	for _, want := range []string{"Hardware costs", "PVT", "HTB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSoftwareCostsRender(t *testing.T) {
+	s := &SoftwareCostsResult{
+		Rows: []SoftwareCostRow{
+			{Benchmark: "gcc", MissesPerTranslation: 0.00017, OverheadFrac: 0.004},
+		},
+		AvgMissPerTranslation: 0.00017,
+		AvgOverheadFrac:       0.004,
+	}
+	out := s.Render()
+	for _, want := range []string{"Software costs", "gcc", "0.01700%", "0.400%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSoftwareCostsBounds pins the paper's qualitative claim at reduced
+// scale: PVT misses are rare per translation and CDE time is a small
+// fraction of run cycles.
+func TestSoftwareCostsBounds(t *testing.T) {
+	r := runner(t)
+	s, err := SoftwareCosts(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range s.Rows {
+		if row.MissesPerTranslation < 0 || row.MissesPerTranslation > 0.05 {
+			t.Errorf("%s: %v misses/translation out of range", row.Benchmark, row.MissesPerTranslation)
+		}
+		if row.OverheadFrac < 0 || row.OverheadFrac > 0.05 {
+			t.Errorf("%s: CDE overhead %v out of range", row.Benchmark, row.OverheadFrac)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"powerchop/internal/stats"
+)
+
+func TestTimeSeriesResultRender(t *testing.T) {
+	ts := &TimeSeriesResult{
+		Title:  "Figure 1: vector operation intensity",
+		XLabel: "20000-instruction intervals",
+		Series: []stats.Series{
+			{Label: "vector-ops", Values: []float64{0, 5, 40, 3, 0, 0, 80, 2}},
+		},
+		Remarks: []string{"intervals with zero vector ops: 3/8"},
+	}
+	out := ts.Render()
+	for _, want := range []string{
+		"Figure 1", "x: 20000-instruction intervals", "vector-ops",
+		"[0 .. 80]", "intervals with zero vector ops: 3/8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimeSeriesRenderEmptySeries(t *testing.T) {
+	ts := &TimeSeriesResult{Title: "empty", XLabel: "x"}
+	if out := ts.Render(); !strings.Contains(out, "empty") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+// TestFigure2SeriesAligned pins the comparison's structure: both BPU
+// series sample the same execution, so they must be non-empty and of
+// similar length (the run lengths differ only by pipeline effects).
+func TestFigure2SeriesAligned(t *testing.T) {
+	r := runner(t)
+	fig, err := Figure2(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want 2 (large and small BPU)", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Values) == 0 {
+			t.Errorf("series %s empty", s.Label)
+		}
+	}
+}
+
+// TestFigure3GapFavorsFullMLC pins the qualitative claim: the full MLC's
+// mean IPC is at least the one-way configuration's.
+func TestFigure3GapFavorsFullMLC(t *testing.T) {
+	r := runner(t)
+	fig, err := Figure3(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(fig.Series))
+	}
+	full := stats.Mean(fig.Series[0].Values)
+	one := stats.Mean(fig.Series[1].Values)
+	if full < one {
+		t.Errorf("full MLC IPC %v below one-way %v", full, one)
+	}
+}

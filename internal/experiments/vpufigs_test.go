@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestShardResultRender(t *testing.T) {
+	s := &ShardResult{
+		Rows: []ShardRow{
+			{Benchmark: "gobmk", Zero: 0.5, OneToFour: 0.3, UpTo20: 0.15, Above: 0.05},
+		},
+	}
+	out := s.Render()
+	for _, want := range []string{"Figure 15", "gobmk", "50.0%", "30.0%", "15.0%", "5.0%", "V=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimeoutResultRender(t *testing.T) {
+	r := &TimeoutResult{
+		Rows: []TimeoutRow{
+			{Benchmark: "namd", PowerChop: 0.95, Timeout: 0.1},
+		},
+		Wins:         1,
+		DramaticWins: []string{"namd"},
+	}
+	out := r.Render()
+	for _, want := range []string{"Figure 16", "namd", "chop", "t/o", "1/1", "dramatic wins: namd"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPerUnitResultRender(t *testing.T) {
+	p := &PerUnitResult{
+		Rows: []PerUnitRow{
+			{Benchmark: "gcc", Unit: "VPU", Gated: 0.8, Slowdown: 0.012},
+		},
+	}
+	out := p.Render()
+	for _, want := range []string{"Per-unit isolation", "gcc", "VPU", "80.0%", "1.20%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFigure15FractionsSum pins the shard histogram's invariant: each
+// app's four bucket fractions partition the shards.
+func TestFigure15FractionsSum(t *testing.T) {
+	r := runner(t)
+	fig, err := Figure15(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range fig.Rows {
+		sum := row.Zero + row.OneToFour + row.UpTo20 + row.Above
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: bucket fractions sum to %v", row.Benchmark, sum)
+		}
+	}
+}
+
+// TestFigure16WinAccounting pins the derived fields against the rows.
+func TestFigure16WinAccounting(t *testing.T) {
+	r := runner(t)
+	fig, err := Figure16(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	dramatic := map[string]bool{}
+	for _, row := range fig.Rows {
+		if row.PowerChop >= row.Timeout-0.08 {
+			wins++
+		}
+		if row.PowerChop >= row.Timeout+0.5 {
+			dramatic[row.Benchmark] = true
+		}
+	}
+	if wins != fig.Wins {
+		t.Errorf("wins = %d, rows say %d", fig.Wins, wins)
+	}
+	if len(dramatic) != len(fig.DramaticWins) {
+		t.Errorf("dramatic wins = %v, rows say %v", fig.DramaticWins, dramatic)
+	}
+}

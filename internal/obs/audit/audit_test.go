@@ -1,0 +1,324 @@
+package audit
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"powerchop/internal/obs"
+	"powerchop/internal/power"
+	"powerchop/internal/pvt"
+)
+
+// testConfig is a small synthetic design: 1 GHz clock, two units.
+func testConfig() Config {
+	return Config{
+		ClockHz: 1e9,
+		Units: []UnitPower{
+			{Name: "VPU", LeakageW: 1.0},
+			{Name: "MLC", LeakageW: 2.0},
+		},
+		TotalLeakageW: 10.0,
+	}
+}
+
+func sigEvent(kind obs.Kind, id uint32) obs.Event {
+	e := obs.Event{Kind: kind, SigN: 1}
+	e.SigIDs[0] = id
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{ClockHz: 0, Units: []UnitPower{{Name: "X"}}}); err == nil {
+		t.Error("zero clock accepted")
+	}
+	if _, err := New(Config{ClockHz: 1e9}); err == nil {
+		t.Error("no units accepted")
+	}
+	if _, err := New(Config{ClockHz: 1e9, Units: []UnitPower{{Name: "", LeakageW: 1}}}); err == nil {
+		t.Error("unnamed unit accepted")
+	}
+	if _, err := New(Config{ClockHz: 1e9, Units: []UnitPower{{Name: "X", LeakageW: -1}}}); err == nil {
+		t.Error("negative leakage accepted")
+	}
+	if a, err := New(testConfig()); err != nil || a == nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestBootAttribution(t *testing.T) {
+	a := MustNew(testConfig())
+	// 100 cycles with nothing decided: all wall cycles land on (boot),
+	// nothing is gated.
+	a.Emit(obs.Event{Kind: obs.KindRunEnd, Cycle: 100})
+	tr := a.Snapshot()
+	if len(tr.Phases) != 1 || tr.Phases[0].Phase != BootPhase {
+		t.Fatalf("phases = %+v, want only %s", tr.Phases, BootPhase)
+	}
+	if got := tr.Phases[0].Cycles; got != 100 {
+		t.Errorf("boot cycles = %v, want 100", got)
+	}
+	if tr.EnergySavedTotalJ != 0 {
+		t.Errorf("energy saved = %v, want 0", tr.EnergySavedTotalJ)
+	}
+}
+
+func TestGatedSpanAttribution(t *testing.T) {
+	a := MustNew(testConfig())
+	// A decision at cycle 100 registers phase <t1> with the VPU off;
+	// the gate-off lands at the same cycle; the run ends at 1100.
+	reg := sigEvent(obs.KindCDERegister, 1)
+	reg.Cycle = 100
+	reg.Window = 4
+	reg.Detail = "computed"
+	reg.Policy = pvt.Policy{VPUOn: false, BPUOn: true, MLC: pvt.MLCAll}.Encode()
+	a.Emit(reg)
+	a.Emit(obs.Event{Kind: obs.KindGate, Cycle: 100, Unit: "VPU", Prev: 1, Next: power.GatedLeakageFrac})
+	a.Emit(obs.Event{Kind: obs.KindRunEnd, Cycle: 1100})
+
+	tr := a.Snapshot()
+	p := findPhase(t, tr, "<t1>")
+	// 1000 cycles with the VPU at the gated fraction.
+	wantGated := (1 - power.GatedLeakageFrac) * 1000
+	if got := p.GatedCycles["VPU"]; !close(got, wantGated) {
+		t.Errorf("VPU gated cycles = %v, want %v", got, wantGated)
+	}
+	if got := p.GatedCycles["MLC"]; got != 0 {
+		t.Errorf("MLC gated cycles = %v, want 0", got)
+	}
+	// savedJ = leakW * (1-GLF) * gatedCycles / clockHz.
+	wantJ := 1.0 * (1 - power.GatedLeakageFrac) * wantGated / 1e9
+	if got := p.EnergySavedJ["VPU"]; !close(got, wantJ) {
+		t.Errorf("VPU saved = %v, want %v", got, wantJ)
+	}
+	if !close(tr.EnergySavedTotalJ, wantJ) {
+		t.Errorf("total saved = %v, want %v", tr.EnergySavedTotalJ, wantJ)
+	}
+	// Boot took the first 100 cycles.
+	if got := findPhase(t, tr, BootPhase).Cycles; got != 100 {
+		t.Errorf("boot cycles = %v, want 100", got)
+	}
+}
+
+func TestDecisionRecordLineage(t *testing.T) {
+	a := MustNew(testConfig())
+	miss := sigEvent(obs.KindPVTMiss, 7)
+	miss.Cycle = 10
+	miss.Window = 2
+	a.Emit(miss)
+	score := sigEvent(obs.KindCDEScore, 7)
+	score.Cycle = 50
+	score.Window = 5
+	score.Unit = "VPU"
+	score.Detail = "simd-ratio"
+	score.Value = 0.001
+	score.Prev = 0.005
+	score.Count = 3
+	a.Emit(score)
+	reg := sigEvent(obs.KindCDERegister, 7)
+	reg.Cycle = 50
+	reg.Window = 5
+	reg.Detail = "computed"
+	reg.Policy = pvt.Policy{BPUOn: true, MLC: pvt.MLCAll}.Encode()
+	reg.Value = 3 // profile windows
+	reg.Count = 1 // attempts
+	a.Emit(reg)
+
+	tr := a.Snapshot()
+	if len(tr.Decisions) != 1 {
+		t.Fatalf("decisions = %d, want 1", len(tr.Decisions))
+	}
+	d := tr.Decisions[0]
+	if d.Phase != "<t7>" || d.Path != "computed" || d.Window != 5 {
+		t.Errorf("decision = %+v", d)
+	}
+	if d.LatencyWindows != 3 {
+		t.Errorf("latency = %d windows, want 3", d.LatencyWindows)
+	}
+	if d.ProfileWindows != 3 || d.Attempts != 1 {
+		t.Errorf("profile windows/attempts = %d/%d, want 3/1", d.ProfileWindows, d.Attempts)
+	}
+	if len(d.Scores) != 1 {
+		t.Fatalf("scores = %d, want 1", len(d.Scores))
+	}
+	s := d.Scores[0]
+	if s.Unit != "VPU" || s.Metric != "simd-ratio" || s.Value != 0.001 || s.Threshold != 0.005 {
+		t.Errorf("score = %+v", s)
+	}
+	if got := s.Comparison(); !strings.Contains(got, "-> off") {
+		t.Errorf("comparison = %q, want off outcome", got)
+	}
+	// Latency histogram recorded the decision.
+	if tr.Metrics == nil {
+		t.Fatal("private registry snapshot missing")
+	}
+	h, ok := tr.Metrics.Histogram("audit.decision.latency.windows")
+	if !ok || h.Count != 1 {
+		t.Errorf("latency histogram = %+v, ok=%v", h, ok)
+	}
+}
+
+func TestScoreComparisonMLC(t *testing.T) {
+	all := ScoreRecord{Metric: "l2hit-ratio", Value: 0.02, Threshold: 0.005, Threshold2: 0.0005}
+	if got := all.Comparison(); !strings.Contains(got, pvt.MLCAll.String()) {
+		t.Errorf("all-ways comparison = %q", got)
+	}
+	one := ScoreRecord{Metric: "l2hit-ratio", Value: 0.0001, Threshold: 0.005, Threshold2: 0.0005}
+	if got := one.Comparison(); !strings.Contains(got, pvt.MLCOne.String()) {
+		t.Errorf("one-way comparison = %q", got)
+	}
+	half := ScoreRecord{Metric: "l2hit-ratio", Value: 0.001, Threshold: 0.005, Threshold2: 0.0005}
+	if got := half.Comparison(); !strings.Contains(got, pvt.MLCHalf.String()) {
+		t.Errorf("half comparison = %q", got)
+	}
+}
+
+func TestHitSwitchesGoverning(t *testing.T) {
+	a := MustNew(testConfig())
+	hit := sigEvent(obs.KindPVTHit, 3)
+	hit.Cycle = 10
+	hit.Policy = pvt.FullOn.Encode()
+	a.Emit(hit)
+	a.Emit(obs.Event{Kind: obs.KindWindowClose, Cycle: 20, Count: 500})
+	a.Emit(obs.Event{Kind: obs.KindRunEnd, Cycle: 30})
+	tr := a.Snapshot()
+	p := findPhase(t, tr, "<t3>")
+	if p.Hits != 1 || p.Cycles != 20 || p.Windows != 1 || p.Insns != 500 {
+		t.Errorf("phase = %+v", p)
+	}
+	if got := findPhase(t, tr, BootPhase).Cycles; got != 10 {
+		t.Errorf("boot cycles = %v, want 10", got)
+	}
+}
+
+func TestEvictionResidency(t *testing.T) {
+	a := MustNew(testConfig())
+	reg := sigEvent(obs.KindCDERegister, 9)
+	reg.Cycle = 10
+	reg.Window = 5
+	reg.Detail = "computed"
+	a.Emit(reg)
+	ev := sigEvent(obs.KindPVTEvict, 9)
+	ev.Cycle = 100
+	ev.Window = 55
+	a.Emit(ev)
+	tr := a.Snapshot()
+	if got := findPhase(t, tr, "<t9>").Evictions; got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	h, ok := tr.Metrics.Histogram("audit.pvt.residency.windows")
+	if !ok || h.Count != 1 || h.Max != 50 {
+		t.Errorf("residency histogram = %+v, ok=%v", h, ok)
+	}
+}
+
+func TestRetroactiveClamp(t *testing.T) {
+	a := MustNew(testConfig())
+	a.Emit(obs.Event{Kind: obs.KindWindowClose, Cycle: 100})
+	// A retroactive gate event stamped before the audit clock must not
+	// rewind attribution or produce negative spans.
+	a.Emit(obs.Event{Kind: obs.KindGate, Cycle: 50, Unit: "VPU", Next: 0.05})
+	a.Emit(obs.Event{Kind: obs.KindRunEnd, Cycle: 200})
+	tr := a.Snapshot()
+	var total float64
+	for _, p := range tr.Phases {
+		if p.Cycles < 0 {
+			t.Errorf("negative cycles in %+v", p)
+		}
+		total += p.Cycles
+	}
+	if total != 200 {
+		t.Errorf("total cycles = %v, want 200", total)
+	}
+}
+
+func TestOverheadCosting(t *testing.T) {
+	a := MustNew(testConfig())
+	a.Emit(obs.Event{Kind: obs.KindCDEInvoke, Cycle: 100, Value: 4000})
+	gate := obs.Event{Kind: obs.KindGate, Cycle: 120, Unit: "MLC", Next: 0.5, Stall: 30}
+	a.Emit(gate)
+	a.Emit(obs.Event{Kind: obs.KindRunEnd, Cycle: 200})
+	tr := a.Snapshot()
+	p := findPhase(t, tr, BootPhase)
+	if p.CDECycles != 4000 || p.GateStallCycles != 30 {
+		t.Errorf("overhead cycles = %v cde, %v stall", p.CDECycles, p.GateStallCycles)
+	}
+	wantJ := 10.0 * 4030 / 1e9
+	if !close(p.OverheadJ, wantJ) {
+		t.Errorf("overhead J = %v, want %v", p.OverheadJ, wantJ)
+	}
+	if !close(tr.OverheadJ, wantJ) {
+		t.Errorf("trail overhead J = %v, want %v", tr.OverheadJ, wantJ)
+	}
+}
+
+func TestSharedRegistrySkipsTrailMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig()
+	cfg.Registry = reg
+	a := MustNew(cfg)
+	a.Emit(obs.Event{Kind: obs.KindRunEnd, Cycle: 10})
+	if tr := a.Snapshot(); tr.Metrics != nil {
+		t.Error("trail carries metrics despite shared registry")
+	}
+	if _, ok := reg.Snapshot().Histogram("audit.decision.latency.windows"); !ok {
+		t.Error("shared registry missing audit histogram")
+	}
+}
+
+func TestDecisionsJSONWellFormed(t *testing.T) {
+	a := MustNew(testConfig())
+	reg := sigEvent(obs.KindCDERegister, 2)
+	reg.Cycle = 10
+	reg.Detail = "restored"
+	a.Emit(reg)
+	a.Emit(obs.Event{Kind: obs.KindRunEnd, Cycle: 20})
+	b, err := a.DecisionsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr Trail
+	if err := json.Unmarshal(b, &tr); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(tr.Decisions) != 1 || tr.Decisions[0].Path != "restored" {
+		t.Errorf("round-tripped trail = %+v", tr)
+	}
+}
+
+func TestRenderSmoke(t *testing.T) {
+	a := MustNew(testConfig())
+	reg := sigEvent(obs.KindCDERegister, 1)
+	reg.Cycle = 100
+	reg.Window = 4
+	reg.Detail = "computed"
+	a.Emit(reg)
+	a.Emit(obs.Event{Kind: obs.KindGate, Cycle: 100, Unit: "VPU", Next: 0.05, Stall: 10})
+	a.Emit(obs.Event{Kind: obs.KindRunEnd, Cycle: 1100})
+	out := a.Snapshot().Render(0)
+	for _, want := range []string{"decision provenance", "per-phase attribution", "<t1>", "decisions (first"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func findPhase(t *testing.T, tr *Trail, name string) PhaseAttribution {
+	t.Helper()
+	for _, p := range tr.Phases {
+		if p.Phase == name {
+			return p
+		}
+	}
+	t.Fatalf("phase %q not in trail (have %d phases)", name, len(tr.Phases))
+	return PhaseAttribution{}
+}
+
+func close(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	return d <= 1e-12*math.Max(math.Abs(a), math.Abs(b))
+}

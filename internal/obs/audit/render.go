@@ -1,0 +1,120 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"powerchop/internal/textplot"
+)
+
+// Render formats the trail as a human-readable attribution report: a
+// headline, the per-phase attribution table (largest saver first, at
+// most top rows; 0 = all) and the decision records with their score and
+// threshold lineage.
+func (t *Trail) Render(top int) string {
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "decision provenance: %d phases, %d decisions\n",
+		len(t.Phases), len(t.Decisions))
+	fmt.Fprintf(&b, "energy saved by gating %.4g J (", t.EnergySavedTotalJ)
+	for i, u := range t.Units {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %.4g", u, t.EnergySavedJ[u])
+	}
+	fmt.Fprintf(&b, "); slowdown overhead %.4g J\n", t.OverheadJ)
+	if t.Metrics != nil {
+		if h, ok := t.Metrics.Histogram("audit.decision.latency.windows"); ok && h.Count > 0 {
+			fmt.Fprintf(&b, "decision latency (windows): p50 %.3g, p95 %.3g, max %.3g over %d decisions\n",
+				h.Quantile(0.5), h.Quantile(0.95), h.Max, h.Count)
+		}
+	}
+	b.WriteString("\n")
+
+	// Per-phase table, largest attributed savings first (boot and
+	// never-gated phases sort to the bottom by cycles).
+	phases := append([]PhaseAttribution(nil), t.Phases...)
+	sort.SliceStable(phases, func(i, j int) bool {
+		if phases[i].EnergySavedTotalJ != phases[j].EnergySavedTotalJ {
+			return phases[i].EnergySavedTotalJ > phases[j].EnergySavedTotalJ
+		}
+		return phases[i].Cycles > phases[j].Cycles
+	})
+	shown := phases
+	if top > 0 && len(shown) > top {
+		shown = shown[:top]
+	}
+	var totalCycles float64
+	for _, p := range t.Phases {
+		totalCycles += p.Cycles
+	}
+	header := []string{"phase", "policy", "windows", "cyc%", "hit", "miss", "dec"}
+	for _, u := range t.Units {
+		header = append(header, u+"-gated%")
+	}
+	header = append(header, "savedJ", "stall-cyc", "cde-cyc", "overheadJ")
+	rows := make([][]string, 0, len(shown))
+	for _, p := range shown {
+		cycPct := 0.0
+		if totalCycles > 0 {
+			cycPct = p.Cycles / totalCycles * 100
+		}
+		row := []string{
+			p.Phase, p.PolicyStr,
+			fmt.Sprintf("%d", p.Windows),
+			fmt.Sprintf("%.1f", cycPct),
+			fmt.Sprintf("%d", p.Hits),
+			fmt.Sprintf("%d", p.Misses),
+			fmt.Sprintf("%d", p.Decisions),
+		}
+		for _, u := range t.Units {
+			g := 0.0
+			if p.Cycles > 0 {
+				g = p.GatedCycles[u] / p.Cycles * 100
+			}
+			row = append(row, fmt.Sprintf("%.1f", g))
+		}
+		row = append(row,
+			fmt.Sprintf("%.3g", p.EnergySavedTotalJ),
+			fmt.Sprintf("%.4g", p.GateStallCycles),
+			fmt.Sprintf("%.4g", p.CDECycles),
+			fmt.Sprintf("%.3g", p.OverheadJ),
+		)
+		rows = append(rows, row)
+	}
+	fmt.Fprintf(&b, "per-phase attribution (top %d of %d by energy saved):\n",
+		len(shown), len(phases))
+	b.WriteString(textplot.RightTable(header, rows))
+	if len(shown) < len(phases) {
+		var restSaved float64
+		for _, p := range phases[len(shown):] {
+			restSaved += p.EnergySavedTotalJ
+		}
+		fmt.Fprintf(&b, "(+ %d more phases, %.3g J)\n", len(phases)-len(shown), restSaved)
+	}
+	b.WriteString("\n")
+
+	// Decision records, in registration order.
+	decs := t.Decisions
+	if top > 0 && len(decs) > top {
+		decs = decs[:top]
+	}
+	fmt.Fprintf(&b, "decisions (first %d of %d):\n", len(decs), len(t.Decisions))
+	for _, d := range decs {
+		fmt.Fprintf(&b, "  window %-6d %-22s %-9s -> %s (policy %04b)", d.Window, d.Phase, d.Path, d.PolicyStr, d.Policy)
+		if d.Path != "restored" {
+			fmt.Fprintf(&b, "  [%d profile windows, %d attempts, latency %d windows]",
+				d.ProfileWindows, d.Attempts, d.LatencyWindows)
+		}
+		b.WriteString("\n")
+		for _, s := range d.Scores {
+			fmt.Fprintf(&b, "    %-4s %-13s %s\n", s.Unit, s.Metric, s.Comparison())
+		}
+	}
+	if len(decs) < len(t.Decisions) {
+		fmt.Fprintf(&b, "  (+ %d more decisions)\n", len(t.Decisions)-len(decs))
+	}
+	return b.String()
+}

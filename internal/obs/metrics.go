@@ -200,6 +200,52 @@ func (h HistogramSnap) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
+// Quantile estimates the q-th quantile (q in [0,1]) by linear
+// interpolation within the bucket that contains the target rank. The
+// first bucket interpolates from the observed minimum, the overflow
+// bucket from its lower bound to the observed maximum. Returns 0 when
+// the histogram is empty.
+func (h HistogramSnap) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	rank := q * float64(h.Count)
+	var seen float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if seen+float64(c) < rank {
+			seen += float64(c)
+			continue
+		}
+		// The target rank falls in bucket i spanning (lo, hi].
+		lo := h.Min
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Max
+		if i < len(h.Bounds) && h.Bounds[i] < hi {
+			hi = h.Bounds[i]
+		}
+		if lo < h.Min {
+			lo = h.Min
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := (rank - seen) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return h.Max
+}
+
 // Snapshot is a point-in-time copy of a registry, ordered by name.
 type Snapshot struct {
 	Counters   []CounterSnap

@@ -31,7 +31,9 @@ const (
 	// the window's phase signature and flushed. Window is the completed
 	// window's ordinal (1-based), Sig the signature, Count the window's
 	// translated dynamic instruction count, Value the cumulative number
-	// of translation executions dropped because the HTB was full.
+	// of translation executions dropped because the HTB was full, Prev
+	// the signature's coverage (the fraction of the window's instructions
+	// executed by the signature's hot translations).
 	KindWindowClose Kind = iota
 	// KindPVTHit is a policy vector table lookup that hit. Sig is the
 	// looked-up signature, Policy the stored 4-bit policy vector, Count
@@ -47,13 +49,20 @@ const (
 	// Sig is the missing signature, Value the interrupt's cycle cost.
 	KindCDEInvoke
 	// KindCDEScore is one unit's criticality score from a completed
-	// profile. Unit names the unit, Value the score, Detail the metric
-	// ("simd-ratio", "mispred-delta", "l2hit-ratio").
+	// profile (Algorithm 1). Unit names the unit, Value the score, Detail
+	// the metric ("simd-ratio", "mispred-delta", "l2hit-ratio"). For
+	// decision provenance the event also carries Sig (the phase being
+	// decided), Prev (the threshold compared against; MLC1 for the MLC),
+	// Next (the MLC2 threshold, MLC only), Policy (the outcome: 1/0 for
+	// VPU/BPU on/off, the MLCState value for the MLC) and Count (profile
+	// windows consumed when the score was computed).
 	KindCDEScore
 	// KindCDERegister is a policy registration with the PVT. Sig is the
 	// phase, Policy the registered vector, Detail the path: "computed"
 	// (fresh profile), "restored" (re-registered after eviction) or
-	// "abandoned" (profiling gave up, current policy kept).
+	// "abandoned" (profiling gave up, current policy kept). Value is the
+	// profile windows consumed and Count the profiling attempts spent
+	// (both zero on the "restored" path, which needs no profile).
 	KindCDERegister
 	// KindGate is a gating transition. Unit names the unit, Prev and
 	// Next are the power fractions before and after, Stall the stall
@@ -64,6 +73,19 @@ const (
 	// new translation. Count is the translation ID (head PC), Value the
 	// region's guest instruction count.
 	KindTranslate
+	// KindCDEProfile records the CDE consuming (or rejecting) one
+	// execution window while profiling a phase. Sig is the phase under
+	// profile, Detail the window's disposition ("main" — full-power
+	// measurement taken, "small" — small-BPU mispredict rate taken,
+	// "skipped" — preconditions unmet, "empty" — no instructions), Count
+	// the profile windows consumed so far, Value the profiling attempts
+	// spent so far.
+	KindCDEProfile
+	// KindRunEnd marks the end of a simulation run, stamped with the
+	// final cycle and window count. It lets trace consumers close out
+	// interval accounting (residency, attribution) at exactly the cycle
+	// the simulator itself closes out gating residency.
+	KindRunEnd
 	numKinds
 )
 
@@ -78,6 +100,21 @@ var kindNames = [numKinds]string{
 	KindCDERegister: "cde-register",
 	KindGate:        "gate",
 	KindTranslate:   "translate",
+	KindCDEProfile:  "cde-profile",
+	KindRunEnd:      "run-end",
+}
+
+// IsDecisionKind reports whether the kind is part of a gating decision's
+// lineage — the PVT lookup path and the CDE's profiling, scoring and
+// registration activity. The serve layer's /decisions stream and the
+// audit package filter on it.
+func IsDecisionKind(k Kind) bool {
+	switch k {
+	case KindPVTHit, KindPVTMiss, KindPVTEvict,
+		KindCDEInvoke, KindCDEScore, KindCDERegister, KindCDEProfile:
+		return true
+	}
+	return false
 }
 
 // String returns the kind's wire name.

@@ -22,9 +22,10 @@ import (
 
 // Monitor bundles the monitoring endpoints:
 //
-//	GET /metrics   Prometheus text exposition of the registry
-//	GET /progress  JSON snapshot of per-run progress
-//	GET /events    live event stream (SSE; ?format=ndjson for NDJSON)
+//	GET /metrics    Prometheus text exposition of the registry
+//	GET /progress   JSON snapshot of per-run progress
+//	GET /events     live event stream (SSE; ?format=ndjson for NDJSON)
+//	GET /decisions  decision-event stream; ?format=json for the audit trail
 //	GET /debug/pprof/...  standard profiling handlers
 type Monitor struct {
 	mux   *http.ServeMux
@@ -32,10 +33,17 @@ type Monitor struct {
 	hub   *Hub
 	board *Board
 
-	mu   sync.Mutex
-	srv  *http.Server
-	ln   net.Listener
-	done chan struct{}
+	mu        sync.Mutex
+	srv       *http.Server
+	ln        net.Listener
+	done      chan struct{}
+	decisions DecisionSource
+}
+
+// DecisionSource supplies the decision-provenance snapshot behind
+// GET /decisions?format=json. audit.Auditor implements it.
+type DecisionSource interface {
+	DecisionsJSON() ([]byte, error)
 }
 
 // NewMonitor builds a monitor over the given registry (nil is allowed;
@@ -51,6 +59,7 @@ func NewMonitor(reg *obs.Registry) *Monitor {
 	m.mux.HandleFunc("GET /metrics", m.handleMetrics)
 	m.mux.HandleFunc("GET /progress", m.handleProgress)
 	m.mux.HandleFunc("GET /events", m.handleEvents)
+	m.mux.HandleFunc("GET /decisions", m.handleDecisions)
 	m.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	m.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	m.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -72,15 +81,25 @@ func (m *Monitor) Board() *Board { return m.board }
 // (the serve subcommand adds its /api tree here).
 func (m *Monitor) Mux() *http.ServeMux { return m.mux }
 
+// SetDecisions installs the source behind GET /decisions?format=json.
+// A nil source makes the snapshot form answer 404 again; the live stream
+// works either way.
+func (m *Monitor) SetDecisions(src DecisionSource) {
+	m.mu.Lock()
+	m.decisions = src
+	m.mu.Unlock()
+}
+
 // Handler returns the monitor as an http.Handler, for use without Start.
 func (m *Monitor) Handler() http.Handler { return m.mux }
 
 func (m *Monitor) handleIndex(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, `powerchop monitor
-  /metrics   Prometheus text exposition
-  /progress  per-run progress (JSON)
-  /events    live event stream (SSE; ?format=ndjson for NDJSON)
+  /metrics    Prometheus text exposition
+  /progress   per-run progress (JSON)
+  /events     live event stream (SSE; ?format=ndjson for NDJSON)
+  /decisions  decision events only (SSE/NDJSON; ?format=json for audit trail)
   /debug/pprof/  profiling
 `)
 }
@@ -139,6 +158,89 @@ func (m *Monitor) handleEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case e := <-sub.Events():
+			b, err := obs.MarshalEvent(e)
+			if err != nil {
+				continue
+			}
+			if ndjson {
+				w.Write(append(b, '\n'))
+			} else {
+				fmt.Fprintf(w, "data: %s\n\n", b)
+			}
+			if d := sub.Dropped(); d != reported {
+				reported = d
+				if ndjson {
+					fmt.Fprintf(w, "{\"dropped\":%d}\n", d)
+				} else {
+					fmt.Fprintf(w, ": dropped=%d\n\n", d)
+				}
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		case <-m.done:
+			return
+		}
+	}
+}
+
+// handleDecisions serves decision provenance two ways. With
+// ?format=json it returns the installed DecisionSource's full audit
+// trail as one JSON document (404 when no source is installed). The
+// default is a live stream like /events — SSE framing, ?format=ndjson
+// for NDJSON, same drop reporting — filtered down to decision-path
+// events (PVT hits/misses/evictions, CDE invocations, scores,
+// registrations, profiling).
+func (m *Monitor) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format == "json" {
+		m.mu.Lock()
+		src := m.decisions
+		m.mu.Unlock()
+		if src == nil {
+			http.Error(w, "no decision source attached", http.StatusNotFound)
+			return
+		}
+		b, err := src.DecisionsJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write(append(b, '\n'))
+		return
+	}
+
+	ndjson := format == "ndjson"
+	buf := 0
+	if s := r.URL.Query().Get("buffer"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			buf = n
+		}
+	}
+	flusher, _ := w.(http.Flusher)
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	}
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
+
+	sub := m.hub.Subscribe(buf)
+	defer sub.Close()
+	var reported uint64
+	for {
+		select {
+		case e := <-sub.Events():
+			if !obs.IsDecisionKind(e.Kind) {
+				continue
+			}
 			b, err := obs.MarshalEvent(e)
 			if err != nil {
 				continue

@@ -84,9 +84,9 @@ func CheckExposition(data []byte) error {
 	if data[len(data)-1] != '\n' {
 		return fmt.Errorf("prom: exposition does not end with a newline")
 	}
-	types := map[string]string{}    // family → TYPE
-	sampled := map[string]bool{}    // family → samples seen
-	seen := map[string]int{}        // name+labels → line (duplicate check)
+	types := map[string]string{} // family → TYPE
+	sampled := map[string]bool{} // family → samples seen
+	seen := map[string]int{}     // name+labels → line (duplicate check)
 	var samples []promSample
 	for i, line := range strings.Split(strings.TrimSuffix(string(data), "\n"), "\n") {
 		n := i + 1

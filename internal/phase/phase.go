@@ -190,6 +190,18 @@ func (h *HTB) EndWindow() (Signature, map[uint32]uint64) {
 	h.execs = 0
 	h.windows++
 	if h.tracer != nil {
+		// Signature coverage: the share of the window's dynamic
+		// instructions executed by the signature's hot translations —
+		// provenance for how representative the HTB-derived signature is
+		// of the window it labels.
+		var covered uint64
+		for i := 0; i < int(sig.N); i++ {
+			covered += vec[sig.IDs[i]]
+		}
+		coverage := 0.0
+		if insns > 0 {
+			coverage = float64(covered) / float64(insns)
+		}
 		h.tracer.Emit(obs.Event{
 			Kind:   obs.KindWindowClose,
 			Window: h.windows,
@@ -197,6 +209,7 @@ func (h *HTB) EndWindow() (Signature, map[uint32]uint64) {
 			SigN:   sig.N,
 			Count:  insns,
 			Value:  float64(h.ignored),
+			Prev:   coverage,
 		})
 	}
 	return sig, vec

@@ -6,6 +6,7 @@ import (
 	"powerchop/internal/core"
 	"powerchop/internal/isa"
 	"powerchop/internal/obs"
+	"powerchop/internal/obs/audit"
 	"powerchop/internal/phase"
 	"powerchop/internal/power"
 	"powerchop/internal/program"
@@ -36,9 +37,11 @@ type engine struct {
 	mlc   *mlcUnit
 
 	// Observability: tracer is the stamped event sink (nil when off);
-	// collector feeds Result.Metrics; lastXl8 detects fresh translations.
+	// collector feeds Result.Metrics; auditor feeds Result.Audit;
+	// lastXl8 detects fresh translations.
 	tracer    obs.Tracer
 	collector *obs.Collector
+	auditor   *audit.Auditor
 	lastXl8   uint64
 
 	cycles     float64
@@ -132,6 +135,10 @@ func (s *engine) wireObservability() {
 		s.collector = obs.NewCollector()
 		sinks = append(sinks, s.collector)
 	}
+	if s.cfg.Audit {
+		s.auditor = audit.MustNew(s.auditConfig())
+		sinks = append(sinks, s.auditor)
+	}
 	t := obs.Multi(sinks...)
 	if t == nil {
 		return
@@ -145,6 +152,29 @@ func (s *engine) wireObservability() {
 	if m, ok := s.cfg.Manager.(interface{ SetTracer(obs.Tracer) }); ok {
 		m.SetTracer(t)
 	}
+}
+
+// auditConfig derives the decision-provenance auditor's parameters from
+// the design point: the gateable units' leakage budgets for attributed
+// savings, and the whole-core leakage (including PowerChop's own HTB/PVT
+// hardware) for costing the slowdown cycles decisions incur. When
+// metrics are on the audit histograms share the collector's registry so
+// one snapshot carries both.
+func (s *engine) auditConfig() audit.Config {
+	d := s.design
+	cfg := audit.Config{
+		ClockHz: d.ClockHz,
+		Units: []audit.UnitPower{
+			{Name: d.PowerVPU.Name, LeakageW: d.PowerVPU.LeakageW},
+			{Name: d.PowerBPU.Name, LeakageW: d.PowerBPU.LeakageW},
+			{Name: d.PowerMLC.Name, LeakageW: d.PowerMLC.LeakageW},
+		},
+		TotalLeakageW: d.TotalLeakageW() + power.HTBPowerW,
+	}
+	if s.collector != nil {
+		cfg.Registry = s.collector.Registry()
+	}
+	return cfg
 }
 
 // applyPolicy enacts a gating policy by delegating to each managed unit,
@@ -260,6 +290,13 @@ func (s *engine) reportProgress(done bool) {
 // finish closes out accounting and assembles the Result.
 func (s *engine) finish() *Result {
 	s.reportProgress(true)
+	if s.tracer != nil {
+		// Mark the end of the run at the exact cycle residency tracking
+		// closes out below, so trace consumers (the auditor, recorded
+		// JSONL replays) can close their own interval accounting at the
+		// same instant.
+		s.tracer.Emit(obs.Event{Kind: obs.KindRunEnd})
+	}
 	// Close residency tracking.
 	for _, u := range s.units {
 		u.gate().CloseOut(s.cycles)
@@ -321,6 +358,9 @@ func (s *engine) finish() *Result {
 	}
 	if s.collector != nil {
 		r.Metrics = s.collector.Snapshot()
+	}
+	if s.auditor != nil {
+		r.Audit = s.auditor.Snapshot()
 	}
 	return r
 }

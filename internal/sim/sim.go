@@ -29,6 +29,7 @@ import (
 	"powerchop/internal/cde"
 	"powerchop/internal/core"
 	"powerchop/internal/obs"
+	"powerchop/internal/obs/audit"
 	"powerchop/internal/phase"
 	"powerchop/internal/power"
 	"powerchop/internal/program"
@@ -59,6 +60,13 @@ type Config struct {
 	// metrics registry (counters and histograms) and attaches the
 	// snapshot to Result.Metrics.
 	Metrics bool
+	// Audit, when true, attaches a decision-provenance auditor to the
+	// event stream and attaches its Trail — per-decision records and the
+	// per-phase energy attribution table — to Result.Audit. Like Tracer
+	// and Metrics it is a pure observer: the simulated results are
+	// bit-identical with or without it. When Metrics is also set the
+	// audit histograms register in the collector's registry.
+	Audit bool
 	// Progress, when non-nil, is called at every window boundary and once
 	// at the end of the run. It is a pure observer: it sees the engine's
 	// counters but charges no cycles, so a run with a Progress callback is
@@ -186,6 +194,10 @@ type Result struct {
 	// Metrics is the observability snapshot, present when
 	// Config.Metrics was set.
 	Metrics *obs.Snapshot
+
+	// Audit is the decision-provenance trail, present when Config.Audit
+	// was set.
+	Audit *audit.Trail
 }
 
 // MispredictRate returns mispredicts per branch.

@@ -156,6 +156,48 @@ func Table(header []string, rows [][]string) string {
 	return b.String()
 }
 
+// RightTable renders an aligned text table like Table, but right-aligns
+// every column after the first — the natural layout for a label column
+// followed by numeric columns (the attribution tables use it).
+func RightTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			w := widths[min(i, len(widths)-1)]
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", w, c)
+			} else {
+				fmt.Fprintf(&b, "%*s", w, c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
 func min(a, b int) int {
 	if a < b {
 		return a

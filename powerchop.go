@@ -34,6 +34,7 @@ import (
 	"powerchop/internal/arch"
 	"powerchop/internal/core"
 	"powerchop/internal/obs"
+	"powerchop/internal/obs/audit"
 	"powerchop/internal/program"
 	"powerchop/internal/sim"
 	"powerchop/internal/workload"
@@ -86,6 +87,12 @@ type Options struct {
 	// Metrics enables metrics collection; the snapshot lands in
 	// Report.Metrics.
 	Metrics bool
+	// Audit enables decision-provenance collection: every CDE decision's
+	// lineage (scores, thresholds, PVT path) and a per-phase attribution
+	// of energy saved vs. slowdown incurred land in Report.Audit. Like
+	// Metrics it is a pure observer — the simulated results are
+	// bit-identical with or without it.
+	Audit bool
 	// Tracer, when non-nil, receives the run's event stream alongside any
 	// TraceWriter — the hook live monitors attach to (see internal
 	// obs/serve). It must be safe for concurrent emission if the caller
@@ -155,6 +162,13 @@ type UnitReport struct {
 	HalfFrac float64
 	// SwitchesPerMCycles is power-state changes per million cycles.
 	SwitchesPerMCycles float64
+	// LeakageJ is the leakage energy the unit drew given its gating
+	// residency; FullLeakageJ what an always-on unit would have drawn
+	// over the same run; LeakageSavedJ their difference — the quantity
+	// the audit layer attributes back to individual gating decisions.
+	LeakageJ      float64
+	FullLeakageJ  float64
+	LeakageSavedJ float64
 }
 
 // Report is a run's public result.
@@ -189,6 +203,144 @@ type Report struct {
 	// Metrics holds the run's metrics snapshot when Options.Metrics was
 	// set; nil otherwise.
 	Metrics *MetricsReport
+
+	// Audit holds the run's decision-provenance report when
+	// Options.Audit was set; nil otherwise.
+	Audit *AuditReport
+}
+
+// ScoreRecord is one unit's criticality measurement inside a decision:
+// the value Algorithm 1 computed, the threshold(s) it was compared
+// against, and the comparison's outcome.
+type ScoreRecord struct {
+	Unit   string
+	Metric string // "simd-ratio", "mispred-delta", "l2hit-ratio"
+	Value  float64
+	// Threshold is the cut-off compared against (MLC1 for the MLC);
+	// Threshold2 the MLC's second cut-off, zero elsewhere.
+	Threshold  float64
+	Threshold2 float64
+	// Outcome renders the comparison, e.g. "0.00013 <= 0.005 -> off".
+	Outcome string
+}
+
+// DecisionRecord is the full lineage of one gating decision.
+type DecisionRecord struct {
+	// Phase is the phase signature the decision covers.
+	Phase string
+	// Window locates the registration in the run.
+	Window uint64
+	// Path is "computed", "restored" or "abandoned".
+	Path string
+	// Policy is the decided policy vector, rendered like "V=1,B=0,M=01".
+	Policy string
+	// Scores are the measurements behind a computed decision.
+	Scores []ScoreRecord
+	// ProfileWindows, Attempts and LatencyWindows describe the
+	// profiling effort: windows consumed, CDE invocations spent, and
+	// windows elapsed from first PVT miss to registration.
+	ProfileWindows uint64
+	Attempts       uint64
+	LatencyWindows uint64
+}
+
+// PhaseAttribution is one phase's share of the run: how long its
+// decisions governed execution, what they saved, what they cost.
+type PhaseAttribution struct {
+	Phase   string
+	Policy  string
+	Windows uint64
+	Cycles  float64
+	// PVT path counts and decision count for the phase.
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Decisions uint64
+	// GatedCycles and EnergySavedJ attribute per-unit gating (cycles
+	// weighted by depth, and the leakage energy saved) to the phase.
+	GatedCycles  map[string]float64
+	EnergySavedJ map[string]float64
+	// EnergySavedTotalJ sums EnergySavedJ; OverheadCycles is the
+	// slowdown incurred (gate stalls + CDE invocations) and OverheadJ
+	// the whole-core leakage burned during it.
+	EnergySavedTotalJ float64
+	OverheadCycles    float64
+	OverheadJ         float64
+}
+
+// AuditReport is the public mirror of a run's decision-provenance trail.
+type AuditReport struct {
+	// Phases is the attribution table in order of first appearance
+	// ("(boot)" covers pre-decision cycles).
+	Phases []PhaseAttribution
+	// Decisions lists every policy registration in order.
+	Decisions []DecisionRecord
+	// EnergySavedJ totals attributed savings per unit; these sum to the
+	// run's per-unit LeakageSavedJ (see UnitReport).
+	EnergySavedJ      map[string]float64
+	EnergySavedTotalJ float64
+	// OverheadJ is the total slowdown cost in leakage energy.
+	OverheadJ float64
+	// Summary is the rendered attribution report (the top-20 view; use
+	// Render for other depths).
+	Summary string
+
+	trail *audit.Trail
+}
+
+// Render formats the attribution report showing at most top phases and
+// decisions (0 = all).
+func (a *AuditReport) Render(top int) string { return a.trail.Render(top) }
+
+// auditReportOf converts an internal trail.
+func auditReportOf(t *audit.Trail) *AuditReport {
+	r := &AuditReport{
+		EnergySavedJ:      t.EnergySavedJ,
+		EnergySavedTotalJ: t.EnergySavedTotalJ,
+		OverheadJ:         t.OverheadJ,
+		Summary:           t.Render(20),
+		trail:             t,
+	}
+	for _, p := range t.Phases {
+		r.Phases = append(r.Phases, PhaseAttribution{
+			Phase:             p.Phase,
+			Policy:            p.PolicyStr,
+			Windows:           p.Windows,
+			Cycles:            p.Cycles,
+			Hits:              p.Hits,
+			Misses:            p.Misses,
+			Evictions:         p.Evictions,
+			Decisions:         p.Decisions,
+			GatedCycles:       p.GatedCycles,
+			EnergySavedJ:      p.EnergySavedJ,
+			EnergySavedTotalJ: p.EnergySavedTotalJ,
+			OverheadCycles:    p.OverheadCycles,
+			OverheadJ:         p.OverheadJ,
+		})
+	}
+	for _, d := range t.Decisions {
+		pub := DecisionRecord{
+			Phase:          d.Phase,
+			Window:         d.Window,
+			Path:           d.Path,
+			Policy:         d.PolicyStr,
+			ProfileWindows: d.ProfileWindows,
+			Attempts:       d.Attempts,
+			LatencyWindows: d.LatencyWindows,
+		}
+		for _, s := range d.Scores {
+			pub.Scores = append(pub.Scores, ScoreRecord{
+				Unit:       s.Unit,
+				Metric:     s.Metric,
+				Value:      s.Value,
+				Threshold:  s.Threshold,
+				Threshold2: s.Threshold2,
+				Outcome:    s.Comparison(),
+			})
+		}
+		r.Decisions = append(r.Decisions, pub)
+	}
+	return r
 }
 
 // HistogramReport summarizes one metrics histogram.
@@ -344,6 +496,7 @@ func runProgram(p *program.Program, b workload.Benchmark, opts Options) (*Report
 		SampleInterval:  opts.SampleInterval,
 		Tracer:          obs.Multi(sinks...),
 		Metrics:         opts.Metrics,
+		Audit:           opts.Audit,
 	}
 	if progress := opts.Progress; progress != nil {
 		started := time.Now()
@@ -388,20 +541,20 @@ func reportOf(res *sim.Result, m core.Manager) *Report {
 		Instructions: res.GuestInsns,
 		IPC:          res.IPC,
 		Seconds:      res.Seconds,
-		VPU: UnitReport{
+		VPU: unitReportOf(res, arch.UnitVPU, UnitReport{
 			GatedFrac:          res.VPU.GatedFrac,
 			SwitchesPerMCycles: res.VPU.SwitchesPerM,
-		},
-		BPU: UnitReport{
+		}),
+		BPU: unitReportOf(res, arch.UnitBPU, UnitReport{
 			GatedFrac:          res.BPU.GatedFrac,
 			SwitchesPerMCycles: res.BPU.SwitchesPerM,
-		},
-		MLC: UnitReport{
+		}),
+		MLC: unitReportOf(res, arch.UnitMLC, UnitReport{
 			GatedFrac:          res.MLC.GatedFrac,
 			OneWayFrac:         res.MLC.OneWayFrac,
 			HalfFrac:           res.MLC.HalfFrac,
 			SwitchesPerMCycles: res.MLC.SwitchesPerM,
-		},
+		}),
 		AvgPowerW:      res.Power.AvgPowerW(),
 		AvgLeakageW:    res.Power.AvgLeakageW(),
 		TotalEnergyJ:   res.Power.TotalEnergyJ(),
@@ -425,7 +578,20 @@ func reportOf(res *sim.Result, m core.Manager) *Report {
 	if res.Metrics != nil {
 		r.Metrics = metricsReportOf(res.Metrics)
 	}
+	if res.Audit != nil {
+		r.Audit = auditReportOf(res.Audit)
+	}
 	return r
+}
+
+// unitReportOf completes a unit's public report with its leakage-energy
+// triple from the power accountant.
+func unitReportOf(res *sim.Result, unit string, u UnitReport) UnitReport {
+	pu := res.Power.Unit(unit)
+	u.LeakageJ = pu.LeakageJ
+	u.FullLeakageJ = pu.FullLeakageJ
+	u.LeakageSavedJ = pu.LeakSavedJ
+	return u
 }
 
 // Comparison is the paper's three-way configuration study for one
