@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race check bench bench-overhead bench-json clean
+.PHONY: build vet lint test race check bench bench-overhead bench-json profile clean
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,16 @@ bench-overhead:
 # the perf-trajectory artifact CI uploads (non-blocking).
 bench-json:
 	$(GO) run ./cmd/benchjson -benchtime 1x
+
+# CPU and heap profiles of the simulator hot loop (the compiled-region
+# execution path). See DESIGN.md "Hot path & result cache" for how to
+# read them; start with:
+#   go tool pprof -top cpu.out
+#   go tool pprof -list 'Cache.*Access' cpu.out
+profile:
+	$(GO) test -run '^$$' -bench BenchmarkRunCompiled -benchtime 20x \
+		-cpuprofile cpu.out -memprofile mem.out -o powerchop.test .
+	@echo "profiles written: cpu.out mem.out (pair with binary powerchop.test)"
 
 clean:
 	$(GO) clean ./...

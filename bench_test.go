@@ -14,6 +14,7 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"powerchop/internal/arch"
 	"powerchop/internal/cde"
@@ -22,6 +23,7 @@ import (
 	"powerchop/internal/obs"
 	"powerchop/internal/phase"
 	"powerchop/internal/pvt"
+	"powerchop/internal/rescache"
 	"powerchop/internal/sim"
 	"powerchop/internal/workload"
 )
@@ -408,6 +410,55 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		insns = res.GuestInsns
 	}
 	b.ReportMetric(float64(insns), "insns/op")
+}
+
+// BenchmarkRunCompiled measures the compiled-region execution path in
+// isolation — the same run shape as BenchmarkSimulatorThroughput, kept
+// under its own name so the region-compilation speedup can be tracked
+// against recorded baselines (see EXPERIMENTS.md).
+func BenchmarkRunCompiled(b *testing.B) {
+	bench := mustBench(b, "bzip2")
+	p := bench.MustBuild()
+	var insns uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(p, sim.Config{
+			Design:          arch.Server(),
+			Manager:         core.AlwaysOn(),
+			MaxTranslations: 50000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		insns = res.GuestInsns
+	}
+	b.ReportMetric(float64(insns), "insns/op")
+}
+
+// BenchmarkWarmCache measures a warm-cache full figure render against the
+// cold render that populated it. The warm/cold ratio is attached as a
+// metric; the acceptance bar is warm < 10% of cold.
+func BenchmarkWarmCache(b *testing.B) {
+	const scale = 0.02
+	cache := rescache.New(b.TempDir(), nil)
+	start := time.Now()
+	if err := NewFigureRunner(scale, WithCache(cache)).RenderAll(io.Discard); err != nil {
+		b.Fatal(err)
+	}
+	cold := time.Since(start)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := NewFigureRunner(scale, WithCache(cache)).RenderAll(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := cache.Stats(); st.Hits == 0 {
+		b.Fatal("warm renders hit nothing")
+	}
+	warm := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(cold.Seconds(), "cold-s")
+	b.ReportMetric(100*warm.Seconds()/cold.Seconds(), "%of-cold")
 }
 
 func mustBench(b *testing.B, name string) workload.Benchmark {

@@ -1,0 +1,94 @@
+package powerchop
+
+import (
+	"bytes"
+	"testing"
+
+	"powerchop/internal/rescache"
+)
+
+// TestWarmCacheFiguresByteIdentical is the result cache's contract test:
+// rendering the full figure set uncached, cold-cached (populating the
+// store) and warm-cached (serving from it) must produce byte-identical
+// output. Any divergence means a cached Result fails to reconstruct
+// something a live run reports.
+func TestWarmCacheFiguresByteIdentical(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("renders the full figure set")
+	}
+	const scale = 0.02
+	render := func(opts ...FigureOption) string {
+		var buf bytes.Buffer
+		if err := NewFigureRunner(scale, opts...).RenderAll(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	uncached := render()
+	cache := rescache.New(t.TempDir(), nil)
+	cold := render(WithCache(cache))
+	if st := cache.Stats(); st.Stores == 0 {
+		t.Fatalf("cold render stored nothing: %+v", st)
+	}
+	warm := render(WithCache(cache))
+	st := cache.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("warm render hit nothing: %+v", st)
+	}
+
+	if cold != uncached {
+		t.Error("cold-cache render differs from uncached render")
+	}
+	if warm != uncached {
+		t.Error("warm-cache render differs from uncached render")
+	}
+}
+
+// TestRunCacheHitMatchesLiveRun pins the public Run API's cache path: a
+// cache-hit Report (including the manager-derived PhasesSeen, which must
+// travel inside the cached Result) equals the live run's.
+func TestRunCacheHitMatchesLiveRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a benchmark twice")
+	}
+	opts := Options{Passes: 0.3, Cache: rescache.New(t.TempDir(), nil)}
+	live, err := Run("bzip2", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := opts.Cache.Stats(); st.Stores != 1 {
+		t.Fatalf("live run stored %d entries, want 1", st.Stores)
+	}
+	cached, err := Run("bzip2", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := opts.Cache.Stats(); st.Hits != 1 {
+		t.Fatalf("second run hit %d times, want 1: %+v", st.Hits, st)
+	}
+	if cached.Cycles != live.Cycles || cached.TotalEnergyJ != live.TotalEnergyJ {
+		t.Errorf("cached run diverges: cycles %v vs %v, energy %v vs %v",
+			cached.Cycles, live.Cycles, cached.TotalEnergyJ, live.TotalEnergyJ)
+	}
+	if cached.PhasesSeen != live.PhasesSeen {
+		t.Errorf("PhasesSeen: cached %d, live %d", cached.PhasesSeen, live.PhasesSeen)
+	}
+}
+
+// TestRunCacheBypassedForObservers pins the bypass rule: any consumer of
+// the live event stream or per-run instrumentation disables the cache
+// (counted, not silent) because a cached Result cannot replay events.
+func TestRunCacheBypassedForObservers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a benchmark")
+	}
+	cache := rescache.New(t.TempDir(), nil)
+	if _, err := Run("bzip2", Options{Passes: 0.3, Cache: cache, Metrics: true}); err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Bypass != 1 || st.Stores != 0 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want exactly one bypass and no stores", st)
+	}
+}

@@ -6,16 +6,16 @@
 // Usage:
 //
 //	powerchop list
-//	powerchop run -bench gobmk [-manager powerchop|full-power|min-power|timeout] [-arch server|mobile] [-passes 2] [-trace out.jsonl] [-metrics] [-http :8080]
-//	powerchop compare -bench namd [-passes 2]
+//	powerchop run -bench gobmk [-manager powerchop|full-power|min-power|timeout] [-arch server|mobile] [-passes 2] [-trace out.jsonl] [-metrics] [-http :8080] [-cache DIR]
+//	powerchop compare -bench namd [-passes 2] [-cache DIR]
 //	powerchop explain -bench gobmk [-manager M] [-arch A] [-top 20] [-json]
 //	powerchop trace [-top 20] out.jsonl
 //	powerchop trace timeline [-last 40] out.jsonl
 //	powerchop trace chrome [-o out.json] out.jsonl
 //	powerchop trace audit [-top 20] [-arch server] out.jsonl
-//	powerchop figure -id fig12 [-scale 1] [-jobs N] [-http :8080]
-//	powerchop all [-scale 1] [-jobs N] [-http :8080]
-//	powerchop headline [-scale 1] [-jobs N] [-http :8080]
+//	powerchop figure -id fig12 [-scale 1] [-jobs N] [-http :8080] [-cache DIR]
+//	powerchop all [-scale 1] [-jobs N] [-http :8080] [-cache DIR]
+//	powerchop headline [-scale 1] [-jobs N] [-http :8080] [-cache DIR]
 //	powerchop serve [-addr :8080] [-scale 1] [-jobs N] [-trace out.jsonl]
 //
 // The -http flag attaches a live monitor to the run: Prometheus metrics
@@ -23,6 +23,12 @@
 // /events (SSE or NDJSON), and pprof at /debug/pprof. serve keeps that
 // monitor up as a standing service with an /api tree for triggering
 // figures and runs.
+//
+// The -cache flag (default $POWERCHOP_CACHE) names a persistent result
+// cache: completed simulations are stored content-addressed on disk and
+// reused across invocations, so a warm cache regenerates figures
+// byte-identically at a fraction of the cost. Runs that record an event
+// trace bypass the cache — cached results cannot replay the stream.
 package main
 
 import (
@@ -38,7 +44,22 @@ import (
 	"powerchop/internal/obs"
 	"powerchop/internal/obs/audit"
 	"powerchop/internal/power"
+	"powerchop/internal/rescache"
 )
+
+// openCache validates dir — creating it if needed, so a bad path fails
+// before any simulation time is spent — and opens a result cache whose
+// counters register in reg (nil selects a private registry). An empty dir
+// returns nil: caching stays off.
+func openCache(dir string, reg *obs.Registry) (*rescache.Cache, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return rescache.New(dir, reg), nil
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -135,6 +156,10 @@ commands:
 run, figure, all and headline accept -http ADDR to expose a live monitor
 for the duration of the command: /metrics (Prometheus), /progress (JSON),
 /events and /decisions (SSE or NDJSON), /debug/pprof.
+
+run, compare, figure, all and headline accept -cache DIR (default
+$POWERCHOP_CACHE) to reuse completed simulation results across
+invocations; a warm cache is byte-identical to a cold run.
 `)
 	fmt.Fprintf(w, "\nfigure ids: %v\n", powerchop.FigureIDs())
 }
@@ -158,6 +183,7 @@ type runArgs struct {
 	trace    string
 	metrics  bool
 	httpAddr string
+	cacheDir string
 }
 
 func runFlags(args []string) (runArgs, error) {
@@ -171,6 +197,7 @@ func runFlags(args []string) (runArgs, error) {
 	trace := fs.String("trace", "", "write the event trace as JSONL to this file")
 	metrics := fs.Bool("metrics", false, "collect and print run metrics")
 	httpAddr := fs.String("http", "", "serve a live monitor on this address for the run's duration")
+	cacheDir := fs.String("cache", os.Getenv("POWERCHOP_CACHE"), "persistent result cache directory (default $POWERCHOP_CACHE)")
 	if err := fs.Parse(args); err != nil {
 		return runArgs{}, errParse(err)
 	}
@@ -190,7 +217,21 @@ func runFlags(args []string) (runArgs, error) {
 		trace:    *trace,
 		metrics:  *metrics,
 		httpAddr: *httpAddr,
+		cacheDir: *cacheDir,
 	}, nil
+}
+
+// attachCache opens the -cache directory (when given) and plugs the cache
+// into the run options. Called once up front with a nil registry, and
+// again from the -http monitor hook so the cache's counters surface on
+// the monitor's /metrics instead of a private registry.
+func (a *runArgs) attachCache(reg *obs.Registry) error {
+	c, err := openCache(a.cacheDir, reg)
+	if err != nil {
+		return err
+	}
+	a.opts.Cache = c
+	return nil
 }
 
 // withTrace attaches a JSONL trace file to the options when requested and
@@ -216,10 +257,14 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := a.attachCache(nil); err != nil {
+		return err
+	}
 	var rep *powerchop.Report
 	if err := withMonitor(a.httpAddr, os.Stderr, func(l *liveMonitor) {
 		a.opts.Tracer = l.tracer
 		a.opts.Progress = l.progress
+		a.attachCache(l.registry())
 	}, func() error {
 		return withTrace(&a, func() error {
 			rep, err = powerchop.Run(a.bench, a.opts)
@@ -260,10 +305,14 @@ func cmdCompare(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := a.attachCache(nil); err != nil {
+		return err
+	}
 	var c *powerchop.Comparison
 	if err := withMonitor(a.httpAddr, os.Stderr, func(l *liveMonitor) {
 		a.opts.Tracer = l.tracer
 		a.opts.Progress = l.progress
+		a.attachCache(l.registry())
 	}, func() error {
 		return withTrace(&a, func() error {
 			// With -trace the three runs' events land in one file, in run
@@ -490,6 +539,7 @@ func figureRunnerFlags(name string, args []string) (runner *powerchop.FigureRunn
 	scale := fs.Float64("scale", 1, "run-length scale")
 	jobs := fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	httpAddr := fs.String("http", "", "serve a live monitor on this address for the command's duration")
+	cacheDir := fs.String("cache", os.Getenv("POWERCHOP_CACHE"), "persistent result cache directory (default $POWERCHOP_CACHE)")
 	if err := fs.Parse(args); err != nil {
 		return nil, "", nil, errParse(err)
 	}
@@ -501,6 +551,7 @@ func figureRunnerFlags(name string, args []string) (runner *powerchop.FigureRunn
 	}
 	opts := []powerchop.FigureOption{powerchop.WithJobs(*jobs)}
 	cleanup = func() {}
+	var reg *obs.Registry
 	if *httpAddr != "" {
 		l := newLiveMonitor()
 		opts = append(opts,
@@ -511,6 +562,15 @@ func figureRunnerFlags(name string, args []string) (runner *powerchop.FigureRunn
 			return nil, "", nil, err
 		}
 		cleanup = l.stop
+		reg = l.registry()
+	}
+	cache, err := openCache(*cacheDir, reg)
+	if err != nil {
+		cleanup()
+		return nil, "", nil, err
+	}
+	if cache != nil {
+		opts = append(opts, powerchop.WithCache(cache))
 	}
 	return powerchop.NewFigureRunner(*scale, opts...), id, cleanup, nil
 }

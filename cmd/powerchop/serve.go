@@ -26,6 +26,7 @@ import (
 type liveMonitor struct {
 	mon    *serve.Monitor
 	tracer obs.Tracer
+	reg    *obs.Registry
 }
 
 // newLiveMonitor builds a monitor over a fresh metrics collector: the
@@ -54,8 +55,13 @@ func newLiveMonitor() *liveMonitor {
 	return &liveMonitor{
 		mon:    mon,
 		tracer: obs.Multi(collector, auditor, mon.Hub()),
+		reg:    collector.Registry(),
 	}
 }
+
+// registry exposes the monitor's metrics registry so extra instrument
+// sources (the result cache's counters) can surface on /metrics.
+func (l *liveMonitor) registry() *obs.Registry { return l.reg }
 
 // progress adapts RunProgress reports onto the monitor's board.
 func (l *liveMonitor) progress(p powerchop.RunProgress) {

@@ -7,6 +7,7 @@ import (
 
 	"powerchop/internal/experiments"
 	"powerchop/internal/obs"
+	"powerchop/internal/rescache"
 	"powerchop/internal/workload"
 )
 
@@ -27,6 +28,7 @@ type figureConfig struct {
 	jobs     int
 	tracer   obs.Tracer
 	progress func(RunProgress)
+	cache    *rescache.Cache
 }
 
 // WithJobs bounds the number of concurrent simulations (and, when above
@@ -51,6 +53,27 @@ func WithProgress(fn func(RunProgress)) FigureOption {
 	return func(c *figureConfig) { c.progress = fn }
 }
 
+// WithCache attaches a persistent result cache: every canonical run the
+// runner launches is looked up before simulating and stored after. A
+// warm cache renders the full figure set byte-identically to a cold run
+// at a fraction of the cost. When a tracer is also attached the cache is
+// bypassed (and the bypass counted) — cached results cannot replay the
+// event stream.
+func WithCache(c *rescache.Cache) FigureOption {
+	return func(fc *figureConfig) { fc.cache = c }
+}
+
+// WithCacheDir is WithCache with a cache opened at dir, its counters in a
+// private registry. Use WithCache to share a registry (e.g. a live
+// monitor's) instead.
+func WithCacheDir(dir string) FigureOption {
+	return func(fc *figureConfig) {
+		if dir != "" {
+			fc.cache = rescache.New(dir, nil)
+		}
+	}
+}
+
 // NewFigureRunner returns a figure runner. scale stretches or shrinks run
 // lengths (1 = the calibrated default of two phase-schedule passes; runs
 // never drop below one full pass).
@@ -61,6 +84,7 @@ func NewFigureRunner(scale float64, opts ...FigureOption) *FigureRunner {
 	}
 	r := experiments.NewParallelRunner(scale, c.jobs)
 	r.Tracer = c.tracer
+	r.Cache = c.cache
 	if fn := c.progress; fn != nil {
 		r.Progress = experiments.ProgressFunc(func(u experiments.RunUpdate) {
 			rp := RunProgress{

@@ -15,7 +15,9 @@ import (
 	"powerchop/internal/arch"
 	"powerchop/internal/core"
 	"powerchop/internal/obs"
+	"powerchop/internal/program"
 	"powerchop/internal/pvt"
+	"powerchop/internal/rescache"
 	"powerchop/internal/sim"
 	"powerchop/internal/workload"
 )
@@ -75,6 +77,13 @@ type Runner struct {
 	// error at completion. Like Tracer, set it before the first Result
 	// call; implementations must be safe for concurrent use.
 	Progress ProgressSink
+
+	// Cache, when non-nil, is a persistent result store consulted before
+	// each simulation and filled after it: a hit skips the run entirely
+	// and never occupies a job slot. When a Tracer is also set the cache
+	// is bypassed (and the bypass counted) — a cached result cannot
+	// replay the event stream. Set it before the first Result call.
+	Cache *rescache.Cache
 }
 
 // flight is one cache entry: the simulation's result once done is
@@ -208,18 +217,36 @@ func (r *Runner) Sampled(b workload.Benchmark, kind Kind, sampleInterval uint64)
 	return r.simulate(b, kind, sampleInterval, false)
 }
 
-// simulate executes one run while holding a job slot. Only simulating
-// goroutines occupy slots — flight waiters block outside, so the pool
-// cannot deadlock however callers fan out.
-func (r *Runner) simulate(b workload.Benchmark, kind Kind, sampleInterval uint64, report bool) (res *sim.Result, err error) {
-	r.sem <- struct{}{}
-	defer func() { <-r.sem }()
+// cacheKey derives the canonical persistent-cache key for a run, or
+// reports that the cache must be skipped: no cache configured, or a
+// tracer attached (a cached result cannot replay the event stream —
+// that skip is counted as a bypass).
+func (r *Runner) cacheKey(b workload.Benchmark, p *program.Program, kind Kind, sampleInterval, runLen uint64) (rescache.Key, bool) {
+	if r.Cache == nil {
+		return rescache.Key{}, false
+	}
+	if r.Tracer != nil {
+		r.Cache.CountBypass()
+		return rescache.Key{}, false
+	}
+	return rescache.Key{
+		Program: p.Digest(),
+		Design:  rescache.Fingerprint(designFor(b)),
+		Manager: string(kind),
+		Config: fmt.Sprintf("translations=%d sample=%d quality=%t",
+			runLen, sampleInterval, sampleInterval == 0 && kind == KindPowerChop),
+	}, true
+}
 
+// simulate executes one run while holding a job slot. Only simulating
+// goroutines occupy slots — flight waiters block outside and persistent
+// cache hits return before acquisition — so the pool cannot deadlock
+// however callers fan out.
+func (r *Runner) simulate(b workload.Benchmark, kind Kind, sampleInterval uint64, report bool) (res *sim.Result, err error) {
 	report = report && r.Progress != nil
 	var runLen uint64
 	if report {
 		started := time.Now()
-		r.report(RunUpdate{Benchmark: b.Name, Kind: kind, State: RunSimulating})
 		defer func() {
 			u := RunUpdate{Benchmark: b.Name, Kind: kind, State: RunDone, Elapsed: time.Since(started)}
 			if err != nil {
@@ -240,8 +267,20 @@ func (r *Runner) simulate(b workload.Benchmark, kind Kind, sampleInterval uint64
 	if err != nil {
 		return nil, err
 	}
-	r.sims.Add(1)
 	runLen = r.runLength(p.TotalScheduleTranslations())
+	key, cacheable := r.cacheKey(b, p, kind, sampleInterval, runLen)
+	if cacheable {
+		if hit, ok := r.Cache.Get(key); ok {
+			return hit, nil
+		}
+	}
+
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+	if report {
+		r.report(RunUpdate{Benchmark: b.Name, Kind: kind, State: RunSimulating})
+	}
+	r.sims.Add(1)
 	cfg := sim.Config{
 		Design:          designFor(b),
 		Manager:         m,
@@ -266,6 +305,11 @@ func (r *Runner) simulate(b workload.Benchmark, kind Kind, sampleInterval uint64
 	res, err = sim.Run(p, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s: %w", b.Name, kind, err)
+	}
+	if cacheable {
+		// Best-effort: a failed store is counted by the cache but must
+		// not fail the run that produced a perfectly good result.
+		_ = r.Cache.Put(key, res)
 	}
 	return res, nil
 }

@@ -13,7 +13,7 @@ package phase
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"powerchop/internal/obs"
 )
@@ -154,18 +154,40 @@ func (h *HTB) Record(id uint32, insns uint64) (windowEnded bool) {
 // EndWindow closes the current window, returning its phase signature and
 // translation vector (translation ID → dynamic instructions), then flushes
 // the buffer for the next window. The returned map is a copy owned by the
-// caller.
+// caller; callers that don't consume the vector should use EndWindowNoVec,
+// which skips the per-window allocation.
 func (h *HTB) EndWindow() (Signature, map[uint32]uint64) {
+	vec := make(map[uint32]uint64, len(h.counts))
+	for id, c := range h.counts {
+		vec[id] = c
+	}
+	return h.EndWindowNoVec(), vec
+}
+
+// EndWindowNoVec is EndWindow without the translation-vector copy: the
+// simulator closes a window every thousand translations and usually has
+// no vector consumer, so the steady-state loop stays allocation-free.
+func (h *HTB) EndWindowNoVec() Signature {
 	h.sigBuf = h.sigBuf[:0]
 	for id, n := range h.counts {
 		h.sigBuf = append(h.sigBuf, htbEntry{id, n})
 	}
 	// Hottest first; ties broken by ID so signatures are deterministic.
-	sort.Slice(h.sigBuf, func(i, j int) bool {
-		if h.sigBuf[i].insns != h.sigBuf[j].insns {
-			return h.sigBuf[i].insns > h.sigBuf[j].insns
+	// The comparator captures nothing, so sorting does not allocate.
+	slices.SortFunc(h.sigBuf, func(a, b htbEntry) int {
+		if a.insns != b.insns {
+			if a.insns > b.insns {
+				return -1
+			}
+			return 1
 		}
-		return h.sigBuf[i].id < h.sigBuf[j].id
+		if a.id != b.id {
+			if a.id < b.id {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
 	var sig Signature
 	n := h.cfg.SignatureLen
@@ -176,13 +198,18 @@ func (h *HTB) EndWindow() (Signature, map[uint32]uint64) {
 		sig.IDs[i] = h.sigBuf[i].id
 	}
 	sig.N = uint8(n)
-	sort.Slice(sig.IDs[:n], func(i, j int) bool { return sig.IDs[i] < sig.IDs[j] })
+	slices.Sort(sig.IDs[:n])
 
-	vec := make(map[uint32]uint64, len(h.counts))
-	var insns uint64
-	for id, c := range h.counts {
-		vec[id] = c
+	// Signature coverage: the share of the window's dynamic instructions
+	// executed by the signature's hot translations — provenance for how
+	// representative the HTB-derived signature is of the window it labels.
+	// Computed from the live counts before the flush below.
+	var insns, covered uint64
+	for _, c := range h.counts {
 		insns += c
+	}
+	for i := 0; i < n; i++ {
+		covered += h.counts[sig.IDs[i]]
 	}
 	for id := range h.counts {
 		delete(h.counts, id)
@@ -190,14 +217,6 @@ func (h *HTB) EndWindow() (Signature, map[uint32]uint64) {
 	h.execs = 0
 	h.windows++
 	if h.tracer != nil {
-		// Signature coverage: the share of the window's dynamic
-		// instructions executed by the signature's hot translations —
-		// provenance for how representative the HTB-derived signature is
-		// of the window it labels.
-		var covered uint64
-		for i := 0; i < int(sig.N); i++ {
-			covered += vec[sig.IDs[i]]
-		}
 		coverage := 0.0
 		if insns > 0 {
 			coverage = float64(covered) / float64(insns)
@@ -212,7 +231,7 @@ func (h *HTB) EndWindow() (Signature, map[uint32]uint64) {
 			Prev:   coverage,
 		})
 	}
-	return sig, vec
+	return sig
 }
 
 // WindowProgress returns how many translations of the current window have

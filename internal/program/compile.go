@@ -1,0 +1,61 @@
+package program
+
+import "powerchop/internal/isa"
+
+// CompiledOp is one step of a compiled region body: Run consecutive
+// scalar instructions followed by a single "interesting" instruction (a
+// vector op, branch, load or store) carrying its selector. The scalar
+// stretch is executed as batched bookkeeping; only Inst needs dynamic
+// dispatch.
+type CompiledOp struct {
+	// Run is the number of scalar instructions preceding Inst.
+	Run uint32
+	// Inst is the interesting instruction ending the stretch; its Kind is
+	// never Scalar.
+	Inst isa.Inst
+}
+
+// CompiledRegion is the flat, run-length-encoded form of a Region body.
+// Region bodies are static, so each region compiles exactly once per
+// engine and the hot loop iterates a compact op sequence instead of
+// switching on every instruction.
+type CompiledRegion struct {
+	// Ops is the event sequence: each op is a scalar run then one
+	// interesting instruction.
+	Ops []CompiledOp
+	// Tail is the trailing scalar run after the last interesting
+	// instruction (the whole body, for all-scalar regions).
+	Tail uint32
+	// Insns is the total instruction count; it always equals the source
+	// body's length.
+	Insns int
+}
+
+// Compile run-length-encodes the region body. The compiled form executes
+// the same instruction sequence in the same order as walking Body
+// directly; it only changes how the scalar stretches between interesting
+// instructions are represented.
+func (r *Region) Compile() CompiledRegion {
+	c := CompiledRegion{Insns: len(r.Body)}
+	run := uint32(0)
+	for _, inst := range r.Body {
+		if inst.Kind == isa.Scalar {
+			run++
+			continue
+		}
+		c.Ops = append(c.Ops, CompiledOp{Run: run, Inst: inst})
+		run = 0
+	}
+	c.Tail = run
+	return c
+}
+
+// CompileAll compiles every region of the program, indexed like
+// Program.Regions.
+func CompileAll(p *Program) []CompiledRegion {
+	out := make([]CompiledRegion, len(p.Regions))
+	for i, r := range p.Regions {
+		out[i] = r.Compile()
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package program
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+)
+
+// Digest returns a canonical content hash over the program's complete
+// static definition: name, suite, seed, every region body with its
+// branch and memory behaviour models, and the phase schedule. Execution
+// is deterministic given this content, so two programs with equal
+// digests produce identical simulation results — the property the
+// persistent result cache (internal/rescache) keys on.
+func (p *Program) Digest() string {
+	h := sha256.New()
+	hashString(h, p.Name)
+	hashString(h, p.Suite)
+	hashU64(h, p.Seed)
+	hashU64(h, uint64(len(p.Regions)))
+	for _, r := range p.Regions {
+		hashString(h, r.Name)
+		hashU64(h, uint64(r.HeadPC))
+		hashU64(h, uint64(len(r.Body)))
+		for _, inst := range r.Body {
+			hashU64(h, uint64(inst.PC))
+			h.Write([]byte{byte(inst.Kind), inst.Sel})
+		}
+		hashU64(h, uint64(len(r.Branches)))
+		for i := range r.Branches {
+			m := &r.Branches[i]
+			h.Write([]byte{byte(m.Kind)})
+			hashF64(h, m.Bias)
+			hashU64(h, uint64(len(m.Pattern)))
+			for _, taken := range m.Pattern {
+				hashBool(h, taken)
+			}
+			hashU64(h, uint64(m.CorrDepth))
+			hashF64(h, m.Noise)
+		}
+		hashU64(h, uint64(len(r.Streams)))
+		for i := range r.Streams {
+			s := &r.Streams[i]
+			hashU64(h, s.WorkingSet)
+			hashU64(h, s.Stride)
+			hashU64(h, uint64(s.SharedID))
+			hashU64(h, s.base)
+		}
+	}
+	hashU64(h, uint64(len(p.Phases)))
+	for _, ph := range p.Phases {
+		hashString(h, ph.Name)
+		hashU64(h, uint64(len(ph.Weights)))
+		for _, w := range ph.Weights {
+			hashF64(h, w)
+		}
+		hashU64(h, uint64(ph.Translations))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashString writes a length-prefixed string so adjacent fields cannot
+// alias each other.
+func hashString(h hash.Hash, s string) {
+	hashU64(h, uint64(len(s)))
+	h.Write([]byte(s))
+}
+
+func hashU64(h hash.Hash, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.Write(buf[:])
+}
+
+func hashF64(h hash.Hash, v float64) { hashU64(h, math.Float64bits(v)) }
+
+func hashBool(h hash.Hash, v bool) {
+	if v {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+}

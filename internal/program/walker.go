@@ -19,9 +19,9 @@ type Walker struct {
 	globalHist uint64
 	branchSt   [][]branchState
 	streamSt   [][]streamState
-	sharedSt   map[uint64]*streamState // streams with a SharedID advance one pointer
-	cum        [][]float64             // per phase: cumulative region weights
-	executed   uint64                  // region executions so far
+	streamPtr  [][]*streamState // resolved state per region×sel; shared streams alias one entry
+	cum        [][]float64      // per phase: cumulative region weights
+	executed   uint64           // region executions so far
 }
 
 // NewWalker validates p and returns a walker positioned at the start of the
@@ -31,16 +31,35 @@ func NewWalker(p *Program) (*Walker, error) {
 		return nil, err
 	}
 	w := &Walker{
-		prog:     p,
-		rnd:      rng.New(p.Seed),
-		branchSt: make([][]branchState, len(p.Regions)),
-		streamSt: make([][]streamState, len(p.Regions)),
-		sharedSt: make(map[uint64]*streamState),
-		cum:      make([][]float64, len(p.Phases)),
+		prog:      p,
+		rnd:       rng.New(p.Seed),
+		branchSt:  make([][]branchState, len(p.Regions)),
+		streamSt:  make([][]streamState, len(p.Regions)),
+		streamPtr: make([][]*streamState, len(p.Regions)),
+		cum:       make([][]float64, len(p.Phases)),
 	}
+	// Resolve each stream's state pointer up front: streams carrying a
+	// SharedID alias one state per (SharedID, sel) pair across regions,
+	// the rest get private per-region state. Address then indexes the
+	// table instead of consulting a map per access.
+	shared := make(map[uint64]*streamState)
 	for i, r := range p.Regions {
 		w.branchSt[i] = make([]branchState, len(r.Branches))
 		w.streamSt[i] = make([]streamState, len(r.Streams))
+		w.streamPtr[i] = make([]*streamState, len(r.Streams))
+		for j := range r.Streams {
+			if id := r.Streams[j].SharedID; id != 0 {
+				key := uint64(id)<<8 | uint64(j)
+				st := shared[key]
+				if st == nil {
+					st = &streamState{}
+					shared[key] = st
+				}
+				w.streamPtr[i][j] = st
+			} else {
+				w.streamPtr[i][j] = &w.streamSt[i][j]
+			}
+		}
 	}
 	for i, ph := range p.Phases {
 		cum := make([]float64, len(ph.Weights))
@@ -116,18 +135,7 @@ func (w *Walker) GlobalHistory() uint64 { return w.globalHist }
 // across all regions referencing them, so region variants walk one logical
 // data stream.
 func (w *Walker) Address(ri int, sel uint8) uint64 {
-	r := w.prog.Regions[ri]
-	stream := &r.Streams[sel]
-	if stream.SharedID != 0 {
-		key := uint64(stream.SharedID)<<8 | uint64(sel)
-		st := w.sharedSt[key]
-		if st == nil {
-			st = &streamState{}
-			w.sharedSt[key] = st
-		}
-		return stream.next(st, w.rnd)
-	}
-	return stream.next(&w.streamSt[ri][sel], w.rnd)
+	return w.prog.Regions[ri].Streams[sel].next(w.streamPtr[ri][sel], w.rnd)
 }
 
 func boolBit(b bool) uint64 {

@@ -76,6 +76,12 @@ func (s *Source) Uint64n(n uint64) uint64 {
 	if n == 0 {
 		panic("rng: Uint64n called with n == 0")
 	}
+	if n&(n-1) == 0 {
+		// Power-of-two range: the mask selects exactly the bits the
+		// modulo would keep, skipping a 64-bit division on the hot
+		// address-generation path. The result is bit-identical.
+		return s.Uint64() & (n - 1)
+	}
 	return s.Uint64() % n
 }
 

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"powerchop/internal/arch"
+	"powerchop/internal/core"
+	"powerchop/internal/obs"
+)
+
+// TestCompiledMatchesNaiveWalk pins the compiled-region fast path to the
+// original per-instruction walk: the same program under the same manager
+// must produce an identical Result and an identical event sequence
+// whichever execution strategy runs. The naive walk survives only as this
+// oracle, so any divergence is a bug in the compiler or the batched loop.
+func TestCompiledMatchesNaiveWalk(t *testing.T) {
+	managers := []struct {
+		name string
+		mk   func() core.Manager
+	}{
+		{"powerchop", func() core.Manager { return core.MustPowerChop(core.DefaultConfig()) }},
+		{"timeout", func() core.Manager {
+			m, err := core.NewTimeoutVPU(20000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}},
+		{"full-power", func() core.Manager { return core.AlwaysOn() }},
+	}
+	for _, mc := range managers {
+		t.Run(mc.name, func(t *testing.T) {
+			run := func(naive bool) (*Result, []obs.Event) {
+				p := vectorPhasedProgram(t)
+				ring := obs.NewRing(1 << 16)
+				r, err := Run(p, Config{
+					Design:          arch.Server(),
+					Manager:         mc.mk(),
+					Phase:           smallPhaseConfig(),
+					MaxTranslations: 4000,
+					SampleInterval:  2000,
+					Tracer:          ring,
+					naiveWalk:       naive,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r, ring.Events()
+			}
+			compiled, compiledEvents := run(false)
+			naive, naiveEvents := run(true)
+
+			if compiled.Cycles != naive.Cycles {
+				t.Errorf("cycles: compiled %v, naive %v", compiled.Cycles, naive.Cycles)
+			}
+			if !reflect.DeepEqual(compiled, naive) {
+				t.Errorf("results diverge:\ncompiled %+v\nnaive    %+v", compiled, naive)
+			}
+			if len(compiledEvents) != len(naiveEvents) {
+				t.Fatalf("event counts diverge: compiled %d, naive %d",
+					len(compiledEvents), len(naiveEvents))
+			}
+			for i := range compiledEvents {
+				if compiledEvents[i] != naiveEvents[i] {
+					t.Fatalf("event %d diverges:\ncompiled %+v\nnaive    %+v",
+						i, compiledEvents[i], naiveEvents[i])
+				}
+			}
+		})
+	}
+}

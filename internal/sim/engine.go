@@ -3,6 +3,7 @@ package sim
 import (
 	"powerchop/internal/arch"
 	"powerchop/internal/bt"
+	"powerchop/internal/cde"
 	"powerchop/internal/core"
 	"powerchop/internal/isa"
 	"powerchop/internal/obs"
@@ -28,6 +29,10 @@ type engine struct {
 	htb     *phase.HTB
 	acct    *power.Accountant
 	quality *phase.QualityTracker
+
+	// compiled holds the run-length-encoded form of each region body,
+	// indexed like prog.Regions; built once at engine setup.
+	compiled []program.CompiledRegion
 
 	// The managed units in enactment order (VPU, BPU, MLC). The typed
 	// fields alias the same components for instruction dispatch.
@@ -61,6 +66,12 @@ type engine struct {
 	// the unit components).
 	winInsns uint64
 
+	// Per-window scratch, kept on the engine because passing their
+	// addresses through the managedUnit interface would otherwise heap-
+	// allocate a fresh copy every window boundary.
+	profBuf   cde.WindowProfile
+	policyBuf pvt.Policy
+
 	// Core-pipeline dynamic-energy access tally, flushed at the end.
 	coreAccesses uint64
 
@@ -93,16 +104,34 @@ func newEngine(p *program.Program, cfg Config) (*engine, error) {
 	}
 
 	s := &engine{
-		cfg:    cfg,
-		design: d,
-		prog:   p,
-		walker: walker,
-		btSys:  btSys,
-		htb:    phase.NewHTB(cfg.Phase),
-		acct:   power.NewAccountant(d.ClockHz),
+		cfg:      cfg,
+		design:   d,
+		prog:     p,
+		walker:   walker,
+		btSys:    btSys,
+		htb:      phase.NewHTB(cfg.Phase),
+		acct:     power.NewAccountant(d.ClockHz),
+		compiled: program.CompileAll(p),
 
 		policy:   pvt.FullOn,
 		sampleAt: cfg.SampleInterval,
+	}
+	if cfg.SampleInterval > 0 {
+		// Preallocate the sample series from the run budget: at most
+		// MaxTranslations executions of the longest body, one sample per
+		// interval. Clamped so a pathological budget cannot balloon the
+		// allocation; append still grows past the estimate if needed.
+		maxLen := 0
+		for _, r := range p.Regions {
+			if r.Len() > maxLen {
+				maxLen = r.Len()
+			}
+		}
+		est := cfg.MaxTranslations*uint64(maxLen)/cfg.SampleInterval + 1
+		if est > 1<<16 {
+			est = 1 << 16
+		}
+		s.samples = make([]Sample, 0, est)
 	}
 	s.vpu = newVPUUnit(s)
 	s.bpu = newBPUUnit(s)
@@ -199,11 +228,11 @@ func (s *engine) absorbDirective(d core.Directive) {
 // currentPolicy reconstructs the policy currently in effect from unit
 // state.
 func (s *engine) currentPolicy() pvt.Policy {
-	var p pvt.Policy
+	s.policyBuf = pvt.Policy{}
 	for _, u := range s.units {
-		u.fillPolicy(&p)
+		u.fillPolicy(&s.policyBuf)
 	}
-	return p
+	return s.policyBuf
 }
 
 // stallFor charges stall cycles attributable to gating transitions.
@@ -214,27 +243,108 @@ func (s *engine) stallFor(cycles float64) {
 
 // run is the main simulation loop: walk region executions through the BT
 // system, dispatch each instruction event to the issue pipeline and the
-// owning unit, and close windows at HTB boundaries.
+// owning unit, and close windows at HTB boundaries. The default path
+// executes precompiled region bodies; the naive per-instruction walk is
+// kept behind Config.naiveWalk as the equivalence oracle.
 func (s *engine) run() {
+	if s.cfg.naiveWalk {
+		s.runNaive()
+		return
+	}
 	issueCycle := 1 / s.design.IssueWidth
 	for s.walker.Executed() < s.cfg.MaxTranslations {
 		ri := s.walker.Next()
 		tr, extra := s.btSys.Execute(ri)
 		s.cycles += extra
 		if s.tracer != nil {
-			// Execute returns nil on the install execution, so fresh
-			// translations are detected by a counter delta.
-			if n := s.btSys.Translations(); n > s.lastXl8 {
-				s.lastXl8 = n
-				if nt := s.btSys.Translation(ri); nt != nil {
-					s.tracer.Emit(obs.Event{
-						Kind:   obs.KindTranslate,
-						Detail: "install",
-						Count:  uint64(nt.ID),
-						Value:  float64(nt.Insns),
-					})
-				}
+			s.traceInstall(ri)
+		}
+		cr := &s.compiled[ri]
+
+		for i := range cr.Ops {
+			op := &cr.Ops[i]
+			if op.Run > 0 {
+				s.execScalarRun(uint64(op.Run), issueCycle)
 			}
+			s.guestInsns++
+			s.winInsns++
+			s.shardInsns++
+			switch op.Inst.Kind {
+			case isa.Vector:
+				s.vpu.execVector(issueCycle)
+			case isa.Branch:
+				s.bpu.execBranch(ri, op.Inst, issueCycle)
+			default: // isa.Load, isa.Store
+				s.mlc.execMem(ri, op.Inst, issueCycle)
+			}
+			s.postInst()
+		}
+		if cr.Tail > 0 {
+			s.execScalarRun(uint64(cr.Tail), issueCycle)
+		}
+
+		if tr != nil {
+			if s.htb.Record(tr.ID, uint64(tr.Insns)) {
+				s.endWindow()
+				s.reportProgress(false)
+			}
+		}
+	}
+}
+
+// execScalarRun executes n consecutive scalar instructions. All
+// exact-integer bookkeeping is batched per stretch, with shard and
+// sample boundaries hoisted out of the loop as arithmetic on the run
+// length, so the per-instruction work reduces to the cycle accumulation.
+// That accumulation must stay one issue slot at a time: adding
+// n*issueCycle in one step would round differently, and results are
+// required to be byte-identical to the naive walk.
+func (s *engine) execScalarRun(n uint64, issueCycle float64) {
+	sampling := s.cfg.SampleInterval > 0
+	for n > 0 {
+		// The boundary checks fire exactly when the naive walk's would:
+		// shardInsns stays below 1000 and guestInsns below sampleAt
+		// between instructions, so both deltas are positive and step >= 1.
+		step := n
+		if until := 1000 - s.shardInsns; until < step {
+			step = until
+		}
+		if sampling {
+			if until := s.sampleAt - s.guestInsns; until < step {
+				step = until
+			}
+		}
+		s.guestInsns += step
+		s.winInsns += step
+		s.shardInsns += step
+		s.uops += step
+		s.coreAccesses += step
+		c := s.cycles
+		for i := uint64(0); i < step; i++ {
+			c += issueCycle
+		}
+		s.cycles = c
+		n -= step
+		if s.shardInsns >= 1000 {
+			s.closeShard()
+		}
+		if sampling && s.guestInsns >= s.sampleAt {
+			s.takeSample()
+		}
+	}
+}
+
+// runNaive is the original per-instruction walk over Region.Body. It is
+// the semantic reference for the compiled path: the two must produce
+// byte-identical results and event streams (see the equivalence tests).
+func (s *engine) runNaive() {
+	issueCycle := 1 / s.design.IssueWidth
+	for s.walker.Executed() < s.cfg.MaxTranslations {
+		ri := s.walker.Next()
+		tr, extra := s.btSys.Execute(ri)
+		s.cycles += extra
+		if s.tracer != nil {
+			s.traceInstall(ri)
 		}
 		region := s.walker.Region(ri)
 
@@ -254,12 +364,7 @@ func (s *engine) run() {
 			case isa.Load, isa.Store:
 				s.mlc.execMem(ri, inst, issueCycle)
 			}
-			if s.shardInsns >= 1000 {
-				s.closeShard()
-			}
-			if s.cfg.SampleInterval > 0 && s.guestInsns >= s.sampleAt {
-				s.takeSample()
-			}
+			s.postInst()
 		}
 
 		if tr != nil {
@@ -267,6 +372,36 @@ func (s *engine) run() {
 				s.endWindow()
 				s.reportProgress(false)
 			}
+		}
+	}
+}
+
+// postInst runs the per-instruction boundary checks shared by both
+// walks: close the 1000-instruction shard, then take a due sample — in
+// that order, since both can trigger on the same instruction.
+func (s *engine) postInst() {
+	if s.shardInsns >= 1000 {
+		s.closeShard()
+	}
+	if s.cfg.SampleInterval > 0 && s.guestInsns >= s.sampleAt {
+		s.takeSample()
+	}
+}
+
+// traceInstall emits a translation-install event when the preceding
+// Execute compiled a fresh translation. Execute returns nil on the
+// install execution, so fresh translations are detected by a counter
+// delta.
+func (s *engine) traceInstall(ri int) {
+	if n := s.btSys.Translations(); n > s.lastXl8 {
+		s.lastXl8 = n
+		if nt := s.btSys.Translation(ri); nt != nil {
+			s.tracer.Emit(obs.Event{
+				Kind:   obs.KindTranslate,
+				Detail: "install",
+				Count:  uint64(nt.ID),
+				Value:  float64(nt.Insns),
+			})
 		}
 	}
 }
@@ -349,6 +484,7 @@ func (s *engine) finish() *Result {
 	if pc, ok := s.cfg.Manager.(*core.PowerChop); ok {
 		r.PVT = pc.PVT().Stats()
 		r.CDE = pc.Engine().Stats()
+		r.KnownPhases = pc.Engine().KnownPhases()
 	}
 	if s.quality != nil {
 		r.QualityMeanFrac = s.quality.MeanDistanceFrac()

@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-pinning test skips itself under race because the detector's
+// instrumentation allocates on its own schedule.
+const raceEnabled = true

@@ -72,6 +72,12 @@ type Config struct {
 	// counters but charges no cycles, so a run with a Progress callback is
 	// bit-identical to one without.
 	Progress func(Progress)
+
+	// naiveWalk selects the original per-instruction walk over
+	// Region.Body instead of the compiled-region hot loop. The two are
+	// required to produce byte-identical results; the flag exists only so
+	// in-package tests can hold the naive walk up as the oracle.
+	naiveWalk bool
 }
 
 // Progress is a point-in-time view of a running simulation, delivered to
@@ -178,6 +184,7 @@ type Result struct {
 	BT          bt.Stats
 	PVT         pvt.Stats
 	CDE         cde.Stats
+	KnownPhases int // phases with computed CDE policies (PowerChop only)
 	PVTMissInts uint64
 	CDECycles   float64
 	GateStalls  float64 // total cycles stalled on gating transitions

@@ -314,10 +314,19 @@ type mlcUnit struct {
 	winL2Hits  uint64
 	intMLCHits uint64
 
-	// Dynamic-energy access tallies per power level.
-	accByFrac map[float64]uint64
+	// Dynamic-energy access tallies per power level. Only a handful of
+	// distinct fractions ever occur (full, half-ways, one-way), so a
+	// linearly scanned slice beats a map lookup in the hot path and
+	// allocates nothing once the levels have been seen.
+	accByFrac []fracCount
 	// accesses is the whole-run MLC access count, filled at flush time.
 	accesses uint64
+}
+
+// fracCount tallies accesses at one power fraction.
+type fracCount struct {
+	frac float64
+	n    uint64
 }
 
 func newMLCUnit(e *engine) *mlcUnit {
@@ -325,8 +334,19 @@ func newMLCUnit(e *engine) *mlcUnit {
 		e:         e,
 		hier:      cache.NewHierarchy(e.design.Mem),
 		g:         gating.NewUnit(arch.UnitMLC, 1),
-		accByFrac: map[float64]uint64{},
+		accByFrac: make([]fracCount, 0, 4),
 	}
+}
+
+// addAccess records one MLC access at the given power fraction.
+func (m *mlcUnit) addAccess(frac float64) {
+	for i := range m.accByFrac {
+		if m.accByFrac[i].frac == frac {
+			m.accByFrac[i].n++
+			return
+		}
+	}
+	m.accByFrac = append(m.accByFrac, fracCount{frac: frac, n: 1})
 }
 
 func (m *mlcUnit) gate() *gating.Unit { return m.g }
@@ -372,15 +392,12 @@ func (m *mlcUnit) sampleInterval(smp *Sample) {
 func (m *mlcUnit) flushAccesses(acct *power.Accountant) {
 	// Flush levels in ascending order so the floating-point accumulation
 	// over power fractions is reproducible run to run.
-	fracs := make([]float64, 0, len(m.accByFrac))
-	for frac := range m.accByFrac {
-		fracs = append(fracs, frac)
-	}
-	sort.Float64s(fracs)
-	for _, frac := range fracs {
-		n := m.accByFrac[frac]
-		acct.AddAccesses(arch.UnitMLC, n, frac)
-		m.accesses += n
+	sort.Slice(m.accByFrac, func(i, j int) bool {
+		return m.accByFrac[i].frac < m.accByFrac[j].frac
+	})
+	for _, fc := range m.accByFrac {
+		acct.AddAccesses(arch.UnitMLC, fc.n, fc.frac)
+		m.accesses += fc.n
 	}
 }
 
@@ -401,7 +418,7 @@ func (m *mlcUnit) execMem(ri int, inst isa.Inst, issueCycle float64) {
 	m.e.cycles += issueCycle + res.StallCycles
 	m.memOps++
 	if res.MLCAccessed {
-		m.accByFrac[m.g.PowerFrac()]++
+		m.addAccess(m.g.PowerFrac())
 	}
 	if res.MLCHit {
 		m.mlcHits++

@@ -5,20 +5,28 @@ import (
 	"powerchop/internal/cde"
 	"powerchop/internal/core"
 	"powerchop/internal/obs"
+	"powerchop/internal/phase"
 )
 
 // endWindow closes an HTB execution window: build the window's profile
 // from the units, run unit boundary machinery, consult the manager, and
 // enact the resulting directive.
 func (s *engine) endWindow() {
-	sig, vec := s.htb.EndWindow()
+	var sig phase.Signature
 	if s.quality != nil {
+		// The quality tracker takes ownership of the translation vector,
+		// so only Figure 8 runs pay for the per-window copy.
+		var vec map[uint32]uint64
+		sig, vec = s.htb.EndWindow()
 		s.quality.Observe(sig, vec)
+	} else {
+		sig = s.htb.EndWindowNoVec()
 	}
 
-	prof := cde.WindowProfile{TotalInsns: s.winInsns}
+	s.profBuf = cde.WindowProfile{TotalInsns: s.winInsns}
+	prof := &s.profBuf
 	for _, u := range s.units {
-		u.windowProfile(&prof)
+		u.windowProfile(prof)
 	}
 	// A window is warm for measurement when it ran entirely at the full
 	// configuration and at least two such windows precede it.
@@ -40,7 +48,7 @@ func (s *engine) endWindow() {
 
 	d := s.cfg.Manager.WindowEnd(core.WindowReport{
 		Signature: sig,
-		Profile:   prof,
+		Profile:   *prof,
 		Cycle:     s.cycles,
 	})
 	if d.CDEInvoked {

@@ -36,6 +36,7 @@ import (
 	"powerchop/internal/obs"
 	"powerchop/internal/obs/audit"
 	"powerchop/internal/program"
+	"powerchop/internal/rescache"
 	"powerchop/internal/sim"
 	"powerchop/internal/workload"
 )
@@ -108,6 +109,19 @@ type Options struct {
 	// to a serial run). It is ignored when TraceWriter is set, where
 	// serial execution keeps the three event streams from interleaving.
 	Parallelism int
+	// Cache, when non-nil, is a persistent content-addressed result
+	// store (internal/rescache): Run consults it before simulating and
+	// files the result afterwards, so repeated identical runs are
+	// near-instant and byte-identical. Runs with an event-stream
+	// consumer attached (TraceWriter, Tracer, Metrics or Audit) bypass
+	// the cache — a cached result cannot replay the stream. Progress
+	// still works on a hit: the callback receives the final done report.
+	Cache *rescache.Cache
+	// CacheDir, when non-empty and Cache is nil, opens a cache rooted at
+	// that directory (created on first store) with a private metrics
+	// registry. The POWERCHOP_CACHE environment variable feeds this
+	// through the CLI's -cache flag default.
+	CacheDir string
 }
 
 // Thresholds mirrors the CDE criticality cut-offs.
@@ -498,6 +512,39 @@ func runProgram(p *program.Program, b workload.Benchmark, opts Options) (*Report
 		Metrics:         opts.Metrics,
 		Audit:           opts.Audit,
 	}
+
+	// Persistent result cache: consult before simulating, fill after. Any
+	// run with an observer attached bypasses (a cached result cannot
+	// replay the event stream or rebuild metrics/audit trails); the skip
+	// is counted so /metrics shows it happening.
+	resCache := opts.Cache
+	if resCache == nil && opts.CacheDir != "" {
+		resCache = rescache.New(opts.CacheDir, nil)
+	}
+	var cacheKey rescache.Key
+	if resCache != nil {
+		if opts.TraceWriter != nil || opts.Tracer != nil || opts.Metrics || opts.Audit {
+			resCache.CountBypass()
+			resCache = nil
+		} else {
+			cacheKey = cacheKeyFor(p, design, opts, cfg.MaxTranslations)
+			if res, ok := resCache.Get(cacheKey); ok {
+				if progress := opts.Progress; progress != nil {
+					progress(RunProgress{
+						Benchmark:    b.Name,
+						Kind:         m.Name(),
+						State:        StateDone,
+						Cycles:       res.Cycles,
+						Translations: cfg.MaxTranslations,
+						Total:        cfg.MaxTranslations,
+						Windows:      res.Windows,
+					})
+				}
+				return reportOf(res), nil
+			}
+		}
+	}
+
 	if progress := opts.Progress; progress != nil {
 		started := time.Now()
 		name, kind := b.Name, m.Name()
@@ -527,11 +574,40 @@ func runProgram(p *program.Program, b workload.Benchmark, opts Options) (*Report
 			return nil, fmt.Errorf("powerchop: flushing trace: %w", err)
 		}
 	}
-	return reportOf(res, m), nil
+	if resCache != nil {
+		// Best-effort: a failed store is counted by the cache and must
+		// not fail a run that produced a good result.
+		_ = resCache.Put(cacheKey, res)
+	}
+	return reportOf(res), nil
+}
+
+// cacheKeyFor derives the persistent-cache key for a public Run. The
+// manager field folds in everything that shapes the manager beyond its
+// name: the variant selected by Options.Manager (the default and
+// energy-min PowerChop configurations share the name "powerchop"), any
+// threshold overrides, and the resolved idle-timeout period.
+func cacheKeyFor(p *program.Program, design arch.Design, opts Options, maxTranslations uint64) rescache.Key {
+	variant := opts.Manager
+	if variant == "" {
+		variant = ManagerPowerChop
+	}
+	timeout := opts.TimeoutCycles
+	if timeout <= 0 {
+		timeout = core.DefaultTimeoutCycles
+	}
+	return rescache.Key{
+		Program: p.Digest(),
+		Design:  rescache.Fingerprint(design),
+		Manager: fmt.Sprintf("%s thresholds=%s timeout=%g",
+			variant, rescache.Fingerprint(opts.Thresholds), timeout),
+		Config: fmt.Sprintf("translations=%d sample=%d",
+			maxTranslations, opts.SampleInterval),
+	}
 }
 
 // reportOf flattens a simulator result into the public Report.
-func reportOf(res *sim.Result, m core.Manager) *Report {
+func reportOf(res *sim.Result) *Report {
 	r := &Report{
 		Benchmark:    res.Benchmark,
 		Suite:        res.Suite,
@@ -565,9 +641,7 @@ func reportOf(res *sim.Result, m core.Manager) *Report {
 	if res.MLCAccesses > 0 {
 		r.MLCHitRate = float64(res.MLCHits) / float64(res.MLCAccesses)
 	}
-	if pc, ok := m.(*core.PowerChop); ok {
-		r.PhasesSeen = pc.Engine().KnownPhases()
-	}
+	r.PhasesSeen = res.KnownPhases
 	for _, s := range res.Samples {
 		r.Samples = append(r.Samples, Sample{
 			Instructions: s.Insns,
