@@ -9,6 +9,7 @@ package powerchop
 // timeout periods).
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -21,6 +22,8 @@ import (
 	"powerchop/internal/core"
 	"powerchop/internal/experiments"
 	"powerchop/internal/obs"
+	"powerchop/internal/obs/runlog"
+	"powerchop/internal/obs/span"
 	"powerchop/internal/phase"
 	"powerchop/internal/pvt"
 	"powerchop/internal/rescache"
@@ -59,7 +62,7 @@ func BenchmarkTableI(b *testing.B) {
 func BenchmarkFigure1(b *testing.B) {
 	r := figureRunner()
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure1(r)
+		fig, err := experiments.Figure1(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -70,7 +73,7 @@ func BenchmarkFigure1(b *testing.B) {
 func BenchmarkFigure2(b *testing.B) {
 	r := figureRunner()
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure2(r)
+		fig, err := experiments.Figure2(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -81,7 +84,7 @@ func BenchmarkFigure2(b *testing.B) {
 func BenchmarkFigure3(b *testing.B) {
 	r := figureRunner()
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure3(r)
+		fig, err := experiments.Figure3(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -93,7 +96,7 @@ func BenchmarkFigure8(b *testing.B) {
 	r := figureRunner()
 	var mean float64
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure8(r)
+		fig, err := experiments.Figure8(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,7 +109,7 @@ func BenchmarkFigure8(b *testing.B) {
 func BenchmarkFigure9(b *testing.B) {
 	r := figureRunner()
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure9(r)
+		fig, err := experiments.Figure9(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,7 +120,7 @@ func BenchmarkFigure9(b *testing.B) {
 func BenchmarkFigure10(b *testing.B) {
 	r := figureRunner()
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure10(r)
+		fig, err := experiments.Figure10(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -129,7 +132,7 @@ func BenchmarkFigure11(b *testing.B) {
 	r := figureRunner()
 	var vpu float64
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure11(r)
+		fig, err := experiments.Figure11(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +146,7 @@ func BenchmarkFigure12(b *testing.B) {
 	r := figureRunner()
 	var slow float64
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure12(r)
+		fig, err := experiments.Figure12(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -157,7 +160,7 @@ func BenchmarkFigure13(b *testing.B) {
 	r := figureRunner()
 	var pwr float64
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure13(r)
+		fig, err := experiments.Figure13(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -171,7 +174,7 @@ func BenchmarkFigure14(b *testing.B) {
 	r := figureRunner()
 	var leak float64
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure14(r)
+		fig, err := experiments.Figure14(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -184,7 +187,7 @@ func BenchmarkFigure14(b *testing.B) {
 func BenchmarkFigure15(b *testing.B) {
 	r := figureRunner()
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure15(r)
+		fig, err := experiments.Figure15(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -196,7 +199,7 @@ func BenchmarkFigure16(b *testing.B) {
 	r := figureRunner()
 	var wins float64
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure16(r)
+		fig, err := experiments.Figure16(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -216,7 +219,7 @@ func BenchmarkSoftwareCosts(b *testing.B) {
 	r := figureRunner()
 	var miss float64
 	for i := 0; i < b.N; i++ {
-		costs, err := experiments.SoftwareCosts(r)
+		costs, err := experiments.SoftwareCosts(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -229,7 +232,7 @@ func BenchmarkSoftwareCosts(b *testing.B) {
 func BenchmarkPerUnitStudy(b *testing.B) {
 	r := figureRunner()
 	for i := 0; i < b.N; i++ {
-		study, err := experiments.PerUnit(r, workload.ServerSuite()[:4])
+		study, err := experiments.PerUnit(context.Background(), r, workload.ServerSuite()[:4])
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -282,7 +285,7 @@ func BenchmarkAblationThresholds(b *testing.B) {
 					cfg := core.DefaultConfig()
 					cfg.Thresholds = cde.Thresholds{VPU: thr, BPU: thr, MLC1: thr, MLC2: thr / 10}
 					res := ablationRun(b, app, cfg, phase.DefaultConfig())
-					full, err := figureRunner().Result(mustBench(b, app), experiments.KindFullPower)
+					full, err := figureRunner().Result(context.Background(), mustBench(b, app), experiments.KindFullPower)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -378,7 +381,7 @@ func BenchmarkAblationTimeout(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				full, err := figureRunner().Result(bench, experiments.KindFullPower)
+				full, err := figureRunner().Result(context.Background(), bench, experiments.KindFullPower)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -489,7 +492,7 @@ func BenchmarkAblationEnergyMin(b *testing.B) {
 				energyRed, slow = 0, 0
 				for _, app := range apps {
 					res := ablationRun(b, app, cfgCase.cfg, phase.DefaultConfig())
-					full, err := figureRunner().Result(mustBench(b, app), experiments.KindFullPower)
+					full, err := figureRunner().Result(context.Background(), mustBench(b, app), experiments.KindFullPower)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -560,6 +563,67 @@ func BenchmarkTracerOverhead(b *testing.B) {
 					b.Fatal(err)
 				}
 				insns = res.GuestInsns
+			}
+			b.ReportMetric(float64(insns), "insns/op")
+		})
+	}
+}
+
+// BenchmarkSpanOverhead measures the service-observability layer's cost
+// on a run: detached is the plain simulation, spans adds a request→sim
+// span tree (emitted to a JSONL sink on io.Discard, the serve path's
+// shape), and spans+runlog additionally journals a run-history record
+// per run. Spans are created at run granularity — never inside the
+// simulator loop — so all three cases must be within noise.
+func BenchmarkSpanOverhead(b *testing.B) {
+	bench := mustBench(b, "bzip2")
+	p := bench.MustBuild()
+	store, err := runlog.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		spans  bool
+		runlog bool
+	}{
+		{"detached", false, false},
+		{"spans", true, false},
+		{"spans+runlog", true, true},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var insns uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := sim.Config{
+					Design:          arch.Server(),
+					Manager:         core.MustPowerChop(core.DefaultConfig()),
+					MaxTranslations: 50000,
+				}
+				var root *span.Span
+				start := time.Now()
+				if c.spans {
+					ctx, r := span.Root(context.Background(), obs.NewJSONL(io.Discard),
+						"request", span.NewRequestID(), "route=bench")
+					cfg.Context = ctx
+					root = r
+				}
+				res, err := sim.Run(p, cfg)
+				root.End()
+				if err != nil {
+					b.Fatal(err)
+				}
+				insns = res.GuestInsns
+				if c.runlog {
+					if err := store.Append(runlog.Record{
+						Kind: "run", Name: "bzip2", SpanID: root.ID(),
+						DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
 			}
 			b.ReportMetric(float64(insns), "insns/op")
 		})

@@ -7,10 +7,12 @@
 //	benchjson [-bench REGEX] [-benchtime 1x] [-pkg ./...] [-count 1] [-o FILE] [-baseline FILE]
 //
 // The output records one entry per benchmark line with iterations,
-// ns/op, and any extra metrics (B/op, allocs/op, custom units). With
-// -baseline, the new results are diffed against a previously committed
-// artifact and the per-benchmark ns/op deltas are printed — report-only,
-// never a failure, since shared runners are too noisy to gate on.
+// ns/op, and any extra metrics (B/op, allocs/op, custom units). The new
+// results are diffed against a baseline artifact and the per-benchmark
+// ns/op deltas are printed — report-only, never a failure, since shared
+// runners are too noisy to gate on. -baseline names the artifact
+// explicitly ("none" disables the diff); when omitted, the newest
+// committed BENCH_*.json in the working directory is used.
 package main
 
 import (
@@ -21,7 +23,9 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -107,7 +111,7 @@ func main() {
 	pkg := flag.String("pkg", "./...", "package pattern to benchmark")
 	count := flag.Int("count", 1, "passed to -count")
 	outPath := flag.String("o", "", "output file (default BENCH_<stamp>.json)")
-	baseline := flag.String("baseline", "", "baseline artifact to diff against (report-only)")
+	baseline := flag.String("baseline", "", "baseline artifact to diff against (default: newest BENCH_*.json; \"none\" disables)")
 	flag.Parse()
 
 	if err := run(*bench, *benchtime, *pkg, *count, *outPath, *baseline, os.Stderr); err != nil {
@@ -147,6 +151,24 @@ func diffReport(baseline, current *Artifact) string {
 		}
 	}
 	return b.String()
+}
+
+// newestBaseline finds the default baseline: the lexically newest
+// BENCH_*.json in dir — the stamp format (BENCH_20060102T150405Z.json)
+// sorts chronologically — excluding the artifact being written. Returns
+// "" when none exists.
+func newestBaseline(dir, exclude string) string {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return ""
+	}
+	sort.Strings(matches)
+	for i := len(matches) - 1; i >= 0; i-- {
+		if filepath.Base(matches[i]) != filepath.Base(exclude) {
+			return matches[i]
+		}
+	}
+	return ""
 }
 
 // loadArtifact reads a previously written BENCH_*.json document.
@@ -213,15 +235,23 @@ func run(bench, benchtime, pkg string, count int, outPath, baseline string, stde
 		return err
 	}
 	fmt.Fprintf(stderr, "wrote %d benchmark results to %s\n", len(results), outPath)
-	if baseline != "" {
-		prior, err := loadArtifact(baseline)
-		if err != nil {
-			// The diff is a courtesy report; a missing or malformed
-			// baseline must not fail the artifact run.
-			fmt.Fprintf(stderr, "benchjson: baseline skipped: %v\n", err)
+	switch baseline {
+	case "none":
+		return nil
+	case "":
+		baseline = newestBaseline(".", outPath)
+		if baseline == "" {
 			return nil
 		}
-		fmt.Fprint(stderr, diffReport(prior, &art))
+		fmt.Fprintf(stderr, "baseline (newest committed): %s\n", baseline)
 	}
+	prior, err := loadArtifact(baseline)
+	if err != nil {
+		// The diff is a courtesy report; a missing or malformed
+		// baseline must not fail the artifact run.
+		fmt.Fprintf(stderr, "benchjson: baseline skipped: %v\n", err)
+		return nil
+	}
+	fmt.Fprint(stderr, diffReport(prior, &art))
 	return nil
 }

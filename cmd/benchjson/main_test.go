@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -65,6 +67,34 @@ func TestDiffReport(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("diff report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestNewestBaseline checks the default-baseline search: newest stamp
+// wins, the artifact being written is excluded, empty directories give
+// no baseline.
+func TestNewestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{
+		"BENCH_20260801T000000Z.json",
+		"BENCH_20260805T140627Z.json",
+		"BENCH_20260803T120000Z.json",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := newestBaseline(dir, "")
+	if filepath.Base(got) != "BENCH_20260805T140627Z.json" {
+		t.Fatalf("newest baseline = %q", got)
+	}
+	// The artifact just written must not be its own baseline.
+	got = newestBaseline(dir, "BENCH_20260805T140627Z.json")
+	if filepath.Base(got) != "BENCH_20260803T120000Z.json" {
+		t.Fatalf("baseline with exclusion = %q", got)
+	}
+	if got := newestBaseline(t.TempDir(), ""); got != "" {
+		t.Fatalf("empty dir baseline = %q", got)
 	}
 }
 

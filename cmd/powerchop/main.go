@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"powerchop"
 	"powerchop/internal/arch"
@@ -111,6 +112,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdHeadline(args[1:])
 	case "serve":
 		err = cmdServe(args[1:], stderr)
+	case "runs":
+		err = cmdRuns(args[1:], stdout)
 	case "help", "-h", "--help":
 		usage(stdout)
 		return 0
@@ -151,7 +154,8 @@ commands:
   figure -id ID [-scale F] [-jobs N]   regenerate one paper figure/table
   all [-scale F] [-jobs N]             regenerate every figure/table
   headline [-scale F] [-jobs N]        per-suite slowdown/power/energy summary
-  serve [-addr :8080] [-scale F] [-trace FILE]  standing monitor + figure API
+  serve [-addr :8080] [-scale F] [-trace FILE] [-cache DIR]  standing monitor + figure API
+  runs [list|show|tail] [-cache DIR] [-kind K] [-name N] [-json]  browse the run history
 
 run, figure, all and headline accept -http ADDR to expose a live monitor
 for the duration of the command: /metrics (Prometheus), /progress (JSON),
@@ -159,7 +163,9 @@ for the duration of the command: /metrics (Prometheus), /progress (JSON),
 
 run, compare, figure, all and headline accept -cache DIR (default
 $POWERCHOP_CACHE) to reuse completed simulation results across
-invocations; a warm cache is byte-identical to a cold run.
+invocations; a warm cache is byte-identical to a cold run. Commands run
+with a cache directory also journal a run-history record there, readable
+with 'powerchop runs' or GET /api/runs on a serve monitor.
 `)
 	fmt.Fprintf(w, "\nfigure ids: %v\n", powerchop.FigureIDs())
 }
@@ -221,6 +227,15 @@ func runFlags(args []string) (runArgs, error) {
 	}, nil
 }
 
+// params digests the flags that shaped the run for the history journal.
+func (a *runArgs) params() string {
+	s := fmt.Sprintf("manager=%s passes=%g", a.opts.Manager, a.opts.Passes)
+	if a.opts.Arch != "" {
+		s += " arch=" + a.opts.Arch
+	}
+	return s
+}
+
 // attachCache opens the -cache directory (when given) and plugs the cache
 // into the run options. Called once up front with a nil registry, and
 // again from the -http monitor hook so the cache's counters surface on
@@ -260,8 +275,9 @@ func cmdRun(args []string) error {
 	if err := a.attachCache(nil); err != nil {
 		return err
 	}
+	start := time.Now()
 	var rep *powerchop.Report
-	if err := withMonitor(a.httpAddr, os.Stderr, func(l *liveMonitor) {
+	runErr := withMonitor(a.httpAddr, os.Stderr, func(l *liveMonitor) {
 		a.opts.Tracer = l.tracer
 		a.opts.Progress = l.progress
 		a.attachCache(l.registry())
@@ -270,8 +286,10 @@ func cmdRun(args []string) error {
 			rep, err = powerchop.Run(a.bench, a.opts)
 			return err
 		})
-	}); err != nil {
-		return err
+	})
+	recordHistory(a.cacheDir, "run", a.bench, a.params(), start, a.opts.Cache, runErr)
+	if runErr != nil {
+		return runErr
 	}
 	if a.json {
 		enc := json.NewEncoder(os.Stdout)
@@ -308,8 +326,9 @@ func cmdCompare(args []string) error {
 	if err := a.attachCache(nil); err != nil {
 		return err
 	}
+	start := time.Now()
 	var c *powerchop.Comparison
-	if err := withMonitor(a.httpAddr, os.Stderr, func(l *liveMonitor) {
+	runErr := withMonitor(a.httpAddr, os.Stderr, func(l *liveMonitor) {
 		a.opts.Tracer = l.tracer
 		a.opts.Progress = l.progress
 		a.attachCache(l.registry())
@@ -320,8 +339,10 @@ func cmdCompare(args []string) error {
 			c, err = powerchop.Compare(a.bench, a.opts)
 			return err
 		})
-	}); err != nil {
-		return err
+	})
+	recordHistory(a.cacheDir, "compare", a.bench, a.params(), start, a.opts.Cache, runErr)
+	if runErr != nil {
+		return runErr
 	}
 	if a.json {
 		enc := json.NewEncoder(os.Stdout)
@@ -529,8 +550,9 @@ func cmdTraceChrome(args []string, stdout io.Writer) error {
 
 // figureRunnerFlags parses the shared figure/all/headline flag set and
 // builds the runner, attaching a live monitor when -http is given. The
-// returned cleanup stops the monitor (a no-op without -http).
-func figureRunnerFlags(name string, args []string) (runner *powerchop.FigureRunner, id string, cleanup func(), err error) {
+// returned cleanup stops the monitor (a no-op without -http); record
+// journals the command into the run history (a no-op without -cache).
+func figureRunnerFlags(name string, args []string) (runner *powerchop.FigureRunner, id string, record func(kind, figure string, runErr error), cleanup func(), err error) {
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	var idFlag *string
 	if name == "figure" {
@@ -541,11 +563,11 @@ func figureRunnerFlags(name string, args []string) (runner *powerchop.FigureRunn
 	httpAddr := fs.String("http", "", "serve a live monitor on this address for the command's duration")
 	cacheDir := fs.String("cache", os.Getenv("POWERCHOP_CACHE"), "persistent result cache directory (default $POWERCHOP_CACHE)")
 	if err := fs.Parse(args); err != nil {
-		return nil, "", nil, errParse(err)
+		return nil, "", nil, nil, errParse(err)
 	}
 	if idFlag != nil {
 		if *idFlag == "" {
-			return nil, "", nil, usageError{msg: fmt.Sprintf("missing -id (known: %v)", powerchop.FigureIDs())}
+			return nil, "", nil, nil, usageError{msg: fmt.Sprintf("missing -id (known: %v)", powerchop.FigureIDs())}
 		}
 		id = *idFlag
 	}
@@ -559,7 +581,7 @@ func figureRunnerFlags(name string, args []string) (runner *powerchop.FigureRunn
 			powerchop.WithProgress(l.progress),
 		)
 		if err := l.start(*httpAddr, os.Stderr); err != nil {
-			return nil, "", nil, err
+			return nil, "", nil, nil, err
 		}
 		cleanup = l.stop
 		reg = l.registry()
@@ -567,39 +589,48 @@ func figureRunnerFlags(name string, args []string) (runner *powerchop.FigureRunn
 	cache, err := openCache(*cacheDir, reg)
 	if err != nil {
 		cleanup()
-		return nil, "", nil, err
+		return nil, "", nil, nil, err
 	}
 	if cache != nil {
 		opts = append(opts, powerchop.WithCache(cache))
 	}
-	return powerchop.NewFigureRunner(*scale, opts...), id, cleanup, nil
+	start := time.Now()
+	record = func(kind, figure string, runErr error) {
+		recordHistory(*cacheDir, kind, figure, fmt.Sprintf("scale=%g", *scale), start, cache, runErr)
+	}
+	return powerchop.NewFigureRunner(*scale, opts...), id, record, cleanup, nil
 }
 
 func cmdFigure(args []string) error {
-	runner, id, cleanup, err := figureRunnerFlags("figure", args)
+	runner, id, record, cleanup, err := figureRunnerFlags("figure", args)
 	if err != nil {
 		return err
 	}
 	defer cleanup()
-	return runner.RenderFigure(os.Stdout, id)
+	err = runner.RenderFigure(os.Stdout, id)
+	record("figure", id, err)
+	return err
 }
 
 func cmdAll(args []string) error {
-	runner, _, cleanup, err := figureRunnerFlags("all", args)
+	runner, _, record, cleanup, err := figureRunnerFlags("all", args)
 	if err != nil {
 		return err
 	}
 	defer cleanup()
-	return runner.RenderAll(os.Stdout)
+	err = runner.RenderAll(os.Stdout)
+	record("all", "all", err)
+	return err
 }
 
 func cmdHeadline(args []string) error {
-	runner, _, cleanup, err := figureRunnerFlags("headline", args)
+	runner, _, record, cleanup, err := figureRunnerFlags("headline", args)
 	if err != nil {
 		return err
 	}
 	defer cleanup()
 	rows, err := runner.Headline()
+	record("headline", "headline", err)
 	if err != nil {
 		return err
 	}

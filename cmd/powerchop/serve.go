@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -16,8 +17,11 @@ import (
 	"powerchop/internal/arch"
 	"powerchop/internal/obs"
 	"powerchop/internal/obs/audit"
+	"powerchop/internal/obs/runlog"
 	"powerchop/internal/obs/serve"
+	"powerchop/internal/obs/span"
 	"powerchop/internal/power"
+	"powerchop/internal/rescache"
 )
 
 // liveMonitor bundles a serve.Monitor with the tracer and progress
@@ -108,6 +112,49 @@ func withMonitor(addr string, stderr io.Writer, hook func(*liveMonitor), f func(
 	return f()
 }
 
+// apiRecorder journals completed API work into the monitor's run
+// history: duration, cache hit/miss deltas over the request, and the
+// request's span and request IDs, so /api/runs and `powerchop runs`
+// correlate with access logs and traces.
+type apiRecorder struct {
+	store *runlog.Store
+	cache *rescache.Cache
+}
+
+// begin snapshots the clock and cache counters; the returned func
+// journals the record once the work's outcome is known.
+func (a *apiRecorder) begin(r *http.Request, kind, name, params string) func(error) {
+	if a == nil || a.store == nil {
+		return func(error) {}
+	}
+	start := time.Now()
+	var before rescache.Stats
+	if a.cache != nil {
+		before = a.cache.Stats()
+	}
+	return func(runErr error) {
+		rec := runlog.Record{
+			Kind:       kind,
+			Name:       name,
+			Params:     params,
+			DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+		}
+		if sp := span.FromContext(r.Context()); sp != nil {
+			rec.SpanID = sp.ID()
+			rec.RequestID = sp.RequestID()
+		}
+		if a.cache != nil {
+			after := a.cache.Stats()
+			rec.CacheHits = after.Hits - before.Hits
+			rec.CacheMisses = after.Misses - before.Misses
+		}
+		if runErr != nil {
+			rec.Error = runErr.Error()
+		}
+		a.store.Append(rec)
+	}
+}
+
 // mountAPI adds the serve subcommand's /api tree to the monitor's mux:
 //
 //	GET /api/benchmarks      benchmark names and suites
@@ -118,16 +165,19 @@ func withMonitor(addr string, stderr io.Writer, hook func(*liveMonitor), f func(
 //	GET /api/explain?bench=NAME[&manager=M]  simulate with audit on, return the provenance report (JSON)
 //
 // Figure and run requests execute through the shared runner, so their
-// simulations show up live on /progress, /metrics and /events.
-func mountAPI(l *liveMonitor, runner *powerchop.FigureRunner) {
-	mux := l.mon.Mux()
+// simulations show up live on /progress, /metrics and /events; every
+// route is mounted through the monitor's middleware (request IDs, RED
+// metrics, access logs, panic recovery), carries the request context so
+// spans nest under the HTTP request, and journals a run-history record.
+func mountAPI(l *liveMonitor, runner *powerchop.FigureRunner, rec *apiRecorder) {
+	mount := l.mon.Mount
 	writeJSON := func(w http.ResponseWriter, v any) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(v)
 	}
-	mux.HandleFunc("GET /api/benchmarks", func(w http.ResponseWriter, r *http.Request) {
+	mount("GET /api/benchmarks", func(w http.ResponseWriter, r *http.Request) {
 		type bench struct {
 			Name  string `json:"name"`
 			Suite string `json:"suite"`
@@ -139,7 +189,7 @@ func mountAPI(l *liveMonitor, runner *powerchop.FigureRunner) {
 		}
 		writeJSON(w, out)
 	})
-	mux.HandleFunc("GET /api/figures", func(w http.ResponseWriter, r *http.Request) {
+	mount("GET /api/figures", func(w http.ResponseWriter, r *http.Request) {
 		type fig struct {
 			ID    string `json:"id"`
 			Title string `json:"title"`
@@ -151,7 +201,7 @@ func mountAPI(l *liveMonitor, runner *powerchop.FigureRunner) {
 		}
 		writeJSON(w, out)
 	})
-	mux.HandleFunc("GET /api/figure", func(w http.ResponseWriter, r *http.Request) {
+	mount("GET /api/figure", func(w http.ResponseWriter, r *http.Request) {
 		id := r.URL.Query().Get("id")
 		if id == "" {
 			http.Error(w, "missing id parameter", http.StatusBadRequest)
@@ -161,49 +211,61 @@ func mountAPI(l *liveMonitor, runner *powerchop.FigureRunner) {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
+		done := rec.begin(r, "figure", id, "")
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if err := runner.RenderFigure(w, id); err != nil {
+		if err := runner.RenderFigureContext(r.Context(), w, id); err != nil {
+			done(err)
 			// Headers are gone; report in-band.
 			fmt.Fprintf(w, "\nerror: %v\n", err)
+			return
 		}
+		done(nil)
 	})
-	mux.HandleFunc("GET /api/headline", func(w http.ResponseWriter, r *http.Request) {
-		rows, err := runner.Headline()
+	mount("GET /api/headline", func(w http.ResponseWriter, r *http.Request) {
+		done := rec.begin(r, "headline", "headline", "")
+		rows, err := runner.HeadlineContext(r.Context())
+		done(err)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		writeJSON(w, rows)
 	})
-	mux.HandleFunc("GET /api/run", func(w http.ResponseWriter, r *http.Request) {
+	mount("GET /api/run", func(w http.ResponseWriter, r *http.Request) {
 		bench := r.URL.Query().Get("bench")
 		if bench == "" {
 			http.Error(w, "missing bench parameter", http.StatusBadRequest)
 			return
 		}
-		rep, err := powerchop.Run(bench, powerchop.Options{
-			Manager:  r.URL.Query().Get("manager"),
+		manager := r.URL.Query().Get("manager")
+		done := rec.begin(r, "run", bench, "manager="+manager)
+		rep, err := powerchop.RunContext(r.Context(), bench, powerchop.Options{
+			Manager:  manager,
 			Tracer:   l.tracer,
 			Progress: l.progress,
 		})
+		done(err)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		writeJSON(w, rep)
 	})
-	mux.HandleFunc("GET /api/explain", func(w http.ResponseWriter, r *http.Request) {
+	mount("GET /api/explain", func(w http.ResponseWriter, r *http.Request) {
 		bench := r.URL.Query().Get("bench")
 		if bench == "" {
 			http.Error(w, "missing bench parameter", http.StatusBadRequest)
 			return
 		}
-		rep, err := powerchop.Run(bench, powerchop.Options{
-			Manager:  r.URL.Query().Get("manager"),
+		manager := r.URL.Query().Get("manager")
+		done := rec.begin(r, "explain", bench, "manager="+manager)
+		rep, err := powerchop.RunContext(r.Context(), bench, powerchop.Options{
+			Manager:  manager,
 			Tracer:   l.tracer,
 			Progress: l.progress,
 			Audit:    true,
 		})
+		done(err)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -216,20 +278,43 @@ func mountAPI(l *liveMonitor, runner *powerchop.FigureRunner) {
 // split from cmdServe so tests can exercise the wiring without a
 // listener or signal handling. Extra sinks (the -trace JSONL recorder)
 // join the live tracer fan-out, so a standing monitor and an on-disk
-// event record compose.
-func newServeMonitor(scale float64, jobs int, sinks ...obs.Tracer) *liveMonitor {
+// event record compose. cacheDir, when non-empty, backs both the
+// persistent result cache and the run-history journal; without it runs
+// still appear on /api/runs but the history dies with the process.
+func newServeMonitor(scale float64, jobs int, cacheDir string, sinks ...obs.Tracer) (*liveMonitor, error) {
 	l := newLiveMonitor()
 	if len(sinks) > 0 {
 		all := append([]obs.Tracer{l.tracer}, sinks...)
 		l.tracer = obs.Multi(all...)
 	}
-	runner := powerchop.NewFigureRunner(scale,
+	// Request spans join the same fan-out as simulation events, so the
+	// -trace JSONL (and `trace chrome` on it) shows the request tree.
+	l.mon.SetSpanSink(l.tracer)
+
+	store := runlog.Memory()
+	if cacheDir != "" {
+		var err error
+		if store, err = runlog.Open(cacheDir); err != nil {
+			return nil, err
+		}
+	}
+	l.mon.SetRunLog(store)
+	cache, err := openCache(cacheDir, l.registry())
+	if err != nil {
+		return nil, err
+	}
+
+	opts := []powerchop.FigureOption{
 		powerchop.WithJobs(jobs),
 		powerchop.WithTracer(l.tracer),
 		powerchop.WithProgress(l.progress),
-	)
-	mountAPI(l, runner)
-	return l
+	}
+	if cache != nil {
+		opts = append(opts, powerchop.WithCache(cache))
+	}
+	runner := powerchop.NewFigureRunner(scale, opts...)
+	mountAPI(l, runner, &apiRecorder{store: store, cache: cache})
+	return l, nil
 }
 
 func cmdServe(args []string, stderr io.Writer) error {
@@ -238,6 +323,8 @@ func cmdServe(args []string, stderr io.Writer) error {
 	scale := fs.Float64("scale", 1, "run-length scale for figure requests")
 	jobs := fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	trace := fs.String("trace", "", "also record every event as JSONL to this file")
+	cacheDir := fs.String("cache", os.Getenv("POWERCHOP_CACHE"), "result cache + run-history directory (default $POWERCHOP_CACHE)")
+	accessLog := fs.Bool("access-log", true, "write structured JSON access logs to stderr")
 	if err := fs.Parse(args); err != nil {
 		return errParse(err)
 	}
@@ -253,7 +340,16 @@ func cmdServe(args []string, stderr io.Writer) error {
 		traceSink = obs.NewJSONL(f)
 		sinks = append(sinks, traceSink)
 	}
-	l := newServeMonitor(*scale, *jobs, sinks...)
+	l, err := newServeMonitor(*scale, *jobs, *cacheDir, sinks...)
+	if err != nil {
+		if traceOut != nil {
+			traceOut.Close()
+		}
+		return err
+	}
+	if *accessLog {
+		l.mon.SetAccessLog(slog.New(slog.NewJSONHandler(stderr, nil)))
+	}
 	if err := l.start(*addr, stderr); err != nil {
 		if traceOut != nil {
 			traceOut.Close()
@@ -263,6 +359,9 @@ func cmdServe(args []string, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "figure API at http://%s/api/figures; interrupt to stop\n", l.mon.Addr())
 	if *trace != "" {
 		fmt.Fprintf(stderr, "recording events to %s\n", *trace)
+	}
+	if store := l.mon.RunLog(); store.Persistent() {
+		fmt.Fprintf(stderr, "run history at %s (browse: /api/runs, /runs, 'powerchop runs')\n", store.Path())
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -115,7 +115,10 @@ func TestRunFlagsHTTP(t *testing.T) {
 // real listener: API metadata endpoints, a cheap figure render, error
 // paths, and /metrics conformance.
 func TestServeMonitorAPI(t *testing.T) {
-	l := newServeMonitor(0.02, 2)
+	l, err := newServeMonitor(0.02, 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(l.mon.Handler())
 	defer srv.Close()
 
@@ -174,7 +177,10 @@ func TestServeAPIRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulates a benchmark; skipped with -short")
 	}
-	l := newServeMonitor(0.02, 2)
+	l, err := newServeMonitor(0.02, 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(l.mon.Handler())
 	defer srv.Close()
 

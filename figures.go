@@ -1,12 +1,14 @@
 package powerchop
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
 
 	"powerchop/internal/experiments"
 	"powerchop/internal/obs"
+	"powerchop/internal/obs/span"
 	"powerchop/internal/rescache"
 	"powerchop/internal/workload"
 )
@@ -110,76 +112,76 @@ func NewFigureRunner(scale float64, opts ...FigureOption) *FigureRunner {
 type figureSpec struct {
 	id     string
 	title  string
-	render func(*FigureRunner) (string, error)
+	render func(context.Context, *FigureRunner) (string, error)
 }
 
 var figureSpecs = []figureSpec{
-	{"table1", "Table I: architectural design points", func(*FigureRunner) (string, error) {
+	{"table1", "Table I: architectural design points", func(context.Context, *FigureRunner) (string, error) {
 		return experiments.TableI().Render(), nil
 	}},
-	{"fig1", "Figure 1: gobmk vector intensity over time", func(f *FigureRunner) (string, error) {
-		r, err := experiments.Figure1(f.runner)
+	{"fig1", "Figure 1: gobmk vector intensity over time", func(ctx context.Context, f *FigureRunner) (string, error) {
+		r, err := experiments.Figure1(ctx, f.runner)
 		return renderOf(r, err)
 	}},
-	{"fig2", "Figure 2: small vs large BPU IPC on msn", func(f *FigureRunner) (string, error) {
-		r, err := experiments.Figure2(f.runner)
+	{"fig2", "Figure 2: small vs large BPU IPC on msn", func(ctx context.Context, f *FigureRunner) (string, error) {
+		r, err := experiments.Figure2(ctx, f.runner)
 		return renderOf(r, err)
 	}},
-	{"fig3", "Figure 3: 1-way vs 8-way MLC IPC on GemsFDTD", func(f *FigureRunner) (string, error) {
-		r, err := experiments.Figure3(f.runner)
+	{"fig3", "Figure 3: 1-way vs 8-way MLC IPC on GemsFDTD", func(ctx context.Context, f *FigureRunner) (string, error) {
+		r, err := experiments.Figure3(ctx, f.runner)
 		return renderOf(r, err)
 	}},
-	{"fig8", "Figure 8: phase signature quality", func(f *FigureRunner) (string, error) {
-		r, err := experiments.Figure8(f.runner)
+	{"fig8", "Figure 8: phase signature quality", func(ctx context.Context, f *FigureRunner) (string, error) {
+		r, err := experiments.Figure8(ctx, f.runner)
 		return renderOf(r, err)
 	}},
-	{"fig9", "Figure 9: unit activity, mobile", func(f *FigureRunner) (string, error) {
-		r, err := experiments.Figure9(f.runner)
+	{"fig9", "Figure 9: unit activity, mobile", func(ctx context.Context, f *FigureRunner) (string, error) {
+		r, err := experiments.Figure9(ctx, f.runner)
 		return renderOf(r, err)
 	}},
-	{"fig10", "Figure 10: unit activity, server", func(f *FigureRunner) (string, error) {
-		r, err := experiments.Figure10(f.runner)
+	{"fig10", "Figure 10: unit activity, server", func(ctx context.Context, f *FigureRunner) (string, error) {
+		r, err := experiments.Figure10(ctx, f.runner)
 		return renderOf(r, err)
 	}},
-	{"fig11", "Figure 11: policy change frequency", func(f *FigureRunner) (string, error) {
-		r, err := experiments.Figure11(f.runner)
+	{"fig11", "Figure 11: policy change frequency", func(ctx context.Context, f *FigureRunner) (string, error) {
+		r, err := experiments.Figure11(ctx, f.runner)
 		return renderOf(r, err)
 	}},
-	{"fig12", "Figure 12: performance comparison", func(f *FigureRunner) (string, error) {
-		r, err := experiments.Figure12(f.runner)
+	{"fig12", "Figure 12: performance comparison", func(ctx context.Context, f *FigureRunner) (string, error) {
+		r, err := experiments.Figure12(ctx, f.runner)
 		return renderOf(r, err)
 	}},
-	{"fig13", "Figure 13: power and energy reduction", func(f *FigureRunner) (string, error) {
-		r, err := experiments.Figure13(f.runner)
+	{"fig13", "Figure 13: power and energy reduction", func(ctx context.Context, f *FigureRunner) (string, error) {
+		r, err := experiments.Figure13(ctx, f.runner)
 		if err != nil {
 			return "", err
 		}
 		return r.RenderFigure13(), nil
 	}},
-	{"fig14", "Figure 14: leakage power reduction", func(f *FigureRunner) (string, error) {
-		r, err := experiments.Figure14(f.runner)
+	{"fig14", "Figure 14: leakage power reduction", func(ctx context.Context, f *FigureRunner) (string, error) {
+		r, err := experiments.Figure14(ctx, f.runner)
 		if err != nil {
 			return "", err
 		}
 		return r.RenderFigure14(), nil
 	}},
-	{"fig15", "Figure 15: vector op prevalence among shards", func(f *FigureRunner) (string, error) {
-		r, err := experiments.Figure15(f.runner)
+	{"fig15", "Figure 15: vector op prevalence among shards", func(ctx context.Context, f *FigureRunner) (string, error) {
+		r, err := experiments.Figure15(ctx, f.runner)
 		return renderOf(r, err)
 	}},
-	{"fig16", "Figure 16: PowerChop vs timeout VPU gating", func(f *FigureRunner) (string, error) {
-		r, err := experiments.Figure16(f.runner)
+	{"fig16", "Figure 16: PowerChop vs timeout VPU gating", func(ctx context.Context, f *FigureRunner) (string, error) {
+		r, err := experiments.Figure16(ctx, f.runner)
 		return renderOf(r, err)
 	}},
-	{"hwcosts", "HTB/PVT hardware costs (Section IV-B4)", func(*FigureRunner) (string, error) {
+	{"hwcosts", "HTB/PVT hardware costs (Section IV-B4)", func(context.Context, *FigureRunner) (string, error) {
 		return experiments.HardwareCosts().Render(), nil
 	}},
-	{"swcosts", "CDE software costs (Section IV-C3)", func(f *FigureRunner) (string, error) {
-		r, err := experiments.SoftwareCosts(f.runner)
+	{"swcosts", "CDE software costs (Section IV-C3)", func(ctx context.Context, f *FigureRunner) (string, error) {
+		r, err := experiments.SoftwareCosts(ctx, f.runner)
 		return renderOf(r, err)
 	}},
-	{"perunit", "Per-unit isolation study (Section V-C)", func(f *FigureRunner) (string, error) {
-		r, err := experiments.PerUnit(f.runner, workload.All())
+	{"perunit", "Per-unit isolation study (Section V-C)", func(ctx context.Context, f *FigureRunner) (string, error) {
+		r, err := experiments.PerUnit(ctx, f.runner, workload.All())
 		return renderOf(r, err)
 	}},
 }
@@ -215,9 +217,17 @@ func FigureTitle(id string) (string, error) {
 
 // RenderFigure regenerates one experiment and writes its text rendering.
 func (f *FigureRunner) RenderFigure(w io.Writer, id string) error {
+	return f.RenderFigureContext(context.Background(), w, id)
+}
+
+// RenderFigureContext is RenderFigure under a context: when ctx carries
+// a span (internal/obs/span) the figure renders under a "sweep" child
+// span and every simulation it launches nests beneath it. The context
+// never influences results — output is byte-identical regardless.
+func (f *FigureRunner) RenderFigureContext(ctx context.Context, w io.Writer, id string) error {
 	for _, s := range figureSpecs {
 		if s.id == id {
-			out, err := s.render(f)
+			out, err := renderSpan(ctx, f, s)
 			if err != nil {
 				return err
 			}
@@ -228,11 +238,24 @@ func (f *FigureRunner) RenderFigure(w io.Writer, id string) error {
 	return fmt.Errorf("powerchop: unknown figure %q (known: %v)", id, FigureIDs())
 }
 
+// renderSpan runs one spec under its "sweep" span.
+func renderSpan(ctx context.Context, f *FigureRunner, s figureSpec) (out string, err error) {
+	ctx, sp := span.Start(ctx, "sweep", "figure="+s.id)
+	defer func() { sp.EndErr(err) }()
+	return s.render(ctx, f)
+}
+
 // RenderAll regenerates every experiment. With more than one job the
 // figures render concurrently — the Runner's singleflight cache ensures
 // shared simulations still happen once — but the output is written
 // strictly in spec order, so it is byte-identical to a serial render.
 func (f *FigureRunner) RenderAll(w io.Writer) error {
+	return f.RenderAllContext(context.Background(), w)
+}
+
+// RenderAllContext is RenderAll under a context: each figure renders
+// under its own "sweep" child span of the span ctx carries, if any.
+func (f *FigureRunner) RenderAllContext(ctx context.Context, w io.Writer) error {
 	outs := make([]string, len(figureSpecs))
 	errs := make([]error, len(figureSpecs))
 	if f.jobs > 1 {
@@ -241,13 +264,13 @@ func (f *FigureRunner) RenderAll(w io.Writer) error {
 			wg.Add(1)
 			go func(i int, s figureSpec) {
 				defer wg.Done()
-				outs[i], errs[i] = s.render(f)
+				outs[i], errs[i] = renderSpan(ctx, f, s)
 			}(i, s)
 		}
 		wg.Wait()
 	} else {
 		for i, s := range figureSpecs {
-			outs[i], errs[i] = s.render(f)
+			outs[i], errs[i] = renderSpan(ctx, f, s)
 		}
 	}
 	for i, s := range figureSpecs {
@@ -282,21 +305,43 @@ type SuiteAverages struct {
 // sweeps share most simulations; with more than one job they run
 // concurrently and the Runner deduplicates the overlap.
 func (f *FigureRunner) Headline() ([]SuiteAverages, error) {
+	return f.HeadlineContext(context.Background())
+}
+
+// HeadlineContext is Headline under a context: the two underlying
+// sweeps run under "sweep" child spans of the span ctx carries, if any.
+func (f *FigureRunner) HeadlineContext(ctx context.Context) ([]SuiteAverages, error) {
 	var (
 		perf    *experiments.PerfResult
 		pwr     *experiments.PowerResult
 		perfErr error
 		pwrErr  error
 	)
+	sweep := func(name string, run func(context.Context) error) {
+		ctx, sp := span.Start(ctx, "sweep", "figure="+name)
+		sp.EndErr(run(ctx))
+	}
+	runPerf := func() {
+		sweep("fig12", func(ctx context.Context) error {
+			perf, perfErr = experiments.Figure12(ctx, f.runner)
+			return perfErr
+		})
+	}
+	runPwr := func() {
+		sweep("power", func(ctx context.Context) error {
+			pwr, pwrErr = experiments.PowerReductions(ctx, f.runner)
+			return pwrErr
+		})
+	}
 	if f.jobs > 1 {
 		var wg sync.WaitGroup
 		wg.Add(2)
-		go func() { defer wg.Done(); perf, perfErr = experiments.Figure12(f.runner) }()
-		go func() { defer wg.Done(); pwr, pwrErr = experiments.PowerReductions(f.runner) }()
+		go func() { defer wg.Done(); runPerf() }()
+		go func() { defer wg.Done(); runPwr() }()
 		wg.Wait()
 	} else {
-		perf, perfErr = experiments.Figure12(f.runner)
-		pwr, pwrErr = experiments.PowerReductions(f.runner)
+		runPerf()
+		runPwr()
 	}
 	if perfErr != nil {
 		return nil, perfErr

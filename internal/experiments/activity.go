@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -44,11 +45,11 @@ func (q *QualityResult) Render() string {
 
 // Figure8 measures phase-identification quality over every benchmark's
 // PowerChop run (Section V-B).
-func Figure8(r *Runner) (*QualityResult, error) {
+func Figure8(ctx context.Context, r *Runner) (*QualityResult, error) {
 	out := &QualityResult{}
 	var means []float64
 	for _, b := range workload.All() {
-		res, err := r.Result(b, KindPowerChop)
+		res, err := r.Result(ctx, b, KindPowerChop)
 		if err != nil {
 			return nil, err
 		}
@@ -96,10 +97,10 @@ func (a *ActivityResult) Render() string {
 		[]string{"VPU", "BPU", "MLC"}, rows, 40, "%.0f%%")
 }
 
-func activity(r *Runner, title string, bs []workload.Benchmark) (*ActivityResult, error) {
+func activity(ctx context.Context, r *Runner, title string, bs []workload.Benchmark) (*ActivityResult, error) {
 	out := &ActivityResult{Title: title}
 	for _, b := range bs {
-		res, err := r.Result(b, KindPowerChop)
+		res, err := r.Result(ctx, b, KindPowerChop)
 		if err != nil {
 			return nil, err
 		}
@@ -116,13 +117,13 @@ func activity(r *Runner, title string, bs []workload.Benchmark) (*ActivityResult
 }
 
 // Figure9 reproduces unit activity on the mobile design (Figure 9).
-func Figure9(r *Runner) (*ActivityResult, error) {
-	return activity(r, "Figure 9: unit gating activity, mobile processor (PowerChop)", workload.MobileSuite())
+func Figure9(ctx context.Context, r *Runner) (*ActivityResult, error) {
+	return activity(ctx, r, "Figure 9: unit gating activity, mobile processor (PowerChop)", workload.MobileSuite())
 }
 
 // Figure10 reproduces unit activity on the server design (Figure 10).
-func Figure10(r *Runner) (*ActivityResult, error) {
-	return activity(r, "Figure 10: unit gating activity, server processor (PowerChop)", workload.ServerSuite())
+func Figure10(ctx context.Context, r *Runner) (*ActivityResult, error) {
+	return activity(ctx, r, "Figure 10: unit gating activity, server processor (PowerChop)", workload.ServerSuite())
 }
 
 // SwitchRow is one benchmark's Figure 11 entry.
@@ -158,11 +159,11 @@ func (s *SwitchResult) Render() string {
 
 // Figure11 measures how often PowerChop's policies change unit power
 // states (Section V-C).
-func Figure11(r *Runner) (*SwitchResult, error) {
+func Figure11(ctx context.Context, r *Runner) (*SwitchResult, error) {
 	out := &SwitchResult{}
 	var v, p, m []float64
 	for _, b := range workload.All() {
-		res, err := r.Result(b, KindPowerChop)
+		res, err := r.Result(ctx, b, KindPowerChop)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -75,7 +76,7 @@ func TestPerUnitGated(t *testing.T) {
 // benchmark, aggregate fields consistent with the rows.
 func TestFigure8RowsCoverAllApps(t *testing.T) {
 	r := runner(t)
-	q, err := Figure8(r)
+	q, err := Figure8(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}

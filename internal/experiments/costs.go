@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -117,12 +118,12 @@ type SoftwareCostRow struct {
 
 // SoftwareCosts measures the PVT-miss interrupt rate and CDE time across
 // the SPEC suites, as the paper reports.
-func SoftwareCosts(r *Runner) (*SoftwareCostsResult, error) {
+func SoftwareCosts(ctx context.Context, r *Runner) (*SoftwareCostsResult, error) {
 	out := &SoftwareCostsResult{}
 	var misses, overheads []float64
 	bs := append(workload.BySuite(workload.SPECInt), workload.BySuite(workload.SPECFP)...)
 	for _, b := range bs {
-		res, err := r.Result(b, KindPowerChop)
+		res, err := r.Result(ctx, b, KindPowerChop)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -64,7 +65,7 @@ func TestSoftwareCostsRender(t *testing.T) {
 // fraction of run cycles.
 func TestSoftwareCostsBounds(t *testing.T) {
 	r := runner(t)
-	s, err := SoftwareCosts(r)
+	s, err := SoftwareCosts(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}

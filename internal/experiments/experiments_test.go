@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -46,11 +47,11 @@ func TestRunnerCaches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := r.Result(b, KindFullPower)
+	r1, err := r.Result(context.Background(), b, KindFullPower)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := r.Result(b, KindFullPower)
+	r2, err := r.Result(context.Background(), b, KindFullPower)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestRunnerCaches(t *testing.T) {
 
 func TestFigure1VectorIntensityVaries(t *testing.T) {
 	r := runner(t)
-	fig, err := Figure1(r)
+	fig, err := Figure1(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestFigure1VectorIntensityVaries(t *testing.T) {
 
 func TestFigure2LargeBPUWins(t *testing.T) {
 	r := runner(t)
-	fig, err := Figure2(r)
+	fig, err := Figure2(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestFigure2LargeBPUWins(t *testing.T) {
 
 func TestFigure3FullMLCWins(t *testing.T) {
 	r := runner(t)
-	fig, err := Figure3(r)
+	fig, err := Figure3(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestTableIRender(t *testing.T) {
 
 func TestFigure8Quality(t *testing.T) {
 	r := runner(t)
-	fig, err := Figure8(r)
+	fig, err := Figure8(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestFigure8Quality(t *testing.T) {
 
 func TestFigure9MobileShape(t *testing.T) {
 	r := runner(t)
-	fig, err := Figure9(r)
+	fig, err := Figure9(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestFigure9MobileShape(t *testing.T) {
 
 func TestFigure10ServerShape(t *testing.T) {
 	r := runner(t)
-	fig, err := Figure10(r)
+	fig, err := Figure10(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestFigure10ServerShape(t *testing.T) {
 
 func TestFigure11LowSwitchRates(t *testing.T) {
 	r := runner(t)
-	fig, err := Figure11(r)
+	fig, err := Figure11(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestFigure11LowSwitchRates(t *testing.T) {
 
 func TestFigure12PerfShape(t *testing.T) {
 	r := runner(t)
-	fig, err := Figure12(r)
+	fig, err := Figure12(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestFigure12PerfShape(t *testing.T) {
 
 func TestFigure13And14PowerShape(t *testing.T) {
 	r := runner(t)
-	fig, err := PowerReductions(r)
+	fig, err := PowerReductions(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func TestFigure13And14PowerShape(t *testing.T) {
 
 func TestFigure15ShardShape(t *testing.T) {
 	r := runner(t)
-	fig, err := Figure15(r)
+	fig, err := Figure15(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +293,7 @@ func TestFigure15ShardShape(t *testing.T) {
 
 func TestFigure16PowerChopBeatsTimeout(t *testing.T) {
 	r := runner(t)
-	fig, err := Figure16(r)
+	fig, err := Figure16(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestFigure16PowerChopBeatsTimeout(t *testing.T) {
 
 func TestSoftwareCostsSmall(t *testing.T) {
 	r := runner(t)
-	costs, err := SoftwareCosts(r)
+	costs, err := SoftwareCosts(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +340,7 @@ func TestPerUnitStudy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := PerUnit(r, []workload.Benchmark{b})
+	res, err := PerUnit(context.Background(), r, []workload.Benchmark{b})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +370,7 @@ func TestRunnerTracer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Result(b, KindPowerChop); err != nil {
+	if _, err := r.Result(context.Background(), b, KindPowerChop); err != nil {
 		t.Fatal(err)
 	}
 	if ring.Total() == 0 {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -47,19 +48,19 @@ func (p *PerfResult) Render() string {
 
 // Figure12 compares full-power, PowerChop-managed and minimally-powered
 // configurations (Section V-D).
-func Figure12(r *Runner) (*PerfResult, error) {
+func Figure12(ctx context.Context, r *Runner) (*PerfResult, error) {
 	out := &PerfResult{}
 	var slows, losses []float64
 	for _, b := range workload.All() {
-		full, err := r.Result(b, KindFullPower)
+		full, err := r.Result(ctx, b, KindFullPower)
 		if err != nil {
 			return nil, err
 		}
-		chop, err := r.Result(b, KindPowerChop)
+		chop, err := r.Result(ctx, b, KindPowerChop)
 		if err != nil {
 			return nil, err
 		}
-		min, err := r.Result(b, KindMinPower)
+		min, err := r.Result(ctx, b, KindMinPower)
 		if err != nil {
 			return nil, err
 		}
@@ -135,7 +136,7 @@ func (p *PowerResult) RenderFigure14() string {
 
 // PowerReductions runs the Figure 13/14 comparison (PowerChop vs
 // full-power) across every benchmark.
-func PowerReductions(r *Runner) (*PowerResult, error) {
+func PowerReductions(ctx context.Context, r *Runner) (*PowerResult, error) {
 	out := &PowerResult{
 		AvgPower:   map[string]float64{},
 		AvgEnergy:  map[string]float64{},
@@ -143,11 +144,11 @@ func PowerReductions(r *Runner) (*PowerResult, error) {
 	}
 	perSuite := map[string][]PowerRow{}
 	for _, b := range workload.All() {
-		full, err := r.Result(b, KindFullPower)
+		full, err := r.Result(ctx, b, KindFullPower)
 		if err != nil {
 			return nil, err
 		}
-		chop, err := r.Result(b, KindPowerChop)
+		chop, err := r.Result(ctx, b, KindPowerChop)
 		if err != nil {
 			return nil, err
 		}
@@ -181,7 +182,7 @@ func PowerReductions(r *Runner) (*PowerResult, error) {
 
 // Figure13 returns the power/energy reductions (alias of PowerReductions,
 // named for the figure index).
-func Figure13(r *Runner) (*PowerResult, error) { return PowerReductions(r) }
+func Figure13(ctx context.Context, r *Runner) (*PowerResult, error) { return PowerReductions(ctx, r) }
 
 // Figure14 returns the same underlying comparison rendered as Figure 14.
-func Figure14(r *Runner) (*PowerResult, error) { return PowerReductions(r) }
+func Figure14(ctx context.Context, r *Runner) (*PowerResult, error) { return PowerReductions(ctx, r) }

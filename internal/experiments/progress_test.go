@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -39,7 +40,7 @@ func TestRunnerProgressLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := r.Result(b, KindPowerChop)
+	res, err := r.Result(context.Background(), b, KindPowerChop)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestRunnerProgressLifecycle(t *testing.T) {
 
 	// A cached call must not replay the lifecycle.
 	before := len(sink.all())
-	if _, err := r.Result(b, KindPowerChop); err != nil {
+	if _, err := r.Result(context.Background(), b, KindPowerChop); err != nil {
 		t.Fatal(err)
 	}
 	if after := len(sink.all()); after != before {
@@ -94,7 +95,7 @@ func TestRunnerProgressError(t *testing.T) {
 	r := NewParallelRunner(0.05, 1)
 	r.Progress = sink
 	bad := workload.Benchmark{Name: "broken"}
-	if _, err := r.Result(bad, Kind("nonsense")); err == nil {
+	if _, err := r.Result(context.Background(), bad, Kind("nonsense")); err == nil {
 		t.Fatal("bogus kind succeeded")
 	}
 	ups := sink.all()
@@ -118,13 +119,13 @@ func TestRunnerProgressDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	silent := NewParallelRunner(0.05, 1)
-	want, err := silent.Result(b, KindPowerChop)
+	want, err := silent.Result(context.Background(), b, KindPowerChop)
 	if err != nil {
 		t.Fatal(err)
 	}
 	observed := NewParallelRunner(0.05, 1)
 	observed.Progress = &recordingSink{}
-	got, err := observed.Result(b, KindPowerChop)
+	got, err := observed.Result(context.Background(), b, KindPowerChop)
 	if err != nil {
 		t.Fatal(err)
 	}

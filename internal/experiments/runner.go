@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"powerchop/internal/arch"
 	"powerchop/internal/core"
 	"powerchop/internal/obs"
+	"powerchop/internal/obs/span"
 	"powerchop/internal/program"
 	"powerchop/internal/pvt"
 	"powerchop/internal/rescache"
@@ -183,7 +185,11 @@ func designFor(b workload.Benchmark) arch.Design {
 // caller registers a flight and runs, later callers wait on it. Errors
 // are not cached — a failed flight is dropped so a subsequent call can
 // retry, matching the serial runner's cache-on-success semantics.
-func (r *Runner) Result(b workload.Benchmark, kind Kind) (*sim.Result, error) {
+//
+// When ctx carries a span (internal/obs/span) the flight owner's
+// simulation runs under a "benchmark" child span; deduplicated waiters
+// and cache hits open no span of their own.
+func (r *Runner) Result(ctx context.Context, b workload.Benchmark, kind Kind) (*sim.Result, error) {
 	key := b.Name + "/" + string(kind)
 	r.mu.Lock()
 	if f, ok := r.flights[key]; ok {
@@ -198,7 +204,7 @@ func (r *Runner) Result(b workload.Benchmark, kind Kind) (*sim.Result, error) {
 	// Only the flight owner reports progress: deduplicated waiters would
 	// otherwise produce duplicate lifecycle transitions for the same run.
 	r.report(RunUpdate{Benchmark: b.Name, Kind: kind, State: RunQueued})
-	f.res, f.err = r.simulate(b, kind, 0, true)
+	f.res, f.err = r.simulate(ctx, b, kind, 0, true)
 	if f.err != nil {
 		r.mu.Lock()
 		delete(r.flights, key)
@@ -211,10 +217,10 @@ func (r *Runner) Result(b workload.Benchmark, kind Kind) (*sim.Result, error) {
 // Sampled runs the benchmark with time-series sampling enabled (used by
 // the Figure 1-3 time-series plots; not cached, but still bounded by the
 // runner's job slots).
-func (r *Runner) Sampled(b workload.Benchmark, kind Kind, sampleInterval uint64) (*sim.Result, error) {
+func (r *Runner) Sampled(ctx context.Context, b workload.Benchmark, kind Kind, sampleInterval uint64) (*sim.Result, error) {
 	// Sampled runs are uncached extras sharing a key with the canonical
 	// run, so they stay silent on the progress board.
-	return r.simulate(b, kind, sampleInterval, false)
+	return r.simulate(ctx, b, kind, sampleInterval, false)
 }
 
 // cacheKey derives the canonical persistent-cache key for a run, or
@@ -242,7 +248,10 @@ func (r *Runner) cacheKey(b workload.Benchmark, p *program.Program, kind Kind, s
 // goroutines occupy slots — flight waiters block outside and persistent
 // cache hits return before acquisition — so the pool cannot deadlock
 // however callers fan out.
-func (r *Runner) simulate(b workload.Benchmark, kind Kind, sampleInterval uint64, report bool) (res *sim.Result, err error) {
+func (r *Runner) simulate(ctx context.Context, b workload.Benchmark, kind Kind, sampleInterval uint64, report bool) (res *sim.Result, err error) {
+	ctx, sp := span.Start(ctx, "benchmark",
+		"bench="+b.Name, "kind="+string(kind))
+	defer func() { sp.EndErr(err) }()
 	report = report && r.Progress != nil
 	var runLen uint64
 	if report {
@@ -282,6 +291,7 @@ func (r *Runner) simulate(b workload.Benchmark, kind Kind, sampleInterval uint64
 	}
 	r.sims.Add(1)
 	cfg := sim.Config{
+		Context:         ctx,
 		Design:          designFor(b),
 		Manager:         m,
 		MaxTranslations: runLen,

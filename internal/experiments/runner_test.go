@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -37,7 +38,7 @@ func TestResultSingleflight(t *testing.T) {
 		go func(i int) {
 			defer done.Done()
 			start.Wait() // maximize overlap
-			res, err := r.Result(b, KindFullPower)
+			res, err := r.Result(context.Background(), b, KindFullPower)
 			results[i], errs[i] = res, err
 		}(i)
 	}
@@ -73,7 +74,7 @@ func TestResultGoldenSerialVsParallel(t *testing.T) {
 	serial := NewParallelRunner(0.05, 1)
 	golden := make(map[Kind]interface{}, len(allKinds))
 	for _, k := range allKinds {
-		res, err := serial.Result(b, k)
+		res, err := serial.Result(context.Background(), b, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +89,7 @@ func TestResultGoldenSerialVsParallel(t *testing.T) {
 		wg.Add(1)
 		go func(i int, k Kind) {
 			defer wg.Done()
-			got[i], errs[i] = par.Result(b, k)
+			got[i], errs[i] = par.Result(context.Background(), b, k)
 		}(i, k)
 	}
 	wg.Wait()
@@ -114,10 +115,10 @@ func TestResultErrorNotCached(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Result(b, Kind("bogus")); err == nil {
+	if _, err := r.Result(context.Background(), b, Kind("bogus")); err == nil {
 		t.Fatal("bogus kind ran")
 	}
-	if _, err := r.Result(b, Kind("bogus")); err == nil {
+	if _, err := r.Result(context.Background(), b, Kind("bogus")); err == nil {
 		t.Fatal("bogus kind cached as a success")
 	}
 	if n := r.Simulations(); n != 0 {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -36,12 +37,12 @@ const tsSampleInterval = 20000
 // Figure1 reproduces the paper's Figure 1: vector-operation intensity over
 // the execution of gobmk, showing VPU criticality varying across phases
 // (including scarce-but-nonzero periods).
-func Figure1(r *Runner) (*TimeSeriesResult, error) {
+func Figure1(ctx context.Context, r *Runner) (*TimeSeriesResult, error) {
 	b, err := workload.ByName("gobmk")
 	if err != nil {
 		return nil, err
 	}
-	res, err := r.Sampled(b, KindFullPower, tsSampleInterval)
+	res, err := r.Sampled(ctx, b, KindFullPower, tsSampleInterval)
 	if err != nil {
 		return nil, err
 	}
@@ -73,16 +74,16 @@ func Figure1(r *Runner) (*TimeSeriesResult, error) {
 // under the small (local) and large (tournament) branch predictors. The
 // large predictor wins overall, but during many phases the benefit is
 // negligible.
-func Figure2(r *Runner) (*TimeSeriesResult, error) {
+func Figure2(ctx context.Context, r *Runner) (*TimeSeriesResult, error) {
 	b, err := workload.ByName("msn")
 	if err != nil {
 		return nil, err
 	}
-	large, err := r.Sampled(b, KindFullPower, tsSampleInterval)
+	large, err := r.Sampled(ctx, b, KindFullPower, tsSampleInterval)
 	if err != nil {
 		return nil, err
 	}
-	small, err := r.Sampled(b, KindSmallBPU, tsSampleInterval)
+	small, err := r.Sampled(ctx, b, KindSmallBPU, tsSampleInterval)
 	if err != nil {
 		return nil, err
 	}
@@ -108,16 +109,16 @@ func Figure2(r *Runner) (*TimeSeriesResult, error) {
 // Figure3 reproduces Figure 3: IPC of GemsFDTD with the full 1024KB 8-way
 // MLC vs the 128KB 1-way configuration. The full MLC only matters during
 // the phase whose working set fits it.
-func Figure3(r *Runner) (*TimeSeriesResult, error) {
+func Figure3(ctx context.Context, r *Runner) (*TimeSeriesResult, error) {
 	b, err := workload.ByName("GemsFDTD")
 	if err != nil {
 		return nil, err
 	}
-	full, err := r.Sampled(b, KindFullPower, tsSampleInterval)
+	full, err := r.Sampled(ctx, b, KindFullPower, tsSampleInterval)
 	if err != nil {
 		return nil, err
 	}
-	oneWay, err := r.Sampled(b, KindMLCOne, tsSampleInterval)
+	oneWay, err := r.Sampled(ctx, b, KindMLCOne, tsSampleInterval)
 	if err != nil {
 		return nil, err
 	}

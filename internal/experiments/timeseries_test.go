@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -39,7 +40,7 @@ func TestTimeSeriesRenderEmptySeries(t *testing.T) {
 // similar length (the run lengths differ only by pipeline effects).
 func TestFigure2SeriesAligned(t *testing.T) {
 	r := runner(t)
-	fig, err := Figure2(r)
+	fig, err := Figure2(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestFigure2SeriesAligned(t *testing.T) {
 // mean IPC is at least the one-way configuration's.
 func TestFigure3GapFavorsFullMLC(t *testing.T) {
 	r := runner(t)
-	fig, err := Figure3(r)
+	fig, err := Figure3(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}

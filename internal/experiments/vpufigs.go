@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -45,10 +46,10 @@ func (s *ShardResult) Render() string {
 
 // Figure15 measures how vector operations distribute across execution
 // shards (Section V-E's motivation for criticality over idleness).
-func Figure15(r *Runner) (*ShardResult, error) {
+func Figure15(ctx context.Context, r *Runner) (*ShardResult, error) {
 	out := &ShardResult{}
 	for _, b := range workload.All() {
-		res, err := r.Result(b, KindFullPower)
+		res, err := r.Result(ctx, b, KindFullPower)
 		if err != nil {
 			return nil, err
 		}
@@ -105,14 +106,14 @@ func (t *TimeoutResult) Render() string {
 // Figure16 compares PowerChop's VPU gating against the tuned hardware
 // timeout baseline (Section V-E). PowerChop manages only the VPU here so
 // the comparison isolates that unit, as the paper's study does.
-func Figure16(r *Runner) (*TimeoutResult, error) {
+func Figure16(ctx context.Context, r *Runner) (*TimeoutResult, error) {
 	out := &TimeoutResult{}
 	for _, b := range workload.All() {
-		chop, err := r.Result(b, KindChopVPU)
+		chop, err := r.Result(ctx, b, KindChopVPU)
 		if err != nil {
 			return nil, err
 		}
-		timeout, err := r.Result(b, KindTimeout)
+		timeout, err := r.Result(ctx, b, KindTimeout)
 		if err != nil {
 			return nil, err
 		}
@@ -165,7 +166,7 @@ func (p *PerUnitResult) Render() string {
 }
 
 // PerUnit runs the per-unit isolation study for the given benchmarks.
-func PerUnit(r *Runner, bs []workload.Benchmark) (*PerUnitResult, error) {
+func PerUnit(ctx context.Context, r *Runner, bs []workload.Benchmark) (*PerUnitResult, error) {
 	out := &PerUnitResult{}
 	kinds := []struct {
 		kind Kind
@@ -176,12 +177,12 @@ func PerUnit(r *Runner, bs []workload.Benchmark) (*PerUnitResult, error) {
 		{KindChopMLC, "MLC"},
 	}
 	for _, b := range bs {
-		full, err := r.Result(b, KindFullPower)
+		full, err := r.Result(ctx, b, KindFullPower)
 		if err != nil {
 			return nil, err
 		}
 		for _, k := range kinds {
-			res, err := r.Result(b, k.kind)
+			res, err := r.Result(ctx, b, k.kind)
 			if err != nil {
 				return nil, err
 			}

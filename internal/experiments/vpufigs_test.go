@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -54,7 +55,7 @@ func TestPerUnitResultRender(t *testing.T) {
 // app's four bucket fractions partition the shards.
 func TestFigure15FractionsSum(t *testing.T) {
 	r := runner(t)
-	fig, err := Figure15(r)
+	fig, err := Figure15(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestFigure15FractionsSum(t *testing.T) {
 // TestFigure16WinAccounting pins the derived fields against the rows.
 func TestFigure16WinAccounting(t *testing.T) {
 	r := runner(t)
-	fig, err := Figure16(r)
+	fig, err := Figure16(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}

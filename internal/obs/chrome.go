@@ -12,11 +12,13 @@ import (
 // exporter uses are modelled.
 type chromeEvent struct {
 	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
 	Phase string         `json:"ph"`
 	TS    float64        `json:"ts"`
 	Dur   float64        `json:"dur,omitempty"`
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"`
 	Scope string         `json:"s,omitempty"`
 	Args  map[string]any `json:"args,omitempty"`
 }
@@ -28,8 +30,13 @@ type chromeTrace struct {
 	OtherData       map[string]any `json:"otherData,omitempty"`
 }
 
-// chromePID is the single process id all tracks share.
-const chromePID = 1
+// chromePID is the process id of the simulation tracks; spanPID holds
+// the service-layer span tree (wall-clock timeline, normalized so its
+// first span begins at 0).
+const (
+	chromePID = 1
+	spanPID   = 2
+)
 
 // WriteChrome exports a single-run, time-ordered event stream as Chrome
 // trace-event JSON: one track (thread) per gated unit carrying a
@@ -39,13 +46,28 @@ const chromePID = 1
 // trace microseconds. Events are written in non-decreasing timestamp
 // order.
 //
+// Service-layer span events (KindSpanBegin/KindSpanEnd), when present,
+// land in a second process ("service") as async-nestable begin/end
+// pairs keyed by span ID, so the request → sweep → benchmark → sim tree
+// renders alongside the simulation tracks. Their wall-clock timestamps
+// are normalized so the first span begins at 0.
+//
 // Traces holding several concatenated runs (e.g. `compare -trace`)
 // restart their clocks mid-stream; export those one run at a time.
 func WriteChrome(w io.Writer, events []Event) error {
-	// Track layout: units (sorted) first, then PVT and CDE.
+	// Track layout: units (sorted) first, then PVT and CDE. Span events
+	// run on the wall clock, so they are excluded from the simulated
+	// timeline's extent and normalized to their own origin.
 	unitSet := map[string]bool{}
 	end := 0.0
+	spanOrigin := 0.0
 	for _, e := range events {
+		if IsSpanKind(e.Kind) {
+			if spanOrigin == 0 || e.Cycle < spanOrigin {
+				spanOrigin = e.Cycle
+			}
+			continue
+		}
 		if e.Kind == KindGate && e.Unit != "" {
 			unitSet[e.Unit] = true
 		}
@@ -78,6 +100,15 @@ func WriteChrome(w io.Writer, events []Event) error {
 	cdeTID := len(units) + 2
 	meta(pvtTID, "pvt")
 	meta(cdeTID, "cde")
+	if spanOrigin != 0 {
+		out = append(out, chromeEvent{
+			Name: "process_name", Phase: "M", PID: spanPID,
+			Args: map[string]any{"name": "service"},
+		}, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: spanPID, TID: 1,
+			Args: map[string]any{"name": "spans"},
+		})
+	}
 
 	// Per-unit gating intervals: every unit boots at full power; each
 	// gate event closes the current interval and opens the next.
@@ -124,6 +155,24 @@ func WriteChrome(w io.Writer, events []Event) error {
 				Name: "invoke", Phase: "i", TS: e.Cycle, Scope: "t",
 				PID: chromePID, TID: cdeTID,
 				Args: map[string]any{"sig": e.SigString(), "cost_cycles": e.Value},
+			})
+		case KindSpanBegin:
+			out = append(out, chromeEvent{
+				Name: e.Unit, Cat: "span", Phase: "b",
+				TS: e.Cycle - spanOrigin, PID: spanPID, TID: 1,
+				ID: fmt.Sprintf("%d", e.Count),
+				Args: map[string]any{
+					"span_id": e.Count, "parent": e.Value, "attrs": e.Detail,
+				},
+			})
+		case KindSpanEnd:
+			out = append(out, chromeEvent{
+				Name: e.Unit, Cat: "span", Phase: "e",
+				TS: e.Cycle - spanOrigin, PID: spanPID, TID: 1,
+				ID: fmt.Sprintf("%d", e.Count),
+				Args: map[string]any{
+					"span_id": e.Count, "duration_us": e.Value, "outcome": e.Detail,
+				},
 			})
 		}
 	}

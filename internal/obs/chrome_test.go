@@ -98,3 +98,71 @@ func TestWriteChromeEmpty(t *testing.T) {
 		t.Fatal("missing traceEvents")
 	}
 }
+
+// TestWriteChromeSpans checks service-layer span events export as
+// async-nestable begin/end pairs in their own process, with wall-clock
+// timestamps normalized to the first span's begin, and that the span
+// stream never perturbs the simulated timeline's extent.
+func TestWriteChromeSpans(t *testing.T) {
+	events := append(timelineEvents(),
+		Event{Kind: KindSpanBegin, Cycle: 1e15 + 100, Unit: "request", Detail: "req=abc", Count: 7},
+		Event{Kind: KindSpanBegin, Cycle: 1e15 + 200, Unit: "sim", Count: 8, Value: 7},
+		Event{Kind: KindSpanEnd, Cycle: 1e15 + 800, Unit: "sim", Count: 8, Value: 600},
+		Event{Kind: KindSpanEnd, Cycle: 1e15 + 900, Unit: "request", Count: 7, Value: 800},
+	)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Cat   string         `json:"cat"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			ID    string         `json:"id"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatal(err)
+	}
+	spans := map[string][]int{} // id -> indices
+	simEnd := 0.0
+	for i, e := range trace.TraceEvents {
+		switch e.Phase {
+		case "b", "e":
+			if e.PID != 2 || e.Cat != "span" {
+				t.Errorf("span event %d not in service process: %+v", i, e)
+			}
+			spans[e.ID] = append(spans[e.ID], i)
+		case "X":
+			if end := e.TS + e.Dur; end > simEnd {
+				simEnd = end
+			}
+		}
+	}
+	if len(spans) != 2 {
+		t.Fatalf("span IDs exported = %d, want 2", len(spans))
+	}
+	for id, idx := range spans {
+		if len(idx) != 2 {
+			t.Errorf("span %s has %d events, want begin+end", id, len(idx))
+		}
+	}
+	// Normalization: the first span begins at 0, the last ends at 800.
+	reqEvents := spans["7"]
+	if got := trace.TraceEvents[reqEvents[0]].TS; got != 0 {
+		t.Errorf("first span begin TS = %v, want 0 (normalized)", got)
+	}
+	if got := trace.TraceEvents[reqEvents[1]].TS; got != 800 {
+		t.Errorf("request span end TS = %v, want 800", got)
+	}
+	// The simulated tracks still end at the sim trace's own extent, not
+	// anywhere near the spans' wall-clock magnitude.
+	if simEnd != 2500 {
+		t.Errorf("sim interval extent = %v, want 2500 (spans must not stretch it)", simEnd)
+	}
+}

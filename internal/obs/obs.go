@@ -86,6 +86,18 @@ const (
 	// interval accounting (residency, attribution) at exactly the cycle
 	// the simulator itself closes out gating residency.
 	KindRunEnd
+	// KindSpanBegin opens a service-layer span (request → sweep →
+	// benchmark → sim; see internal/obs/span). Unlike every other kind
+	// its clock is the wall clock, not the simulated one: Cycle carries
+	// microseconds since the Unix epoch. Unit is the span name, Detail
+	// its attributes ("req=<id> k=v ..."), Count the span ID and Value
+	// the parent span ID (0 for a root).
+	KindSpanBegin
+	// KindSpanEnd closes a span. Cycle is the wall-clock end time in
+	// Unix microseconds, Count the span ID, Value the span duration in
+	// microseconds, Unit the span name and Detail the outcome
+	// ("error=..." on failure, empty on success).
+	KindSpanEnd
 	numKinds
 )
 
@@ -102,6 +114,14 @@ var kindNames = [numKinds]string{
 	KindTranslate:   "translate",
 	KindCDEProfile:  "cde-profile",
 	KindRunEnd:      "run-end",
+	KindSpanBegin:   "span-begin",
+	KindSpanEnd:     "span-end",
+}
+
+// IsSpanKind reports whether the kind belongs to the service-layer span
+// stream (wall-clock timestamps) rather than the simulation stream.
+func IsSpanKind(k Kind) bool {
+	return k == KindSpanBegin || k == KindSpanEnd
 }
 
 // IsDecisionKind reports whether the kind is part of a gating decision's
@@ -268,6 +288,12 @@ type stamped struct {
 // that already carry a cycle — gating transitions, which may be
 // retroactive — pass through unchanged.
 func (s stamped) Emit(e Event) {
+	if IsSpanKind(e.Kind) {
+		// Span events run on the wall clock; stamping them with the
+		// simulated clock would corrupt their timeline.
+		s.t.Emit(e)
+		return
+	}
 	cycle, window := s.now()
 	if e.Cycle == 0 {
 		e.Cycle = cycle

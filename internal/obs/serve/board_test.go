@@ -58,6 +58,70 @@ func TestBoardLifecycle(t *testing.T) {
 	}
 }
 
+// TestBoardSharedBenchmarkCollision covers partial-update merging when
+// several runs share a benchmark name: runs of different kinds must keep
+// independent rows (no cross-contamination of progress numbers), while a
+// re-run of the same (benchmark, kind) pair merges into its row.
+func TestBoardSharedBenchmarkCollision(t *testing.T) {
+	b := NewBoard()
+	clock := time.Unix(2000, 0)
+	b.now = func() time.Time { return clock }
+
+	// Three kinds of the same benchmark, interleaved, as Compare produces.
+	b.Update(RunUpdate{Benchmark: "namd", Kind: "full-power", State: StateSimulating, Total: 1000})
+	b.Update(RunUpdate{Benchmark: "namd", Kind: "powerchop", State: StateSimulating, Total: 2000})
+	b.Update(RunUpdate{Benchmark: "namd", Kind: "full-power", State: StateSimulating, Cycles: 5e5, Translations: 400})
+	b.Update(RunUpdate{Benchmark: "namd", Kind: "powerchop", State: StateSimulating, Cycles: 1e5, Translations: 100})
+	b.Update(RunUpdate{Benchmark: "namd", Kind: "min-power", State: StateQueued})
+
+	snap := b.Snapshot()
+	if len(snap.Runs) != 3 {
+		t.Fatalf("runs = %d, want 3 distinct rows for one benchmark", len(snap.Runs))
+	}
+	byKind := map[string]RunStatus{}
+	for _, r := range snap.Runs {
+		if r.Benchmark != "namd" {
+			t.Fatalf("unexpected benchmark %q", r.Benchmark)
+		}
+		byKind[r.Kind] = r
+	}
+	fp, pc := byKind["full-power"], byKind["powerchop"]
+	// Each kind's partial updates merged only with its own row.
+	if fp.Total != 1000 || fp.Cycles != 5e5 || fp.Translations != 400 {
+		t.Errorf("full-power row contaminated: %+v", fp)
+	}
+	if pc.Total != 2000 || pc.Cycles != 1e5 || pc.Translations != 100 {
+		t.Errorf("powerchop row contaminated: %+v", pc)
+	}
+	if byKind["min-power"].State != StateQueued {
+		t.Errorf("min-power row = %+v", byKind["min-power"])
+	}
+
+	// A re-run of the same (benchmark, kind) merges into the existing
+	// row: the bare state transition keeps the earlier numbers.
+	clock = clock.Add(4 * time.Second)
+	b.Update(RunUpdate{Benchmark: "namd", Kind: "powerchop", State: StateDone})
+	snap = b.Snapshot()
+	byKind = map[string]RunStatus{}
+	for _, r := range snap.Runs {
+		byKind[r.Kind] = r
+	}
+	pc = byKind["powerchop"]
+	if pc.State != StateDone || pc.Cycles != 1e5 || pc.Total != 2000 {
+		t.Errorf("done powerchop row lost progress: %+v", pc)
+	}
+	if pc.ElapsedSeconds != 4 {
+		t.Errorf("elapsed = %v, want 4", pc.ElapsedSeconds)
+	}
+	// The sibling kinds are untouched by the completion.
+	if byKind["full-power"].State != StateSimulating || byKind["full-power"].Cycles != 5e5 {
+		t.Errorf("full-power row perturbed by sibling completion: %+v", byKind["full-power"])
+	}
+	if snap.Counts[StateDone] != 1 || snap.Counts[StateSimulating] != 1 || snap.Counts[StateQueued] != 1 {
+		t.Errorf("counts = %v", snap.Counts)
+	}
+}
+
 func TestBoardJSON(t *testing.T) {
 	b := NewBoard()
 	b.Update(RunUpdate{Benchmark: "mcf", Kind: "powerchop", State: StateQueued})

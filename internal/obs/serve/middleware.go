@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"powerchop/internal/obs"
+	"powerchop/internal/obs/span"
+)
+
+// redMetrics is one route's RED instrument set: request count, error
+// count (status >= 500, including recovered panics) and a latency
+// histogram in seconds. Instruments register at mount time, so every
+// endpoint appears on /metrics from the first scrape, not the first hit.
+type redMetrics struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	seconds  *obs.Histogram
+}
+
+// latencyBounds buckets request latency (seconds): sub-millisecond
+// metric scrapes through multi-minute figure renders.
+var latencyBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2, 10, 60, 300}
+
+// newREDMetrics registers a route's instruments in the registry.
+func newREDMetrics(reg *obs.Registry, route string) redMetrics {
+	return redMetrics{
+		requests: reg.Counter("http.requests." + route),
+		errors:   reg.Counter("http.errors." + route),
+		seconds:  reg.Histogram("http.seconds."+route, latencyBounds...),
+	}
+}
+
+// routeName converts a mux pattern to a metric-name segment:
+// "GET /api/runs" → "api.runs", "GET /{$}" → "index",
+// "GET /debug/pprof/" → "debug.pprof".
+func routeName(pattern string) string {
+	p := pattern
+	if i := strings.IndexByte(p, '/'); i > 0 {
+		p = p[i:] // drop the method prefix
+	}
+	p = strings.Trim(p, "/")
+	if p == "" || p == "{$}" {
+		return "index"
+	}
+	p = strings.ReplaceAll(p, "/", ".")
+	p = strings.ReplaceAll(p, "{", "")
+	p = strings.ReplaceAll(p, "}", "")
+	p = strings.ReplaceAll(p, "$", "")
+	return strings.Trim(p, ".")
+}
+
+// RequestIDHeader is the request-correlation header: honored when the
+// client supplies it, generated otherwise, always echoed on the
+// response and recorded in the access log and the request's root span.
+const RequestIDHeader = "X-Request-Id"
+
+// responseRecorder captures the status code and body size flowing
+// through a handler. It forwards Flush so streaming handlers (SSE,
+// NDJSON) keep working behind the middleware.
+type responseRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *responseRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *responseRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (r *responseRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		if r.status == 0 {
+			r.status = http.StatusOK
+		}
+		f.Flush()
+	}
+}
+
+// handle mounts a handler wrapped in the monitor's request middleware:
+// request-ID generation/echo, a root "request" span, RED metrics, panic
+// recovery and structured access logging.
+func (m *Monitor) handle(pattern string, h http.HandlerFunc) {
+	m.mux.Handle(pattern, m.instrument(routeName(pattern), h))
+}
+
+// instrument wraps h in the request middleware under the given route
+// label. It is exported to the serve subcommand through Monitor.Mount.
+func (m *Monitor) instrument(route string, h http.Handler) http.Handler {
+	red := newREDMetrics(m.reg, route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := r.Header.Get(RequestIDHeader)
+		if reqID == "" {
+			reqID = span.NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, reqID)
+		rec := &responseRecorder{ResponseWriter: w}
+		ctx, sp := span.Root(r.Context(), m.spanSink(), "request", reqID,
+			"route="+route, "method="+r.Method)
+		red.requests.Inc()
+
+		panicked := false
+		defer func() {
+			if v := recover(); v != nil {
+				panicked = true
+				if rec.status == 0 {
+					http.Error(rec, "internal server error", http.StatusInternalServerError)
+				}
+				sp.EndErr(fmt.Errorf("panic: %v", v))
+			} else {
+				sp.End()
+			}
+			status := rec.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			if status >= 500 {
+				red.errors.Inc()
+			}
+			elapsed := time.Since(start)
+			red.seconds.Observe(elapsed.Seconds())
+			if log := m.accessLog(); log != nil {
+				attrs := []any{
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.Int("status", status),
+					slog.Int64("bytes", rec.bytes),
+					slog.Duration("duration", elapsed),
+					slog.String("request_id", reqID),
+					slog.Uint64("span_id", sp.ID()),
+					slog.String("remote", r.RemoteAddr),
+				}
+				if panicked {
+					log.Error("request panicked", attrs...)
+				} else {
+					log.Info("request", attrs...)
+				}
+			}
+		}()
+		h.ServeHTTP(rec, r.WithContext(ctx))
+	})
+}
+
+// Mount registers an external handler on the monitor's mux wrapped in
+// the same request middleware as the built-in endpoints, so mounted
+// API routes get request IDs, access logs, panic recovery and RED
+// metrics for free. pattern follows http.ServeMux syntax.
+func (m *Monitor) Mount(pattern string, h http.HandlerFunc) {
+	m.handle(pattern, h)
+}
+
+// SetAccessLog installs a structured access logger; every request logs
+// one line at Info (Error for recovered panics) carrying method, path,
+// status, size, duration, request ID and root span ID. A nil logger
+// (the default) disables access logging.
+func (m *Monitor) SetAccessLog(l *slog.Logger) {
+	if l == nil {
+		m.access.Store((*slog.Logger)(nil))
+		return
+	}
+	m.access.Store(l)
+}
+
+// accessLog returns the installed logger or nil.
+func (m *Monitor) accessLog() *slog.Logger {
+	l, _ := m.access.Load().(*slog.Logger)
+	return l
+}
+
+// tracerBox wraps a Tracer so atomic.Value sees one concrete type
+// whatever implementation hides behind the interface.
+type tracerBox struct{ t obs.Tracer }
+
+// SetSpanSink routes request spans to t instead of the monitor's own
+// hub (the default): the serve subcommand points it at the combined
+// sink so spans reach JSONL recorders alongside live subscribers.
+func (m *Monitor) SetSpanSink(t obs.Tracer) {
+	m.spans.Store(tracerBox{t})
+}
+
+// spanSink returns the tracer request spans emit to.
+func (m *Monitor) spanSink() obs.Tracer {
+	if b, ok := m.spans.Load().(tracerBox); ok && b.t != nil {
+		return b.t
+	}
+	return m.hub
+}

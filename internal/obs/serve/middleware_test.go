@@ -1,0 +1,419 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"powerchop/internal/obs"
+	"powerchop/internal/obs/runlog"
+)
+
+// captureTracer records emitted events; safe for concurrent use since
+// request spans emit from handler goroutines.
+type captureTracer struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (c *captureTracer) Emit(e obs.Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+func (c *captureTracer) snapshot() []obs.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]obs.Event(nil), c.events...)
+}
+
+// TestMiddlewareRequestID checks the full correlation chain: a
+// client-supplied X-Request-Id is echoed on the response, recorded in
+// the structured access log, and attached to the root "request" span —
+// all three carrying the same ID.
+func TestMiddlewareRequestID(t *testing.T) {
+	m := NewMonitor(nil)
+	defer m.Shutdown(context.Background())
+	var logBuf bytes.Buffer
+	m.SetAccessLog(slog.New(slog.NewJSONHandler(&logBuf, nil)))
+	spans := &captureTracer{}
+	m.SetSpanSink(spans)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	req, err := http.NewRequest("GET", srv.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(RequestIDHeader, "corr-1234")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != "corr-1234" {
+		t.Fatalf("request ID not echoed: %q", got)
+	}
+
+	// Access log line carries the same request ID and a span ID.
+	var line struct {
+		Msg       string  `json:"msg"`
+		Method    string  `json:"method"`
+		Path      string  `json:"path"`
+		Status    int     `json:"status"`
+		RequestID string  `json:"request_id"`
+		SpanID    uint64  `json:"span_id"`
+		Duration  float64 `json:"duration"`
+	}
+	if err := json.Unmarshal(logBuf.Bytes(), &line); err != nil {
+		t.Fatalf("access log not JSON: %v (%q)", err, logBuf.String())
+	}
+	if line.Msg != "request" || line.Method != "GET" || line.Path != "/healthz" || line.Status != 200 {
+		t.Fatalf("access log line = %+v", line)
+	}
+	if line.RequestID != "corr-1234" {
+		t.Fatalf("access log request_id = %q", line.RequestID)
+	}
+
+	// The root span carries the same request ID and the access log's
+	// span ID, and it closed with a duration.
+	var begin, end *obs.Event
+	for _, e := range spans.snapshot() {
+		e := e
+		switch e.Kind {
+		case obs.KindSpanBegin:
+			begin = &e
+		case obs.KindSpanEnd:
+			end = &e
+		}
+	}
+	if begin == nil || end == nil {
+		t.Fatal("request span did not begin and end")
+	}
+	if begin.Unit != "request" || !strings.Contains(begin.Detail, "req=corr-1234") {
+		t.Fatalf("root span begin = %+v", begin)
+	}
+	if !strings.Contains(begin.Detail, "route=healthz") {
+		t.Fatalf("root span missing route attr: %q", begin.Detail)
+	}
+	if uint64(begin.Count) != line.SpanID {
+		t.Fatalf("span ID mismatch: span %v, access log %d", begin.Count, line.SpanID)
+	}
+	if end.Count != begin.Count {
+		t.Fatalf("span end ID %v != begin ID %v", end.Count, begin.Count)
+	}
+}
+
+// TestMiddlewareGeneratedRequestID checks a request without an ID gets
+// a fresh hex one.
+func TestMiddlewareGeneratedRequestID(t *testing.T) {
+	m := NewMonitor(nil)
+	defer m.Shutdown(context.Background())
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	_, resp := get(t, srv.URL+"/healthz")
+	id := resp.Header.Get(RequestIDHeader)
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(id) {
+		t.Fatalf("generated request ID %q not 16 hex chars", id)
+	}
+	_, resp2 := get(t, srv.URL+"/healthz")
+	if resp2.Header.Get(RequestIDHeader) == id {
+		t.Fatal("two requests got the same generated ID")
+	}
+}
+
+// TestMiddlewareREDMetrics checks every endpoint's request counter and
+// latency histogram appear on /metrics, pre-registered at mount time and
+// incremented per hit, and the exposition stays conformant.
+func TestMiddlewareREDMetrics(t *testing.T) {
+	m := NewMonitor(nil)
+	defer m.Shutdown(context.Background())
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	get(t, srv.URL+"/progress")
+	get(t, srv.URL+"/healthz")
+	body, _ := get(t, srv.URL+"/metrics")
+	if err := CheckExposition([]byte(body)); err != nil {
+		t.Fatalf("/metrics fails conformance: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"http_requests_progress 1",
+		"http_requests_healthz 1",
+		"http_requests_metrics 1", // in-flight scrape counted before snapshot
+		"http_errors_progress 0",
+		"http_seconds_progress_count 1",
+		"http_requests_api_runs 0", // registered at mount, untouched
+		"serve_events_dropped 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	samples := 0
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "serve_events_dropped ") {
+			samples++
+		}
+	}
+	if samples != 1 {
+		t.Errorf("serve_events_dropped has %d samples, want exactly 1:\n%s", samples, body)
+	}
+}
+
+// TestMiddlewarePanicRecovery checks a panicking handler turns into a
+// 500 response, an error-counter increment and an Error access-log line
+// instead of tearing down the connection.
+func TestMiddlewarePanicRecovery(t *testing.T) {
+	m := NewMonitor(nil)
+	defer m.Shutdown(context.Background())
+	var logBuf bytes.Buffer
+	m.SetAccessLog(slog.New(slog.NewJSONHandler(&logBuf, nil)))
+	m.Mount("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	_, resp := get(t, srv.URL+"/boom")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler returned %d, want 500", resp.StatusCode)
+	}
+	if resp.Header.Get(RequestIDHeader) == "" {
+		t.Error("panic response lost its request ID")
+	}
+	body, _ := get(t, srv.URL+"/metrics")
+	for _, want := range []string{"http_requests_boom 1", "http_errors_boom 1"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q after panic", want)
+		}
+	}
+	var line struct {
+		Level string `json:"level"`
+		Msg   string `json:"msg"`
+	}
+	if err := json.Unmarshal([]byte(strings.SplitN(logBuf.String(), "\n", 2)[0]), &line); err != nil {
+		t.Fatalf("access log not JSON: %v", err)
+	}
+	if line.Level != "ERROR" || line.Msg != "request panicked" {
+		t.Fatalf("panic access log line = %+v", line)
+	}
+}
+
+// TestHealthProbes checks /healthz always answers 200 while /readyz
+// tracks the serve lifecycle: 503 before Start, 200 while serving, 503
+// again once Shutdown begins draining.
+func TestHealthProbes(t *testing.T) {
+	m := NewMonitor(nil)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	body, resp := get(t, srv.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+	_, resp = get(t, srv.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before Start = %d, want 503", resp.StatusCode)
+	}
+
+	if err := m.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	_, resp = get(t, srv.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz while serving = %d, want 200", resp.StatusCode)
+	}
+
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	body, resp = get(t, srv.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("readyz after Shutdown = %d %q, want 503 draining", resp.StatusCode, body)
+	}
+	_, resp = get(t, srv.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after Shutdown = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestRunsEndpoints checks /api/runs and the /runs board over an
+// in-memory history: filtering, pagination, the persistence flag and the
+// human-readable table.
+func TestRunsEndpoints(t *testing.T) {
+	m := NewMonitor(nil)
+	defer m.Shutdown(context.Background())
+	store := runlog.Memory()
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	for i, r := range []runlog.Record{
+		{Kind: "run", Name: "namd", DurationMS: 120, CacheHits: 2, CacheMisses: 1},
+		{Kind: "figure", Name: "fig12", DurationMS: 4500},
+		{Kind: "run", Name: "gobmk", Error: "boom"},
+	} {
+		r.Time = base.Add(time.Duration(i) * time.Minute)
+		if err := store.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.SetRunLog(store)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	body, resp := get(t, srv.URL+"/api/runs")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content-type %q", ct)
+	}
+	var doc runsResponse
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/api/runs not JSON: %v\n%s", err, body)
+	}
+	if doc.Count != 3 || doc.Persistent {
+		t.Fatalf("runs doc: count=%d persistent=%v", doc.Count, doc.Persistent)
+	}
+	if doc.Runs[0].Name != "gobmk" || doc.Runs[0].Outcome != "error" {
+		t.Fatalf("newest-first ordering broken: %+v", doc.Runs[0])
+	}
+
+	body, _ = get(t, srv.URL+"/api/runs?kind=run&outcome=ok")
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Count != 1 || doc.Runs[0].Name != "namd" {
+		t.Fatalf("filtered runs: %+v", doc)
+	}
+	body, _ = get(t, srv.URL+"/api/runs?limit=1&offset=1")
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Count != 1 || doc.Runs[0].Name != "fig12" {
+		t.Fatalf("paginated runs: %+v", doc)
+	}
+
+	body, resp = get(t, srv.URL+"/runs")
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Errorf("board content-type %q", resp.Header.Get("Content-Type"))
+	}
+	for _, want := range []string{"namd", "fig12", "error: boom", "2/3", "in-memory history"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/runs board missing %q:\n%s", want, body)
+		}
+	}
+
+	// No store installed → empty history, not an error.
+	m.SetRunLog(nil)
+	body, resp = get(t, srv.URL+"/api/runs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/runs without store = %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil || doc.Count != 0 {
+		t.Fatalf("empty history doc: %v %+v", err, doc)
+	}
+}
+
+// TestStalledClientDropMetric (satellite S1) checks a stalled SSE
+// client's dropped events surface as the registered serve_events_dropped
+// counter on /metrics, not just the hub's internal tally.
+func TestStalledClientDropMetric(t *testing.T) {
+	m := NewMonitor(nil)
+	defer m.Shutdown(context.Background())
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	// A one-slot subscriber whose body is never read: the handler blocks
+	// on the unflushed connection while emits overflow the buffer.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", srv.URL+"/events?buffer=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	waitFor(t, "stalled subscriber", func() bool { return m.Hub().Subscribers() == 1 })
+
+	for m.Hub().Dropped() == 0 {
+		for i := 0; i < 100; i++ {
+			m.Hub().Emit(obs.Event{Kind: obs.KindTranslate})
+		}
+	}
+
+	body, _ := get(t, srv.URL+"/metrics")
+	val := metricValue(t, body, "serve_events_dropped")
+	if val <= 0 {
+		t.Fatalf("serve_events_dropped = %v after stalled client, want > 0:\n%s", val, body)
+	}
+	if err := CheckExposition([]byte(body)); err != nil {
+		t.Fatalf("/metrics fails conformance with drops: %v", err)
+	}
+}
+
+// metricValue extracts a sample value from a text exposition.
+func metricValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("metric %s value %q: %v", name, rest, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found:\n%s", name, body)
+	return 0
+}
+
+// TestShutdownStreamGoroutineLeak (satellite S2) checks draining the
+// monitor releases every streaming handler and its keepalive ticker: the
+// goroutine count returns to its pre-stream baseline after Shutdown.
+func TestShutdownStreamGoroutineLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	m := NewMonitor(nil)
+	if err := m.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	url := fmt.Sprintf("http://%s", m.Addr())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, path := range []string{"/events", "/decisions", "/events?format=ndjson"} {
+		lines, closeBody := streamLines(t, ctx, url+path)
+		defer closeBody()
+		go func() {
+			for range lines {
+			}
+		}()
+	}
+	waitFor(t, "stream subscriptions", func() bool { return m.Hub().Subscribers() == 3 })
+
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := m.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	waitFor(t, "subscriber detach", func() bool { return m.Hub().Subscribers() == 0 })
+
+	// Handler goroutines, keepalive tickers and client readers must all
+	// wind down; allow slack for the HTTP client's idle pool.
+	waitFor(t, "goroutines to drain", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= baseline+3
+	})
+}

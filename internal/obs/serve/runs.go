@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"powerchop/internal/obs/runlog"
+	"powerchop/internal/textplot"
+)
+
+// maxRunsPage caps one /api/runs response; clients page with
+// offset/limit for more.
+const maxRunsPage = 500
+
+// runsResponse is the GET /api/runs document.
+type runsResponse struct {
+	// Runs is the matching history, newest first.
+	Runs []runlog.Record `json:"runs"`
+	// Count is len(Runs); Corrupt the journal lines skipped as
+	// unparsable; Persistent whether the history survives restarts.
+	Count      int  `json:"count"`
+	Corrupt    int  `json:"corrupt,omitempty"`
+	Persistent bool `json:"persistent"`
+}
+
+// runsFilter parses the shared query parameters of /api/runs and /runs.
+func runsFilter(r *http.Request) runlog.Filter {
+	q := r.URL.Query()
+	f := runlog.Filter{
+		Kind:    q.Get("kind"),
+		Name:    q.Get("name"),
+		Outcome: q.Get("outcome"),
+		Limit:   maxRunsPage,
+	}
+	if n, err := strconv.Atoi(q.Get("limit")); err == nil && n > 0 && n < maxRunsPage {
+		f.Limit = n
+	}
+	if n, err := strconv.Atoi(q.Get("offset")); err == nil && n > 0 {
+		f.Offset = n
+	}
+	return f
+}
+
+// handleRunsAPI serves the persistent run history as JSON, filterable
+// by ?kind=, ?name= and ?outcome=, paginated with ?limit= and ?offset=.
+func (m *Monitor) handleRunsAPI(w http.ResponseWriter, r *http.Request) {
+	store := m.RunLog()
+	recs, corrupt, err := store.List(runsFilter(r))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if recs == nil {
+		recs = []runlog.Record{}
+	}
+	resp := runsResponse{
+		Runs:       recs,
+		Count:      len(recs),
+		Corrupt:    corrupt,
+		Persistent: store.Persistent(),
+	}
+	b, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(append(b, '\n'))
+}
+
+// handleRunsBoard renders the run history as a plain-text table, the
+// human-facing twin of /api/runs (same filters).
+func (m *Monitor) handleRunsBoard(w http.ResponseWriter, r *http.Request) {
+	store := m.RunLog()
+	recs, corrupt, err := store.List(runsFilter(r))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(recs) == 0 {
+		fmt.Fprintln(w, "(no runs recorded)")
+		return
+	}
+	rows := make([][]string, 0, len(recs))
+	for _, rec := range recs {
+		cache := ""
+		if rec.CacheHits+rec.CacheMisses > 0 {
+			cache = fmt.Sprintf("%d/%d", rec.CacheHits, rec.CacheHits+rec.CacheMisses)
+		}
+		outcome := rec.Outcome
+		if rec.Error != "" {
+			outcome += ": " + rec.Error
+		}
+		rows = append(rows, []string{
+			rec.Time.Format("2006-01-02 15:04:05"),
+			rec.Kind,
+			rec.Name,
+			fmt.Sprintf("%.0fms", rec.DurationMS),
+			cache,
+			outcome,
+		})
+	}
+	fmt.Fprint(w, textplot.Table(
+		[]string{"time", "kind", "name", "duration", "cache", "outcome"}, rows))
+	if corrupt > 0 {
+		fmt.Fprintf(w, "(%d corrupt journal lines skipped)\n", corrupt)
+	}
+	if !store.Persistent() {
+		fmt.Fprintln(w, "(in-memory history: start serve with -cache to persist)")
+	}
+}

@@ -1,0 +1,198 @@
+// Package span gives the service layer lightweight hierarchical spans:
+// request → sweep → benchmark → sim. A span records who started what,
+// under which parent, when, and for how long; begin/end pairs ride the
+// ordinary obs event stream (KindSpanBegin / KindSpanEnd), so every
+// existing sink — the JSONL recorder, the live fan-out hub, the Chrome
+// trace exporter — sees the request tree without new plumbing.
+//
+// Spans are pure observers. They are propagated through context.Context,
+// created only at request/run granularity (never inside the simulator's
+// hot loop), and a nil *Span is a valid no-op receiver, so call sites
+// need no branching. When no tracer is reachable — no monitor attached,
+// no -trace sink — Start returns a nil span and the whole layer costs a
+// context lookup.
+//
+// Unlike the rest of the event stream, span events are stamped with the
+// wall clock (Unix microseconds in Event.Cycle), because they describe
+// service time, not simulated time. obs.Stamped leaves them alone.
+package span
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"powerchop/internal/obs"
+)
+
+// ids allocates span IDs. Sequential IDs stay exact inside the float64
+// Event.Value field that carries the parent link on the wire.
+var ids atomic.Uint64
+
+// now is the span clock (a seam for tests).
+var now = time.Now
+
+// Span is one node of a request tree. Create roots with Root, children
+// with Start, and close every span with End or EndErr. All methods are
+// safe on a nil receiver.
+type Span struct {
+	id     uint64
+	parent uint64
+	name   string
+	reqID  string
+	start  time.Time
+	tracer obs.Tracer
+	ended  atomic.Bool
+}
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying the span.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// NewRequestID returns a fresh 16-hex-digit request identifier.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to a time+sequence stamp; uniqueness within the
+		// process is all correlation needs.
+		binary.BigEndian.PutUint64(b[:], uint64(now().UnixNano())^ids.Add(1)<<32)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// wallMicros renders a wall-clock instant as Unix microseconds, the
+// timestamp unit span events carry in Event.Cycle.
+func wallMicros(t time.Time) float64 { return float64(t.UnixMicro()) }
+
+// Root opens a root span emitting to tracer and returns a context
+// carrying it. requestID (optionally empty) correlates the span tree
+// with HTTP access logs and the X-Request-Id response header; it is
+// recorded as a "req=" attribute on the begin event and inherited by
+// every descendant. A nil tracer returns (ctx, nil): spans only exist
+// where something can observe them.
+func Root(ctx context.Context, tracer obs.Tracer, name, requestID string, attrs ...string) (context.Context, *Span) {
+	if tracer == nil {
+		return ctx, nil
+	}
+	s := begin(tracer, 0, name, requestID, attrs)
+	return NewContext(ctx, s), s
+}
+
+// Start opens a child of the span carried by ctx, inheriting its tracer
+// and request ID, and returns a context carrying the child. When ctx
+// carries no span it returns (ctx, nil) — the caller's End becomes a
+// no-op and nothing is emitted.
+func Start(ctx context.Context, name string, attrs ...string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := begin(parent.tracer, parent.id, name, parent.reqID, attrs)
+	return NewContext(ctx, s), s
+}
+
+// begin allocates a span and emits its begin event.
+func begin(tracer obs.Tracer, parent uint64, name, reqID string, attrs []string) *Span {
+	s := &Span{
+		id:     ids.Add(1),
+		parent: parent,
+		name:   name,
+		reqID:  reqID,
+		start:  now(),
+		tracer: tracer,
+	}
+	detail := renderAttrs(reqID, attrs)
+	s.tracer.Emit(obs.Event{
+		Kind:   obs.KindSpanBegin,
+		Cycle:  wallMicros(s.start),
+		Unit:   name,
+		Detail: detail,
+		Count:  s.id,
+		Value:  float64(parent),
+	})
+	return s
+}
+
+// renderAttrs joins the request id and "k=v" attribute strings into the
+// begin event's Detail field.
+func renderAttrs(reqID string, attrs []string) string {
+	parts := make([]string, 0, len(attrs)+1)
+	if reqID != "" {
+		parts = append(parts, "req="+reqID)
+	}
+	parts = append(parts, attrs...)
+	return strings.Join(parts, " ")
+}
+
+// ID returns the span's identifier (0 for nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// RequestID returns the request identifier the span tree was rooted
+// with ("" for nil or untagged roots).
+func (s *Span) RequestID() string {
+	if s == nil {
+		return ""
+	}
+	return s.reqID
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// End closes the span, emitting its end event. Safe on nil and
+// idempotent: only the first End/EndErr emits.
+func (s *Span) End() { s.end("") }
+
+// EndErr closes the span recording the outcome: a non-nil err lands in
+// the end event's Detail as "error=<msg>".
+func (s *Span) EndErr(err error) {
+	if err != nil {
+		s.end("error=" + err.Error())
+		return
+	}
+	s.end("")
+}
+
+func (s *Span) end(detail string) {
+	if s == nil || s.ended.Swap(true) {
+		return
+	}
+	t := now()
+	s.tracer.Emit(obs.Event{
+		Kind:   obs.KindSpanEnd,
+		Cycle:  wallMicros(t),
+		Unit:   s.name,
+		Detail: detail,
+		Count:  s.id,
+		Value:  float64(t.Sub(s.start)) / float64(time.Microsecond),
+	})
+}

@@ -1,0 +1,199 @@
+package span
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"powerchop/internal/obs"
+)
+
+// capture is a tracer that retains every event.
+type capture struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (c *capture) Emit(e obs.Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+func (c *capture) all() []obs.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]obs.Event(nil), c.events...)
+}
+
+// fixClock pins the span clock to a deterministic sequence advancing by
+// step per call, restoring the real clock on cleanup.
+func fixClock(t *testing.T, start time.Time, step time.Duration) {
+	t.Helper()
+	var mu sync.Mutex
+	cur := start
+	now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		v := cur
+		cur = cur.Add(step)
+		return v
+	}
+	t.Cleanup(func() { now = time.Now })
+}
+
+func TestRootAndChildLifecycle(t *testing.T) {
+	fixClock(t, time.UnixMicro(1_000_000), 250*time.Microsecond)
+	var c capture
+
+	ctx, root := Root(context.Background(), &c, "request", "abc123", "method=GET")
+	if root == nil {
+		t.Fatal("Root with live tracer returned nil span")
+	}
+	childCtx, child := Start(ctx, "benchmark", "bench=namd")
+	if child == nil {
+		t.Fatal("Start under a root returned nil span")
+	}
+	_, grand := Start(childCtx, "sim")
+	grand.End()
+	child.End()
+	root.End()
+
+	ev := c.all()
+	if len(ev) != 6 {
+		t.Fatalf("expected 6 events (3 begin + 3 end), got %d: %+v", len(ev), ev)
+	}
+
+	// Begin events, in creation order.
+	begins := map[string]obs.Event{}
+	ends := map[string]obs.Event{}
+	for _, e := range ev {
+		switch e.Kind {
+		case obs.KindSpanBegin:
+			begins[e.Unit] = e
+		case obs.KindSpanEnd:
+			ends[e.Unit] = e
+		default:
+			t.Fatalf("unexpected kind %v", e.Kind)
+		}
+	}
+
+	rb, bb, sb := begins["request"], begins["benchmark"], begins["sim"]
+	if rb.Value != 0 {
+		t.Errorf("root parent = %v, want 0", rb.Value)
+	}
+	if bb.Value != float64(rb.Count) {
+		t.Errorf("benchmark parent = %v, want root id %d", bb.Value, rb.Count)
+	}
+	if sb.Value != float64(bb.Count) {
+		t.Errorf("sim parent = %v, want benchmark id %d", sb.Value, bb.Count)
+	}
+	if !strings.Contains(rb.Detail, "req=abc123") || !strings.Contains(rb.Detail, "method=GET") {
+		t.Errorf("root detail %q missing request id or attrs", rb.Detail)
+	}
+	if !strings.Contains(bb.Detail, "req=abc123") {
+		t.Errorf("child detail %q did not inherit request id", bb.Detail)
+	}
+	if child.RequestID() != "abc123" || grand.RequestID() != "abc123" {
+		t.Error("descendants did not inherit request ID")
+	}
+
+	// Timestamps are wall-clock Unix microseconds from the pinned clock.
+	if rb.Cycle != 1_000_000 {
+		t.Errorf("root begin cycle = %v, want 1000000", rb.Cycle)
+	}
+	// Ends carry matching IDs and positive durations.
+	for name, b := range begins {
+		e, ok := ends[name]
+		if !ok {
+			t.Fatalf("span %q never ended", name)
+		}
+		if e.Count != b.Count {
+			t.Errorf("span %q end id %d != begin id %d", name, e.Count, b.Count)
+		}
+		if e.Value <= 0 {
+			t.Errorf("span %q duration %v, want > 0", name, e.Value)
+		}
+		if e.Cycle <= b.Cycle {
+			t.Errorf("span %q end cycle %v not after begin %v", name, e.Cycle, b.Cycle)
+		}
+	}
+}
+
+func TestNilTracerAndNilSpanAreNoOps(t *testing.T) {
+	ctx, s := Root(context.Background(), nil, "request", "id")
+	if s != nil {
+		t.Fatal("Root with nil tracer should return nil span")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("nil span must not be stored in context")
+	}
+	// Children of nothing are nothing; all methods tolerate nil.
+	ctx2, child := Start(ctx, "benchmark")
+	if child != nil {
+		t.Fatal("Start without a parent should return nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start without a parent should return ctx unchanged")
+	}
+	child.End()
+	child.EndErr(errors.New("x"))
+	if child.ID() != 0 || child.RequestID() != "" || child.Name() != "" {
+		t.Fatal("nil span accessors must return zero values")
+	}
+	s.End() // nil root
+}
+
+func TestEndIdempotentAndErrorDetail(t *testing.T) {
+	var c capture
+	_, s := Root(context.Background(), &c, "request", "")
+	s.EndErr(errors.New("boom"))
+	s.End()
+	s.EndErr(errors.New("again"))
+
+	ev := c.all()
+	if len(ev) != 2 {
+		t.Fatalf("expected exactly begin+end, got %d events", len(ev))
+	}
+	end := ev[1]
+	if end.Kind != obs.KindSpanEnd {
+		t.Fatalf("second event kind = %v, want span-end", end.Kind)
+	}
+	if end.Detail != "error=boom" {
+		t.Errorf("end detail = %q, want error=boom", end.Detail)
+	}
+	// Empty request ID leaves Detail on begin bare.
+	if ev[0].Detail != "" {
+		t.Errorf("begin detail = %q, want empty for untagged root", ev[0].Detail)
+	}
+}
+
+func TestStampedPassesSpansThrough(t *testing.T) {
+	// Span events routed through the simulator's Stamped wrapper must
+	// keep their wall-clock timestamps.
+	var c capture
+	tr := obs.Stamped(&c, func() (float64, uint64) { return 42, 7 })
+	_, s := Root(context.Background(), tr, "sim", "")
+	s.End()
+	for _, e := range c.all() {
+		if e.Cycle == 42 || e.Window == 7 {
+			t.Fatalf("span event got sim-clock stamped: %+v", e)
+		}
+		if e.Cycle < 1e12 {
+			t.Fatalf("span event cycle %v is not wall-clock microseconds", e.Cycle)
+		}
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("request IDs %q/%q are not 16 hex chars", a, b)
+	}
+	if a == b {
+		t.Fatal("consecutive request IDs collided")
+	}
+}

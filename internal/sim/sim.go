@@ -22,7 +22,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 
 	"powerchop/internal/arch"
 	"powerchop/internal/bt"
@@ -30,6 +32,7 @@ import (
 	"powerchop/internal/core"
 	"powerchop/internal/obs"
 	"powerchop/internal/obs/audit"
+	"powerchop/internal/obs/span"
 	"powerchop/internal/phase"
 	"powerchop/internal/power"
 	"powerchop/internal/program"
@@ -38,6 +41,12 @@ import (
 
 // Config parameterizes one simulation run.
 type Config struct {
+	// Context, when non-nil, carries request-scoped observability: if it
+	// holds a span (internal/obs/span), Run executes under a "sim" child
+	// span recording the run's wall-clock duration. The simulation itself
+	// never consults the context — runs are not cancellable mid-flight
+	// and their results never depend on it.
+	Context context.Context
 	// Design is the processor design point.
 	Design arch.Design
 	// Manager is the power manager under test.
@@ -217,12 +226,18 @@ func (r *Result) MispredictRate() float64 {
 
 // Run executes the program under the configuration and returns the
 // measurements.
-func Run(p *program.Program, cfg Config) (*Result, error) {
+func Run(p *program.Program, cfg Config) (res *Result, err error) {
 	if cfg.Phase == (phase.Config{}) {
 		cfg.Phase = phase.DefaultConfig()
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Context != nil {
+		// The span observes the run; it charges no simulated cycles.
+		_, sp := span.Start(cfg.Context, "sim",
+			"bench="+p.Name, "translations="+strconv.FormatUint(cfg.MaxTranslations, 10))
+		defer func() { sp.EndErr(err) }()
 	}
 	s, err := newEngine(p, cfg)
 	if err != nil {

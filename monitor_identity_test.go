@@ -4,21 +4,46 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"powerchop/internal/obs"
+	"powerchop/internal/obs/runlog"
 	"powerchop/internal/obs/serve"
+	"powerchop/internal/obs/span"
 )
 
+// lockedWriter serializes concurrent access-log writes from handler
+// goroutines.
+type lockedWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *lockedWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
 // TestMonitorAttachedByteIdentical is the live-monitoring determinism
-// gate: rendering the full figure set with a monitor attached — metrics
-// collector, progress board and one live SSE client — must be
-// byte-identical to an unobserved render. Observation is pure; it may
-// never perturb simulation results.
+// gate: rendering the full figure set with the whole observability layer
+// attached — metrics collector, progress board, one live SSE client,
+// request spans, a run-history store, and structured access logging —
+// must be byte-identical to an unobserved render. Observation is pure;
+// it may never perturb simulation results.
 func TestMonitorAttachedByteIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full figure renders are slow; skipped with -short")
@@ -35,6 +60,10 @@ func TestMonitorAttachedByteIdentical(t *testing.T) {
 
 	collector := obs.NewCollector()
 	mon := serve.NewMonitor(collector.Registry())
+	access := &lockedWriter{}
+	mon.SetAccessLog(slog.New(slog.NewJSONHandler(access, nil)))
+	store := runlog.Memory()
+	mon.SetRunLog(store)
 	if err := mon.Start("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
@@ -78,11 +107,23 @@ func TestMonitorAttachedByteIdentical(t *testing.T) {
 			Err:          p.Err,
 		})
 	}
+	tracer := obs.Multi(collector, mon.Hub())
 	observed := NewFigureRunner(0.02, WithJobs(4),
-		WithTracer(obs.Multi(collector, mon.Hub())),
+		WithTracer(tracer),
 		WithProgress(progress))
+	// The render runs under a root span, so every sweep, benchmark and
+	// sim span rides the same event stream the SSE client is draining.
+	reqID := span.NewRequestID()
+	ctx, root := span.Root(context.Background(), tracer, "request", reqID, "route=test")
 	var live bytes.Buffer
-	if err := observed.RenderAll(&live); err != nil {
+	renderErr := observed.RenderAllContext(ctx, &live)
+	root.EndErr(renderErr)
+	if renderErr != nil {
+		t.Fatal(renderErr)
+	}
+	if err := store.Append(runlog.Record{
+		Kind: "all", Name: "all", SpanID: root.ID(), RequestID: reqID,
+	}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -109,6 +150,24 @@ func TestMonitorAttachedByteIdentical(t *testing.T) {
 	prog := getBody(t, base+"/progress")
 	if !bytes.Contains(prog, []byte(`"`+serve.StateDone+`"`)) {
 		t.Errorf("/progress has no completed runs:\n%s", prog)
+	}
+
+	// The run history lists the render, correlated by span and request ID.
+	var runsDoc struct {
+		Runs []runlog.Record `json:"runs"`
+	}
+	if err := json.Unmarshal(getBody(t, base+"/api/runs"), &runsDoc); err != nil {
+		t.Fatalf("/api/runs not JSON: %v", err)
+	}
+	if len(runsDoc.Runs) != 1 || runsDoc.Runs[0].SpanID != root.ID() || runsDoc.Runs[0].RequestID != reqID {
+		t.Errorf("/api/runs after render: %+v", runsDoc.Runs)
+	}
+
+	// Every scrape above left a structured access-log line carrying its
+	// request ID.
+	if !strings.Contains(access.String(), `"msg":"request"`) ||
+		!strings.Contains(access.String(), `"request_id"`) {
+		t.Errorf("access log missing request lines:\n%s", access.String())
 	}
 
 	stopClient()

@@ -25,6 +25,7 @@
 package powerchop
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -35,6 +36,7 @@ import (
 	"powerchop/internal/core"
 	"powerchop/internal/obs"
 	"powerchop/internal/obs/audit"
+	"powerchop/internal/obs/span"
 	"powerchop/internal/program"
 	"powerchop/internal/rescache"
 	"powerchop/internal/sim"
@@ -469,6 +471,14 @@ func designFor(o Options, b workload.Benchmark) (arch.Design, error) {
 
 // Run simulates the named benchmark under the options.
 func Run(benchmark string, opts Options) (*Report, error) {
+	return RunContext(context.Background(), benchmark, opts)
+}
+
+// RunContext is Run under a context. When ctx carries a span
+// (internal/obs/span) the run executes under a "benchmark" child span
+// and the simulation beneath a "sim" span — pure observation; the
+// Report is byte-identical regardless of ctx.
+func RunContext(ctx context.Context, benchmark string, opts Options) (*Report, error) {
 	b, err := workload.ByName(benchmark)
 	if err != nil {
 		return nil, err
@@ -477,11 +487,18 @@ func Run(benchmark string, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runProgram(p, b, opts)
+	return runProgram(ctx, p, b, opts)
 }
 
 // runProgram executes a built program and converts the result.
-func runProgram(p *program.Program, b workload.Benchmark, opts Options) (*Report, error) {
+func runProgram(ctx context.Context, p *program.Program, b workload.Benchmark, opts Options) (rep *Report, err error) {
+	manager := opts.Manager
+	if manager == "" {
+		manager = ManagerPowerChop
+	}
+	ctx, sp := span.Start(ctx, "benchmark",
+		"bench="+b.Name, "manager="+manager)
+	defer func() { sp.EndErr(err) }()
 	m, err := buildManager(opts)
 	if err != nil {
 		return nil, err
@@ -504,6 +521,7 @@ func runProgram(p *program.Program, b workload.Benchmark, opts Options) (*Report
 		sinks = append(sinks, opts.Tracer)
 	}
 	cfg := sim.Config{
+		Context:         ctx,
 		Design:          design,
 		Manager:         m,
 		MaxTranslations: uint64(passes * float64(p.TotalScheduleTranslations())),

@@ -1,6 +1,7 @@
 package powerchop
 
 import (
+	"context"
 	"fmt"
 
 	"powerchop/internal/isa"
@@ -174,5 +175,5 @@ func RunWorkload(w *Workload, opts Options) (*Report, error) {
 	if opts.Arch == ArchAuto {
 		opts.Arch = ArchServer
 	}
-	return runProgram(p, workload.Benchmark{Name: w.Name, Suite: "custom"}, opts)
+	return runProgram(context.Background(), p, workload.Benchmark{Name: w.Name, Suite: "custom"}, opts)
 }
