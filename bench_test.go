@@ -688,3 +688,40 @@ func benchmarkRenderAll(b *testing.B, jobs int) {
 		}
 	}
 }
+
+// BenchmarkTune measures a tuner sweep (timeout policy, 5-point grid
+// over gobmk) cold — populating a fresh result cache — and then warm,
+// where every grid point and the baseline serve from the cache. The
+// warm/cold ratio is attached as a metric, mirroring BenchmarkWarmCache.
+func BenchmarkTune(b *testing.B) {
+	cache := rescache.New(b.TempDir(), nil)
+	opts := TuneOptions{
+		Policy:     ManagerTimeout,
+		Benchmarks: []string{"gobmk"},
+		Grid:       map[string][]float64{"idle-cycles": {5000, 10000, 20000, 40000, 80000}},
+		Options:    Options{Passes: 0.5, Cache: cache},
+	}
+	start := time.Now()
+	res, err := Tune(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cold := time.Since(start)
+	if len(res.Frontier) == 0 {
+		b.Fatal("empty Pareto frontier")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Tune(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := cache.Stats(); st.Hits == 0 {
+		b.Fatal("warm sweeps hit nothing")
+	}
+	warm := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(float64(len(res.Points)), "grid-points")
+	b.ReportMetric(cold.Seconds(), "cold-s")
+	b.ReportMetric(100*warm.Seconds()/cold.Seconds(), "%of-cold")
+}

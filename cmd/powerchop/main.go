@@ -6,8 +6,10 @@
 // Usage:
 //
 //	powerchop list
-//	powerchop run -bench gobmk [-manager powerchop|full-power|min-power|timeout] [-arch server|mobile] [-passes 2] [-trace out.jsonl] [-metrics] [-http :8080] [-cache DIR]
+//	powerchop policies [-json]
+//	powerchop run -bench gobmk [-manager NAME] [-param K=V] [-arch server|mobile] [-passes 2] [-trace out.jsonl] [-metrics] [-http :8080] [-cache DIR]
 //	powerchop compare -bench namd [-passes 2] [-cache DIR]
+//	powerchop tune -policy powerchop [-bench gobmk,namd] [-grid vpu=0.001:0.02:4] [-jobs N] [-json] [-cache DIR]
 //	powerchop explain -bench gobmk [-manager M] [-arch A] [-top 20] [-json]
 //	powerchop trace [-top 20] out.jsonl
 //	powerchop trace timeline [-last 40] out.jsonl
@@ -38,6 +40,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"powerchop"
@@ -47,6 +51,27 @@ import (
 	"powerchop/internal/power"
 	"powerchop/internal/rescache"
 )
+
+// paramFlag parses repeatable -param NAME=VALUE policy parameters.
+type paramFlag map[string]float64
+
+func (p paramFlag) String() string { return "" }
+
+func (p *paramFlag) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want NAME=VALUE, got %q", s)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad value in %q: %v", s, err)
+	}
+	if *p == nil {
+		*p = paramFlag{}
+	}
+	(*p)[name] = v
+	return nil
+}
 
 // openCache validates dir — creating it if needed, so a bad path fails
 // before any simulation time is spent — and opens a result cache whose
@@ -114,6 +139,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdServe(args[1:], stderr)
 	case "runs":
 		err = cmdRuns(args[1:], stdout)
+	case "policies":
+		err = cmdPolicies(args[1:], stdout)
+	case "tune":
+		err = cmdTune(args[1:], stdout)
 	case "help", "-h", "--help":
 		usage(stdout)
 		return 0
@@ -156,6 +185,8 @@ commands:
   headline [-scale F] [-jobs N]        per-suite slowdown/power/energy summary
   serve [-addr :8080] [-scale F] [-trace FILE] [-cache DIR]  standing monitor + figure API
   runs [list|show|tail] [-cache DIR] [-kind K] [-name N] [-json]  browse the run history
+  policies [-json]              list registered gating policies and parameter schemas
+  tune -policy NAME [-bench B1,B2] [-grid P=LO:HI:N] [-jobs N] [-json]  Pareto sweep
 
 run, figure, all and headline accept -http ADDR to expose a live monitor
 for the duration of the command: /metrics (Prometheus), /progress (JSON),
@@ -168,6 +199,7 @@ with a cache directory also journal a run-history record there, readable
 with 'powerchop runs' or GET /api/runs on a serve monitor.
 `)
 	fmt.Fprintf(w, "\nfigure ids: %v\n", powerchop.FigureIDs())
+	fmt.Fprintf(w, "managers (run -manager, see 'powerchop policies'): %v\n", powerchop.PolicyNames())
 }
 
 func cmdList() error {
@@ -195,7 +227,10 @@ type runArgs struct {
 func runFlags(args []string) (runArgs, error) {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	bench := fs.String("bench", "", "benchmark name (see 'powerchop list')")
-	manager := fs.String("manager", powerchop.ManagerPowerChop, "power manager")
+	manager := fs.String("manager", powerchop.ManagerPowerChop,
+		"power manager ("+strings.Join(powerchop.PolicyNames(), "|")+")")
+	var params paramFlag
+	fs.Var(&params, "param", "policy parameter NAME=VALUE (repeatable; see 'powerchop policies')")
 	archName := fs.String("arch", "", "design point (server|mobile; default per suite)")
 	passes := fs.Float64("passes", 2, "passes over the phase schedule")
 	sample := fs.Uint64("sample", 0, "sample interval in instructions (0 = off)")
@@ -215,6 +250,7 @@ func runFlags(args []string) (runArgs, error) {
 		opts: powerchop.Options{
 			Arch:           *archName,
 			Manager:        *manager,
+			Params:         params,
 			Passes:         *passes,
 			SampleInterval: *sample,
 			Metrics:        *metrics,

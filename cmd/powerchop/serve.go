@@ -158,6 +158,7 @@ func (a *apiRecorder) begin(r *http.Request, kind, name, params string) func(err
 // mountAPI adds the serve subcommand's /api tree to the monitor's mux:
 //
 //	GET /api/benchmarks      benchmark names and suites
+//	GET /api/policies        registered gating policies and parameter schemas
 //	GET /api/figures         figure ids and titles
 //	GET /api/figure?id=ID    render one figure (text; simulates on demand)
 //	GET /api/headline        per-suite headline averages (JSON)
@@ -188,6 +189,9 @@ func mountAPI(l *liveMonitor, runner *powerchop.FigureRunner, rec *apiRecorder) 
 			out = append(out, bench{Name: name, Suite: suite})
 		}
 		writeJSON(w, out)
+	})
+	mount("GET /api/policies", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, powerchop.Policies())
 	})
 	mount("GET /api/figures", func(w http.ResponseWriter, r *http.Request) {
 		type fig struct {

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"powerchop"
+)
+
+// cmdPolicies lists the registered gating policies with their parameter
+// schemas and defaults.
+func cmdPolicies(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("policies", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit the policy list as JSON")
+	if err := fs.Parse(args); err != nil {
+		return errParse(err)
+	}
+	infos := powerchop.Policies()
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(infos)
+	}
+	for _, p := range infos {
+		fmt.Fprintf(stdout, "%-12s %s\n", p.Name, p.Description)
+		for _, prm := range p.Params {
+			fmt.Fprintf(stdout, "    %-16s %s (default %g, range [%g, %g])\n",
+				prm.Name, prm.Description, prm.Default, prm.Min, prm.Max)
+		}
+	}
+	return nil
+}
+
+// gridFlag parses repeatable -grid PARAM=LO:HI:STEPS or PARAM=V1,V2,...
+// entries into per-parameter value lists.
+type gridFlag map[string][]float64
+
+func (g gridFlag) String() string { return "" }
+
+func (g *gridFlag) Set(s string) error {
+	name, spec, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want PARAM=LO:HI:STEPS or PARAM=V1,V2,..., got %q", s)
+	}
+	var vals []float64
+	if parts := strings.Split(spec, ":"); len(parts) == 3 {
+		lo, err1 := strconv.ParseFloat(parts[0], 64)
+		hi, err2 := strconv.ParseFloat(parts[1], 64)
+		steps, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil || steps < 1 {
+			return fmt.Errorf("bad range %q (want LO:HI:STEPS)", spec)
+		}
+		if steps == 1 {
+			vals = []float64{lo}
+		} else {
+			for i := 0; i < steps; i++ {
+				vals = append(vals, lo+(hi-lo)*float64(i)/float64(steps-1))
+			}
+		}
+	} else {
+		for _, p := range strings.Split(spec, ",") {
+			v, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				return fmt.Errorf("bad value %q in %q", p, s)
+			}
+			vals = append(vals, v)
+		}
+	}
+	if *g == nil {
+		*g = gridFlag{}
+	}
+	(*g)[name] = vals
+	return nil
+}
+
+// cmdTune sweeps a policy's parameter grid and prints the Pareto
+// frontier of energy saved vs slowdown.
+func cmdTune(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tune", flag.ContinueOnError)
+	policyName := fs.String("policy", "", "policy to sweep (see 'powerchop policies')")
+	bench := fs.String("bench", "gobmk", "comma-separated benchmarks averaged over")
+	archName := fs.String("arch", "", "design point (server|mobile; default per suite)")
+	passes := fs.Float64("passes", 2, "passes over the phase schedule")
+	jobs := fs.Int("jobs", 0, "max concurrent runs (0/1 = serial)")
+	asJSON := fs.Bool("json", false, "emit the sweep result as JSON")
+	cacheDir := fs.String("cache", os.Getenv("POWERCHOP_CACHE"), "persistent result cache directory (default $POWERCHOP_CACHE)")
+	var grid gridFlag
+	fs.Var(&grid, "grid", "parameter grid PARAM=LO:HI:STEPS or PARAM=V1,V2,... (repeatable; default half/default/double per parameter)")
+	if err := fs.Parse(args); err != nil {
+		return errParse(err)
+	}
+	if *policyName == "" {
+		return usageError{msg: fmt.Sprintf("missing -policy (known: %v)", powerchop.PolicyNames())}
+	}
+	cache, err := openCache(*cacheDir, nil)
+	if err != nil {
+		return err
+	}
+	opts := powerchop.TuneOptions{
+		Policy:     *policyName,
+		Benchmarks: strings.Split(*bench, ","),
+		Grid:       grid,
+		Options: powerchop.Options{
+			Arch:        *archName,
+			Passes:      *passes,
+			Parallelism: *jobs,
+			Cache:       cache,
+		},
+	}
+	start := time.Now()
+	res, err := powerchop.Tune(opts)
+	recordHistory(*cacheDir, "tune", *policyName,
+		fmt.Sprintf("bench=%s passes=%g", *bench, *passes), start, cache, err)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Fprint(stdout, res.Render())
+	return nil
+}

@@ -184,6 +184,10 @@ var figureSpecs = []figureSpec{
 		r, err := experiments.PerUnit(ctx, f.runner, workload.All())
 		return renderOf(r, err)
 	}},
+	{"policyzoo", "Policy zoo: energy saved vs slowdown per policy", func(ctx context.Context, f *FigureRunner) (string, error) {
+		r, err := experiments.PolicyZoo(ctx, f.runner)
+		return renderOf(r, err)
+	}},
 }
 
 // renderer is anything with a Render method.

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"powerchop/internal/pvt"
+)
+
+// AgileWattsConfig parameterizes the hierarchical idle-state manager.
+type AgileWattsConfig struct {
+	// VPUIdleRatio is the SIMD-instruction fraction at or below which a
+	// window counts as VPU-idle.
+	VPUIdleRatio float64
+	// BPUIdleRatio is the misprediction rate at or below which a window
+	// counts as BPU-idle (a well-predicted stream doesn't need the large
+	// predictor).
+	BPUIdleRatio float64
+	// MLCIdleRatio is the L2-hits-per-instruction fraction at or below
+	// which a window counts as MLC-idle.
+	MLCIdleRatio float64
+	// ShallowAfter and DeepAfter are the consecutive-idle-window counts
+	// that promote a unit into its shallow and deep states.
+	ShallowAfter int
+	DeepAfter    int
+	// VPUShallow/VPUDeep and BPUShallow/BPUDeep describe the two gated
+	// states per unit. The MLC's hierarchy is the existing three-state
+	// way gating (all → half → one).
+	VPUShallow, VPUDeep IdleState
+	BPUShallow, BPUDeep IdleState
+}
+
+// DefaultAgileWattsConfig returns the default state ladder. The deep VPU
+// state is the classic full gate (register-file save/restore priced by
+// the design's SaveRestoreCycles on top of these extras); the shallow
+// states are clock-gate-like — most leakage retained, transitions nearly
+// free.
+func DefaultAgileWattsConfig() AgileWattsConfig {
+	return AgileWattsConfig{
+		VPUIdleRatio: 0.001,
+		BPUIdleRatio: 0.005,
+		MLCIdleRatio: 0.005,
+		ShallowAfter: 2,
+		DeepAfter:    8,
+		VPUShallow:   IdleState{PowerFrac: 0.3, EntryCycles: 10, ExitCycles: 20},
+		VPUDeep:      IdleState{PowerFrac: 0, EntryCycles: 500, ExitCycles: 500},
+		BPUShallow:   IdleState{PowerFrac: 0.4, EntryCycles: 5, ExitCycles: 10},
+		BPUDeep:      IdleState{PowerFrac: 0.1, EntryCycles: 20, ExitCycles: 20},
+	}
+}
+
+// AgileWatts is a hierarchical idle-state manager in the style of
+// AgileWatts: instead of a single gated state per unit, each unit
+// descends a ladder of idle states — shallow states are cheap to enter
+// and leave but retain much of the unit's leakage, deep states cut
+// power hard but charge expensive transitions. A unit is promoted one
+// rung after a configured number of consecutive idle windows and woken
+// (to full power, resetting its counter) by the first active window, so
+// bursty workloads pay only shallow transition costs while long idle
+// stretches reach the deep states' savings.
+type AgileWatts struct {
+	cfg AgileWattsConfig
+
+	vpuIdle int
+	bpuIdle int
+	mlcIdle int
+}
+
+// NewAgileWatts builds the manager.
+func NewAgileWatts(cfg AgileWattsConfig) (*AgileWatts, error) {
+	for _, r := range []float64{cfg.VPUIdleRatio, cfg.BPUIdleRatio, cfg.MLCIdleRatio} {
+		if r < 0 || r > 1 {
+			return nil, fmt.Errorf("core: agilewatts idle ratio %v", r)
+		}
+	}
+	if cfg.ShallowAfter < 1 || cfg.DeepAfter < cfg.ShallowAfter {
+		return nil, fmt.Errorf("core: agilewatts promotion ladder shallow=%d deep=%d",
+			cfg.ShallowAfter, cfg.DeepAfter)
+	}
+	for _, st := range []IdleState{cfg.VPUShallow, cfg.VPUDeep, cfg.BPUShallow, cfg.BPUDeep} {
+		if st.PowerFrac < 0 || st.PowerFrac > 1 || st.EntryCycles < 0 || st.ExitCycles < 0 {
+			return nil, fmt.Errorf("core: agilewatts idle state %+v", st)
+		}
+	}
+	return &AgileWatts{cfg: cfg}, nil
+}
+
+// Name implements Manager.
+func (a *AgileWatts) Name() string { return "agilewatts" }
+
+// Boot implements Manager: fully powered, counters at zero.
+func (a *AgileWatts) Boot() Directive { return Directive{Policy: pvt.FullOn} }
+
+// WindowEnd implements Manager: classify the window per unit, advance
+// or reset each idle counter, and emit the ladder rung each unit has
+// earned.
+func (a *AgileWatts) WindowEnd(r WindowReport) Directive {
+	p := r.Profile
+	insns := float64(p.TotalInsns)
+	if insns <= 0 {
+		// Nothing retired (pure interpretation): not evidence of
+		// idleness, hold every counter where it is.
+		return a.directive()
+	}
+
+	if float64(p.SIMDInsns)/insns <= a.cfg.VPUIdleRatio {
+		a.vpuIdle++
+	} else {
+		a.vpuIdle = 0
+	}
+
+	mispredRate := 0.0
+	if p.Branches > 0 {
+		mispredRate = float64(p.Mispredicts) / float64(p.Branches)
+	}
+	if mispredRate <= a.cfg.BPUIdleRatio {
+		a.bpuIdle++
+	} else {
+		a.bpuIdle = 0
+	}
+
+	if float64(p.L2Hits)/insns <= a.cfg.MLCIdleRatio {
+		a.mlcIdle++
+	} else {
+		a.mlcIdle = 0
+	}
+
+	return a.directive()
+}
+
+// directive maps the three idle counters onto a policy plus idle-state
+// descriptors. The descriptors point at the config's own structs —
+// stable for the run, no per-window allocation.
+func (a *AgileWatts) directive() Directive {
+	d := Directive{Policy: pvt.FullOn}
+	switch {
+	case a.vpuIdle >= a.cfg.DeepAfter:
+		d.Policy.VPUOn = false
+		d.VPUIdle = &a.cfg.VPUDeep
+	case a.vpuIdle >= a.cfg.ShallowAfter:
+		d.Policy.VPUOn = false
+		d.VPUIdle = &a.cfg.VPUShallow
+	}
+	switch {
+	case a.bpuIdle >= a.cfg.DeepAfter:
+		d.Policy.BPUOn = false
+		d.BPUIdle = &a.cfg.BPUDeep
+	case a.bpuIdle >= a.cfg.ShallowAfter:
+		d.Policy.BPUOn = false
+		d.BPUIdle = &a.cfg.BPUShallow
+	}
+	switch {
+	case a.mlcIdle >= a.cfg.DeepAfter:
+		d.Policy.MLC = pvt.MLCOne
+	case a.mlcIdle >= a.cfg.ShallowAfter:
+		d.Policy.MLC = pvt.MLCHalf
+	}
+	return d
+}

@@ -32,6 +32,21 @@ type WindowReport struct {
 	Cycle float64
 }
 
+// IdleState describes one hierarchical gated state for a unit: the
+// fraction of the unit left powered while resident, and the extra stall
+// cycles (beyond the unit's base gate-switch stall) charged on entry
+// and exit. Shallow states retain state — cheap to enter and leave but
+// leaky; deep states cut power further at the price of expensive
+// transitions (the VPU's register-file save/restore).
+type IdleState struct {
+	// PowerFrac is the fraction of the unit's circuits left powered.
+	PowerFrac float64
+	// EntryCycles and ExitCycles are the extra transition stalls.
+	EntryCycles float64
+	// ExitCycles is charged when waking from this state.
+	ExitCycles float64
+}
+
 // Directive is a manager's instruction to the core for the next window.
 type Directive struct {
 	// Policy is the gating policy to apply.
@@ -45,6 +60,15 @@ type Directive struct {
 	// penalties) on the next vector operation. Policy.VPUOn is then the
 	// boot state only.
 	VPUTimeout float64
+	// VPUIdle and BPUIdle, when non-nil, select hierarchical idle-state
+	// semantics for a gated unit: Policy's off bit sends the unit to the
+	// described state instead of the classic fully-gated one. Managers
+	// promote a unit shallow→deep by returning a deeper descriptor in a
+	// later window. Nil keeps the classic single-level gating, whose
+	// simulation path is untouched. (The MLC's hierarchy is the existing
+	// three-state way gating carried in Policy.MLC.)
+	VPUIdle *IdleState
+	BPUIdle *IdleState
 }
 
 // Manager decides unit power states at window granularity.

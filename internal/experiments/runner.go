@@ -17,6 +17,7 @@ import (
 	"powerchop/internal/core"
 	"powerchop/internal/obs"
 	"powerchop/internal/obs/span"
+	"powerchop/internal/policy"
 	"powerchop/internal/program"
 	"powerchop/internal/pvt"
 	"powerchop/internal/rescache"
@@ -141,17 +142,19 @@ func (r *Runner) runLength(schedule int) uint64 {
 }
 
 // manager constructs a fresh manager of the kind (managers are stateful
-// and must not be shared across runs).
+// and must not be shared across runs). The base kinds resolve through
+// the policy registry at default parameters — the registry is the
+// single source of manager construction — while the study-only kinds
+// (forced unit states, per-unit PowerChop isolation) keep their local
+// wiring: they are experiment configurations, not selectable policies.
 func manager(kind Kind) (core.Manager, error) {
 	switch kind {
-	case KindFullPower:
-		return core.AlwaysOn(), nil
-	case KindPowerChop:
-		return core.NewPowerChop(core.DefaultConfig())
-	case KindMinPower:
-		return core.MinPower(), nil
-	case KindTimeout:
-		return core.NewTimeoutVPU(core.DefaultTimeoutCycles)
+	case KindFullPower, KindPowerChop, KindMinPower, KindTimeout:
+		spec, ok := policy.Lookup(string(kind))
+		if !ok {
+			return nil, fmt.Errorf("experiments: kind %q not in policy registry", kind)
+		}
+		return spec.Manager(nil)
 	case KindSmallBPU:
 		p := core.AlwaysOn().Policy
 		p.BPUOn = false
@@ -180,6 +183,53 @@ func designFor(b workload.Benchmark) arch.Design {
 	return arch.Server()
 }
 
+// runSpec describes one run configuration beyond the benchmark: how to
+// build the manager, how the run keys into the memo and persistent
+// caches, and how it is labeled in progress reports and spans.
+type runSpec struct {
+	// label identifies the configuration in progress updates and spans.
+	label Kind
+	// managerKey is the persistent-cache Manager field (the kind string
+	// for the fixed kinds, the policy fingerprint for policy runs).
+	managerKey string
+	// quality enables translation-quality tracking on unsampled runs
+	// (the canonical PowerChop runs feed the quality figure).
+	quality bool
+	// build constructs a fresh manager (managers are stateful and must
+	// not be shared across runs).
+	build func() (core.Manager, error)
+}
+
+// kindRun is the runSpec of a fixed experiment kind.
+func kindRun(kind Kind) runSpec {
+	return runSpec{
+		label:      kind,
+		managerKey: string(kind),
+		quality:    kind == KindPowerChop,
+		build:      func() (core.Manager, error) { return manager(kind) },
+	}
+}
+
+// policyRun is the runSpec of a registered policy at a parameter
+// assignment. The memo and persistent-cache keys are the policy
+// fingerprint, so two sweeps of the same grid share entries exactly.
+func policyRun(name string, params policy.Params) (runSpec, error) {
+	spec, ok := policy.Lookup(name)
+	if !ok {
+		return runSpec{}, fmt.Errorf("experiments: unknown policy %q", name)
+	}
+	fp, err := spec.Fingerprint(params)
+	if err != nil {
+		return runSpec{}, err
+	}
+	p := params.Clone()
+	return runSpec{
+		label:      Kind(name),
+		managerKey: fp,
+		build:      func() (core.Manager, error) { return spec.Manager(p) },
+	}, nil
+}
+
 // Result returns the (cached) run of the benchmark under the kind.
 // Concurrent calls for the same key simulate exactly once: the first
 // caller registers a flight and runs, later callers wait on it. Errors
@@ -190,7 +240,24 @@ func designFor(b workload.Benchmark) arch.Design {
 // simulation runs under a "benchmark" child span; deduplicated waiters
 // and cache hits open no span of their own.
 func (r *Runner) Result(ctx context.Context, b workload.Benchmark, kind Kind) (*sim.Result, error) {
-	key := b.Name + "/" + string(kind)
+	return r.result(ctx, b, kindRun(kind))
+}
+
+// PolicyResult returns the (cached) run of the benchmark under a
+// registered policy at the given parameters, with Result's singleflight
+// and persistent-cache semantics keyed by the policy fingerprint. It
+// errors on an unknown policy or an invalid parameter assignment.
+func (r *Runner) PolicyResult(ctx context.Context, b workload.Benchmark, name string, params policy.Params) (*sim.Result, error) {
+	rs, err := policyRun(name, params)
+	if err != nil {
+		return nil, err
+	}
+	return r.result(ctx, b, rs)
+}
+
+// result is the shared singleflight path behind Result and PolicyResult.
+func (r *Runner) result(ctx context.Context, b workload.Benchmark, rs runSpec) (*sim.Result, error) {
+	key := b.Name + "/" + rs.managerKey
 	r.mu.Lock()
 	if f, ok := r.flights[key]; ok {
 		r.mu.Unlock()
@@ -203,8 +270,8 @@ func (r *Runner) Result(ctx context.Context, b workload.Benchmark, kind Kind) (*
 
 	// Only the flight owner reports progress: deduplicated waiters would
 	// otherwise produce duplicate lifecycle transitions for the same run.
-	r.report(RunUpdate{Benchmark: b.Name, Kind: kind, State: RunQueued})
-	f.res, f.err = r.simulate(ctx, b, kind, 0, true)
+	r.report(RunUpdate{Benchmark: b.Name, Kind: rs.label, State: RunQueued})
+	f.res, f.err = r.simulate(ctx, b, rs, 0, true)
 	if f.err != nil {
 		r.mu.Lock()
 		delete(r.flights, key)
@@ -220,14 +287,14 @@ func (r *Runner) Result(ctx context.Context, b workload.Benchmark, kind Kind) (*
 func (r *Runner) Sampled(ctx context.Context, b workload.Benchmark, kind Kind, sampleInterval uint64) (*sim.Result, error) {
 	// Sampled runs are uncached extras sharing a key with the canonical
 	// run, so they stay silent on the progress board.
-	return r.simulate(ctx, b, kind, sampleInterval, false)
+	return r.simulate(ctx, b, kindRun(kind), sampleInterval, false)
 }
 
 // cacheKey derives the canonical persistent-cache key for a run, or
 // reports that the cache must be skipped: no cache configured, or a
 // tracer attached (a cached result cannot replay the event stream —
 // that skip is counted as a bypass).
-func (r *Runner) cacheKey(b workload.Benchmark, p *program.Program, kind Kind, sampleInterval, runLen uint64) (rescache.Key, bool) {
+func (r *Runner) cacheKey(b workload.Benchmark, p *program.Program, rs runSpec, sampleInterval, runLen uint64) (rescache.Key, bool) {
 	if r.Cache == nil {
 		return rescache.Key{}, false
 	}
@@ -238,9 +305,9 @@ func (r *Runner) cacheKey(b workload.Benchmark, p *program.Program, kind Kind, s
 	return rescache.Key{
 		Program: p.Digest(),
 		Design:  rescache.Fingerprint(designFor(b)),
-		Manager: string(kind),
+		Manager: rs.managerKey,
 		Config: fmt.Sprintf("translations=%d sample=%d quality=%t",
-			runLen, sampleInterval, sampleInterval == 0 && kind == KindPowerChop),
+			runLen, sampleInterval, sampleInterval == 0 && rs.quality),
 	}, true
 }
 
@@ -248,16 +315,16 @@ func (r *Runner) cacheKey(b workload.Benchmark, p *program.Program, kind Kind, s
 // goroutines occupy slots — flight waiters block outside and persistent
 // cache hits return before acquisition — so the pool cannot deadlock
 // however callers fan out.
-func (r *Runner) simulate(ctx context.Context, b workload.Benchmark, kind Kind, sampleInterval uint64, report bool) (res *sim.Result, err error) {
+func (r *Runner) simulate(ctx context.Context, b workload.Benchmark, rs runSpec, sampleInterval uint64, report bool) (res *sim.Result, err error) {
 	ctx, sp := span.Start(ctx, "benchmark",
-		"bench="+b.Name, "kind="+string(kind))
+		"bench="+b.Name, "kind="+string(rs.label))
 	defer func() { sp.EndErr(err) }()
 	report = report && r.Progress != nil
 	var runLen uint64
 	if report {
 		started := time.Now()
 		defer func() {
-			u := RunUpdate{Benchmark: b.Name, Kind: kind, State: RunDone, Elapsed: time.Since(started)}
+			u := RunUpdate{Benchmark: b.Name, Kind: rs.label, State: RunDone, Elapsed: time.Since(started)}
 			if err != nil {
 				u.State, u.Err = RunError, err
 			} else {
@@ -268,7 +335,7 @@ func (r *Runner) simulate(ctx context.Context, b workload.Benchmark, kind Kind, 
 		}()
 	}
 
-	m, err := manager(kind)
+	m, err := rs.build()
 	if err != nil {
 		return nil, err
 	}
@@ -277,7 +344,7 @@ func (r *Runner) simulate(ctx context.Context, b workload.Benchmark, kind Kind, 
 		return nil, err
 	}
 	runLen = r.runLength(p.TotalScheduleTranslations())
-	key, cacheable := r.cacheKey(b, p, kind, sampleInterval, runLen)
+	key, cacheable := r.cacheKey(b, p, rs, sampleInterval, runLen)
 	if cacheable {
 		if hit, ok := r.Cache.Get(key); ok {
 			return hit, nil
@@ -287,7 +354,7 @@ func (r *Runner) simulate(ctx context.Context, b workload.Benchmark, kind Kind, 
 	r.sem <- struct{}{}
 	defer func() { <-r.sem }()
 	if report {
-		r.report(RunUpdate{Benchmark: b.Name, Kind: kind, State: RunSimulating})
+		r.report(RunUpdate{Benchmark: b.Name, Kind: rs.label, State: RunSimulating})
 	}
 	r.sims.Add(1)
 	cfg := sim.Config{
@@ -296,14 +363,14 @@ func (r *Runner) simulate(ctx context.Context, b workload.Benchmark, kind Kind, 
 		Manager:         m,
 		MaxTranslations: runLen,
 		SampleInterval:  sampleInterval,
-		TrackQuality:    sampleInterval == 0 && kind == KindPowerChop,
+		TrackQuality:    sampleInterval == 0 && rs.quality,
 		Tracer:          r.Tracer,
 	}
 	if report {
 		cfg.Progress = func(pr sim.Progress) {
 			r.report(RunUpdate{
 				Benchmark:    b.Name,
-				Kind:         kind,
+				Kind:         rs.label,
 				State:        RunSimulating,
 				Cycles:       pr.Cycle,
 				Translations: pr.Translations,
@@ -314,7 +381,7 @@ func (r *Runner) simulate(ctx context.Context, b workload.Benchmark, kind Kind, 
 	}
 	res, err = sim.Run(p, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s/%s: %w", b.Name, kind, err)
+		return nil, fmt.Errorf("experiments: %s/%s: %w", b.Name, rs.label, err)
 	}
 	if cacheable {
 		// Best-effort: a failed store is counted by the cache but must

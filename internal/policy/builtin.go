@@ -1,0 +1,154 @@
+package policy
+
+import (
+	"powerchop/internal/cde"
+	"powerchop/internal/core"
+)
+
+// thresholdParams is the shared CDE-threshold schema of the PowerChop
+// variants; only the defaults differ between the iso-performance and
+// energy-minimizing configurations.
+func thresholdParams(t cde.Thresholds) []Param {
+	return []Param{
+		{Name: "vpu", Description: "VPU criticality threshold (slowdown fraction)", Default: t.VPU, Min: 0, Max: 1},
+		{Name: "bpu", Description: "BPU criticality threshold (slowdown fraction)", Default: t.BPU, Min: 0, Max: 1},
+		{Name: "mlc1", Description: "MLC half-ways criticality threshold", Default: t.MLC1, Min: 0, Max: 1},
+		{Name: "mlc2", Description: "MLC one-way criticality threshold (≤ mlc1)", Default: t.MLC2, Min: 0, Max: 1},
+	}
+}
+
+// buildPowerChop assembles a PowerChop manager from a resolved
+// threshold assignment. Cross-parameter constraints (mlc2 ≤ mlc1) are
+// enforced by the CDE's own validation, so an inconsistent grid point
+// fails here with the CDE's error.
+func buildPowerChop(p Params) (core.Manager, error) {
+	cfg := core.DefaultConfig()
+	cfg.Thresholds = cde.Thresholds{
+		VPU:  p["vpu"],
+		BPU:  p["bpu"],
+		MLC1: p["mlc1"],
+		MLC2: p["mlc2"],
+	}
+	return core.NewPowerChop(cfg)
+}
+
+func init() {
+	Register(Spec{
+		Name:        "powerchop",
+		Description: "Phase-triggered gating via HTB/PVT/CDE at iso-performance thresholds (the paper's manager)",
+		Params:      thresholdParams(cde.DefaultThresholds()),
+		Build:       buildPowerChop,
+	})
+	Register(Spec{
+		Name:        "energy-min",
+		Description: "PowerChop with aggressive thresholds trading slowdown for deeper gating (Section V-A)",
+		Params:      thresholdParams(cde.AggressiveThresholds()),
+		Build:       buildPowerChop,
+	})
+	Register(Spec{
+		Name:        "full-power",
+		Description: "Always-on baseline: every unit fully powered for the whole run",
+		Build: func(Params) (core.Manager, error) {
+			return core.AlwaysOn(), nil
+		},
+	})
+	Register(Spec{
+		Name:        "min-power",
+		Description: "Minimally-powered baseline: VPU off, small BPU, 1-way MLC for the whole run",
+		Build: func(Params) (core.Manager, error) {
+			return core.MinPower(), nil
+		},
+	})
+	Register(Spec{
+		Name:        "timeout",
+		Description: "Hardware idle-timeout VPU gating baseline (Section V-E)",
+		Params: []Param{
+			{
+				Name:        "idle-cycles",
+				Description: "idle cycles before the VPU is gated off",
+				Default:     core.DefaultTimeoutCycles,
+				Min:         1,
+				Max:         1e7,
+			},
+		},
+		Build: func(p Params) (core.Manager, error) {
+			return core.NewTimeoutVPU(p["idle-cycles"])
+		},
+	})
+	Register(Spec{
+		Name:        "darkgates",
+		Description: "PowerChop with a DarkGates-style break-even bypass: gating is vetoed when predicted stall cost exceeds predicted leakage savings",
+		Params: []Param{
+			{
+				Name:        "horizon-windows",
+				Description: "predicted gating horizon in EWMA-smoothed windows",
+				Default:     8,
+				Min:         1,
+				Max:         256,
+			},
+			{
+				Name:        "margin",
+				Description: "required savings-to-cost ratio before gating is approved",
+				Default:     1,
+				Min:         0.1,
+				Max:         10,
+			},
+		},
+		Build: func(p Params) (core.Manager, error) {
+			cfg := core.DefaultDarkGatesConfig()
+			cfg.HorizonWindows = p["horizon-windows"]
+			cfg.Margin = p["margin"]
+			return core.NewDarkGates(cfg)
+		},
+	})
+	Register(Spec{
+		Name:        "agilewatts",
+		Description: "AgileWatts-style hierarchical idle states: consecutive idle windows promote units shallow→deep",
+		Params: []Param{
+			{
+				Name:        "vpu-idle",
+				Description: "SIMD fraction at or below which a window is VPU-idle",
+				Default:     0.001,
+				Min:         0,
+				Max:         1,
+			},
+			{
+				Name:        "bpu-idle",
+				Description: "misprediction rate at or below which a window is BPU-idle",
+				Default:     0.005,
+				Min:         0,
+				Max:         1,
+			},
+			{
+				Name:        "mlc-idle",
+				Description: "L2 hits per instruction at or below which a window is MLC-idle",
+				Default:     0.005,
+				Min:         0,
+				Max:         1,
+			},
+			{
+				Name:        "shallow-after",
+				Description: "consecutive idle windows before the shallow state",
+				Default:     2,
+				Min:         1,
+				Max:         64,
+			},
+			{
+				Name:        "deep-after",
+				Description: "consecutive idle windows before the deep state",
+				Default:     8,
+				Min:         1,
+				Max:         256,
+			},
+		},
+		Build: func(p Params) (core.Manager, error) {
+			cfg := core.DefaultAgileWattsConfig()
+			cfg.VPUIdleRatio = p["vpu-idle"]
+			cfg.BPUIdleRatio = p["bpu-idle"]
+			cfg.MLCIdleRatio = p["mlc-idle"]
+			cfg.ShallowAfter = int(p["shallow-after"])
+			cfg.DeepAfter = int(p["deep-after"])
+			return core.NewAgileWatts(cfg)
+		},
+	})
+}

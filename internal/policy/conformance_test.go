@@ -1,0 +1,178 @@
+package policy_test
+
+// Registry conformance suite: every registered policy — present and
+// future — must run the simulator deterministically and respect the
+// whole-simulator invariants. A policy that registers but fails these
+// checks would poison the result cache (nondeterminism) or the figures
+// (broken energy accounting), so the suite runs each spec at its
+// defaults and at a perturbed in-bounds point.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"powerchop/internal/arch"
+	"powerchop/internal/isa"
+	"powerchop/internal/phase"
+	"powerchop/internal/policy"
+	"powerchop/internal/program"
+	"powerchop/internal/sim"
+)
+
+// conformanceProgram is a small phased program exercising all three
+// managed units: vector work, branchy work and a cache-straining stream.
+func conformanceProgram(t *testing.T) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("conformance", "TEST", 11)
+	mixed := b.Region(program.RegionSpec{
+		Name:  "mixed",
+		Insns: 30,
+		Mix:   isa.Mix{VectorFrac: 0.15, BranchFrac: 0.1, LoadFrac: 0.2},
+		Branches: []program.BranchModel{
+			{Kind: program.Biased, Bias: 0.9},
+		},
+		Streams: []program.MemStream{{WorkingSet: 64 << 10}},
+	})
+	scalar := b.Region(program.RegionSpec{
+		Name:     "scalar",
+		Insns:    26,
+		Mix:      isa.Mix{BranchFrac: 0.2, LoadFrac: 0.15},
+		Branches: []program.BranchModel{{Kind: program.Patterned, Pattern: []bool{true, true, false}}},
+		Streams:  []program.MemStream{{WorkingSet: 4 << 20, Stride: 64}},
+	})
+	b.Phase("vector", 600, map[int]float64{mixed: 1})
+	b.Phase("scalar", 600, map[int]float64{scalar: 1})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// perturb nudges every parameter off its default while staying strictly
+// in bounds, so the suite also covers each policy's non-default wiring.
+func perturb(spec policy.Spec) policy.Params {
+	p := policy.Params{}
+	for _, prm := range spec.Params {
+		v := prm.Default * 1.5
+		if v > prm.Max {
+			v = (prm.Default + prm.Max) / 2
+		}
+		if v < prm.Min {
+			v = prm.Min
+		}
+		p[prm.Name] = v
+	}
+	return p
+}
+
+func runConformance(t *testing.T, spec policy.Spec, params policy.Params) *sim.Result {
+	t.Helper()
+	m, err := spec.Manager(params)
+	if err != nil {
+		t.Fatalf("%s: Manager: %v", spec.Name, err)
+	}
+	res, err := sim.Run(conformanceProgram(t), sim.Config{
+		Design:          arch.Server(),
+		Manager:         m,
+		Phase:           phase.Config{Capacity: 64, WindowSize: 50, SignatureLen: 4},
+		MaxTranslations: 3000,
+	})
+	if err != nil {
+		t.Fatalf("%s: Run: %v", spec.Name, err)
+	}
+	return res
+}
+
+func checkInvariants(t *testing.T, name string, res *sim.Result) {
+	t.Helper()
+	// Energy is positive, nonnegative per component, and decomposes
+	// exactly into leakage + dynamic.
+	total := res.Power.TotalEnergyJ()
+	if total <= 0 {
+		t.Errorf("%s: total energy %v not positive", name, total)
+	}
+	leak, dyn := res.Power.LeakageEnergyJ(), res.Power.DynamicEnergyJ()
+	if leak < 0 || dyn < 0 {
+		t.Errorf("%s: negative energy component: leak %v dyn %v", name, leak, dyn)
+	}
+	if diff := total - leak - dyn; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("%s: energy decomposition off by %v", name, diff)
+	}
+	// Every gated unit's residency covers the run, its leakage savings
+	// stay within the 95% gating bound, and its gated fraction is sane.
+	for _, u := range []string{arch.UnitVPU, arch.UnitBPU, arch.UnitMLC} {
+		r := res.Power.Unit(u)
+		if r.ResidencyCyc < res.Cycles*0.999 || r.ResidencyCyc > res.Cycles*1.001 {
+			t.Errorf("%s: %s residency %v vs cycles %v", name, u, r.ResidencyCyc, res.Cycles)
+		}
+		if r.LeakSavedJ < 0 {
+			t.Errorf("%s: %s negative leakage savings %v", name, u, r.LeakSavedJ)
+		}
+		if r.LeakSavedJ > r.FullLeakageJ*0.951 {
+			t.Errorf("%s: %s saved more leakage than gating allows", name, u)
+		}
+	}
+	for _, ua := range []struct {
+		unit string
+		frac float64
+	}{{"VPU", res.VPU.GatedFrac}, {"BPU", res.BPU.GatedFrac}, {"MLC", res.MLC.GatedFrac}} {
+		if ua.frac < 0 || ua.frac > 1 {
+			t.Errorf("%s: %s gated fraction %v outside [0,1]", name, ua.unit, ua.frac)
+		}
+	}
+	if res.Cycles < float64(res.GuestInsns)/arch.Server().IssueWidth {
+		t.Errorf("%s: cycles below issue bound", name)
+	}
+}
+
+// TestConformance runs every registered policy at defaults and at a
+// perturbed point: two runs must produce byte-identical results
+// (determinism is what makes the content-addressed cache sound), and
+// each result must satisfy the simulator invariants.
+func TestConformance(t *testing.T) {
+	for _, spec := range policy.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			for _, tc := range []struct {
+				label  string
+				params policy.Params
+			}{
+				{"defaults", nil},
+				{"perturbed", perturb(spec)},
+			} {
+				first := runConformance(t, spec, tc.params)
+				second := runConformance(t, spec, tc.params)
+				a, err := json.Marshal(first)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := json.Marshal(second)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(a) != string(b) {
+					t.Errorf("%s/%s: two identical runs produced different results", spec.Name, tc.label)
+				}
+				checkInvariants(t, spec.Name+"/"+tc.label, first)
+			}
+		})
+	}
+}
+
+// TestConformanceFingerprintsDistinct checks that no two registered
+// policies collide at their default fingerprints — the result cache
+// keys on this identity.
+func TestConformanceFingerprintsDistinct(t *testing.T) {
+	seen := map[string]string{}
+	for _, spec := range policy.All() {
+		fp, err := spec.Fingerprint(nil)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("policies %s and %s share fingerprint %q", prev, spec.Name, fp)
+		}
+		seen[fp] = spec.Name
+	}
+}

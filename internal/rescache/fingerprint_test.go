@@ -1,0 +1,96 @@
+package rescache
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCanonicalParamsEncoding pins the documented canonical encoding of
+// policy parameters: sorted keys, '='-joined, 'g'-format floats, braces
+// around the whole set. Cache keys embed this string, so any drift here
+// silently orphans every persisted entry — the exact bytes are the
+// contract.
+func TestCanonicalParamsEncoding(t *testing.T) {
+	cases := []struct {
+		name string
+		in   map[string]float64
+		want string
+	}{
+		{"nil", nil, "{}"},
+		{"empty", map[string]float64{}, "{}"},
+		{"single", map[string]float64{"vpu": 0.005}, "{vpu=0.005}"},
+		{"sorted keys", map[string]float64{"mlc1": 0.005, "bpu": 0.005, "vpu": 0.005, "mlc2": 0.0005},
+			"{bpu=0.005,mlc1=0.005,mlc2=0.0005,vpu=0.005}"},
+		{"integral floats stay short", map[string]float64{"idle-cycles": 20000}, "{idle-cycles=20000}"},
+		{"negative and zero", map[string]float64{"a": -1.5, "b": 0}, "{a=-1.5,b=0}"},
+	}
+	// Runtime float noise must render at full round-trip precision
+	// (constant folding would hide it, so compute the sum at runtime).
+	x := 0.1
+	x += 0.2
+	cases = append(cases, struct {
+		name string
+		in   map[string]float64
+		want string
+	}{"full precision kept", map[string]float64{"x": x}, "{x=0.30000000000000004}"})
+	for _, tc := range cases {
+		if got := CanonicalParams(tc.in); got != tc.want {
+			t.Errorf("%s: CanonicalParams(%v) = %q, want %q", tc.name, tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestCanonicalParamsOrderIndependent checks that insertion order never
+// leaks into the encoding: many maps with identical contents built in
+// different orders must render identically.
+func TestCanonicalParamsOrderIndependent(t *testing.T) {
+	keys := []string{"vpu", "bpu", "mlc1", "mlc2", "horizon-windows", "margin"}
+	want := CanonicalParams(map[string]float64{
+		"vpu": 1, "bpu": 2, "mlc1": 3, "mlc2": 4, "horizon-windows": 5, "margin": 6,
+	})
+	for trial := 0; trial < 50; trial++ {
+		m := map[string]float64{}
+		// Vary insertion order by rotating the key list.
+		for i := range keys {
+			k := keys[(i+trial)%len(keys)]
+			m[k] = float64(1 + (indexOf(keys, k)))
+		}
+		if got := CanonicalParams(m); got != want {
+			t.Fatalf("trial %d: %q != %q", trial, got, want)
+		}
+	}
+}
+
+func indexOf(ss []string, s string) int {
+	for i, v := range ss {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestFingerprintDispatchesParamMaps pins Fingerprint's special case: a
+// map[string]float64 hashes via CanonicalParams, so equal parameter sets
+// fingerprint equally regardless of map internals, and distinct values
+// or keys produce distinct fingerprints.
+func TestFingerprintDispatchesParamMaps(t *testing.T) {
+	a := Fingerprint(map[string]float64{"vpu": 0.005, "bpu": 0.005})
+	b := Fingerprint(map[string]float64{"bpu": 0.005, "vpu": 0.005})
+	if a != b {
+		t.Fatal("equal param maps fingerprint differently")
+	}
+	if a == Fingerprint(map[string]float64{"vpu": 0.005, "bpu": 0.006}) {
+		t.Fatal("distinct values share a fingerprint")
+	}
+	if a == Fingerprint(map[string]float64{"vpu": 0.005, "mlc": 0.005}) {
+		t.Fatal("distinct keys share a fingerprint")
+	}
+	// The dispatch must produce the canonical rendering itself.
+	if a != CanonicalParams(map[string]float64{"vpu": 0.005, "bpu": 0.005}) {
+		t.Fatal("param-map fingerprint differs from CanonicalParams")
+	}
+	if strings.Contains(a, "map[") {
+		t.Fatalf("fingerprint leaked Go map formatting: %q", a)
+	}
+}

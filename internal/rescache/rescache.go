@@ -24,6 +24,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 
 	"powerchop/internal/obs"
 	"powerchop/internal/sim"
@@ -56,10 +59,46 @@ func (k Key) Digest() string {
 }
 
 // Fingerprint renders a value into a deterministic string for a Key
-// field. It is suitable for plain structs of scalars, strings, slices
-// and nested such structs (e.g. arch.Design); values containing maps
-// have no deterministic rendering and must not be fingerprinted.
-func Fingerprint(v any) string { return fmt.Sprintf("%#v", v) }
+// field. Plain structs of scalars, strings, slices and nested such
+// structs (e.g. arch.Design) render via Go syntax, which is stable for
+// those shapes. Float-keyed parameter maps (policy parameter sets) are
+// rendered through CanonicalParams — Go map iteration order would
+// otherwise make the key nondeterministic. Other map-bearing values
+// still have no deterministic rendering and must not be fingerprinted.
+func Fingerprint(v any) string {
+	if m, ok := v.(map[string]float64); ok {
+		return CanonicalParams(m)
+	}
+	return fmt.Sprintf("%#v", v)
+}
+
+// CanonicalParams renders a policy parameter map in the cache's
+// canonical form: "{k1=v1,k2=v2}" with keys sorted lexically and each
+// value formatted by strconv.FormatFloat(v, 'g', -1, 64) — the shortest
+// decimal string that round-trips the exact float64. The encoding is a
+// pure function of the map's contents: insertion order, map identity
+// and nil-vs-empty all render identically ("{}" for both nil and
+// empty), so map-backed parameter sets can never split or alias cache
+// entries nondeterministically.
+func CanonicalParams(params map[string]float64) string {
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(params[k], 'g', -1, 64))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
 
 // envelope is the on-disk entry format.
 type envelope struct {

@@ -481,7 +481,15 @@ func (s *engine) finish() *Result {
 	if s.cycles > 0 {
 		r.IPC = float64(s.guestInsns) / s.cycles
 	}
-	if pc, ok := s.cfg.Manager.(*core.PowerChop); ok {
+	pc, ok := s.cfg.Manager.(*core.PowerChop)
+	if !ok {
+		// Wrapping managers (e.g. DarkGates) expose their inner
+		// PowerChop for PVT/CDE reporting.
+		if w, okw := s.cfg.Manager.(interface{ Unwrap() *core.PowerChop }); okw {
+			pc, ok = w.Unwrap(), true
+		}
+	}
+	if ok {
 		r.PVT = pc.PVT().Stats()
 		r.CDE = pc.Engine().Stats()
 		r.KnownPhases = pc.Engine().KnownPhases()

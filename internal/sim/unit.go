@@ -91,6 +91,13 @@ type vpuUnit struct {
 	lastVectorCycle float64
 	idleGated       bool
 
+	// idle is the manager's hierarchical idle-state descriptor for the
+	// next gated window (nil for classic single-level gating); curIdle is
+	// the state the unit currently resides in. Both nil means the classic
+	// enactment path runs untouched.
+	idle    *core.IdleState
+	curIdle *core.IdleState
+
 	// Whole-run, per-window, per-sample-interval and per-shard counters.
 	vectorOps uint64
 	winSIMD   uint64
@@ -113,7 +120,16 @@ func (v *vpuUnit) gate() *gating.Unit { return v.g }
 
 func (v *vpuUnit) enact(policy pvt.Policy) {
 	// Skipped in timeout mode, where the idleness machinery owns the unit.
-	if v.timeout != 0 || policy.VPUOn == v.unit.On() {
+	if v.timeout != 0 {
+		return
+	}
+	// Hierarchical idle-state semantics take over while the manager is
+	// supplying descriptors or the unit still resides in one.
+	if v.idle != nil || v.curIdle != nil {
+		v.enactIdle(policy)
+		return
+	}
+	if policy.VPUOn == v.unit.On() {
 		return
 	}
 	stall := v.e.design.GateStallVPU + v.unit.SetOn(policy.VPUOn)
@@ -121,7 +137,39 @@ func (v *vpuUnit) enact(policy pvt.Policy) {
 	v.e.chargeSwitch(v.g, boolFrac(policy.VPUOn), v.e.cycles, stall)
 }
 
-func (v *vpuUnit) absorbDirective(d core.Directive) { v.timeout = d.VPUTimeout }
+// enactIdle applies the hierarchical idle-state semantics: the policy's
+// off bit sends the unit to the descriptor's state; transition stalls
+// are the base gate stall plus the descriptor's entry/exit extras (the
+// descriptors, not the VPU's save/restore machinery, price state
+// management here).
+func (v *vpuUnit) enactIdle(policy pvt.Policy) {
+	if policy.VPUOn || v.idle == nil {
+		// Wake to full power.
+		if v.curIdle == nil {
+			return
+		}
+		stall := v.e.design.GateStallVPU + v.curIdle.ExitCycles
+		v.unit.SetOn(true)
+		v.curIdle = nil
+		v.e.stallFor(stall)
+		v.e.chargeSwitch(v.g, 1, v.e.cycles, stall)
+		return
+	}
+	// Descend to (or hold) the requested rung.
+	if v.curIdle != nil && v.curIdle.PowerFrac == v.idle.PowerFrac {
+		return
+	}
+	stall := v.e.design.GateStallVPU + v.idle.EntryCycles
+	v.unit.SetOn(false)
+	v.curIdle = v.idle
+	v.e.stallFor(stall)
+	v.e.chargeSwitch(v.g, v.idle.PowerFrac, v.e.cycles, stall)
+}
+
+func (v *vpuUnit) absorbDirective(d core.Directive) {
+	v.timeout = d.VPUTimeout
+	v.idle = d.VPUIdle
+}
 
 func (v *vpuUnit) fillPolicy(p *pvt.Policy) { p.VPUOn = v.unit.On() }
 
@@ -226,6 +274,10 @@ type bpuUnit struct {
 	winBranches uint64
 	winMispred  uint64
 
+	// Hierarchical idle-state descriptor and residency (see vpuUnit).
+	idle    *core.IdleState
+	curIdle *core.IdleState
+
 	// Dynamic-energy access tallies at the two power levels.
 	largeAcc uint64
 	smallAcc uint64
@@ -242,6 +294,10 @@ func newBPUUnit(e *engine) *bpuUnit {
 func (b *bpuUnit) gate() *gating.Unit { return b.g }
 
 func (b *bpuUnit) enact(policy pvt.Policy) {
+	if b.idle != nil || b.curIdle != nil {
+		b.enactIdle(policy)
+		return
+	}
 	if policy.BPUOn == b.unit.LargeOn() {
 		return
 	}
@@ -255,7 +311,32 @@ func (b *bpuUnit) enact(policy pvt.Policy) {
 	b.e.chargeSwitch(b.g, frac, b.e.cycles, stall)
 }
 
-func (b *bpuUnit) absorbDirective(core.Directive) {}
+// enactIdle is the BPU's hierarchical idle-state path: the large
+// predictor descends the descriptor ladder while gated (the small local
+// predictor stays on throughout, as in classic gating).
+func (b *bpuUnit) enactIdle(policy pvt.Policy) {
+	if policy.BPUOn || b.idle == nil {
+		if b.curIdle == nil {
+			return
+		}
+		stall := b.e.design.GateStallBPU + b.curIdle.ExitCycles
+		b.unit.SetLargeOn(true)
+		b.curIdle = nil
+		b.e.stallFor(stall)
+		b.e.chargeSwitch(b.g, 1, b.e.cycles, stall)
+		return
+	}
+	if b.curIdle != nil && b.curIdle.PowerFrac == b.idle.PowerFrac {
+		return
+	}
+	stall := b.e.design.GateStallBPU + b.idle.EntryCycles
+	b.unit.SetLargeOn(false)
+	b.curIdle = b.idle
+	b.e.stallFor(stall)
+	b.e.chargeSwitch(b.g, b.idle.PowerFrac, b.e.cycles, stall)
+}
+
+func (b *bpuUnit) absorbDirective(d core.Directive) { b.idle = d.BPUIdle }
 
 func (b *bpuUnit) fillPolicy(p *pvt.Policy) { p.BPUOn = b.unit.LargeOn() }
 

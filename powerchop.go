@@ -33,17 +33,19 @@ import (
 	"time"
 
 	"powerchop/internal/arch"
-	"powerchop/internal/core"
 	"powerchop/internal/obs"
 	"powerchop/internal/obs/audit"
 	"powerchop/internal/obs/span"
+	"powerchop/internal/policy"
 	"powerchop/internal/program"
 	"powerchop/internal/rescache"
 	"powerchop/internal/sim"
 	"powerchop/internal/workload"
 )
 
-// Manager names accepted by Options.Manager.
+// Manager names accepted by Options.Manager. These are the built-in
+// registrations of the policy registry (internal/policy); PolicyNames
+// lists every registered policy, including any added later.
 const (
 	ManagerPowerChop = "powerchop"
 	ManagerFullPower = "full-power"
@@ -53,6 +55,14 @@ const (
 	// (Section V-A): higher criticality thresholds targeting energy
 	// minimization at the cost of extra slowdown.
 	ManagerEnergyMin = "energy-min"
+	// ManagerDarkGates is the DarkGates-style break-even bypass policy:
+	// PowerChop underneath, but gating decisions predicted to cost more
+	// in transition stalls than they save in leakage are vetoed.
+	ManagerDarkGates = "darkgates"
+	// ManagerAgileWatts is the AgileWatts-style hierarchical idle-state
+	// policy: consecutive idle windows promote each unit through shallow
+	// and deep gated states with distinct entry/exit costs.
+	ManagerAgileWatts = "agilewatts"
 )
 
 // Arch names accepted by Options.Arch.
@@ -77,6 +87,12 @@ type Options struct {
 	// SampleInterval, when positive, records an IPC/vector-activity
 	// sample every that many instructions.
 	SampleInterval uint64
+	// Params assigns values to the selected policy's registered
+	// parameters (see Policies for each policy's schema); unset
+	// parameters keep their defaults. Unknown names and out-of-bounds
+	// values fail the run. Params wins over the legacy Thresholds and
+	// TimeoutCycles fields when both name the same parameter.
+	Params map[string]float64
 	// Thresholds optionally overrides the PowerChop criticality
 	// thresholds (VPU, BPU, MLC1, MLC2); zero values keep the defaults.
 	Thresholds *Thresholds
@@ -417,43 +433,47 @@ func SuiteOf(benchmark string) (string, error) {
 	return b.Suite, nil
 }
 
-// buildManager constructs the requested manager.
-func buildManager(o Options) (core.Manager, error) {
-	switch o.Manager {
-	case ManagerPowerChop, "":
-		cfg := core.DefaultConfig()
+// resolvePolicy maps Options onto the policy registry: the Manager
+// string selects a registered Spec, the legacy Thresholds/TimeoutCycles
+// fields fold onto their policies' schema parameters (preserving their
+// original scoping — thresholds only shaped the default PowerChop, the
+// timeout period only the timeout baseline), and Options.Params overlays
+// last, so explicit parameters always win.
+func resolvePolicy(o Options) (policy.Spec, policy.Params, error) {
+	name := o.Manager
+	if name == "" {
+		name = ManagerPowerChop
+	}
+	spec, ok := policy.Lookup(name)
+	if !ok {
+		return policy.Spec{}, nil, fmt.Errorf("powerchop: unknown manager %q", o.Manager)
+	}
+	params := policy.Params{}
+	switch name {
+	case ManagerPowerChop:
 		if o.Thresholds != nil {
-			t := cfg.Thresholds
 			if o.Thresholds.VPU > 0 {
-				t.VPU = o.Thresholds.VPU
+				params["vpu"] = o.Thresholds.VPU
 			}
 			if o.Thresholds.BPU > 0 {
-				t.BPU = o.Thresholds.BPU
+				params["bpu"] = o.Thresholds.BPU
 			}
 			if o.Thresholds.MLC1 > 0 {
-				t.MLC1 = o.Thresholds.MLC1
+				params["mlc1"] = o.Thresholds.MLC1
 			}
 			if o.Thresholds.MLC2 > 0 {
-				t.MLC2 = o.Thresholds.MLC2
+				params["mlc2"] = o.Thresholds.MLC2
 			}
-			cfg.Thresholds = t
 		}
-		return core.NewPowerChop(cfg)
-	case ManagerEnergyMin:
-		return core.NewPowerChop(core.EnergyMinimizerConfig())
-	case ManagerFullPower:
-		return core.AlwaysOn(), nil
-	case ManagerMinPower:
-		return core.MinPower(), nil
 	case ManagerTimeout:
-		cycles := o.TimeoutCycles
-		if cycles <= 0 {
-			cycles = core.DefaultTimeoutCycles
+		if o.TimeoutCycles > 0 {
+			params["idle-cycles"] = o.TimeoutCycles
 		}
-		return core.NewTimeoutVPU(cycles)
-	default:
-		return nil, fmt.Errorf("powerchop: unknown manager %q", o.Manager)
 	}
+	for k, v := range o.Params {
+		params[k] = v
+	}
+	return spec, params, nil
 }
 
 // designFor resolves the design point.
@@ -499,7 +519,17 @@ func runProgram(ctx context.Context, p *program.Program, b workload.Benchmark, o
 	ctx, sp := span.Start(ctx, "benchmark",
 		"bench="+b.Name, "manager="+manager)
 	defer func() { sp.EndErr(err) }()
-	m, err := buildManager(opts)
+	spec, params, err := resolvePolicy(opts)
+	if err != nil {
+		return nil, err
+	}
+	// Fingerprint validates parameters (bounds, unknown names) and
+	// renders the canonical policy identity for the cache key.
+	fingerprint, err := spec.Fingerprint(params)
+	if err != nil {
+		return nil, err
+	}
+	m, err := spec.Manager(params)
 	if err != nil {
 		return nil, err
 	}
@@ -545,7 +575,7 @@ func runProgram(ctx context.Context, p *program.Program, b workload.Benchmark, o
 			resCache.CountBypass()
 			resCache = nil
 		} else {
-			cacheKey = cacheKeyFor(p, design, opts, cfg.MaxTranslations)
+			cacheKey = cacheKeyFor(p, design, fingerprint, opts, cfg.MaxTranslations)
 			if res, ok := resCache.Get(cacheKey); ok {
 				if progress := opts.Progress; progress != nil {
 					progress(RunProgress{
@@ -601,24 +631,15 @@ func runProgram(ctx context.Context, p *program.Program, b workload.Benchmark, o
 }
 
 // cacheKeyFor derives the persistent-cache key for a public Run. The
-// manager field folds in everything that shapes the manager beyond its
-// name: the variant selected by Options.Manager (the default and
-// energy-min PowerChop configurations share the name "powerchop"), any
-// threshold overrides, and the resolved idle-timeout period.
-func cacheKeyFor(p *program.Program, design arch.Design, opts Options, maxTranslations uint64) rescache.Key {
-	variant := opts.Manager
-	if variant == "" {
-		variant = ManagerPowerChop
-	}
-	timeout := opts.TimeoutCycles
-	if timeout <= 0 {
-		timeout = core.DefaultTimeoutCycles
-	}
+// manager field is the policy fingerprint — the registered policy name
+// plus the canonical rendering of its fully resolved parameters — so
+// every input that shapes the manager is in the key, and two processes
+// sweeping the same parameter grid share entries exactly.
+func cacheKeyFor(p *program.Program, design arch.Design, fingerprint string, opts Options, maxTranslations uint64) rescache.Key {
 	return rescache.Key{
 		Program: p.Digest(),
 		Design:  rescache.Fingerprint(design),
-		Manager: fmt.Sprintf("%s thresholds=%s timeout=%g",
-			variant, rescache.Fingerprint(opts.Thresholds), timeout),
+		Manager: fingerprint,
 		Config: fmt.Sprintf("translations=%d sample=%d",
 			maxTranslations, opts.SampleInterval),
 	}

@@ -1,0 +1,323 @@
+package powerchop
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"powerchop/internal/obs/span"
+	"powerchop/internal/policy"
+	"powerchop/internal/rescache"
+	"powerchop/internal/stats"
+	"powerchop/internal/textplot"
+)
+
+// TuneOptions configures a parameter-grid sweep of one policy.
+type TuneOptions struct {
+	// Policy names the registered policy to sweep (see PolicyNames).
+	Policy string
+	// Benchmarks are the workloads averaged over (default: gobmk).
+	Benchmarks []string
+	// Grid overrides the swept values per parameter name. Parameters
+	// without an entry get the default grid: {max(min, default/2),
+	// default, min(max, default·2)}, deduplicated. An explicit empty
+	// slice pins the parameter to its default.
+	Grid map[string][]float64
+	// Options are the base run options (Arch, Passes, Cache, CacheDir,
+	// Parallelism...). Manager, Params, Thresholds and TimeoutCycles are
+	// ignored — the sweep sets them. Runs share Run's cache keys, so a
+	// warm result cache makes repeated sweeps near-instant and tuner
+	// points reconcile exactly with Run and Compare at the same values.
+	Options Options
+}
+
+// TunePoint is one grid point's outcome, averaged over the benchmarks.
+type TunePoint struct {
+	// Params is the point's full parameter assignment.
+	Params map[string]float64 `json:"params"`
+	// Fingerprint is the point's deterministic policy identity (the
+	// persistent-cache manager key).
+	Fingerprint string `json:"fingerprint"`
+	// EnergySaved is the mean total-energy reduction vs full power;
+	// Slowdown the mean cycle-count increase.
+	EnergySaved float64 `json:"energySaved"`
+	Slowdown    float64 `json:"slowdown"`
+	// Pareto marks frontier membership: no other point saves at least
+	// as much energy with at most the slowdown (one strictly better).
+	Pareto bool `json:"pareto"`
+}
+
+// TuneResult is a completed sweep: every grid point plus the Pareto
+// frontier over (maximize energy saved, minimize slowdown).
+type TuneResult struct {
+	Policy     string      `json:"policy"`
+	Benchmarks []string    `json:"benchmarks"`
+	Points     []TunePoint `json:"points"`
+	// Frontier holds the Pareto-optimal points, sorted by slowdown.
+	Frontier []TunePoint `json:"frontier"`
+}
+
+// paramOrder is the schema's declaration order for rendering.
+func paramOrder(spec policy.Spec) []string {
+	names := make([]string, len(spec.Params))
+	for i, p := range spec.Params {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Render draws the frontier table and an energy-vs-slowdown chart of
+// every grid point (frontier points marked with *).
+func (t *TuneResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pareto frontier: %s over %s (%d grid points, %d on frontier)\n",
+		t.Policy, strings.Join(t.Benchmarks, ","), len(t.Points), len(t.Frontier))
+
+	var order []string
+	if spec, ok := policy.Lookup(t.Policy); ok {
+		order = paramOrder(spec)
+	} else if len(t.Points) > 0 {
+		for k := range t.Points[0].Params {
+			order = append(order, k)
+		}
+		sort.Strings(order)
+	}
+	header := append(append([]string{}, order...), "energy saved", "slowdown")
+	var rows [][]string
+	for _, p := range t.Frontier {
+		row := make([]string, 0, len(header))
+		for _, k := range order {
+			row = append(row, fmt.Sprintf("%g", p.Params[k]))
+		}
+		row = append(row,
+			fmt.Sprintf("%.2f%%", p.EnergySaved*100),
+			fmt.Sprintf("%.2f%%", p.Slowdown*100))
+		rows = append(rows, row)
+	}
+	b.WriteString(textplot.RightTable(header, rows))
+
+	sorted := append([]TunePoint{}, t.Points...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Slowdown < sorted[j].Slowdown })
+	chart := make([]textplot.Row, len(sorted))
+	for i, p := range sorted {
+		mark := " "
+		if p.Pareto {
+			mark = "*"
+		}
+		chart[i] = textplot.Row{
+			Label: fmt.Sprintf("%s slow %5.2f%%", mark, p.Slowdown*100),
+			Value: p.EnergySaved * 100,
+		}
+	}
+	b.WriteString(textplot.BarChart(
+		"energy saved (%) by grid point (sorted by slowdown, * = frontier)",
+		chart, 40, "%.2f%%"))
+	return b.String()
+}
+
+// defaultGrid is the swept values of one parameter when no explicit
+// grid is given: half, default, double, clamped to the bounds and
+// deduplicated (a zero default collapses to a single point).
+func defaultGrid(p policy.Param) []float64 {
+	lo, hi := p.Default/2, p.Default*2
+	if lo < p.Min {
+		lo = p.Min
+	}
+	if hi > p.Max {
+		hi = p.Max
+	}
+	var out []float64
+	for _, v := range []float64{lo, p.Default, hi} {
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// tuneGrid enumerates the sweep's parameter assignments in a
+// deterministic order: an odometer over the schema's declaration order.
+func tuneGrid(spec policy.Spec, overrides map[string][]float64) ([]policy.Params, error) {
+	for name := range overrides {
+		found := false
+		for _, p := range spec.Params {
+			if p.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("powerchop: policy %s has no parameter %q", spec.Name, name)
+		}
+	}
+	axes := make([][]float64, len(spec.Params))
+	for i, p := range spec.Params {
+		if vals, ok := overrides[p.Name]; ok && len(vals) > 0 {
+			axes[i] = vals
+		} else if ok {
+			axes[i] = []float64{p.Default}
+		} else {
+			axes[i] = defaultGrid(p)
+		}
+	}
+	points := []policy.Params{{}}
+	for i, p := range spec.Params {
+		var next []policy.Params
+		for _, base := range points {
+			for _, v := range axes[i] {
+				pt := base.Clone()
+				if pt == nil {
+					pt = policy.Params{}
+				}
+				pt[p.Name] = v
+				next = append(next, pt)
+			}
+		}
+		points = next
+	}
+	return points, nil
+}
+
+// markPareto flags the non-dominated points and returns the frontier
+// sorted by slowdown.
+func markPareto(points []TunePoint) []TunePoint {
+	var frontier []TunePoint
+	for i := range points {
+		dominated := false
+		for j := range points {
+			if i == j {
+				continue
+			}
+			betterOrEqual := points[j].EnergySaved >= points[i].EnergySaved &&
+				points[j].Slowdown <= points[i].Slowdown
+			strictly := points[j].EnergySaved > points[i].EnergySaved ||
+				points[j].Slowdown < points[i].Slowdown
+			if betterOrEqual && strictly {
+				dominated = true
+				break
+			}
+		}
+		points[i].Pareto = !dominated
+		if !dominated {
+			frontier = append(frontier, points[i])
+		}
+	}
+	sort.SliceStable(frontier, func(i, j int) bool {
+		if frontier[i].Slowdown != frontier[j].Slowdown {
+			return frontier[i].Slowdown < frontier[j].Slowdown
+		}
+		return frontier[i].Fingerprint < frontier[j].Fingerprint
+	})
+	return frontier
+}
+
+// Tune sweeps the policy's parameter grid and returns every point's
+// (energy saved, slowdown) vs the full-power baseline, averaged over
+// the benchmarks, plus the Pareto frontier. Runs go through Run, so
+// with Options.Cache (or CacheDir) set the sweep fills and reuses the
+// same persistent entries as Run and Compare.
+func Tune(opts TuneOptions) (*TuneResult, error) {
+	return TuneContext(context.Background(), opts)
+}
+
+// TuneContext is Tune under a context; when ctx carries a span the
+// sweep runs under a "tune" child span.
+func TuneContext(ctx context.Context, opts TuneOptions) (res *TuneResult, err error) {
+	spec, ok := policy.Lookup(opts.Policy)
+	if !ok {
+		return nil, fmt.Errorf("powerchop: unknown policy %q (known: %v)", opts.Policy, PolicyNames())
+	}
+	benchmarks := opts.Benchmarks
+	if len(benchmarks) == 0 {
+		benchmarks = []string{"gobmk"}
+	}
+	grid, err := tuneGrid(spec, opts.Grid)
+	if err != nil {
+		return nil, err
+	}
+	ctx, sp := span.Start(ctx, "tune",
+		"policy="+spec.Name, fmt.Sprintf("points=%d", len(grid)))
+	defer func() { sp.EndErr(err) }()
+
+	base := opts.Options
+	base.Manager, base.Params, base.Thresholds, base.TimeoutCycles = "", nil, nil, 0
+	// One shared cache across the sweep: opening per-run caches from
+	// CacheDir would fragment the counters.
+	if base.Cache == nil && base.CacheDir != "" {
+		base.Cache = rescache.New(base.CacheDir, nil)
+		base.CacheDir = ""
+	}
+
+	// Full-power baselines, one per benchmark.
+	full := make(map[string]*Report, len(benchmarks))
+	for _, bench := range benchmarks {
+		o := base
+		o.Manager = ManagerFullPower
+		rep, err := RunContext(ctx, bench, o)
+		if err != nil {
+			return nil, err
+		}
+		full[bench] = rep
+	}
+
+	points := make([]TunePoint, len(grid))
+	runPoint := func(i int) error {
+		params := grid[i]
+		fp, err := spec.Fingerprint(params)
+		if err != nil {
+			return err
+		}
+		var saved, slow []float64
+		for _, bench := range benchmarks {
+			o := base
+			o.Manager = spec.Name
+			o.Params = params
+			rep, err := RunContext(ctx, bench, o)
+			if err != nil {
+				return err
+			}
+			f := full[bench]
+			saved = append(saved, 1-rep.TotalEnergyJ/f.TotalEnergyJ)
+			slow = append(slow, rep.Cycles/f.Cycles-1)
+		}
+		points[i] = TunePoint{
+			Params:      params,
+			Fingerprint: fp,
+			EnergySaved: stats.Mean(saved),
+			Slowdown:    stats.Mean(slow),
+		}
+		return nil
+	}
+	if jobs := opts.Options.Parallelism; jobs > 1 && opts.Options.TraceWriter == nil {
+		sem := make(chan struct{}, jobs)
+		errs := make([]error, len(grid))
+		var wg sync.WaitGroup
+		for i := range grid {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				errs[i] = runPoint(i)
+			}(i)
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+	} else {
+		for i := range grid {
+			if err := runPoint(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	res = &TuneResult{Policy: spec.Name, Benchmarks: benchmarks, Points: points}
+	res.Frontier = markPareto(res.Points)
+	return res, nil
+}
