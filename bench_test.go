@@ -24,6 +24,7 @@ import (
 	"powerchop/internal/obs"
 	"powerchop/internal/obs/runlog"
 	"powerchop/internal/obs/span"
+	"powerchop/internal/obs/tsdb"
 	"powerchop/internal/phase"
 	"powerchop/internal/pvt"
 	"powerchop/internal/rescache"
@@ -724,4 +725,49 @@ func BenchmarkTune(b *testing.B) {
 	b.ReportMetric(float64(len(res.Points)), "grid-points")
 	b.ReportMetric(cold.Seconds(), "cold-s")
 	b.ReportMetric(100*warm.Seconds()/cold.Seconds(), "%of-cold")
+}
+
+// BenchmarkTelemetryOverhead measures the time-series store's cost on
+// the simulator hot path: no observer at all (the baseline), telemetry
+// ingest into a default multi-level store, and telemetry stacked on a
+// ring tracer (the serve monitor's shape). Ingest work happens only at
+// window boundaries, so the overhead must stay a small fraction of the
+// run.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	bench := mustBench(b, "bzip2")
+	p := bench.MustBuild()
+	cases := []struct {
+		name string
+		cfg  func() (*tsdb.Store, obs.Tracer)
+	}{
+		{"none", func() (*tsdb.Store, obs.Tracer) { return nil, nil }},
+		{"tsdb", func() (*tsdb.Store, obs.Tracer) {
+			return tsdb.NewStore(tsdb.DefaultConfig()), nil
+		}},
+		{"tsdb+ring", func() (*tsdb.Store, obs.Tracer) {
+			return tsdb.NewStore(tsdb.DefaultConfig()), obs.NewRing(4096)
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var windows uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ts, tracer := c.cfg()
+				res, err := sim.Run(p, sim.Config{
+					Design:          arch.Server(),
+					Manager:         core.MustPowerChop(core.DefaultConfig()),
+					MaxTranslations: 50000,
+					Tracer:          tracer,
+					Telemetry:       ts,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				windows = res.Windows
+			}
+			b.ReportMetric(float64(windows), "windows/op")
+		})
+	}
 }

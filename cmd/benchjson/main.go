@@ -51,8 +51,31 @@ type Artifact struct {
 	GoVersion   string        `json:"go_version"`
 	GOOS        string        `json:"goos"`
 	GOARCH      string        `json:"goarch"`
+	GOMAXPROCS  int           `json:"gomaxprocs,omitempty"`
 	Command     string        `json:"command"`
 	Results     []BenchResult `json:"results"`
+}
+
+// hostWarnings reports host-environment differences between two
+// artifacts: ns/op deltas across Go versions, operating systems,
+// architectures or core counts are trajectories of the host as much as
+// of the code, so the diff flags them. Fields a pre-metadata baseline
+// left empty are skipped rather than reported as mismatches.
+func hostWarnings(baseline, current *Artifact) []string {
+	var warns []string
+	check := func(field, old, new string) {
+		if old != "" && old != new {
+			warns = append(warns, fmt.Sprintf("%s changed: %s -> %s", field, old, new))
+		}
+	}
+	check("go version", baseline.GoVersion, current.GoVersion)
+	check("GOOS", baseline.GOOS, current.GOOS)
+	check("GOARCH", baseline.GOARCH, current.GOARCH)
+	if baseline.GOMAXPROCS != 0 && baseline.GOMAXPROCS != current.GOMAXPROCS {
+		warns = append(warns, fmt.Sprintf("GOMAXPROCS changed: %d -> %d",
+			baseline.GOMAXPROCS, current.GOMAXPROCS))
+	}
+	return warns
 }
 
 // parseBenchLine parses one `go test -bench` output line of the form
@@ -128,6 +151,9 @@ func diffReport(baseline, current *Artifact) string {
 	base := make(map[string]BenchResult, len(baseline.Results))
 	for _, r := range baseline.Results {
 		base[r.Name] = r
+	}
+	for _, warn := range hostWarnings(baseline, current) {
+		fmt.Fprintf(&b, "warning: %s — deltas compare different hosts\n", warn)
 	}
 	fmt.Fprintf(&b, "benchmark trajectory vs baseline (%s):\n", baseline.GeneratedAt)
 	seen := make(map[string]bool, len(current.Results))
@@ -215,6 +241,7 @@ func run(bench, benchtime, pkg string, count int, outPath, baseline string, stde
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Command:     "go " + strings.Join(args, " "),
 		Results:     results,
 	}

@@ -118,3 +118,49 @@ ok  	powerchop	2.0s
 		t.Fatalf("results: %+v", results)
 	}
 }
+
+// TestHostWarnings pins the cross-host diff warnings: mismatched host
+// metadata is flagged, while fields an old baseline never recorded stay
+// silent.
+func TestHostWarnings(t *testing.T) {
+	current := &Artifact{GoVersion: "go1.24", GOOS: "linux", GOARCH: "arm64", GOMAXPROCS: 8}
+
+	same := &Artifact{GoVersion: "go1.24", GOOS: "linux", GOARCH: "arm64", GOMAXPROCS: 8}
+	if warns := hostWarnings(same, current); len(warns) != 0 {
+		t.Errorf("identical hosts warned: %v", warns)
+	}
+
+	other := &Artifact{GoVersion: "go1.23", GOOS: "darwin", GOARCH: "amd64", GOMAXPROCS: 4}
+	warns := hostWarnings(other, current)
+	if len(warns) != 4 {
+		t.Fatalf("warnings = %v, want 4", warns)
+	}
+	for _, want := range []string{
+		"go version changed: go1.23 -> go1.24",
+		"GOOS changed: darwin -> linux",
+		"GOARCH changed: amd64 -> arm64",
+		"GOMAXPROCS changed: 4 -> 8",
+	} {
+		found := false
+		for _, w := range warns {
+			if w == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing warning %q in %v", want, warns)
+		}
+	}
+
+	// A pre-metadata baseline (zero values everywhere) stays quiet.
+	if warns := hostWarnings(&Artifact{}, current); len(warns) != 0 {
+		t.Errorf("empty baseline warned: %v", warns)
+	}
+
+	// And the warnings surface in the diff report itself.
+	out := diffReport(other, current)
+	if !strings.Contains(out, "warning: GOOS changed: darwin -> linux") ||
+		!strings.Contains(out, "deltas compare different hosts") {
+		t.Errorf("diff report missing host warnings:\n%s", out)
+	}
+}

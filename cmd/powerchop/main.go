@@ -48,6 +48,7 @@ import (
 	"powerchop/internal/arch"
 	"powerchop/internal/obs"
 	"powerchop/internal/obs/audit"
+	"powerchop/internal/obs/tsdb"
 	"powerchop/internal/power"
 	"powerchop/internal/rescache"
 )
@@ -137,6 +138,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdHeadline(args[1:])
 	case "serve":
 		err = cmdServe(args[1:], stderr)
+	case "top":
+		err = cmdTop(args[1:], stdout)
 	case "runs":
 		err = cmdRuns(args[1:], stdout)
 	case "policies":
@@ -184,13 +187,17 @@ commands:
   all [-scale F] [-jobs N]             regenerate every figure/table
   headline [-scale F] [-jobs N]        per-suite slowdown/power/energy summary
   serve [-addr :8080] [-scale F] [-trace FILE] [-cache DIR]  standing monitor + figure API
+  top -addr URL [-interval D] [-frames N]  live per-window series from a serve monitor
+  top -bench NAME [flags]       run in process, then show the telemetry summary
   runs [list|show|tail] [-cache DIR] [-kind K] [-name N] [-json]  browse the run history
   policies [-json]              list registered gating policies and parameter schemas
   tune -policy NAME [-bench B1,B2] [-grid P=LO:HI:N] [-jobs N] [-json]  Pareto sweep
 
 run, figure, all and headline accept -http ADDR to expose a live monitor
 for the duration of the command: /metrics (Prometheus), /progress (JSON),
-/events and /decisions (SSE or NDJSON), /debug/pprof.
+/events and /decisions (SSE or NDJSON), /dash (live telemetry), /api/series
+and /api/query (time-series range queries), /debug/pprof. run also accepts
+-telemetry to print per-window sparklines after the run.
 
 run, compare, figure, all and headline accept -cache DIR (default
 $POWERCHOP_CACHE) to reuse completed simulation results across
@@ -215,13 +222,14 @@ func cmdList() error {
 
 // runArgs carries the parsed flags of run and compare.
 type runArgs struct {
-	bench    string
-	opts     powerchop.Options
-	json     bool
-	trace    string
-	metrics  bool
-	httpAddr string
-	cacheDir string
+	bench     string
+	opts      powerchop.Options
+	json      bool
+	trace     string
+	metrics   bool
+	telemetry bool
+	httpAddr  string
+	cacheDir  string
 }
 
 func runFlags(args []string) (runArgs, error) {
@@ -237,6 +245,7 @@ func runFlags(args []string) (runArgs, error) {
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	trace := fs.String("trace", "", "write the event trace as JSONL to this file")
 	metrics := fs.Bool("metrics", false, "collect and print run metrics")
+	telemetry := fs.Bool("telemetry", false, "record per-window series and print a sparkline summary")
 	httpAddr := fs.String("http", "", "serve a live monitor on this address for the run's duration")
 	cacheDir := fs.String("cache", os.Getenv("POWERCHOP_CACHE"), "persistent result cache directory (default $POWERCHOP_CACHE)")
 	if err := fs.Parse(args); err != nil {
@@ -255,11 +264,12 @@ func runFlags(args []string) (runArgs, error) {
 			SampleInterval: *sample,
 			Metrics:        *metrics,
 		},
-		json:     *asJSON,
-		trace:    *trace,
-		metrics:  *metrics,
-		httpAddr: *httpAddr,
-		cacheDir: *cacheDir,
+		json:      *asJSON,
+		trace:     *trace,
+		metrics:   *metrics,
+		telemetry: *telemetry,
+		httpAddr:  *httpAddr,
+		cacheDir:  *cacheDir,
 	}, nil
 }
 
@@ -311,6 +321,11 @@ func cmdRun(args []string) error {
 	if err := a.attachCache(nil); err != nil {
 		return err
 	}
+	var ts *tsdb.Store
+	if a.telemetry {
+		ts = tsdb.NewStore(tsdb.DefaultConfig())
+		a.opts.Telemetry = ts
+	}
 	start := time.Now()
 	var rep *powerchop.Report
 	runErr := withMonitor(a.httpAddr, os.Stderr, func(l *liveMonitor) {
@@ -347,6 +362,12 @@ func cmdRun(args []string) error {
 	if rep.Metrics != nil {
 		fmt.Println()
 		fmt.Print(rep.Metrics.Summary)
+	}
+	if ts != nil {
+		fmt.Println()
+		if err := renderTelemetry(os.Stdout, ts, topWidth); err != nil {
+			return err
+		}
 	}
 	if a.trace != "" {
 		fmt.Printf("\ntrace written to %s (summarize with 'powerchop trace %s')\n", a.trace, a.trace)
@@ -543,6 +564,7 @@ func cmdTraceTimeline(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("trace timeline", flag.ContinueOnError)
 	in := fs.String("in", "", "trace file (JSONL); also accepted as a positional argument")
 	last := fs.Int("last", 40, "show only the newest N windows (0 = all)")
+	asJSON := fs.Bool("json", false, "emit the full timeline as JSON (ignores -last)")
 	if err := fs.Parse(args); err != nil {
 		return errParse(err)
 	}
@@ -550,7 +572,13 @@ func cmdTraceTimeline(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprint(stdout, obs.NewTimeline(events).Render(*last))
+	tl := obs.NewTimeline(events)
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tl)
+	}
+	fmt.Fprint(stdout, tl.Render(*last))
 	return nil
 }
 

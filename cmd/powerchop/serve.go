@@ -20,6 +20,7 @@ import (
 	"powerchop/internal/obs/runlog"
 	"powerchop/internal/obs/serve"
 	"powerchop/internal/obs/span"
+	"powerchop/internal/obs/tsdb"
 	"powerchop/internal/power"
 	"powerchop/internal/rescache"
 )
@@ -28,14 +29,16 @@ import (
 // callback that feed it, ready to plug into powerchop.Options or
 // FigureRunner options.
 type liveMonitor struct {
-	mon    *serve.Monitor
-	tracer obs.Tracer
-	reg    *obs.Registry
+	mon       *serve.Monitor
+	tracer    obs.Tracer
+	reg       *obs.Registry
+	telemetry *tsdb.Store
 }
 
 // newLiveMonitor builds a monitor over a fresh metrics collector: the
 // returned tracer fans events out to the collector (backing /metrics),
-// a decision-provenance auditor (backing /decisions?format=json) and
+// a decision-provenance auditor (backing /decisions?format=json), a
+// telemetry ingestor (backing /api/series, /api/query and /dash) and
 // the monitor's hub (backing /events and the /decisions stream). The
 // shared auditor prices savings at the server design point; runs on
 // other designs still stream correctly, their attributed joules are
@@ -56,10 +59,16 @@ func newLiveMonitor() *liveMonitor {
 		Registry:      collector.Registry(),
 	})
 	mon.SetDecisions(auditor)
+	store := tsdb.NewStore(tsdb.DefaultConfig())
+	ingest := tsdb.NewIngestor(store, tsdb.IngestorConfig{
+		Units: []string{arch.UnitBPU, arch.UnitMLC, arch.UnitVPU},
+	})
+	mon.SetTelemetry(store)
 	return &liveMonitor{
-		mon:    mon,
-		tracer: obs.Multi(collector, auditor, mon.Hub()),
-		reg:    collector.Registry(),
+		mon:       mon,
+		tracer:    obs.Multi(collector, auditor, ingest, mon.Hub()),
+		reg:       collector.Registry(),
+		telemetry: store,
 	}
 }
 
@@ -86,7 +95,7 @@ func (l *liveMonitor) start(addr string, stderr io.Writer) error {
 	if err := l.mon.Start(addr); err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "monitor listening on http://%s (/metrics /progress /events /decisions /debug/pprof)\n", l.mon.Addr())
+	fmt.Fprintf(stderr, "monitor listening on http://%s (/metrics /progress /events /decisions /dash /debug/pprof)\n", l.mon.Addr())
 	return nil
 }
 

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"powerchop"
+	"powerchop/internal/obs/tsdb"
+	"powerchop/internal/stats"
+	"powerchop/internal/textplot"
+)
+
+// topWidth is the default sparkline width of 'powerchop top' and the
+// 'run -telemetry' summary.
+const topWidth = 64
+
+// cmdTop shows the per-window telemetry series as sparklines: against a
+// running serve monitor (-addr, polling /api/series and /api/query), or
+// by running one benchmark in process (-bench) and rendering the final
+// store.
+func cmdTop(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	addr := fs.String("addr", "", "base URL of a running serve monitor (e.g. http://127.0.0.1:8080)")
+	bench := fs.String("bench", "", "run this benchmark in process instead of polling a monitor")
+	manager := fs.String("manager", powerchop.ManagerPowerChop, "power manager (in-process mode)")
+	archName := fs.String("arch", "", "design point (in-process mode; server|mobile, default per suite)")
+	passes := fs.Float64("passes", 2, "passes over the phase schedule (in-process mode)")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval between frames (remote mode)")
+	frames := fs.Int("frames", 0, "frames to draw before exiting (remote mode; 0 = forever)")
+	step := fs.Uint64("step", 0, "minimum windows per point: picks a downsampled level (0 = raw)")
+	width := fs.Int("width", topWidth, "sparkline width in characters")
+	if err := fs.Parse(args); err != nil {
+		return errParse(err)
+	}
+	switch {
+	case *addr != "" && *bench != "":
+		return usageError{msg: "top: -addr and -bench are mutually exclusive"}
+	case *bench != "":
+		ts := tsdb.NewStore(tsdb.DefaultConfig())
+		if _, err := powerchop.Run(*bench, powerchop.Options{
+			Arch:      *archName,
+			Manager:   *manager,
+			Passes:    *passes,
+			Telemetry: ts,
+		}); err != nil {
+			return err
+		}
+		return renderTelemetry(stdout, ts, *width)
+	case *addr == "":
+		return usageError{msg: "top: need -addr URL or -bench NAME"}
+	}
+	base := strings.TrimRight(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	for frame := 1; ; frame++ {
+		if err := topFrame(stdout, client, base, frame, *step, *width); err != nil {
+			return err
+		}
+		if *frames > 0 && frame >= *frames {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// topFrame draws one frame from a remote monitor: the series catalog,
+// then a range query per series.
+func topFrame(w io.Writer, client *http.Client, base string, frame int, step uint64, width int) error {
+	var catalog struct {
+		Series []tsdb.SeriesInfo `json:"series"`
+	}
+	if err := getJSON(client, base+"/api/series", &catalog); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "powerchop top — %s — frame %d, %d series\n", base, frame, len(catalog.Series))
+	for _, si := range catalog.Series {
+		var res tsdb.Result
+		q := fmt.Sprintf("%s/api/query?series=%s&step=%d", base, url.QueryEscape(si.Name), step)
+		if err := getJSON(client, q, &res); err != nil {
+			return err
+		}
+		writeTopLine(w, si.Name, &res, width)
+	}
+	return nil
+}
+
+// getJSON fetches a JSON document, turning non-200 answers (e.g. 404
+// from a monitor with no telemetry attached) into errors.
+func getJSON(client *http.Client, u string, v any) error {
+	resp, err := client.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("top: GET %s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// renderTelemetry renders one frame of a local store: every series as a
+// sparkline over its raw retention, with its latest value and range.
+func renderTelemetry(w io.Writer, ts *tsdb.Store, width int) error {
+	names := ts.SeriesNames()
+	fmt.Fprintf(w, "telemetry: %d series\n", len(names))
+	for _, name := range names {
+		res, err := ts.Query(tsdb.Query{Series: name})
+		if err != nil {
+			return err
+		}
+		writeTopLine(w, name, res, width)
+	}
+	return nil
+}
+
+// writeTopLine renders one series row: name, latest value, sparkline,
+// range and point count.
+func writeTopLine(w io.Writer, name string, res *tsdb.Result, width int) {
+	if len(res.Points) == 0 {
+		fmt.Fprintf(w, "  %-18s %12s  (no points)\n", name, "-")
+		return
+	}
+	vals := make([]float64, len(res.Points))
+	for i, p := range res.Points {
+		vals[i] = p.Value
+	}
+	down := (&stats.Series{Values: vals}).Downsample(width)
+	fmt.Fprintf(w, "  %-18s %12.5g  %s  [%.3g .. %.3g] (%d pts)\n",
+		name, vals[len(vals)-1], textplot.Spark(down.Values),
+		stats.Min(vals), stats.Max(vals), len(vals))
+}

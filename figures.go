@@ -188,6 +188,10 @@ var figureSpecs = []figureSpec{
 		r, err := experiments.PolicyZoo(ctx, f.runner)
 		return renderOf(r, err)
 	}},
+	{"powertrace", "Power trace: per-window telemetry under PowerChop on gobmk", func(ctx context.Context, f *FigureRunner) (string, error) {
+		r, err := experiments.PowerTrace(ctx, f.runner)
+		return renderOf(r, err)
+	}},
 }
 
 // renderer is anything with a Render method.

@@ -17,6 +17,7 @@ import (
 	"powerchop/internal/core"
 	"powerchop/internal/obs"
 	"powerchop/internal/obs/span"
+	"powerchop/internal/obs/tsdb"
 	"powerchop/internal/policy"
 	"powerchop/internal/program"
 	"powerchop/internal/pvt"
@@ -198,6 +199,10 @@ type runSpec struct {
 	// build constructs a fresh manager (managers are stateful and must
 	// not be shared across runs).
 	build func() (core.Manager, error)
+	// telemetry, when non-nil, attaches a time-series store to the run
+	// (Telemetry runs only; forces a cache bypass — a cached result
+	// cannot replay the per-window series).
+	telemetry *tsdb.Store
 }
 
 // kindRun is the runSpec of a fixed experiment kind.
@@ -290,15 +295,27 @@ func (r *Runner) Sampled(ctx context.Context, b workload.Benchmark, kind Kind, s
 	return r.simulate(ctx, b, kindRun(kind), sampleInterval, false)
 }
 
+// Telemetry runs the benchmark with the time-series store attached as an
+// extra event sink (used by the power-trace figure and `powerchop top`'s
+// in-process mode). Like Sampled it is never cached — a cached result
+// cannot replay the per-window series — but still bounded by the
+// runner's job slots. The runner's shared Tracer, if any, stays attached
+// alongside, so figure output remains byte-identical either way.
+func (r *Runner) Telemetry(ctx context.Context, b workload.Benchmark, kind Kind, ts *tsdb.Store) (*sim.Result, error) {
+	rs := kindRun(kind)
+	rs.telemetry = ts
+	return r.simulate(ctx, b, rs, 0, false)
+}
+
 // cacheKey derives the canonical persistent-cache key for a run, or
 // reports that the cache must be skipped: no cache configured, or a
-// tracer attached (a cached result cannot replay the event stream —
-// that skip is counted as a bypass).
+// tracer or telemetry store attached (a cached result cannot replay the
+// event stream — that skip is counted as a bypass).
 func (r *Runner) cacheKey(b workload.Benchmark, p *program.Program, rs runSpec, sampleInterval, runLen uint64) (rescache.Key, bool) {
 	if r.Cache == nil {
 		return rescache.Key{}, false
 	}
-	if r.Tracer != nil {
+	if r.Tracer != nil || rs.telemetry != nil {
 		r.Cache.CountBypass()
 		return rescache.Key{}, false
 	}
@@ -365,6 +382,7 @@ func (r *Runner) simulate(ctx context.Context, b workload.Benchmark, rs runSpec,
 		SampleInterval:  sampleInterval,
 		TrackQuality:    sampleInterval == 0 && rs.quality,
 		Tracer:          r.Tracer,
+		Telemetry:       rs.telemetry,
 	}
 	if report {
 		cfg.Progress = func(pr sim.Progress) {

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -24,6 +25,29 @@ func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value (an occupancy, a level, a
+// temperature — anything that can go down as well as up). Safe for
+// concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge's current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d (negative to decrease).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram accumulates observations into fixed buckets. Bucket i counts
 // observations <= Bounds[i]; one extra bucket counts the overflow. Safe
@@ -121,14 +145,18 @@ func PromName(name string) string {
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() float64
 	hists    map[string]*Histogram
-	byProm   map[string]string // PromName(name) → name, across both maps
+	byProm   map[string]string // PromName(name) → name, across all maps
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() float64),
 		hists:    make(map[string]*Histogram),
 		byProm:   make(map[string]string),
 	}
@@ -160,6 +188,37 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// Gauge returns the named gauge, creating it on first use. An invalid
+// or colliding name panics (see Registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		r.register(name)
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is sampled by calling fn at
+// every Snapshot — the natural shape for values the runtime already
+// tracks (goroutine counts, heap sizes). Registering the same name again
+// replaces the function; fn must be safe to call from any goroutine. An
+// invalid or colliding name panics (see Registry).
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if fn == nil {
+		panic("obs: GaugeFunc needs a non-nil function")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gaugeFns[name]; !ok {
+		r.register(name)
+	}
+	r.gaugeFns[name] = fn
+}
+
 // Histogram returns the named histogram, creating it with the given
 // bounds on first use. Later calls ignore bounds and return the existing
 // histogram. An invalid or colliding name panics (see Registry).
@@ -179,6 +238,12 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 type CounterSnap struct {
 	Name  string
 	Value uint64
+}
+
+// GaugeSnap is one gauge's snapshot.
+type GaugeSnap struct {
+	Name  string
+	Value float64
 }
 
 // HistogramSnap is one histogram's snapshot.
@@ -249,16 +314,26 @@ func (h HistogramSnap) Quantile(q float64) float64 {
 // Snapshot is a point-in-time copy of a registry, ordered by name.
 type Snapshot struct {
 	Counters   []CounterSnap
+	Gauges     []GaugeSnap
 	Histograms []HistogramSnap
 }
 
-// Snapshot copies the registry's current state.
+// Snapshot copies the registry's current state. Function gauges are
+// sampled here (outside the registry lock order they were registered
+// under, but under r.mu — registered functions must not call back into
+// the registry).
 func (r *Registry) Snapshot() *Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := &Snapshot{}
 	for name, c := range r.counters {
 		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.Value()})
+	}
+	for name, fn := range r.gaugeFns {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: fn()})
 	}
 	for name, h := range r.hists {
 		h.mu.Lock()
@@ -274,6 +349,7 @@ func (r *Registry) Snapshot() *Snapshot {
 		h.mu.Unlock()
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
 	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
 	return s
 }
@@ -287,6 +363,17 @@ func (s *Snapshot) Counter(name string) uint64 {
 		}
 	}
 	return 0
+}
+
+// Gauge returns the snapshotted value of the named gauge and whether it
+// was present.
+func (s *Snapshot) Gauge(name string) (float64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
 }
 
 // Histogram returns the snapshotted histogram by name.
@@ -310,6 +397,16 @@ func (s *Snapshot) Render() string {
 			rows = append(rows, []string{c.Name, fmt.Sprintf("%d", c.Value)})
 		}
 		out += "counters:\n" + textplot.Table([]string{"name", "value"}, rows)
+	}
+	if len(s.Gauges) > 0 {
+		rows := make([][]string, 0, len(s.Gauges))
+		for _, g := range s.Gauges {
+			rows = append(rows, []string{g.Name, fmt.Sprintf("%.6g", g.Value)})
+		}
+		if out != "" {
+			out += "\n"
+		}
+		out += "gauges:\n" + textplot.Table([]string{"name", "value"}, rows)
 	}
 	if len(s.Histograms) > 0 {
 		rows := make([][]string, 0, len(s.Histograms))

@@ -1,0 +1,39 @@
+package obs
+
+import "runtime"
+
+// Process metric names. Their Prometheus forms (go_goroutines,
+// go_gomaxprocs, go_memstats_heap_alloc_bytes,
+// go_gc_pause_total_seconds) follow the conventional Go client names so
+// standard dashboards work unchanged.
+const (
+	MetricGoroutines    = "go.goroutines"
+	MetricGOMAXPROCS    = "go.gomaxprocs"
+	MetricHeapAlloc     = "go.memstats.heap-alloc-bytes"
+	MetricGCPauseSecond = "go.gc.pause-total-seconds"
+)
+
+// RegisterProcessMetrics registers Go runtime health gauges — live
+// goroutines, heap bytes in use, cumulative GC pause time and
+// GOMAXPROCS — as function gauges sampled at every Snapshot. The serve
+// monitor calls it once so /metrics exposes process health next to the
+// simulation counters; registering twice on one registry is harmless
+// (GaugeFunc replaces).
+func RegisterProcessMetrics(r *Registry) {
+	r.GaugeFunc(MetricGoroutines, func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc(MetricGOMAXPROCS, func() float64 {
+		return float64(runtime.GOMAXPROCS(0))
+	})
+	r.GaugeFunc(MetricHeapAlloc, func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	})
+	r.GaugeFunc(MetricGCPauseSecond, func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.PauseTotalNs) / 1e9
+	})
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("pool.occupancy")
+	if reg.Gauge("pool.occupancy") != g {
+		t.Fatal("same name should return the same gauge")
+	}
+	g.Set(4)
+	g.Add(2)
+	g.Add(-5)
+	if v := g.Value(); v != 1 {
+		t.Fatalf("gauge value %g, want 1", v)
+	}
+	snap := reg.Snapshot()
+	if v, ok := snap.Gauge("pool.occupancy"); !ok || v != 1 {
+		t.Fatalf("snapshot gauge: %v %v", v, ok)
+	}
+	if _, ok := snap.Gauge("missing"); ok {
+		t.Fatal("missing gauge should not be found")
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	reg := NewRegistry()
+	v := 3.5
+	reg.GaugeFunc("sampled", func() float64 { return v })
+	if got, _ := reg.Snapshot().Gauge("sampled"); got != 3.5 {
+		t.Fatalf("sampled gauge: %g", got)
+	}
+	v = 7
+	if got, _ := reg.Snapshot().Gauge("sampled"); got != 7 {
+		t.Fatalf("sampled gauge after change: %g", got)
+	}
+	// Re-registering replaces the function without panicking.
+	reg.GaugeFunc("sampled", func() float64 { return -1 })
+	if got, _ := reg.Snapshot().Gauge("sampled"); got != -1 {
+		t.Fatalf("replaced gauge: %g", got)
+	}
+}
+
+func TestGaugeNameCollision(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("events.total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("colliding gauge name should panic")
+		}
+	}()
+	reg.Gauge("events_total") // same Prometheus form as events.total
+}
+
+func TestGaugesInRender(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("depth").Set(2.5)
+	out := reg.Snapshot().Render()
+	if !strings.Contains(out, "gauges:") || !strings.Contains(out, "depth") {
+		t.Fatalf("render missing gauges section:\n%s", out)
+	}
+}
+
+func TestRegisterProcessMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterProcessMetrics(reg)
+	RegisterProcessMetrics(reg) // idempotent
+	snap := reg.Snapshot()
+	for _, name := range []string{MetricGoroutines, MetricGOMAXPROCS, MetricHeapAlloc, MetricGCPauseSecond} {
+		v, ok := snap.Gauge(name)
+		if !ok {
+			t.Fatalf("process metric %s missing", name)
+		}
+		if name != MetricGCPauseSecond && v <= 0 {
+			t.Fatalf("process metric %s = %g, want positive", name, v)
+		}
+		if err := CheckName(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The conventional Prometheus names come out of the conversion.
+	wantProm := map[string]string{
+		MetricGoroutines:    "go_goroutines",
+		MetricGOMAXPROCS:    "go_gomaxprocs",
+		MetricHeapAlloc:     "go_memstats_heap_alloc_bytes",
+		MetricGCPauseSecond: "go_gc_pause_total_seconds",
+	}
+	for name, prom := range wantProm {
+		if got := PromName(name); got != prom {
+			t.Fatalf("PromName(%s) = %s, want %s", name, got, prom)
+		}
+	}
+}

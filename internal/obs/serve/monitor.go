@@ -20,6 +20,7 @@ import (
 
 	"powerchop/internal/obs"
 	"powerchop/internal/obs/runlog"
+	"powerchop/internal/obs/tsdb"
 )
 
 // Monitor bundles the monitoring endpoints:
@@ -28,6 +29,9 @@ import (
 //	GET /progress   JSON snapshot of per-run progress
 //	GET /events     live event stream (SSE; ?format=ndjson for NDJSON)
 //	GET /decisions  decision-event stream; ?format=json for the audit trail
+//	GET /api/series telemetry series discovery (404 until SetTelemetry)
+//	GET /api/query  telemetry range queries over the attached tsdb store
+//	GET /dash       live telemetry dashboard (HTML + SSE sparklines)
 //	GET /api/runs   persistent run history (filterable, paginated JSON)
 //	GET /runs       run-history board (plain text)
 //	GET /healthz    liveness probe (always 200 while the process serves)
@@ -56,6 +60,7 @@ type Monitor struct {
 	done      chan struct{}
 	decisions DecisionSource
 	runs      *runlog.Store
+	telemetry *tsdb.Store
 }
 
 // DecisionSource supplies the decision-provenance snapshot behind
@@ -80,10 +85,16 @@ func NewMonitor(reg *obs.Registry) *Monitor {
 		done:  make(chan struct{}),
 	}
 	m.hubDrop = reg.Counter("serve.events.dropped")
+	// Process health gauges live wherever a monitor scrapes: every
+	// /metrics page carries them next to the simulation counters.
+	obs.RegisterProcessMetrics(reg)
 	m.handle("GET /metrics", m.handleMetrics)
 	m.handle("GET /progress", m.handleProgress)
 	m.handle("GET /events", m.handleEvents)
 	m.handle("GET /decisions", m.handleDecisions)
+	m.handle("GET /api/series", m.handleSeries)
+	m.handle("GET /api/query", m.handleQuery)
+	m.handle("GET /dash", m.handleDash)
 	m.handle("GET /api/runs", m.handleRunsAPI)
 	m.handle("GET /runs", m.handleRunsBoard)
 	m.handle("GET /healthz", m.handleHealthz)
@@ -144,6 +155,9 @@ func (m *Monitor) handleIndex(w http.ResponseWriter, _ *http.Request) {
   /progress   per-run progress (JSON)
   /events     live event stream (SSE; ?format=ndjson for NDJSON)
   /decisions  decision events only (SSE/NDJSON; ?format=json for audit trail)
+  /api/series telemetry series discovery (JSON)
+  /api/query  telemetry range query (?series=&from=&to=&step=&agg=)
+  /dash       live telemetry dashboard (HTML)
   /api/runs   run history (JSON; ?kind=&name=&outcome=&limit=&offset=)
   /runs       run-history board (text)
   /healthz    liveness probe

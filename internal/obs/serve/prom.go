@@ -27,12 +27,12 @@ func formatFloat(v float64) string {
 }
 
 // WriteMetrics renders a registry snapshot in the Prometheus text
-// exposition format (version 0.0.4): every counter as a `counter` family
-// and every histogram as a `histogram` family with cumulative
-// `_bucket{le=...}` series, a closing `le="+Inf"` bucket, `_sum` and
-// `_count`. Registry names are converted with obs.PromName (the registry
-// guarantees at registration time that the conversion is legal and
-// collision-free).
+// exposition format (version 0.0.4): every counter as a `counter`
+// family, every gauge as a `gauge` family, and every histogram as a
+// `histogram` family with cumulative `_bucket{le=...}` series, a closing
+// `le="+Inf"` bucket, `_sum` and `_count`. Registry names are converted
+// with obs.PromName (the registry guarantees at registration time that
+// the conversion is legal and collision-free).
 func WriteMetrics(w io.Writer, s *obs.Snapshot) error {
 	bw := bufio.NewWriter(w)
 	for _, c := range s.Counters {
@@ -40,6 +40,12 @@ func WriteMetrics(w io.Writer, s *obs.Snapshot) error {
 		fmt.Fprintf(bw, "# HELP %s powerchop counter %s\n", name, c.Name)
 		fmt.Fprintf(bw, "# TYPE %s counter\n", name)
 		fmt.Fprintf(bw, "%s %d\n", name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		name := obs.PromName(g.Name)
+		fmt.Fprintf(bw, "# HELP %s powerchop gauge %s\n", name, g.Name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(bw, "%s %s\n", name, formatFloat(g.Value))
 	}
 	for _, h := range s.Histograms {
 		name := obs.PromName(h.Name)

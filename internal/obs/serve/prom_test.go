@@ -131,6 +131,36 @@ func TestWriteMetricsConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
+// TestWriteMetricsGauges pins the gauge family exposition and checks the
+// process-health gauges come out conformant under their conventional
+// Prometheus names.
+func TestWriteMetricsGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("events.total").Add(3)
+	reg.Gauge("pool.depth").Set(2.5)
+	obs.RegisterProcessMetrics(reg)
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE pool_depth gauge\n",
+		"pool_depth 2.5\n",
+		"# TYPE go_goroutines gauge\n",
+		"# TYPE go_gomaxprocs gauge\n",
+		"# TYPE go_memstats_heap_alloc_bytes gauge\n",
+		"# TYPE go_gc_pause_total_seconds gauge\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatalf("gauge exposition fails conformance: %v\n%s", err, out)
+	}
+}
+
 func TestFormatFloat(t *testing.T) {
 	var buf bytes.Buffer
 	reg := obs.NewRegistry()

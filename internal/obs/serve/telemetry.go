@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"powerchop/internal/obs/tsdb"
+)
+
+// SetTelemetry installs the time-series store behind GET /api/series,
+// GET /api/query and /dash. A nil store makes all three answer 404
+// again. The store is read-only from here: the monitor only queries.
+func (m *Monitor) SetTelemetry(ts *tsdb.Store) {
+	m.mu.Lock()
+	m.telemetry = ts
+	m.mu.Unlock()
+}
+
+// Telemetry returns the installed store (nil when none).
+func (m *Monitor) Telemetry() *tsdb.Store {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.telemetry
+}
+
+// handleSeries answers GET /api/series: every series with its sample
+// count and per-level occupancy, for discovery before /api/query.
+func (m *Monitor) handleSeries(w http.ResponseWriter, _ *http.Request) {
+	ts := m.Telemetry()
+	if ts == nil {
+		http.Error(w, "no telemetry store attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Series []tsdb.SeriesInfo `json:"series"`
+	}{Series: ts.Info()})
+}
+
+// handleQuery answers GET /api/query range queries:
+//
+//	series      series name (required; see /api/series)
+//	from, to    window range, inclusive (0/absent = unbounded)
+//	from_cycle, to_cycle  cycle range (floats; 0/absent = unbounded)
+//	step        desired windows per point; the coarsest level whose
+//	            bucket width fits answers (absent = raw)
+//	agg         mean (default), min, max, last, sum or count
+func (m *Monitor) handleQuery(w http.ResponseWriter, r *http.Request) {
+	ts := m.Telemetry()
+	if ts == nil {
+		http.Error(w, "no telemetry store attached", http.StatusNotFound)
+		return
+	}
+	q := tsdb.Query{Series: r.URL.Query().Get("series"), Agg: r.URL.Query().Get("agg")}
+	if q.Series == "" {
+		http.Error(w, "missing series parameter (see /api/series)", http.StatusBadRequest)
+		return
+	}
+	bad := func(name, val string) {
+		http.Error(w, fmt.Sprintf("bad %s parameter %q", name, val), http.StatusBadRequest)
+	}
+	for name, dst := range map[string]*uint64{"from": &q.From, "to": &q.To, "step": &q.Step} {
+		if s := r.URL.Query().Get(name); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				bad(name, s)
+				return
+			}
+			*dst = v
+		}
+	}
+	for name, dst := range map[string]*float64{"from_cycle": &q.FromCycle, "to_cycle": &q.ToCycle} {
+		if s := r.URL.Query().Get(name); s != "" {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				bad(name, s)
+				return
+			}
+			*dst = v
+		}
+	}
+	res, err := ts.Query(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(res)
+}
+
+// handleDash serves the live telemetry dashboard: a self-contained HTML
+// page that discovers series via /api/series, draws an SVG sparkline per
+// series from /api/query, and refreshes when the /events SSE stream
+// reports window closes (with a slow fallback poll while idle).
+func (m *Monitor) handleDash(w http.ResponseWriter, _ *http.Request) {
+	if m.Telemetry() == nil {
+		http.Error(w, "no telemetry store attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(dashHTML))
+}
+
+// dashHTML is the dashboard page. No external assets: the monitor stays
+// usable on an air-gapped host.
+const dashHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>powerchop telemetry</title>
+<style>
+  body { font: 13px/1.5 ui-monospace, SFMono-Regular, Menlo, monospace;
+         background: #101418; color: #d8dee4; margin: 1.5em; }
+  h1 { font-size: 15px; }
+  h1 .live { color: #7ac77a; }
+  table { border-collapse: collapse; }
+  td, th { padding: 2px 12px 2px 0; text-align: left; white-space: nowrap; }
+  th { color: #8b949e; font-weight: normal; border-bottom: 1px solid #30363d; }
+  td.num { font-variant-numeric: tabular-nums; }
+  svg { vertical-align: middle; }
+  polyline { fill: none; stroke: #58a6ff; stroke-width: 1.2; }
+  .note { color: #8b949e; }
+</style>
+</head>
+<body>
+<h1>powerchop telemetry <span id="state" class="live">&#9679;</span></h1>
+<p class="note">per-window series from the embedded tsdb; sparklines show the
+newest raw windows. <a href="/api/series" style="color:#58a6ff">/api/series</a>
+&middot; query with /api/query?series=NAME&amp;step=N&amp;agg=mean</p>
+<table id="tbl">
+<thead><tr><th>series</th><th>samples</th><th>last</th><th>min</th><th>max</th><th>trend</th></tr></thead>
+<tbody></tbody>
+</table>
+<script>
+"use strict";
+const POINTS = 160;          // sparkline width in raw windows
+const MIN_REFRESH_MS = 500;  // coalesce SSE bursts
+const IDLE_POLL_MS = 5000;   // fallback when the event stream is quiet
+let dirty = true, refreshing = false;
+
+function spark(values, w, h) {
+  if (!values.length) return "";
+  let lo = Math.min(...values), hi = Math.max(...values);
+  if (hi === lo) { hi = lo + 1; }
+  const pts = values.map((v, i) => {
+    const x = values.length === 1 ? 0 : i / (values.length - 1) * (w - 2) + 1;
+    const y = h - 2 - (v - lo) / (hi - lo) * (h - 4) + 1;
+    return x.toFixed(1) + "," + y.toFixed(1);
+  }).join(" ");
+  return '<svg width="' + w + '" height="' + h + '"><polyline points="' + pts + '"/></svg>';
+}
+
+function fmt(v) {
+  if (v === undefined || v === null) return "-";
+  return Math.abs(v) >= 1000 ? v.toLocaleString("en-US", {maximumFractionDigits: 0})
+                             : +v.toPrecision(4) + "";
+}
+
+async function refresh() {
+  if (refreshing) { dirty = true; return; }
+  refreshing = true; dirty = false;
+  try {
+    const info = await (await fetch("/api/series")).json();
+    const rows = [];
+    for (const s of info.series || []) {
+      const last = s.levels && s.levels[0] ? s.levels[0].end : 0;
+      const from = last > POINTS ? last - POINTS + 1 : 0;
+      const q = await (await fetch("/api/query?series=" + encodeURIComponent(s.name) +
+                                   (from ? "&from=" + from : "") + "&agg=last")).json();
+      const vals = (q.points || []).map(p => p.value);
+      const tail = vals.length ? vals[vals.length - 1] : undefined;
+      rows.push("<tr><td>" + s.name + "</td><td class=num>" + s.samples +
+                "</td><td class=num>" + fmt(tail) +
+                "</td><td class=num>" + fmt(vals.length ? Math.min(...vals) : undefined) +
+                "</td><td class=num>" + fmt(vals.length ? Math.max(...vals) : undefined) +
+                "</td><td>" + spark(vals, 320, 28) + "</td></tr>");
+    }
+    document.querySelector("#tbl tbody").innerHTML =
+      rows.join("") || '<tr><td colspan=6 class=note>(no samples yet - trigger a run, e.g. /api/run?bench=gobmk)</td></tr>';
+  } finally {
+    refreshing = false;
+    if (dirty) setTimeout(refresh, MIN_REFRESH_MS);
+  }
+}
+
+const es = new EventSource("/events");
+es.onmessage = ev => {
+  try {
+    const e = JSON.parse(ev.data);
+    if (e.kind === "window-close" || e.kind === "run-end") {
+      if (!refreshing) setTimeout(refresh, MIN_REFRESH_MS);
+      else dirty = true;
+    }
+  } catch (_) {}
+};
+es.onerror = () => { document.getElementById("state").style.color = "#d29922"; };
+es.onopen = () => { document.getElementById("state").style.color = "#7ac77a"; };
+
+refresh();
+setInterval(() => refresh(), IDLE_POLL_MS);
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"powerchop/internal/obs/tsdb"
+)
+
+// telemetryStore builds a store with two short series.
+func telemetryStore() *tsdb.Store {
+	ts := tsdb.NewStore(tsdb.Config{Levels: []tsdb.LevelSpec{
+		{Bucket: 1, Retain: 16},
+		{Bucket: 4, Retain: 8},
+	}})
+	for w := uint64(1); w <= 8; w++ {
+		ts.Append("window.insns", w, float64(w*1000), float64(w*100))
+		ts.Append("unit.frac.VPU", w, float64(w*1000), 0.05)
+	}
+	return ts
+}
+
+func TestTelemetryRoutesDetached(t *testing.T) {
+	_, url := testMonitor(t)
+	for _, path := range []string{"/api/series", "/api/query?series=x", "/dash"} {
+		if _, resp := get(t, url+path); resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s without a store: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestTelemetrySeries(t *testing.T) {
+	m, url := testMonitor(t)
+	m.SetTelemetry(telemetryStore())
+	body, resp := get(t, url+"/api/series")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Series []tsdb.SeriesInfo `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Series) != 2 || out.Series[0].Name != "unit.frac.VPU" || out.Series[1].Name != "window.insns" {
+		t.Fatalf("series: %+v", out.Series)
+	}
+	if out.Series[1].Samples != 8 || out.Series[1].Levels[0].End != 8 {
+		t.Fatalf("window.insns info: %+v", out.Series[1])
+	}
+	// Detaching flips the route back to 404.
+	m.SetTelemetry(nil)
+	if _, resp := get(t, url+"/api/series"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("after detach: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestTelemetryQuery(t *testing.T) {
+	m, url := testMonitor(t)
+	m.SetTelemetry(telemetryStore())
+
+	body, resp := get(t, url+"/api/query?series=window.insns&from=3&to=5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res tsdb.Result
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Bucket != 1 || res.Agg != "mean" || len(res.Points) != 3 {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.Points[0].Window != 3 || res.Points[0].Value != 300 {
+		t.Fatalf("first point: %+v", res.Points[0])
+	}
+
+	// A step picks the coarser level and honours the aggregator.
+	body, _ = get(t, url+"/api/query?series=window.insns&step=4&agg=max")
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Bucket != 4 || len(res.Points) != 2 || res.Points[1].Value != 800 {
+		t.Fatalf("stepped result: %+v", res)
+	}
+
+	// Bad requests answer 400 with a usable message.
+	for _, q := range []string{
+		"", "series=nope", "series=window.insns&agg=median",
+		"series=window.insns&from=abc", "series=window.insns&from_cycle=x",
+	} {
+		if _, resp := get(t, url+"/api/query?"+q); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("query %q: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestTelemetryDash(t *testing.T) {
+	m, url := testMonitor(t)
+	m.SetTelemetry(telemetryStore())
+	body, resp := get(t, url+"/dash")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content-type %q", ct)
+	}
+	for _, want := range []string{"powerchop telemetry", "/api/series", "EventSource(\"/events\")"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/dash missing %q", want)
+		}
+	}
+}
+
+// TestTelemetryRouteMetrics checks the new routes run through the shared
+// middleware: a query request shows up in the RED instruments.
+func TestTelemetryRouteMetrics(t *testing.T) {
+	m, url := testMonitor(t)
+	m.SetTelemetry(telemetryStore())
+	get(t, url+"/api/query?series=window.insns")
+	body, _ := get(t, url+"/metrics")
+	if !strings.Contains(body, "http_requests_api_query 1") {
+		t.Fatalf("/metrics missing RED counter for /api/query:\n%s", body)
+	}
+}

@@ -14,29 +14,29 @@ import (
 // the boundary settled.
 type TimelineRow struct {
 	// Window is the window's ordinal (1-based).
-	Window uint64
+	Window uint64 `json:"window"`
 	// EndCycle is the simulated cycle at the window's close.
-	EndCycle float64
+	EndCycle float64 `json:"end_cycle"`
 	// Sig is the rendered phase signature ("<t1a,t2b>").
-	Sig string
+	Sig string `json:"sig"`
 	// Insns is the window's translated dynamic instruction count.
-	Insns uint64
+	Insns uint64 `json:"insns"`
 	// Lookup is the PVT outcome at the boundary: "hit", "miss" or "-"
 	// (no lookup observed, e.g. a non-PowerChop manager).
-	Lookup string
+	Lookup string `json:"lookup"`
 	// Policy is the policy vector applied at the boundary ("0110"), or
 	// "-" when none was observed.
-	Policy string
+	Policy string `json:"policy"`
 	// CDEInvokes counts CDE invocations at the boundary.
-	CDEInvokes uint64
+	CDEInvokes uint64 `json:"cde_invokes"`
 	// Gates counts gating transitions at the boundary and Stall their
 	// total stall-cycle cost.
-	Gates uint64
-	Stall float64
+	Gates uint64  `json:"gates"`
+	Stall float64 `json:"stall"`
 	// Fracs holds each unit's power fraction after the boundary, aligned
 	// with Timeline.Units. Units never seen gating yet report 1 (full
 	// power, the simulator's boot state).
-	Fracs []float64
+	Fracs []float64 `json:"fracs"`
 }
 
 // Timeline is a per-window replay of a single-run trace: one row per
@@ -45,8 +45,8 @@ type TimelineRow struct {
 type Timeline struct {
 	// Units lists the gated units observed, sorted; every row's Fracs
 	// aligns with it.
-	Units []string
-	Rows  []TimelineRow
+	Units []string      `json:"units"`
+	Rows  []TimelineRow `json:"rows"`
 }
 
 // NewTimeline replays a time-ordered event stream (one run, as written

@@ -1,0 +1,270 @@
+package tsdb
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func testConfig() Config {
+	return Config{Levels: []LevelSpec{
+		{Bucket: 1, Retain: 4},
+		{Bucket: 2, Retain: 3},
+		{Bucket: 4, Retain: 2},
+	}}
+}
+
+func TestStoreEmpty(t *testing.T) {
+	s := NewStore(DefaultConfig())
+	if names := s.SeriesNames(); len(names) != 0 {
+		t.Fatalf("empty store lists series: %v", names)
+	}
+	if info := s.Info(); len(info) != 0 {
+		t.Fatalf("empty store has info: %v", info)
+	}
+	if _, err := s.Query(Query{Series: "nope"}); err == nil {
+		t.Fatal("query of unknown series should error")
+	}
+}
+
+func TestStoreSingleSample(t *testing.T) {
+	s := NewStore(testConfig())
+	s.Append("x", 1, 100, 2.5)
+	res, err := s.Query(Query{Series: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 || res.Bucket != 1 {
+		t.Fatalf("want one raw point, got %+v", res)
+	}
+	p := res.Points[0]
+	if p.Window != 1 || p.End != 1 || p.Cycle != 100 || p.Value != 2.5 ||
+		p.Min != 2.5 || p.Max != 2.5 || p.Mean != 2.5 || p.Last != 2.5 || p.Count != 1 {
+		t.Fatalf("bad point: %+v", p)
+	}
+	// Every level holds the sample.
+	for _, b := range []uint64{1, 2, 4} {
+		if got := s.LevelBuckets("x", b); len(got) != 1 || got[0].Count != 1 {
+			t.Fatalf("level %d: %+v", b, got)
+		}
+	}
+}
+
+func TestStoreBucketBoundariesAndAggregates(t *testing.T) {
+	s := NewStore(testConfig())
+	// Windows 1..4, values 10,20,30,40.
+	for w := uint64(1); w <= 4; w++ {
+		s.Append("x", w, float64(w*100), float64(w*10))
+	}
+	// Level 2 keeps [1,2] and [3,4].
+	bs := s.LevelBuckets("x", 2)
+	want := []Bucket{
+		{Start: 1, End: 2, Count: 2, Min: 10, Max: 20, Sum: 30, Last: 20, Cycle: 200},
+		{Start: 3, End: 4, Count: 2, Min: 30, Max: 40, Sum: 70, Last: 40, Cycle: 400},
+	}
+	if !reflect.DeepEqual(bs, want) {
+		t.Fatalf("level-2 buckets:\n got %+v\nwant %+v", bs, want)
+	}
+	// Aggregators over the level-2 buckets.
+	for agg, wantVals := range map[string][]float64{
+		AggMean:  {15, 35},
+		AggMin:   {10, 30},
+		AggMax:   {20, 40},
+		AggLast:  {20, 40},
+		AggSum:   {30, 70},
+		AggCount: {2, 2},
+	} {
+		res, err := s.Query(Query{Series: "x", Step: 2, Agg: agg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Bucket != 2 {
+			t.Fatalf("%s: answered from level %d, want 2", agg, res.Bucket)
+		}
+		var got []float64
+		for _, p := range res.Points {
+			got = append(got, p.Value)
+		}
+		if !reflect.DeepEqual(got, wantVals) {
+			t.Fatalf("%s: got %v want %v", agg, got, wantVals)
+		}
+	}
+	if _, err := s.Query(Query{Series: "x", Agg: "median"}); err == nil {
+		t.Fatal("unknown aggregator should error")
+	}
+}
+
+func TestStoreLevelSelection(t *testing.T) {
+	s := NewStore(testConfig())
+	s.Append("x", 1, 1, 1)
+	for step, wantBucket := range map[uint64]uint64{0: 1, 1: 1, 2: 2, 3: 2, 4: 4, 100: 4} {
+		res, err := s.Query(Query{Series: "x", Step: step})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Bucket != wantBucket {
+			t.Fatalf("step %d: answered from level %d, want %d", step, res.Bucket, wantBucket)
+		}
+	}
+}
+
+func TestStoreRangeBounds(t *testing.T) {
+	s := NewStore(testConfig())
+	// Raw retention is 4: windows 5..8 survive, cycles 500..800.
+	for w := uint64(1); w <= 8; w++ {
+		s.Append("x", w, float64(w*100), float64(w))
+	}
+	cases := []struct {
+		q    Query
+		want []uint64 // surviving window ordinals
+	}{
+		{Query{Series: "x"}, []uint64{5, 6, 7, 8}},
+		{Query{Series: "x", From: 6}, []uint64{6, 7, 8}},
+		{Query{Series: "x", To: 6}, []uint64{5, 6}},
+		{Query{Series: "x", From: 6, To: 7}, []uint64{6, 7}},
+		{Query{Series: "x", From: 100}, nil},
+		{Query{Series: "x", FromCycle: 650}, []uint64{7, 8}},
+		{Query{Series: "x", ToCycle: 650}, []uint64{5, 6}},
+		{Query{Series: "x", FromCycle: 550, ToCycle: 750, From: 7}, []uint64{7}},
+	}
+	for _, c := range cases {
+		res, err := s.Query(c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []uint64
+		for _, p := range res.Points {
+			got = append(got, p.Window)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("query %+v: got windows %v want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// TestStoreRetentionEviction drives enough windows through a small store
+// that every level wraps its ring, and checks each level keeps exactly
+// its newest Retain buckets with deterministic boundaries.
+func TestStoreRetentionEviction(t *testing.T) {
+	s := NewStore(testConfig())
+	const windows = 20
+	for w := uint64(1); w <= windows; w++ {
+		s.Append("x", w, float64(w), float64(w))
+	}
+	wantRanges := map[uint64][][2]uint64{
+		1: {{17, 17}, {18, 18}, {19, 19}, {20, 20}},
+		2: {{15, 16}, {17, 18}, {19, 20}},
+		4: {{13, 16}, {17, 20}},
+	}
+	for bucket, ranges := range wantRanges {
+		bs := s.LevelBuckets("x", bucket)
+		if len(bs) != len(ranges) {
+			t.Fatalf("level %d holds %d buckets, want %d: %+v", bucket, len(bs), len(ranges), bs)
+		}
+		for i, r := range ranges {
+			if bs[i].Start != r[0] || bs[i].End != r[1] {
+				t.Fatalf("level %d bucket %d covers [%d,%d], want [%d,%d]",
+					bucket, i, bs[i].Start, bs[i].End, r[0], r[1])
+			}
+			if bs[i].Count != bucket {
+				t.Fatalf("level %d bucket %d folded %d samples, want %d", bucket, i, bs[i].Count, bucket)
+			}
+		}
+	}
+	info := s.Info()
+	if len(info) != 1 || info[0].Samples != windows {
+		t.Fatalf("info: %+v", info)
+	}
+	if lv := info[0].Levels[0]; lv.Start != 17 || lv.End != 20 || lv.Buckets != 4 {
+		t.Fatalf("raw level info: %+v", lv)
+	}
+}
+
+// TestStoreDeterministicReplay replays the same sample stream into two
+// stores and requires byte-identical level contents at every level.
+func TestStoreDeterministicReplay(t *testing.T) {
+	build := func() *Store {
+		s := NewStore(testConfig())
+		for w := uint64(1); w <= 37; w++ {
+			s.Append("a", w, float64(w)*1.5, float64((w*7)%13))
+			if w%3 == 0 {
+				s.Append("b", w, float64(w)*1.5, float64(w))
+			}
+		}
+		return s
+	}
+	s1, s2 := build(), build()
+	for _, name := range s1.SeriesNames() {
+		for _, spec := range testConfig().Levels {
+			b1 := s1.LevelBuckets(name, spec.Bucket)
+			b2 := s2.LevelBuckets(name, spec.Bucket)
+			if fmt.Sprintf("%+v", b1) != fmt.Sprintf("%+v", b2) {
+				t.Fatalf("series %s level %d diverged:\n%+v\n%+v", name, spec.Bucket, b1, b2)
+			}
+		}
+	}
+	if !reflect.DeepEqual(s1.Info(), s2.Info()) {
+		t.Fatal("replayed stores report different info")
+	}
+}
+
+// TestStoreConcurrentIngestQuery hammers one store with concurrent
+// appends and queries; run under -race this is the data-race check.
+func TestStoreConcurrentIngestQuery(t *testing.T) {
+	s := NewStore(testConfig())
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for w := uint64(1); w <= 5000; w++ {
+			s.Append("x", w, float64(w), float64(w%17))
+		}
+		close(stop)
+	}()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if res, err := s.Query(Query{Series: "x", Step: 2, Agg: AggMax}); err == nil {
+					for _, p := range res.Points {
+						if p.Max > 16 {
+							panic("impossible max")
+						}
+					}
+				}
+				s.Info()
+				s.SeriesNames()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.LevelBuckets("x", 1); len(got) != 4 {
+		t.Fatalf("raw level after concurrent ingest: %+v", got)
+	}
+}
+
+func TestNewStorePanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Levels: []LevelSpec{{Bucket: 0, Retain: 1}}},
+		{Levels: []LevelSpec{{Bucket: 1, Retain: 0}}},
+		{Levels: []LevelSpec{{Bucket: 2, Retain: 1}, {Bucket: 2, Retain: 1}}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewStore(%+v) did not panic", cfg)
+				}
+			}()
+			NewStore(cfg)
+		}()
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"powerchop/internal/isa"
 	"powerchop/internal/obs"
 	"powerchop/internal/obs/audit"
+	"powerchop/internal/obs/tsdb"
 	"powerchop/internal/phase"
 	"powerchop/internal/power"
 	"powerchop/internal/program"
@@ -167,6 +168,11 @@ func (s *engine) wireObservability() {
 	if s.cfg.Audit {
 		s.auditor = audit.MustNew(s.auditConfig())
 		sinks = append(sinks, s.auditor)
+	}
+	if s.cfg.Telemetry != nil {
+		sinks = append(sinks, tsdb.NewIngestor(s.cfg.Telemetry, tsdb.IngestorConfig{
+			Units: []string{arch.UnitBPU, arch.UnitMLC, arch.UnitVPU},
+		}))
 	}
 	t := obs.Multi(sinks...)
 	if t == nil {

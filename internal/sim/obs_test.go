@@ -6,6 +6,7 @@ import (
 	"powerchop/internal/arch"
 	"powerchop/internal/core"
 	"powerchop/internal/obs"
+	"powerchop/internal/obs/tsdb"
 )
 
 // runTraced runs the vector-phased program under PowerChop with a ring
@@ -140,5 +141,57 @@ func TestTracingMatchesUntraced(t *testing.T) {
 	}
 	if plain.Power.AvgPowerW() != traced.Power.AvgPowerW() {
 		t.Errorf("tracing perturbed power: %v vs %v", plain.Power.AvgPowerW(), traced.Power.AvgPowerW())
+	}
+}
+
+// TestTelemetryMatchesPlain checks the telemetry store is a pure observer:
+// a run with a tsdb store attached is bit-identical to one without, and the
+// store ends up holding one raw sample per closed window.
+func TestTelemetryMatchesPlain(t *testing.T) {
+	plain := runWith(t, vectorPhasedProgram(t), core.MustPowerChop(core.DefaultConfig()), 3000)
+
+	ts := tsdb.NewStore(tsdb.DefaultConfig())
+	teled, err := Run(vectorPhasedProgram(t), Config{
+		Design:          arch.Server(),
+		Manager:         core.MustPowerChop(core.DefaultConfig()),
+		Phase:           smallPhaseConfig(),
+		MaxTranslations: 3000,
+		Telemetry:       ts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != teled.Cycles || plain.GuestInsns != teled.GuestInsns {
+		t.Errorf("telemetry perturbed the run: cycles %v vs %v, insns %d vs %d",
+			plain.Cycles, teled.Cycles, plain.GuestInsns, teled.GuestInsns)
+	}
+	if plain.Power.AvgPowerW() != teled.Power.AvgPowerW() {
+		t.Errorf("telemetry perturbed power: %v vs %v", plain.Power.AvgPowerW(), teled.Power.AvgPowerW())
+	}
+
+	names := ts.SeriesNames()
+	if len(names) == 0 {
+		t.Fatal("telemetry run filled no series")
+	}
+	for _, want := range []string{
+		tsdb.SeriesInsns, tsdb.SeriesIPC, tsdb.SeriesStall,
+		tsdb.SeriesUnitFracPrefix + arch.UnitVPU,
+	} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("series %q missing from %v", want, names)
+		}
+	}
+	res, err := ts.Query(tsdb.Query{Series: tsdb.SeriesInsns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(res.Points)) != teled.Windows {
+		t.Errorf("window.insns raw points = %d, result windows = %d", len(res.Points), teled.Windows)
 	}
 }

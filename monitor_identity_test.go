@@ -13,10 +13,12 @@ import (
 	"testing"
 	"time"
 
+	"powerchop/internal/arch"
 	"powerchop/internal/obs"
 	"powerchop/internal/obs/runlog"
 	"powerchop/internal/obs/serve"
 	"powerchop/internal/obs/span"
+	"powerchop/internal/obs/tsdb"
 )
 
 // lockedWriter serializes concurrent access-log writes from handler
@@ -41,6 +43,7 @@ func (w *lockedWriter) String() string {
 // TestMonitorAttachedByteIdentical is the live-monitoring determinism
 // gate: rendering the full figure set with the whole observability layer
 // attached — metrics collector, progress board, one live SSE client,
+// telemetry time-series ingest with a live /api/query polling client,
 // request spans, a run-history store, and structured access logging —
 // must be byte-identical to an unobserved render. Observation is pure;
 // it may never perturb simulation results.
@@ -107,7 +110,42 @@ func TestMonitorAttachedByteIdentical(t *testing.T) {
 			Err:          p.Err,
 		})
 	}
-	tracer := obs.Multi(collector, mon.Hub())
+	// Telemetry rides the same fan-out: per-window series ingest into a
+	// live store queried over HTTP while the figures render.
+	telemetry := tsdb.NewStore(tsdb.DefaultConfig())
+	ingest := tsdb.NewIngestor(telemetry, tsdb.IngestorConfig{
+		Units: []string{arch.UnitBPU, arch.UnitMLC, arch.UnitVPU},
+	})
+	mon.SetTelemetry(telemetry)
+	pollCtx, stopPoll := context.WithCancel(context.Background())
+	defer stopPoll()
+	pollDone := make(chan struct{})
+	go func() {
+		defer close(pollDone)
+		for pollCtx.Err() == nil {
+			for _, path := range []string{
+				"/api/series",
+				"/api/query?series=" + tsdb.SeriesInsns,
+			} {
+				req, err := http.NewRequestWithContext(pollCtx, http.MethodGet, base+path, nil)
+				if err != nil {
+					return
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					continue // series may not exist yet; keep polling
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			select {
+			case <-pollCtx.Done():
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}()
+
+	tracer := obs.Multi(collector, ingest, mon.Hub())
 	observed := NewFigureRunner(0.02, WithJobs(4),
 		WithTracer(tracer),
 		WithProgress(progress))
@@ -161,6 +199,31 @@ func TestMonitorAttachedByteIdentical(t *testing.T) {
 	}
 	if len(runsDoc.Runs) != 1 || runsDoc.Runs[0].SpanID != root.ID() || runsDoc.Runs[0].RequestID != reqID {
 		t.Errorf("/api/runs after render: %+v", runsDoc.Runs)
+	}
+
+	// The telemetry surface filled from the same event stream: the series
+	// catalog is non-empty and a range query answers with real windows.
+	stopPoll()
+	select {
+	case <-pollDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("telemetry polling client did not terminate after cancel")
+	}
+	var seriesDoc struct {
+		Series []tsdb.SeriesInfo `json:"series"`
+	}
+	if err := json.Unmarshal(getBody(t, base+"/api/series"), &seriesDoc); err != nil {
+		t.Fatalf("/api/series not JSON: %v", err)
+	}
+	if len(seriesDoc.Series) == 0 {
+		t.Fatal("/api/series empty after a telemetry-attached render")
+	}
+	var queryDoc tsdb.Result
+	if err := json.Unmarshal(getBody(t, base+"/api/query?series="+tsdb.SeriesInsns), &queryDoc); err != nil {
+		t.Fatalf("/api/query not JSON: %v", err)
+	}
+	if len(queryDoc.Points) == 0 {
+		t.Fatalf("/api/query returned no points for %s", tsdb.SeriesInsns)
 	}
 
 	// Every scrape above left a structured access-log line carrying its

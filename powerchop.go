@@ -36,6 +36,7 @@ import (
 	"powerchop/internal/obs"
 	"powerchop/internal/obs/audit"
 	"powerchop/internal/obs/span"
+	"powerchop/internal/obs/tsdb"
 	"powerchop/internal/policy"
 	"powerchop/internal/program"
 	"powerchop/internal/rescache"
@@ -117,6 +118,13 @@ type Options struct {
 	// obs/serve). It must be safe for concurrent emission if the caller
 	// also sets Parallelism above one.
 	Tracer obs.Tracer
+	// Telemetry, when non-nil, streams the run's per-window series
+	// (instruction counts, IPC, stalls, per-unit power fractions, PVT hit
+	// rate, criticality scores) into the given time-series store; query
+	// it live over /api/query on a monitor or afterwards in process. A
+	// pure observer like Tracer: results are bit-identical with or
+	// without it.
+	Telemetry *tsdb.Store
 	// Progress, when non-nil, is called at every window boundary and once
 	// on completion. The callback is a pure observer: results are
 	// bit-identical with or without it.
@@ -131,7 +139,8 @@ type Options struct {
 	// store (internal/rescache): Run consults it before simulating and
 	// files the result afterwards, so repeated identical runs are
 	// near-instant and byte-identical. Runs with an event-stream
-	// consumer attached (TraceWriter, Tracer, Metrics or Audit) bypass
+	// consumer attached (TraceWriter, Tracer, Metrics, Audit or
+	// Telemetry) bypass
 	// the cache — a cached result cannot replay the stream. Progress
 	// still works on a hit: the callback receives the final done report.
 	Cache *rescache.Cache
@@ -559,6 +568,7 @@ func runProgram(ctx context.Context, p *program.Program, b workload.Benchmark, o
 		Tracer:          obs.Multi(sinks...),
 		Metrics:         opts.Metrics,
 		Audit:           opts.Audit,
+		Telemetry:       opts.Telemetry,
 	}
 
 	// Persistent result cache: consult before simulating, fill after. Any
@@ -571,7 +581,7 @@ func runProgram(ctx context.Context, p *program.Program, b workload.Benchmark, o
 	}
 	var cacheKey rescache.Key
 	if resCache != nil {
-		if opts.TraceWriter != nil || opts.Tracer != nil || opts.Metrics || opts.Audit {
+		if opts.TraceWriter != nil || opts.Tracer != nil || opts.Metrics || opts.Audit || opts.Telemetry != nil {
 			resCache.CountBypass()
 			resCache = nil
 		} else {

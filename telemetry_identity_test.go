@@ -1,0 +1,132 @@
+package powerchop
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"powerchop/internal/arch"
+	"powerchop/internal/obs"
+	"powerchop/internal/obs/tsdb"
+)
+
+// dumpStore renders every series' every level for byte comparison.
+func dumpStore(ts *tsdb.Store) string {
+	var b bytes.Buffer
+	for _, name := range ts.SeriesNames() {
+		for _, l := range ts.Levels() {
+			fmt.Fprintf(&b, "%s@%d: %+v\n", name, l.Bucket, ts.LevelBuckets(name, l.Bucket))
+		}
+	}
+	return b.String()
+}
+
+// TestTelemetryRawMatchesTimeline is the telemetry reconciliation gate:
+// the store's raw level, filled live during a run, must agree exactly
+// with the timeline replayed from the same run's JSONL trace — the
+// oracle behind `trace timeline -json` — and re-ingesting the recorded
+// events must rebuild every downsampled level byte-identically.
+func TestTelemetryRawMatchesTimeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a benchmark; skipped with -short")
+	}
+	var traceBuf bytes.Buffer
+	ts := tsdb.NewStore(tsdb.DefaultConfig())
+	rep, err := Run("namd", Options{
+		Passes:      0.25,
+		TraceWriter: &traceBuf,
+		Telemetry:   ts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadJSONL(&traceBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := obs.NewTimeline(events)
+	if len(tl.Rows) == 0 || rep.Cycles <= 0 {
+		t.Fatalf("timeline rows = %d, cycles = %v", len(tl.Rows), rep.Cycles)
+	}
+
+	// Raw-level queries reconcile point by point with the timeline rows.
+	queryRaw := func(series string) []tsdb.Point {
+		t.Helper()
+		res, err := ts.Query(tsdb.Query{Series: series})
+		if err != nil {
+			t.Fatalf("query %s: %v", series, err)
+		}
+		return res.Points
+	}
+	insns := queryRaw(tsdb.SeriesInsns)
+	stall := queryRaw(tsdb.SeriesStall)
+	gates := queryRaw(tsdb.SeriesGates)
+	cde := queryRaw(tsdb.SeriesCDE)
+	if len(insns) != len(tl.Rows) {
+		t.Fatalf("raw %s points = %d, timeline rows = %d", tsdb.SeriesInsns, len(insns), len(tl.Rows))
+	}
+	fracPoints := map[string][]tsdb.Point{}
+	for _, u := range tl.Units {
+		fracPoints[u] = queryRaw(tsdb.SeriesUnitFracPrefix + u)
+	}
+	for i, row := range tl.Rows {
+		if insns[i].Window != row.Window || insns[i].Value != float64(row.Insns) {
+			t.Fatalf("window %d insns: point %+v, row %+v", row.Window, insns[i], row)
+		}
+		if insns[i].Cycle != row.EndCycle {
+			t.Errorf("window %d cycle: %v vs %v", row.Window, insns[i].Cycle, row.EndCycle)
+		}
+		if stall[i].Value != row.Stall {
+			t.Errorf("window %d stall: %v vs %v", row.Window, stall[i].Value, row.Stall)
+		}
+		if gates[i].Value != float64(row.Gates) {
+			t.Errorf("window %d gates: %v vs %d", row.Window, gates[i].Value, row.Gates)
+		}
+		if cde[i].Value != float64(row.CDEInvokes) {
+			t.Errorf("window %d cde: %v vs %d", row.Window, cde[i].Value, row.CDEInvokes)
+		}
+		for ui, u := range tl.Units {
+			if got := fracPoints[u][i].Value; got != row.Fracs[ui] {
+				t.Errorf("window %d %s frac: %v vs %v", row.Window, u, got, row.Fracs[ui])
+			}
+		}
+	}
+
+	// IPC points (zero-width windows are skipped by the ingestor, so the
+	// series is located by window ordinal) equal insns over cycle delta.
+	byWindow := map[uint64]obs.TimelineRow{}
+	for _, row := range tl.Rows {
+		byWindow[row.Window] = row
+	}
+	for _, p := range queryRaw(tsdb.SeriesIPC) {
+		row, ok := byWindow[p.Window]
+		if !ok {
+			t.Fatalf("IPC point at unknown window %d", p.Window)
+		}
+		var prevEnd float64
+		if prev, ok := byWindow[p.Window-1]; ok {
+			prevEnd = prev.EndCycle
+		}
+		want := float64(row.Insns) / (row.EndCycle - prevEnd)
+		if math.Abs(p.Value-want) > 1e-12 {
+			t.Errorf("window %d IPC: %v vs %v", p.Window, p.Value, want)
+		}
+	}
+
+	// Replaying the recorded events through a fresh ingestor rebuilds the
+	// store — every level of every series — byte-identically: the
+	// downsampling is deterministic.
+	replay := tsdb.NewStore(tsdb.DefaultConfig())
+	ing := tsdb.NewIngestor(replay, tsdb.IngestorConfig{
+		Units: []string{arch.UnitBPU, arch.UnitMLC, arch.UnitVPU},
+	})
+	for _, e := range events {
+		ing.Emit(e)
+	}
+	ing.Flush()
+	live, rebuilt := dumpStore(ts), dumpStore(replay)
+	if live != rebuilt {
+		t.Fatalf("replayed store diverges from live store:\nlive:\n%.2000s\nreplay:\n%.2000s", live, rebuilt)
+	}
+}
