@@ -1,0 +1,88 @@
+package powerchop
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"powerchop/internal/arch"
+	"powerchop/internal/obs"
+	"powerchop/internal/obs/alert"
+	"powerchop/internal/obs/tsdb"
+)
+
+// eventRecorder captures the full event stream of a run for offline
+// replay.
+type eventRecorder struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (r *eventRecorder) Emit(e obs.Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// TestAlertOfflineOnlineReconciliation is the alerting determinism
+// gate: a live evaluator ticking on wall time against the run's
+// telemetry ingest must produce exactly the transitions `powerchop
+// alerts check` reconstructs from the recorded trace afterwards. The
+// evaluation schedule is a pure function of the data (stride
+// boundaries against Store.LatestWindow), so the racing ticker and the
+// offline per-event replay may not differ by a single transition.
+func TestAlertOfflineOnlineReconciliation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a benchmark; skipped with -short")
+	}
+	units := []string{arch.UnitBPU, arch.UnitMLC, arch.UnitVPU}
+	// The default ruleset plus a rule guaranteed to transition on any
+	// run, so reconciliation is never an empty-vs-empty pass. Metric
+	// rules are skipped on both sides (no registry attached): they are
+	// outside the offline guarantee.
+	rules := append(alert.DefaultRules(), alert.Rule{
+		Name: "windows-progress",
+		Expr: alert.Expr{Series: tsdb.SeriesInsns, Agg: "count", Window: 8, Op: ">", Threshold: 0},
+	})
+
+	// Live: telemetry ingest plus a fast wall-clock ticker racing the
+	// simulation, with a final catch-up at stop.
+	store := tsdb.NewStore(tsdb.DefaultConfig())
+	ingest := tsdb.NewIngestor(store, tsdb.IngestorConfig{Units: units})
+	rec := &eventRecorder{}
+	live, err := alert.New(alert.Config{Rules: rules, Store: store, Every: alert.DefaultEvery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := live.Start(time.Millisecond)
+	if _, err := Run("gobmk", Options{Passes: 0.5, Tracer: obs.Multi(rec, ingest)}); err != nil {
+		stop()
+		t.Fatal(err)
+	}
+	ingest.Flush()
+	stop()
+
+	// Offline: the recorded trace replayed through a fresh store and
+	// evaluator, exactly what `powerchop alerts check` runs.
+	replayed, err := alert.Replay(rec.events, rules, alert.ReplayConfig{
+		Every: alert.DefaultEvery,
+		Units: units,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := live.Transitions(), replayed.Transitions()
+	if len(a) == 0 {
+		t.Fatal("live run produced no transitions — the fixture exercises nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("live %d transitions, offline %d:\nlive:    %+v\noffline: %+v", len(a), len(b), a, b)
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			t.Fatalf("transition %d diverges:\nlive:    %+v\noffline: %+v", i, a[i], b[i])
+		}
+	}
+}

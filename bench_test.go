@@ -22,6 +22,7 @@ import (
 	"powerchop/internal/core"
 	"powerchop/internal/experiments"
 	"powerchop/internal/obs"
+	"powerchop/internal/obs/alert"
 	"powerchop/internal/obs/runlog"
 	"powerchop/internal/obs/span"
 	"powerchop/internal/obs/tsdb"
@@ -768,6 +769,65 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 				windows = res.Windows
 			}
 			b.ReportMetric(float64(windows), "windows/op")
+		})
+	}
+}
+
+// BenchmarkAlertOverhead measures the alert evaluator's cost on top of
+// telemetry: the same simulation with a bare store (baseline), with the
+// default ruleset ticking on a fast wall-clock interval, and with the
+// ruleset evaluated eagerly after the run. The evaluator reads window
+// aggregates at stride boundaries only, so its overhead must stay
+// within run-to-run noise.
+func BenchmarkAlertOverhead(b *testing.B) {
+	bench := mustBench(b, "bzip2")
+	p := bench.MustBuild()
+	cases := []struct {
+		name   string
+		ticker bool // start a live ticker for the run's duration
+	}{
+		{"tsdb", false},
+		{"tsdb+alerts", true},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var windows, fired uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ts := tsdb.NewStore(tsdb.DefaultConfig())
+				var ev *alert.Evaluator
+				var stop func()
+				if c.ticker {
+					var err error
+					ev, err = alert.New(alert.Config{
+						Rules: alert.DefaultRules(),
+						Store: ts,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					stop = ev.Start(time.Millisecond)
+				}
+				res, err := sim.Run(p, sim.Config{
+					Design:          arch.Server(),
+					Manager:         core.MustPowerChop(core.DefaultConfig()),
+					MaxTranslations: 50000,
+					Telemetry:       ts,
+				})
+				if stop != nil {
+					stop()
+					fired = ev.FiredTotal()
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				windows = res.Windows
+			}
+			b.ReportMetric(float64(windows), "windows/op")
+			if c.ticker {
+				b.ReportMetric(float64(fired), "fired/op")
+			}
 		})
 	}
 }

@@ -4,129 +4,37 @@
 //
 // Usage:
 //
-//	benchjson [-bench REGEX] [-benchtime 1x] [-pkg ./...] [-count 1] [-o FILE] [-baseline FILE]
+//	benchjson [-bench REGEX] [-benchtime 1x] [-pkg ./...] [-count 1] [-o FILE] [-baseline FILE] [-gate PCT]
 //
 // The output records one entry per benchmark line with iterations,
 // ns/op, and any extra metrics (B/op, allocs/op, custom units). The new
 // results are diffed against a baseline artifact and the per-benchmark
-// ns/op deltas are printed — report-only, never a failure, since shared
-// runners are too noisy to gate on. -baseline names the artifact
-// explicitly ("none" disables the diff); when omitted, the newest
-// committed BENCH_*.json in the working directory is used.
+// ns/op deltas are printed. -baseline names the artifact explicitly
+// ("none" disables the diff); when omitted, the newest committed
+// BENCH_*.json in the working directory is used.
+//
+// The diff is report-only by default, since shared runners are too
+// noisy to gate on hard. -gate PCT turns it into a gate: the run exits
+// non-zero when any benchmark's ns/op regressed more than PCT percent
+// vs the baseline (CI wires this into the bench-trajectory job as a
+// soft gate, and `powerchop alerts check` consumes the same comparison
+// as a rule source via internal/benchgate).
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
-	"path/filepath"
 	"runtime"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
+
+	"powerchop/internal/benchgate"
 )
-
-// BenchResult is one parsed benchmark line.
-type BenchResult struct {
-	// Name is the full benchmark name, including any -N GOMAXPROCS
-	// suffix (e.g. "BenchmarkTracerOverhead/traced-8").
-	Name string `json:"name"`
-	// Iterations is the measured b.N.
-	Iterations int64 `json:"iterations"`
-	// NsPerOp is the headline ns/op figure.
-	NsPerOp float64 `json:"ns_per_op"`
-	// Metrics holds every reported unit, ns/op included (also B/op,
-	// allocs/op and custom b.ReportMetric units when present).
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Artifact is the JSON document benchjson writes.
-type Artifact struct {
-	GeneratedAt string        `json:"generated_at"`
-	GoVersion   string        `json:"go_version"`
-	GOOS        string        `json:"goos"`
-	GOARCH      string        `json:"goarch"`
-	GOMAXPROCS  int           `json:"gomaxprocs,omitempty"`
-	Command     string        `json:"command"`
-	Results     []BenchResult `json:"results"`
-}
-
-// hostWarnings reports host-environment differences between two
-// artifacts: ns/op deltas across Go versions, operating systems,
-// architectures or core counts are trajectories of the host as much as
-// of the code, so the diff flags them. Fields a pre-metadata baseline
-// left empty are skipped rather than reported as mismatches.
-func hostWarnings(baseline, current *Artifact) []string {
-	var warns []string
-	check := func(field, old, new string) {
-		if old != "" && old != new {
-			warns = append(warns, fmt.Sprintf("%s changed: %s -> %s", field, old, new))
-		}
-	}
-	check("go version", baseline.GoVersion, current.GoVersion)
-	check("GOOS", baseline.GOOS, current.GOOS)
-	check("GOARCH", baseline.GOARCH, current.GOARCH)
-	if baseline.GOMAXPROCS != 0 && baseline.GOMAXPROCS != current.GOMAXPROCS {
-		warns = append(warns, fmt.Sprintf("GOMAXPROCS changed: %d -> %d",
-			baseline.GOMAXPROCS, current.GOMAXPROCS))
-	}
-	return warns
-}
-
-// parseBenchLine parses one `go test -bench` output line of the form
-//
-//	BenchmarkName-8   100   11234567 ns/op   42 B/op   7 allocs/op
-//
-// returning ok=false for non-benchmark lines (headers, PASS, ok ...).
-func parseBenchLine(line string) (BenchResult, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return BenchResult{}, false
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return BenchResult{}, false
-	}
-	r := BenchResult{
-		Name:       fields[0],
-		Iterations: iters,
-		Metrics:    map[string]float64{},
-	}
-	// The remainder alternates value/unit pairs.
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return BenchResult{}, false
-		}
-		unit := fields[i+1]
-		r.Metrics[unit] = v
-		if unit == "ns/op" {
-			r.NsPerOp = v
-		}
-	}
-	if len(r.Metrics) == 0 {
-		return BenchResult{}, false
-	}
-	return r, true
-}
-
-// parseBench collects every benchmark line from a `go test -bench` run.
-func parseBench(r io.Reader) ([]BenchResult, error) {
-	var out []BenchResult
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		if res, ok := parseBenchLine(sc.Text()); ok {
-			out = append(out, res)
-		}
-	}
-	return out, sc.Err()
-}
 
 func main() {
 	bench := flag.String("bench", ".", "benchmark regex passed to -bench")
@@ -135,83 +43,16 @@ func main() {
 	count := flag.Int("count", 1, "passed to -count")
 	outPath := flag.String("o", "", "output file (default BENCH_<stamp>.json)")
 	baseline := flag.String("baseline", "", "baseline artifact to diff against (default: newest BENCH_*.json; \"none\" disables)")
+	gate := flag.Float64("gate", 0, "fail when any benchmark regresses more than PCT percent vs the baseline (0 = report only)")
 	flag.Parse()
 
-	if err := run(*bench, *benchtime, *pkg, *count, *outPath, *baseline, os.Stderr); err != nil {
+	if err := run(*bench, *benchtime, *pkg, *count, *outPath, *baseline, *gate, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// diffReport renders the ns/op trajectory of new results against a
-// baseline artifact: one line per benchmark present in either set, with
-// the relative delta where both sides measured it. Informational only.
-func diffReport(baseline, current *Artifact) string {
-	var b strings.Builder
-	base := make(map[string]BenchResult, len(baseline.Results))
-	for _, r := range baseline.Results {
-		base[r.Name] = r
-	}
-	for _, warn := range hostWarnings(baseline, current) {
-		fmt.Fprintf(&b, "warning: %s — deltas compare different hosts\n", warn)
-	}
-	fmt.Fprintf(&b, "benchmark trajectory vs baseline (%s):\n", baseline.GeneratedAt)
-	seen := make(map[string]bool, len(current.Results))
-	for _, r := range current.Results {
-		seen[r.Name] = true
-		old, ok := base[r.Name]
-		switch {
-		case !ok:
-			fmt.Fprintf(&b, "  %-50s %14.0f ns/op  (new)\n", r.Name, r.NsPerOp)
-		case old.NsPerOp > 0:
-			delta := (r.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
-			fmt.Fprintf(&b, "  %-50s %14.0f ns/op  %+7.1f%% (was %.0f)\n",
-				r.Name, r.NsPerOp, delta, old.NsPerOp)
-		default:
-			fmt.Fprintf(&b, "  %-50s %14.0f ns/op  (baseline had no ns/op)\n", r.Name, r.NsPerOp)
-		}
-	}
-	for _, r := range baseline.Results {
-		if !seen[r.Name] {
-			fmt.Fprintf(&b, "  %-50s %14s  (removed; was %.0f ns/op)\n", r.Name, "-", r.NsPerOp)
-		}
-	}
-	return b.String()
-}
-
-// newestBaseline finds the default baseline: the lexically newest
-// BENCH_*.json in dir — the stamp format (BENCH_20060102T150405Z.json)
-// sorts chronologically — excluding the artifact being written. Returns
-// "" when none exists.
-func newestBaseline(dir, exclude string) string {
-	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
-	if err != nil {
-		return ""
-	}
-	sort.Strings(matches)
-	for i := len(matches) - 1; i >= 0; i-- {
-		if filepath.Base(matches[i]) != filepath.Base(exclude) {
-			return matches[i]
-		}
-	}
-	return ""
-}
-
-// loadArtifact reads a previously written BENCH_*.json document.
-func loadArtifact(path string) (*Artifact, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var art Artifact
-	if err := json.NewDecoder(f).Decode(&art); err != nil {
-		return nil, fmt.Errorf("parsing %s: %w", path, err)
-	}
-	return &art, nil
-}
-
-func run(bench, benchtime, pkg string, count int, outPath, baseline string, stderr io.Writer) error {
+func run(bench, benchtime, pkg string, count int, outPath, baseline string, gate float64, stderr io.Writer) error {
 	args := []string{"test", "-run", "^$",
 		"-bench", bench,
 		"-benchtime", benchtime,
@@ -227,7 +68,7 @@ func run(bench, benchtime, pkg string, count int, outPath, baseline string, stde
 	if err != nil {
 		return fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
 	}
-	results, err := parseBench(strings.NewReader(string(raw)))
+	results, err := benchgate.Parse(strings.NewReader(string(raw)))
 	if err != nil {
 		return err
 	}
@@ -236,7 +77,7 @@ func run(bench, benchtime, pkg string, count int, outPath, baseline string, stde
 	}
 
 	now := time.Now().UTC()
-	art := Artifact{
+	art := benchgate.Artifact{
 		GeneratedAt: now.Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
@@ -262,23 +103,43 @@ func run(bench, benchtime, pkg string, count int, outPath, baseline string, stde
 		return err
 	}
 	fmt.Fprintf(stderr, "wrote %d benchmark results to %s\n", len(results), outPath)
+	return report(&art, outPath, baseline, gate, stderr)
+}
+
+// report diffs the new artifact against the baseline and, when gate is
+// positive, fails on regressions beyond it. A missing or malformed
+// baseline never fails the run — the artifact is the product, the diff
+// a courtesy.
+func report(art *benchgate.Artifact, outPath, baseline string, gate float64, stderr io.Writer) error {
 	switch baseline {
 	case "none":
 		return nil
 	case "":
-		baseline = newestBaseline(".", outPath)
+		baseline = benchgate.NewestBaseline(".", outPath)
 		if baseline == "" {
 			return nil
 		}
 		fmt.Fprintf(stderr, "baseline (newest committed): %s\n", baseline)
 	}
-	prior, err := loadArtifact(baseline)
+	prior, err := benchgate.Load(baseline)
 	if err != nil {
-		// The diff is a courtesy report; a missing or malformed
-		// baseline must not fail the artifact run.
 		fmt.Fprintf(stderr, "benchjson: baseline skipped: %v\n", err)
 		return nil
 	}
-	fmt.Fprint(stderr, diffReport(prior, &art))
-	return nil
+	fmt.Fprint(stderr, benchgate.DiffReport(prior, art))
+	if gate <= 0 {
+		return nil
+	}
+	viols := benchgate.Gate(prior, art, gate)
+	if len(viols) == 0 {
+		fmt.Fprintf(stderr, "gate: no benchmark regressed more than %+.1f%%\n", gate)
+		return nil
+	}
+	for _, v := range viols {
+		fmt.Fprintf(stderr, "gate: %s exceeds %+.1f%%\n", v, gate)
+		if os.Getenv("GITHUB_ACTIONS") != "" {
+			fmt.Fprintf(stderr, "::warning::bench gate: %s exceeds %+.1f%%\n", v, gate)
+		}
+	}
+	return fmt.Errorf("%d benchmark(s) regressed more than %.1f%% vs %s", len(viols), gate, baseline)
 }

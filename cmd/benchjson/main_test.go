@@ -1,166 +1,88 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"powerchop/internal/benchgate"
 )
 
-func TestParseBenchLine(t *testing.T) {
-	r, ok := parseBenchLine("BenchmarkTracerOverhead/traced-8   \t     100\t  11234567 ns/op\t  42 B/op\t       7 allocs/op")
-	if !ok {
-		t.Fatal("benchmark line rejected")
-	}
-	if r.Name != "BenchmarkTracerOverhead/traced-8" || r.Iterations != 100 {
-		t.Fatalf("parsed: %+v", r)
-	}
-	if r.NsPerOp != 11234567 || r.Metrics["B/op"] != 42 || r.Metrics["allocs/op"] != 7 {
-		t.Fatalf("metrics: %+v", r.Metrics)
-	}
-
-	// Custom metric units pass through.
-	r, ok = parseBenchLine("BenchmarkX-4 200 5000 ns/op 1.5 windows/op")
-	if !ok || r.Metrics["windows/op"] != 1.5 {
-		t.Fatalf("custom metric: %+v ok=%v", r, ok)
-	}
-
-	for _, bad := range []string{
-		"",
-		"goos: linux",
-		"PASS",
-		"ok  \tpowerchop\t1.2s",
-		"BenchmarkBroken-8 notanumber 5 ns/op",
-		"BenchmarkNoMetrics-8 100",
-	} {
-		if _, ok := parseBenchLine(bad); ok {
-			t.Errorf("accepted non-benchmark line %q", bad)
-		}
-	}
-}
-
-func TestDiffReport(t *testing.T) {
-	baseline := &Artifact{
-		GeneratedAt: "2026-08-01T00:00:00Z",
-		Results: []BenchResult{
-			{Name: "BenchmarkA-8", NsPerOp: 1000},
-			{Name: "BenchmarkGone-8", NsPerOp: 500},
-		},
-	}
-	current := &Artifact{
-		Results: []BenchResult{
-			{Name: "BenchmarkA-8", NsPerOp: 1100},
-			{Name: "BenchmarkNew-8", NsPerOp: 200},
-		},
-	}
-	out := diffReport(baseline, current)
-	for _, want := range []string{
-		"2026-08-01T00:00:00Z",
-		"BenchmarkA-8",
-		"+10.0%",
-		"(was 1000)",
-		"BenchmarkNew-8",
-		"(new)",
-		"BenchmarkGone-8",
-		"(removed; was 500 ns/op)",
-	} {
-		if !strings.Contains(out, want) {
-			t.Errorf("diff report missing %q:\n%s", want, out)
-		}
-	}
-}
-
-// TestNewestBaseline checks the default-baseline search: newest stamp
-// wins, the artifact being written is excluded, empty directories give
-// no baseline.
-func TestNewestBaseline(t *testing.T) {
-	dir := t.TempDir()
-	for _, name := range []string{
-		"BENCH_20260801T000000Z.json",
-		"BENCH_20260805T140627Z.json",
-		"BENCH_20260803T120000Z.json",
-	} {
-		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	got := newestBaseline(dir, "")
-	if filepath.Base(got) != "BENCH_20260805T140627Z.json" {
-		t.Fatalf("newest baseline = %q", got)
-	}
-	// The artifact just written must not be its own baseline.
-	got = newestBaseline(dir, "BENCH_20260805T140627Z.json")
-	if filepath.Base(got) != "BENCH_20260803T120000Z.json" {
-		t.Fatalf("baseline with exclusion = %q", got)
-	}
-	if got := newestBaseline(t.TempDir(), ""); got != "" {
-		t.Fatalf("empty dir baseline = %q", got)
-	}
-}
-
-func TestParseBench(t *testing.T) {
-	out := `goos: linux
-goarch: amd64
-pkg: powerchop
-BenchmarkA-8   	     100	  1000 ns/op	  16 B/op	  1 allocs/op
-BenchmarkB/sub-8 	      50	  2000 ns/op
-PASS
-ok  	powerchop	2.0s
-`
-	results, err := parseBench(strings.NewReader(out))
+// writeArtifact drops an artifact to disk for report() to load.
+func writeArtifact(t *testing.T, path string, art benchgate.Artifact) {
+	t.Helper()
+	b, err := json.Marshal(art)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 2 {
-		t.Fatalf("parsed %d results", len(results))
-	}
-	if results[0].Name != "BenchmarkA-8" || results[1].NsPerOp != 2000 {
-		t.Fatalf("results: %+v", results)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
 	}
 }
 
-// TestHostWarnings pins the cross-host diff warnings: mismatched host
-// metadata is flagged, while fields an old baseline never recorded stay
-// silent.
-func TestHostWarnings(t *testing.T) {
-	current := &Artifact{GoVersion: "go1.24", GOOS: "linux", GOARCH: "arm64", GOMAXPROCS: 8}
-
-	same := &Artifact{GoVersion: "go1.24", GOOS: "linux", GOARCH: "arm64", GOMAXPROCS: 8}
-	if warns := hostWarnings(same, current); len(warns) != 0 {
-		t.Errorf("identical hosts warned: %v", warns)
+// TestReportGate pins the -gate wiring: report-only by default, an
+// error naming the regression count when the gate is exceeded, a clean
+// pass message inside the gate, and graceful degradation when the
+// baseline is missing or malformed.
+func TestReportGate(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "BENCH_base.json")
+	writeArtifact(t, base, benchgate.Artifact{
+		GeneratedAt: "2026-08-01T00:00:00Z",
+		Results:     []benchgate.Result{{Name: "BenchmarkA-8", NsPerOp: 1000}},
+	})
+	current := &benchgate.Artifact{
+		Results: []benchgate.Result{{Name: "BenchmarkA-8", NsPerOp: 1500}},
 	}
 
-	other := &Artifact{GoVersion: "go1.23", GOOS: "darwin", GOARCH: "amd64", GOMAXPROCS: 4}
-	warns := hostWarnings(other, current)
-	if len(warns) != 4 {
-		t.Fatalf("warnings = %v, want 4", warns)
+	// Report-only: a 50% regression with no gate passes.
+	var out strings.Builder
+	if err := report(current, "", base, 0, &out); err != nil {
+		t.Fatalf("report-only failed: %v", err)
 	}
-	for _, want := range []string{
-		"go version changed: go1.23 -> go1.24",
-		"GOOS changed: darwin -> linux",
-		"GOARCH changed: amd64 -> arm64",
-		"GOMAXPROCS changed: 4 -> 8",
-	} {
-		found := false
-		for _, w := range warns {
-			if w == want {
-				found = true
-			}
-		}
-		if !found {
-			t.Errorf("missing warning %q in %v", want, warns)
-		}
+	if !strings.Contains(out.String(), "+50.0%") {
+		t.Fatalf("diff missing delta:\n%s", out.String())
 	}
 
-	// A pre-metadata baseline (zero values everywhere) stays quiet.
-	if warns := hostWarnings(&Artifact{}, current); len(warns) != 0 {
-		t.Errorf("empty baseline warned: %v", warns)
+	// Gated: the same regression against -gate 20 fails and names it.
+	out.Reset()
+	err := report(current, "", base, 20, &out)
+	if err == nil {
+		t.Fatal("gate did not fail on a +50% regression")
+	}
+	if !strings.Contains(err.Error(), "1 benchmark(s) regressed more than 20.0%") {
+		t.Fatalf("gate error = %v", err)
+	}
+	if !strings.Contains(out.String(), "gate: BenchmarkA-8 +50.0% ns/op (was 1000, now 1500) exceeds +20.0%") {
+		t.Fatalf("gate report:\n%s", out.String())
 	}
 
-	// And the warnings surface in the diff report itself.
-	out := diffReport(other, current)
-	if !strings.Contains(out, "warning: GOOS changed: darwin -> linux") ||
-		!strings.Contains(out, "deltas compare different hosts") {
-		t.Errorf("diff report missing host warnings:\n%s", out)
+	// Inside the gate: passes with a confirmation line.
+	out.Reset()
+	if err := report(current, "", base, 60, &out); err != nil {
+		t.Fatalf("within-gate report failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "no benchmark regressed more than +60.0%") {
+		t.Fatalf("pass report:\n%s", out.String())
+	}
+
+	// A missing baseline never fails, gated or not.
+	out.Reset()
+	if err := report(current, "", filepath.Join(dir, "nope.json"), 20, &out); err != nil {
+		t.Fatalf("missing baseline failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "baseline skipped") {
+		t.Fatalf("missing-baseline report:\n%s", out.String())
+	}
+
+	// "none" disables the diff entirely.
+	out.Reset()
+	if err := report(current, "", "none", 20, &out); err != nil {
+		t.Fatalf("baseline none failed: %v", err)
+	}
+	if out.String() != "" {
+		t.Fatalf("baseline none wrote: %q", out.String())
 	}
 }

@@ -18,7 +18,10 @@
 //	powerchop figure -id fig12 [-scale 1] [-jobs N] [-http :8080] [-cache DIR]
 //	powerchop all [-scale 1] [-jobs N] [-http :8080] [-cache DIR]
 //	powerchop headline [-scale 1] [-jobs N] [-http :8080] [-cache DIR]
-//	powerchop serve [-addr :8080] [-scale 1] [-jobs N] [-trace out.jsonl]
+//	powerchop serve [-addr :8080] [-scale 1] [-jobs N] [-trace out.jsonl] [-alert-rules FILE]
+//	powerchop alerts rules
+//	powerchop alerts check [-rules FILE] [-bench BENCH.json -gate PCT] [trace.jsonl]
+//	powerchop alerts watch -addr URL
 //
 // The -http flag attaches a live monitor to the run: Prometheus metrics
 // at /metrics, per-run progress at /progress, the event stream at
@@ -142,6 +145,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdTop(args[1:], stdout)
 	case "runs":
 		err = cmdRuns(args[1:], stdout)
+	case "alerts":
+		err = cmdAlerts(args[1:], stdout)
 	case "policies":
 		err = cmdPolicies(args[1:], stdout)
 	case "tune":
@@ -190,6 +195,9 @@ commands:
   top -addr URL [-interval D] [-frames N]  live per-window series from a serve monitor
   top -bench NAME [flags]       run in process, then show the telemetry summary
   runs [list|show|tail] [-cache DIR] [-kind K] [-name N] [-json]  browse the run history
+  alerts rules                  print the built-in alert ruleset as JSON
+  alerts check [-rules F] [-bench ART -gate PCT] [TRACE]  replay a trace through the alert rules; exit 1 if any fire
+  alerts watch -addr URL        tail the live alert-transition stream of a serve monitor
   policies [-json]              list registered gating policies and parameter schemas
   tune -policy NAME [-bench B1,B2] [-grid P=LO:HI:N] [-jobs N] [-json]  Pareto sweep
 

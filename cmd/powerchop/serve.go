@@ -16,6 +16,7 @@ import (
 	"powerchop"
 	"powerchop/internal/arch"
 	"powerchop/internal/obs"
+	"powerchop/internal/obs/alert"
 	"powerchop/internal/obs/audit"
 	"powerchop/internal/obs/runlog"
 	"powerchop/internal/obs/serve"
@@ -330,6 +331,48 @@ func newServeMonitor(scale float64, jobs int, cacheDir string, sinks ...obs.Trac
 	return l, nil
 }
 
+// attachAlerts builds the serve subcommand's alert evaluator over the
+// live monitor's telemetry store and registry, and installs it behind
+// /api/alerts and the board badges. rulesFile "" loads the built-in
+// default ruleset, "none" disables alerting entirely. The evaluator
+// emits transitions into the live tracer fan-out (hub, collector,
+// auditor, any -trace JSONL sink), journals them into the run history,
+// and optionally delivers them to a webhook.
+func attachAlerts(l *liveMonitor, rulesFile, webhookURL string, every uint64) (*alert.Evaluator, *alert.Webhook, error) {
+	if rulesFile == "none" {
+		return nil, nil, nil
+	}
+	rules := alert.DefaultRules()
+	if rulesFile != "" {
+		var err error
+		if rules, err = alert.LoadRules(rulesFile); err != nil {
+			return nil, nil, err
+		}
+	}
+	var wh *alert.Webhook
+	if webhookURL != "" {
+		wh = alert.NewWebhook(webhookURL, alert.WebhookConfig{Registry: l.registry()})
+	}
+	ev, err := alert.New(alert.Config{
+		Rules:    rules,
+		Store:    l.telemetry,
+		Metrics:  l.reg.Snapshot,
+		Every:    every,
+		Sink:     l.tracer,
+		Journal:  l.mon.RunLog(),
+		Webhook:  wh,
+		Registry: l.reg,
+	})
+	if err != nil {
+		if wh != nil {
+			wh.Close()
+		}
+		return nil, nil, err
+	}
+	l.mon.SetAlerts(ev)
+	return ev, wh, nil
+}
+
 func cmdServe(args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
@@ -338,6 +381,10 @@ func cmdServe(args []string, stderr io.Writer) error {
 	trace := fs.String("trace", "", "also record every event as JSONL to this file")
 	cacheDir := fs.String("cache", os.Getenv("POWERCHOP_CACHE"), "result cache + run-history directory (default $POWERCHOP_CACHE)")
 	accessLog := fs.Bool("access-log", true, "write structured JSON access logs to stderr")
+	alertRules := fs.String("alert-rules", "", "alert rule file (default: built-in ruleset; \"none\" disables alerting)")
+	alertWebhook := fs.String("alert-webhook", "", "POST alert transitions to this URL")
+	alertInterval := fs.Duration("alert-interval", 5*time.Second, "alert evaluation interval")
+	alertEvery := fs.Uint64("alert-every", alert.DefaultEvery, "series-rule evaluation stride in windows")
 	if err := fs.Parse(args); err != nil {
 		return errParse(err)
 	}
@@ -363,7 +410,26 @@ func cmdServe(args []string, stderr io.Writer) error {
 	if *accessLog {
 		l.mon.SetAccessLog(slog.New(slog.NewJSONHandler(stderr, nil)))
 	}
+	ev, webhook, err := attachAlerts(l, *alertRules, *alertWebhook, *alertEvery)
+	if err != nil {
+		if traceOut != nil {
+			traceOut.Close()
+		}
+		return err
+	}
+	var stopAlerts func()
+	if ev != nil {
+		stopAlerts = ev.Start(*alertInterval)
+		fmt.Fprintf(stderr, "alert evaluator: %d rules every %s (browse: /api/alerts, /alerts)\n",
+			len(ev.Rules()), *alertInterval)
+	}
 	if err := l.start(*addr, stderr); err != nil {
+		if stopAlerts != nil {
+			stopAlerts()
+		}
+		if webhook != nil {
+			webhook.Close()
+		}
 		if traceOut != nil {
 			traceOut.Close()
 		}
@@ -382,6 +448,15 @@ func cmdServe(args []string, stderr io.Writer) error {
 	defer signal.Stop(sig)
 	<-sig
 	fmt.Fprintln(stderr, "shutting down")
+	// Final alert catch-up first, so boundaries reached by the last run
+	// are evaluated and their transitions land in the trace, the run
+	// journal and the webhook before anything drains.
+	if stopAlerts != nil {
+		stopAlerts()
+	}
+	if webhook != nil {
+		webhook.Close()
+	}
 	l.stop()
 	if traceSink != nil {
 		if err := traceSink.Flush(); err != nil {

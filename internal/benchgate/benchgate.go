@@ -1,0 +1,225 @@
+// Package benchgate holds the benchmark-artifact model shared by
+// cmd/benchjson (which writes BENCH_*.json artifacts and diffs them)
+// and the alerting CLI (`powerchop alerts check`, which treats
+// regressions against a baseline as a rule source): parsing `go test
+// -bench` output, loading artifacts, the trajectory diff, and the
+// regression gate.
+package benchgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the full benchmark name, including any -N GOMAXPROCS
+	// suffix (e.g. "BenchmarkTracerOverhead/traced-8").
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline ns/op figure.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every reported unit, ns/op included (also B/op,
+	// allocs/op and custom b.ReportMetric units when present).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Artifact is the JSON document benchjson writes.
+type Artifact struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	GOMAXPROCS  int      `json:"gomaxprocs,omitempty"`
+	Command     string   `json:"command"`
+	Results     []Result `json:"results"`
+}
+
+// HostWarnings reports host-environment differences between two
+// artifacts: ns/op deltas across Go versions, operating systems,
+// architectures or core counts are trajectories of the host as much as
+// of the code, so the diff flags them. Fields a pre-metadata baseline
+// left empty are skipped rather than reported as mismatches.
+func HostWarnings(baseline, current *Artifact) []string {
+	var warns []string
+	check := func(field, old, new string) {
+		if old != "" && old != new {
+			warns = append(warns, fmt.Sprintf("%s changed: %s -> %s", field, old, new))
+		}
+	}
+	check("go version", baseline.GoVersion, current.GoVersion)
+	check("GOOS", baseline.GOOS, current.GOOS)
+	check("GOARCH", baseline.GOARCH, current.GOARCH)
+	if baseline.GOMAXPROCS != 0 && baseline.GOMAXPROCS != current.GOMAXPROCS {
+		warns = append(warns, fmt.Sprintf("GOMAXPROCS changed: %d -> %d",
+			baseline.GOMAXPROCS, current.GOMAXPROCS))
+	}
+	return warns
+}
+
+// ParseLine parses one `go test -bench` output line of the form
+//
+//	BenchmarkName-8   100   11234567 ns/op   42 B/op   7 allocs/op
+//
+// returning ok=false for non-benchmark lines (headers, PASS, ok ...).
+func ParseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{
+		Name:       fields[0],
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	// The remainder alternates value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		r.Metrics[unit] = v
+		if unit == "ns/op" {
+			r.NsPerOp = v
+		}
+	}
+	if len(r.Metrics) == 0 {
+		return Result{}, false
+	}
+	return r, true
+}
+
+// Parse collects every benchmark line from a `go test -bench` run.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if res, ok := ParseLine(sc.Text()); ok {
+			out = append(out, res)
+		}
+	}
+	return out, sc.Err()
+}
+
+// DiffReport renders the ns/op trajectory of new results against a
+// baseline artifact: one line per benchmark present in either set, with
+// the relative delta where both sides measured it. Informational only;
+// Gate is the enforcing form.
+func DiffReport(baseline, current *Artifact) string {
+	var b strings.Builder
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	for _, warn := range HostWarnings(baseline, current) {
+		fmt.Fprintf(&b, "warning: %s — deltas compare different hosts\n", warn)
+	}
+	fmt.Fprintf(&b, "benchmark trajectory vs baseline (%s):\n", baseline.GeneratedAt)
+	seen := make(map[string]bool, len(current.Results))
+	for _, r := range current.Results {
+		seen[r.Name] = true
+		old, ok := base[r.Name]
+		switch {
+		case !ok:
+			fmt.Fprintf(&b, "  %-50s %14.0f ns/op  (new)\n", r.Name, r.NsPerOp)
+		case old.NsPerOp > 0:
+			delta := (r.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+			fmt.Fprintf(&b, "  %-50s %14.0f ns/op  %+7.1f%% (was %.0f)\n",
+				r.Name, r.NsPerOp, delta, old.NsPerOp)
+		default:
+			fmt.Fprintf(&b, "  %-50s %14.0f ns/op  (baseline had no ns/op)\n", r.Name, r.NsPerOp)
+		}
+	}
+	for _, r := range baseline.Results {
+		if !seen[r.Name] {
+			fmt.Fprintf(&b, "  %-50s %14s  (removed; was %.0f ns/op)\n", r.Name, "-", r.NsPerOp)
+		}
+	}
+	return b.String()
+}
+
+// Violation is one benchmark whose ns/op regressed past the gate.
+type Violation struct {
+	// Name is the benchmark, Old and New the baseline and current
+	// ns/op, DeltaPct the relative regression in percent.
+	Name     string  `json:"name"`
+	Old      float64 `json:"old_ns_per_op"`
+	New      float64 `json:"new_ns_per_op"`
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s +%.1f%% ns/op (was %.0f, now %.0f)",
+		v.Name, v.DeltaPct, v.Old, v.New)
+}
+
+// Gate compares current against baseline and returns every benchmark
+// whose ns/op regressed by more than pct percent, in current-result
+// order (deterministic). Benchmarks present on only one side are not
+// violations — additions and removals are trajectory, not regression.
+func Gate(baseline, current *Artifact, pct float64) []Violation {
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	var out []Violation
+	for _, r := range current.Results {
+		old, ok := base[r.Name]
+		if !ok || old.NsPerOp <= 0 {
+			continue
+		}
+		delta := (r.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+		if delta > pct {
+			out = append(out, Violation{
+				Name: r.Name, Old: old.NsPerOp, New: r.NsPerOp, DeltaPct: delta,
+			})
+		}
+	}
+	return out
+}
+
+// NewestBaseline finds the default baseline: the lexically newest
+// BENCH_*.json in dir — the stamp format (BENCH_20060102T150405Z.json)
+// sorts chronologically — excluding the artifact being written. Returns
+// "" when none exists.
+func NewestBaseline(dir, exclude string) string {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return ""
+	}
+	sort.Strings(matches)
+	for i := len(matches) - 1; i >= 0; i-- {
+		if filepath.Base(matches[i]) != filepath.Base(exclude) {
+			return matches[i]
+		}
+	}
+	return ""
+}
+
+// Load reads a previously written BENCH_*.json document.
+func Load(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var art Artifact
+	if err := json.NewDecoder(f).Decode(&art); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &art, nil
+}

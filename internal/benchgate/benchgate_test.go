@@ -1,0 +1,205 @@
+package benchgate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	r, ok := ParseLine("BenchmarkTracerOverhead/traced-8   \t     100\t  11234567 ns/op\t  42 B/op\t       7 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line rejected")
+	}
+	if r.Name != "BenchmarkTracerOverhead/traced-8" || r.Iterations != 100 {
+		t.Fatalf("parsed: %+v", r)
+	}
+	if r.NsPerOp != 11234567 || r.Metrics["B/op"] != 42 || r.Metrics["allocs/op"] != 7 {
+		t.Fatalf("metrics: %+v", r.Metrics)
+	}
+
+	// Custom metric units pass through.
+	r, ok = ParseLine("BenchmarkX-4 200 5000 ns/op 1.5 windows/op")
+	if !ok || r.Metrics["windows/op"] != 1.5 {
+		t.Fatalf("custom metric: %+v ok=%v", r, ok)
+	}
+
+	for _, bad := range []string{
+		"",
+		"goos: linux",
+		"PASS",
+		"ok  \tpowerchop\t1.2s",
+		"BenchmarkBroken-8 notanumber 5 ns/op",
+		"BenchmarkNoMetrics-8 100",
+	} {
+		if _, ok := ParseLine(bad); ok {
+			t.Errorf("accepted non-benchmark line %q", bad)
+		}
+	}
+}
+
+func TestDiffReport(t *testing.T) {
+	baseline := &Artifact{
+		GeneratedAt: "2026-08-01T00:00:00Z",
+		Results: []Result{
+			{Name: "BenchmarkA-8", NsPerOp: 1000},
+			{Name: "BenchmarkGone-8", NsPerOp: 500},
+		},
+	}
+	current := &Artifact{
+		Results: []Result{
+			{Name: "BenchmarkA-8", NsPerOp: 1100},
+			{Name: "BenchmarkNew-8", NsPerOp: 200},
+		},
+	}
+	out := DiffReport(baseline, current)
+	for _, want := range []string{
+		"2026-08-01T00:00:00Z",
+		"BenchmarkA-8",
+		"+10.0%",
+		"(was 1000)",
+		"BenchmarkNew-8",
+		"(new)",
+		"BenchmarkGone-8",
+		"(removed; was 500 ns/op)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestGate pins the regression gate: regressions beyond the percentage
+// violate, improvements and within-noise deltas pass, and benchmarks
+// present on only one side are trajectory, not violations.
+func TestGate(t *testing.T) {
+	baseline := &Artifact{Results: []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 1000},
+		{Name: "BenchmarkB-8", NsPerOp: 1000},
+		{Name: "BenchmarkC-8", NsPerOp: 1000},
+		{Name: "BenchmarkGone-8", NsPerOp: 1000},
+		{Name: "BenchmarkZeroBase-8", NsPerOp: 0},
+	}}
+	current := &Artifact{Results: []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 1400},  // +40%: violation at 20
+		{Name: "BenchmarkB-8", NsPerOp: 1100},  // +10%: within gate
+		{Name: "BenchmarkC-8", NsPerOp: 600},   // improvement
+		{Name: "BenchmarkNew-8", NsPerOp: 900}, // no baseline
+		{Name: "BenchmarkZeroBase-8", NsPerOp: 900},
+	}}
+	viols := Gate(baseline, current, 20)
+	if len(viols) != 1 {
+		t.Fatalf("violations = %+v, want exactly BenchmarkA-8", viols)
+	}
+	v := viols[0]
+	if v.Name != "BenchmarkA-8" || v.Old != 1000 || v.New != 1400 {
+		t.Fatalf("violation = %+v", v)
+	}
+	if v.DeltaPct < 39.9 || v.DeltaPct > 40.1 {
+		t.Fatalf("delta = %v, want ~40", v.DeltaPct)
+	}
+	if got := v.String(); !strings.Contains(got, "BenchmarkA-8 +40.0% ns/op (was 1000, now 1400)") {
+		t.Fatalf("violation string = %q", got)
+	}
+
+	// A gate wide enough passes everything.
+	if viols := Gate(baseline, current, 50); len(viols) != 0 {
+		t.Fatalf("wide gate violations = %+v", viols)
+	}
+}
+
+// TestNewestBaseline checks the default-baseline search: newest stamp
+// wins, the artifact being written is excluded, empty directories give
+// no baseline.
+func TestNewestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{
+		"BENCH_20260801T000000Z.json",
+		"BENCH_20260805T140627Z.json",
+		"BENCH_20260803T120000Z.json",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := NewestBaseline(dir, "")
+	if filepath.Base(got) != "BENCH_20260805T140627Z.json" {
+		t.Fatalf("newest baseline = %q", got)
+	}
+	// The artifact just written must not be its own baseline.
+	got = NewestBaseline(dir, "BENCH_20260805T140627Z.json")
+	if filepath.Base(got) != "BENCH_20260803T120000Z.json" {
+		t.Fatalf("baseline with exclusion = %q", got)
+	}
+	if got := NewestBaseline(t.TempDir(), ""); got != "" {
+		t.Fatalf("empty dir baseline = %q", got)
+	}
+}
+
+func TestParse(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: powerchop
+BenchmarkA-8   	     100	  1000 ns/op	  16 B/op	  1 allocs/op
+BenchmarkB/sub-8 	      50	  2000 ns/op
+PASS
+ok  	powerchop	2.0s
+`
+	results, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results", len(results))
+	}
+	if results[0].Name != "BenchmarkA-8" || results[1].NsPerOp != 2000 {
+		t.Fatalf("results: %+v", results)
+	}
+}
+
+// TestHostWarnings pins the cross-host diff warnings: mismatched host
+// metadata is flagged, while fields an old baseline never recorded stay
+// silent.
+func TestHostWarnings(t *testing.T) {
+	current := &Artifact{GoVersion: "go1.24", GOOS: "linux", GOARCH: "arm64", GOMAXPROCS: 8}
+
+	same := &Artifact{GoVersion: "go1.24", GOOS: "linux", GOARCH: "arm64", GOMAXPROCS: 8}
+	if warns := HostWarnings(same, current); len(warns) != 0 {
+		t.Errorf("identical hosts warned: %v", warns)
+	}
+
+	other := &Artifact{GoVersion: "go1.23", GOOS: "darwin", GOARCH: "amd64", GOMAXPROCS: 4}
+	warns := HostWarnings(other, current)
+	if len(warns) != 4 {
+		t.Fatalf("warnings = %v, want 4", warns)
+	}
+	for _, want := range []string{
+		"go version changed: go1.23 -> go1.24",
+		"GOOS changed: darwin -> linux",
+		"GOARCH changed: amd64 -> arm64",
+		"GOMAXPROCS changed: 4 -> 8",
+	} {
+		found := false
+		for _, w := range warns {
+			if w == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing warning %q in %v", want, warns)
+		}
+	}
+
+	// A pre-metadata baseline (zero values everywhere) stays quiet.
+	if warns := HostWarnings(&Artifact{}, current); len(warns) != 0 {
+		t.Errorf("empty baseline warned: %v", warns)
+	}
+
+	// And the warnings surface in the diff report itself.
+	out := DiffReport(other, current)
+	if !strings.Contains(out, "warning: GOOS changed: darwin -> linux") ||
+		!strings.Contains(out, "deltas compare different hosts") {
+		t.Errorf("diff report missing host warnings:\n%s", out)
+	}
+}

@@ -1,0 +1,464 @@
+package alert
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"powerchop/internal/obs"
+	"powerchop/internal/obs/tsdb"
+)
+
+// appendSeries appends vals to one series at windows 1..len(vals), with
+// a synthetic cycle of 100 per window.
+func appendSeries(s *tsdb.Store, name string, vals ...float64) {
+	for i, v := range vals {
+		w := uint64(i + 1)
+		s.Append(name, w, float64(w)*100, v)
+	}
+}
+
+// sliceTracer collects emitted events for assertions.
+type sliceTracer struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (tr *sliceTracer) Emit(e obs.Event) {
+	tr.mu.Lock()
+	tr.events = append(tr.events, e)
+	tr.mu.Unlock()
+}
+
+// transitionKeys compresses transitions to "state@window" for compact
+// table expectations.
+func transitionKeys(trs []Transition) []string {
+	var out []string
+	for _, tr := range trs {
+		out = append(out, tr.State+"@"+itoa(tr.Window))
+	}
+	return out
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// TestSeriesThresholdLifecycle drives a trailing-mean rule through
+// fire and resolve across stride boundaries: quiet, loud, quiet again.
+func TestSeriesThresholdLifecycle(t *testing.T) {
+	store := tsdb.NewStore(tsdb.DefaultConfig())
+	vals := make([]float64, 12)
+	for i := 4; i < 8; i++ {
+		vals[i] = 100 // windows 5..8
+	}
+	appendSeries(store, "s", vals...)
+
+	ev, err := New(Config{
+		Rules: []Rule{{Name: "hi", Expr: Expr{
+			Series: "s", Agg: "mean", Window: 4, Op: ">", Threshold: 10,
+		}}},
+		Store: store,
+		Every: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Eval()
+	got := transitionKeys(ev.Transitions())
+	want := []string{"firing@8", "resolved@12"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	if ev.FiredTotal() != 1 {
+		t.Fatalf("FiredTotal = %d", ev.FiredTotal())
+	}
+	snap := ev.Snapshot()
+	if snap.LastWindow != 12 || snap.Rules[0].State != StateInactive {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Rules[0].Value != 0 || !snap.Rules[0].Evaluated {
+		t.Fatalf("rule status = %+v", snap.Rules[0])
+	}
+	// The firing transition carries the evaluated aggregate and the
+	// boundary's cycle, but no wall-clock time (see the Transition doc).
+	trs := ev.Transitions()
+	if trs[0].Value != 100 || trs[0].Threshold != 10 || trs[0].Cycle != 800 {
+		t.Fatalf("firing transition = %+v", trs[0])
+	}
+}
+
+// TestSeriesAggregators pins each tsdb-side aggregator against a known
+// range: windows 1..4 hold 1, 2, 3, 4.
+func TestSeriesAggregators(t *testing.T) {
+	cases := []struct {
+		agg  string
+		want float64
+	}{
+		{"mean", 2.5}, {"min", 1}, {"max", 4}, {"last", 4}, {"sum", 10}, {"count", 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.agg, func(t *testing.T) {
+			store := tsdb.NewStore(tsdb.DefaultConfig())
+			appendSeries(store, "s", 1, 2, 3, 4)
+			ev, err := New(Config{
+				Rules: []Rule{{Name: "r", Expr: Expr{
+					Series: "s", Agg: tc.agg, Window: 4, Op: "==", Threshold: tc.want,
+				}}},
+				Store: store,
+				Every: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev.Eval()
+			trs := ev.Transitions()
+			if len(trs) != 1 || trs[0].State != StateFiring || trs[0].Value != tc.want {
+				t.Fatalf("agg %s: transitions = %+v, want firing at %v", tc.agg, trs, tc.want)
+			}
+		})
+	}
+}
+
+// TestStateMachine exercises step directly: For damping, the
+// single-pending guarantee under flapping, and episode reset.
+func TestStateMachine(t *testing.T) {
+	rs := &ruleState{rule: Rule{Name: "r", For: 3}, state: StateInactive}
+	seq := []struct {
+		cond bool
+		emit string // emitted transition state, "" for none
+	}{
+		{true, StatePending}, // episode opens
+		{true, ""},           // holds 2 of 3
+		{false, ""},          // lapses silently
+		{true, ""},           // flap: pending again, deduped
+		{true, ""},
+		{true, StateFiring},    // holds reach For
+		{true, ""},             // stays firing silently
+		{false, StateResolved}, // clears
+	}
+	for i, s := range seq {
+		tr := rs.step(s.cond, 1, 0, uint64(i+1), 0, 0)
+		got := ""
+		if tr != nil {
+			got = tr.State
+		}
+		if got != s.emit {
+			t.Fatalf("step %d (cond=%v): emitted %q, want %q", i, s.cond, got, s.emit)
+		}
+	}
+	// A fresh episode after resolve emits pending again.
+	if tr := rs.step(true, 1, 0, 9, 0, 0); tr == nil || tr.State != StatePending {
+		t.Fatalf("post-resolve step = %+v, want pending", tr)
+	}
+
+	// For 0 and 1 both fire immediately, no pending.
+	for _, f := range []int{0, 1} {
+		rs := &ruleState{rule: Rule{Name: "r", For: f}, state: StateInactive}
+		if tr := rs.step(true, 1, 0, 1, 0, 0); tr == nil || tr.State != StateFiring {
+			t.Fatalf("For=%d first true step = %+v, want firing", f, tr)
+		}
+		if tr := rs.step(false, 1, 0, 2, 0, 0); tr == nil || tr.State != StateResolved {
+			t.Fatalf("For=%d resolve step = %+v", f, tr)
+		}
+	}
+}
+
+// TestAnomalyRule spikes a flat series and checks the z-score fire and
+// the resolve once the spike joins the baseline. The flat baseline has
+// zero variance, exercising the documented sigma+1 escape.
+func TestAnomalyRule(t *testing.T) {
+	store := tsdb.NewStore(tsdb.DefaultConfig())
+	vals := make([]float64, 22)
+	for i := range vals {
+		vals[i] = 1
+	}
+	vals[20] = 100 // window 21 spikes
+	appendSeries(store, "a", vals...)
+
+	ev, err := New(Config{
+		Rules: []Rule{{Name: "spike", Expr: Expr{
+			Kind: KindAnomaly, Series: "a", Sigma: 3, BaselineWindows: 8,
+		}}},
+		Store: store,
+		Every: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Eval()
+	got := transitionKeys(ev.Transitions())
+	want := []string{"firing@21", "resolved@22"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	// Zero-variance baseline, off-mean value: z is pinned to sigma+1.
+	if trs := ev.Transitions(); trs[0].Value != 4 || trs[0].Threshold != 3 {
+		t.Fatalf("firing transition = %+v, want value 4 (sigma+1) threshold 3", trs[0])
+	}
+}
+
+// TestMetricIncrease covers the increase aggregator: the priming tick
+// never fires, deltas do, and a flat counter resolves.
+func TestMetricIncrease(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("c")
+	ev, err := New(Config{
+		Rules: []Rule{{Name: "growth", Expr: Expr{
+			Metric: "c", Agg: "increase", Op: ">", Threshold: 0,
+		}}},
+		Metrics: reg.Snapshot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(100)
+	ev.Eval() // priming: the pre-existing 100 must not fire
+	if n := len(ev.Transitions()); n != 0 {
+		t.Fatalf("priming tick emitted %d transitions", n)
+	}
+	c.Add(5)
+	ev.Eval()
+	ev.Eval() // flat: resolves
+	got := ev.Transitions()
+	if len(got) != 2 || got[0].State != StateFiring || got[1].State != StateResolved {
+		t.Fatalf("transitions = %+v", got)
+	}
+	if got[0].Value != 5 || got[0].Tick != 2 || got[0].Window != 0 {
+		t.Fatalf("firing transition = %+v", got[0])
+	}
+}
+
+// TestMetricIncreaseRatio covers the Per form (error-rate SLO shape):
+// the ratio of deltas over one interval.
+func TestMetricIncreaseRatio(t *testing.T) {
+	reg := obs.NewRegistry()
+	errs, reqs := reg.Counter("e"), reg.Counter("q")
+	ev, err := New(Config{
+		Rules: []Rule{{Name: "err-rate", Expr: Expr{
+			Metric: "e", Per: "q", Agg: "increase", Op: ">", Threshold: 0.5,
+		}}},
+		Metrics: reg.Snapshot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Eval() // prime
+	errs.Add(1)
+	reqs.Add(10)
+	ev.Eval() // 0.1: under
+	errs.Add(6)
+	reqs.Add(10)
+	ev.Eval() // 0.6: over
+	got := ev.Transitions()
+	if len(got) != 1 || got[0].State != StateFiring || got[0].Value != 0.6 {
+		t.Fatalf("transitions = %+v", got)
+	}
+	// No new requests: the ratio is undefined and must not flap the rule.
+	errs.Add(1)
+	ev.Eval()
+	if got := ev.Transitions(); len(got) != 2 || got[1].State != StateResolved {
+		t.Fatalf("zero-denominator transitions = %+v", got)
+	}
+}
+
+// TestMetricGuard checks the when clause: the rule only evaluates while
+// the guard metric satisfies its comparison.
+func TestMetricGuard(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("c").Add(5)
+	g := reg.Gauge("g")
+	ev, err := New(Config{
+		Rules: []Rule{{Name: "guarded", Expr: Expr{
+			Metric: "c", Op: ">", Threshold: 0,
+			When: &Guard{Metric: "g", Op: ">", Threshold: 0},
+		}}},
+		Metrics: reg.Snapshot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Eval()
+	if n := len(ev.Transitions()); n != 0 {
+		t.Fatalf("guard down but %d transitions", n)
+	}
+	g.Set(1)
+	ev.Eval()
+	got := ev.Transitions()
+	if len(got) != 1 || got[0].State != StateFiring {
+		t.Fatalf("transitions = %+v", got)
+	}
+}
+
+// TestMetricQuantiles checks histogram aggregators against a registry
+// histogram, p99 included — the latency-SLO shape.
+func TestMetricQuantiles(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("h", 0.1, 1, 10, 100)
+	for i := 0; i < 90; i++ {
+		h.Observe(0.01)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50)
+	}
+	ev, err := New(Config{
+		Rules: []Rule{
+			{Name: "p99", Expr: Expr{Metric: "h", Agg: "p99", Op: ">", Threshold: 1}},
+			{Name: "p50", Expr: Expr{Metric: "h", Agg: "p50", Op: ">", Threshold: 1}},
+			{Name: "n", Expr: Expr{Metric: "h", Agg: "count", Op: "==", Threshold: 100}},
+		},
+		Metrics: reg.Snapshot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Eval()
+	states := map[string]string{}
+	for _, st := range ev.Snapshot().Rules {
+		states[st.Name] = st.State
+	}
+	if states["p99"] != StateFiring || states["p50"] != StateInactive || states["n"] != StateFiring {
+		t.Fatalf("states = %v", states)
+	}
+}
+
+// TestCatchUpEquivalence is the determinism contract: an evaluator
+// ticked after every single append produces exactly the transitions of
+// one evaluated once at the end — the schedule is a function of the
+// data, not of the ticker.
+func TestCatchUpEquivalence(t *testing.T) {
+	store := tsdb.NewStore(tsdb.DefaultConfig())
+	rules := []Rule{
+		{Name: "mean", Expr: Expr{Series: "s", Agg: "mean", Window: 8, Op: ">", Threshold: 5}, For: 2},
+		{Name: "spike", Expr: Expr{Kind: KindAnomaly, Series: "s", Sigma: 3, BaselineWindows: 16}},
+	}
+	eager, err := New(Config{Rules: rules, Store: store, Every: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := uint64(1); w <= 200; w++ {
+		v := float64(w % 11)
+		if w%67 == 0 {
+			v = 1000
+		}
+		store.Append("s", w, float64(w)*100, v)
+		eager.Eval()
+	}
+	lazy, err := New(Config{Rules: rules, Store: store, Every: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy.Eval()
+
+	a, b := eager.Transitions(), lazy.Transitions()
+	if len(a) == 0 {
+		t.Fatal("no transitions — the fixture exercises nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("eager %d transitions, lazy %d", len(a), len(b))
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			t.Fatalf("transition %d: eager %+v, lazy %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestEmitFanout checks a transition reaches the sink as a KindAlert
+// event and bumps the registry instruments.
+func TestEmitFanout(t *testing.T) {
+	store := tsdb.NewStore(tsdb.DefaultConfig())
+	appendSeries(store, "s", 10, 10, 10, 10)
+	sink := &sliceTracer{}
+	reg := obs.NewRegistry()
+	ev, err := New(Config{
+		Rules: []Rule{{Name: "hot", Expr: Expr{Series: "s", Op: ">", Threshold: 1},
+			Labels: map[string]string{"severity": "test"}}},
+		Store:    store,
+		Every:    4,
+		Sink:     sink,
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Eval()
+	if len(sink.events) != 1 {
+		t.Fatalf("sink got %d events", len(sink.events))
+	}
+	e := sink.events[0]
+	if e.Kind != obs.KindAlert || e.Unit != "hot" || e.Detail != StateFiring ||
+		e.Window != 4 || e.Value != 10 || e.Prev != 1 {
+		t.Fatalf("sink event = %+v", e)
+	}
+	snap := reg.Snapshot()
+	if v, _ := snapValue(snap, "alerts.transitions"); v != 1 {
+		t.Fatalf("alerts.transitions = %v", v)
+	}
+	if v, _ := snap.Gauge("alerts.firing"); v != 1 {
+		t.Fatalf("alerts.firing = %v", v)
+	}
+}
+
+// TestTransitionHistoryBound checks the retained history is bounded
+// and evictions are counted, not silently lost.
+func TestTransitionHistoryBound(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("c")
+	ev, err := New(Config{
+		Rules: []Rule{{Name: "r", Expr: Expr{
+			Metric: "c", Agg: "increase", Op: ">", Threshold: 0,
+		}}},
+		Metrics:        reg.Snapshot,
+		MaxTransitions: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		c.Add(1)
+		ev.Eval() // fires every other tick after priming
+		ev.Eval() // resolves
+	}
+	snap := ev.Snapshot()
+	if len(snap.Transitions) != 4 {
+		t.Fatalf("history length = %d, want 4", len(snap.Transitions))
+	}
+	if snap.Dropped == 0 {
+		t.Fatal("evictions not counted")
+	}
+}
+
+// TestStartStop checks the ticker lifecycle: stop is idempotent and
+// performs the final catch-up pass, so boundaries reached after the
+// last tick still transition.
+func TestStartStop(t *testing.T) {
+	store := tsdb.NewStore(tsdb.DefaultConfig())
+	ev, err := New(Config{
+		Rules: []Rule{{Name: "r", Expr: Expr{Series: "s", Op: ">", Threshold: 1}}},
+		Store: store,
+		Every: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := ev.Start(time.Hour) // the ticker never fires in this test
+	appendSeries(store, "s", 10, 10, 10, 10)
+	stop()
+	stop() // idempotent
+	if got := transitionKeys(ev.Transitions()); strings.Join(got, " ") != "firing@4" {
+		t.Fatalf("transitions after stop = %v", got)
+	}
+}

@@ -1,0 +1,52 @@
+package alert
+
+import (
+	"powerchop/internal/obs"
+	"powerchop/internal/obs/tsdb"
+)
+
+// ReplayConfig parameterizes an offline replay.
+type ReplayConfig struct {
+	// Every is the evaluation stride (default DefaultEvery). It must
+	// match the live evaluator's stride for transitions to reconcile.
+	Every uint64
+	// Units pre-declares gated units for the ingest, matching the live
+	// ingestor's configuration (serve pre-declares the architecture's
+	// units) so unit.frac series are identical.
+	Units []string
+	// MaxTransitions bounds the retained history (default 1<<16 —
+	// offline runs keep everything within reason).
+	MaxTransitions int
+}
+
+// Replay feeds a recorded event stream through a fresh tsdb ingest and
+// a fresh evaluator, evaluating after every event exactly as a live
+// ticker would have (the evaluation schedule is a pure function of the
+// data, so per-event evaluation and batched catch-up produce identical
+// transitions). Registry-metric rules are skipped — a recorded trace
+// carries no registry — which is the documented scope of the offline
+// guarantee. The returned evaluator holds the transitions and final
+// rule states.
+func Replay(events []obs.Event, rules []Rule, cfg ReplayConfig) (*Evaluator, error) {
+	if cfg.MaxTransitions == 0 {
+		cfg.MaxTransitions = 1 << 16
+	}
+	store := tsdb.NewStore(tsdb.DefaultConfig())
+	in := tsdb.NewIngestor(store, tsdb.IngestorConfig{Units: cfg.Units})
+	ev, err := New(Config{
+		Rules:          rules,
+		Store:          store,
+		Every:          cfg.Every,
+		MaxTransitions: cfg.MaxTransitions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range events {
+		in.Emit(e)
+		ev.Eval()
+	}
+	in.Flush()
+	ev.Eval()
+	return ev, nil
+}

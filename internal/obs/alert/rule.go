@@ -1,0 +1,339 @@
+// Package alert is the rule-driven alerting layer over the
+// observability stack: it watches the per-window telemetry store
+// (internal/obs/tsdb) and the metrics registry (obs.Registry) and runs a
+// pending→firing→resolved state machine per rule.
+//
+// The evaluator is a pure observer. It reads surfaces the simulator
+// already populates and emits its own transitions as obs events
+// (obs.KindAlert) back into the ordinary sink fan-out; nothing it does
+// feeds back into a simulation, so figure output is byte-identical with
+// the evaluator attached (enforced by TestMonitorAttachedByteIdentical).
+//
+// Determinism: series rules are evaluated at window boundaries that are
+// multiples of a fixed stride (Config.Every), never on wall time. A
+// ticker merely triggers Eval, which catches up every boundary the store
+// has reached; because the store's raw buckets for windows ≤
+// Store.LatestWindow are final, a lagging ticker produces exactly the
+// transitions an eager one would. That is what lets `powerchop alerts
+// check` replay a recorded trace offline and reproduce the live
+// transitions bit for bit. Registry-metric rules (service SLOs) are
+// evaluated once per tick against a registry snapshot and are excluded
+// from that offline guarantee — a recorded trace carries no registry.
+package alert
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Rule states.
+const (
+	StateInactive = "inactive"
+	StatePending  = "pending"
+	StateFiring   = "firing"
+	StateResolved = "resolved" // transition-only: the state machine rests at inactive
+)
+
+// Expr kinds.
+const (
+	KindThreshold = "threshold"
+	KindAnomaly   = "anomaly"
+)
+
+// Guard is an optional precondition on a rule: the rule's own condition
+// is only evaluated while the guard holds (e.g. "only alert on stalled
+// window progress while runs are actually simulating").
+type Guard struct {
+	// Metric names a registry metric (counter or gauge value, histogram
+	// count).
+	Metric string `json:"metric"`
+	// Op and Threshold form the comparison, as in Expr.
+	Op        string  `json:"op"`
+	Threshold float64 `json:"threshold"`
+}
+
+// Expr is a rule's condition. Exactly one of Series (a tsdb series) or
+// Metric (a registry metric) names the source.
+type Expr struct {
+	// Kind selects the expression form: "threshold" (default) compares
+	// an aggregate against Threshold with Op; "anomaly" compares the
+	// z-score of the boundary window's value against Sigma over a
+	// rolling baseline (series sources only).
+	Kind string `json:"kind,omitempty"`
+	// Series names a tsdb series (e.g. "pvt.hit", "window.ipc").
+	Series string `json:"series,omitempty"`
+	// Metric names a registry metric (e.g. "http.seconds.api.run").
+	Metric string `json:"metric,omitempty"`
+	// Agg is the aggregator. Series sources take the tsdb aggregators
+	// (mean — the default — min, max, last, sum, count) applied over the
+	// trailing Window raw points. Metric sources take: value (counter or
+	// gauge level, the default), increase (delta since the previous
+	// evaluation; with Per set, a ratio of deltas), p50/p90/p99/mean/
+	// min/max (histograms) and count (histogram observation count).
+	Agg string `json:"agg,omitempty"`
+	// Window is the trailing window span for series rules (default 1).
+	Window uint64 `json:"window,omitempty"`
+	// Op compares the aggregate to Threshold: <, <=, >, >=, ==, !=.
+	Op        string  `json:"op,omitempty"`
+	Threshold float64 `json:"threshold"`
+	// Per divides an increase by another metric's increase over the
+	// same interval — the error-rate shape
+	// (errors-per-interval / requests-per-interval).
+	Per string `json:"per,omitempty"`
+	// Sigma and BaselineWindows parameterize anomaly rules: the
+	// boundary window's value is anomalous when its z-score against the
+	// mean/stddev of the prior BaselineWindows raw points exceeds Sigma.
+	Sigma           float64 `json:"sigma,omitempty"`
+	BaselineWindows uint64  `json:"baseline_windows,omitempty"`
+	// When guards the rule (see Guard). Registry-backed, so it only
+	// applies where a registry is attached.
+	When *Guard `json:"when,omitempty"`
+}
+
+// Rule is one alert rule.
+type Rule struct {
+	Name string `json:"name"`
+	Expr Expr   `json:"expr"`
+	// For is the damping span: the number of consecutive true
+	// evaluation points required before the rule fires. 0 and 1 both
+	// fire immediately; larger values pass through a pending state.
+	For int `json:"for,omitempty"`
+	// Labels ride along on every transition (severity, owner, ...).
+	Labels map[string]string `json:"labels,omitempty"`
+}
+
+// RuleFile is the on-disk rule document: {"rules": [...]}.
+type RuleFile struct {
+	Rules []Rule `json:"rules"`
+}
+
+var validOps = map[string]bool{
+	"<": true, "<=": true, ">": true, ">=": true, "==": true, "!=": true,
+}
+
+var seriesAggs = map[string]bool{
+	"mean": true, "min": true, "max": true, "last": true, "sum": true, "count": true,
+}
+
+var metricAggs = map[string]bool{
+	"value": true, "increase": true, "p50": true, "p90": true, "p99": true,
+	"mean": true, "min": true, "max": true, "count": true,
+}
+
+const (
+	knownOps        = "<, <=, >, >=, ==, !="
+	knownSeriesAggs = "count, last, max, mean, min, sum"
+	knownMetricAggs = "count, increase, max, mean, min, p50, p90, p99, value"
+	knownKinds      = `"threshold", "anomaly"`
+)
+
+// ParseRules decodes a rule document ({"rules": [...]} or a bare rule
+// array) and validates it. Unknown fields are rejected so a typoed key
+// fails loudly instead of silently disabling a rule.
+func ParseRules(r io.Reader) ([]Rule, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("alert: reading rules: %w", err)
+	}
+	var rules []Rule
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var doc RuleFile
+	if err := dec.Decode(&doc); err == nil {
+		rules = doc.Rules
+	} else {
+		dec = json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err2 := dec.Decode(&rules); err2 != nil {
+			return nil, fmt.Errorf("alert: parsing rules: %w", err)
+		}
+	}
+	if err := Validate(rules); err != nil {
+		return nil, err
+	}
+	return rules, nil
+}
+
+// LoadRules reads and validates a rule file from disk.
+func LoadRules(path string) ([]Rule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("alert: %w", err)
+	}
+	defer f.Close()
+	return ParseRules(f)
+}
+
+// Validate checks a rule set. Errors are deterministic and name the
+// first offender in declaration order, in the style of
+// internal/policy.Validate.
+func Validate(rules []Rule) error {
+	if len(rules) == 0 {
+		return fmt.Errorf("alert: no rules")
+	}
+	seen := map[string]bool{}
+	for i, r := range rules {
+		fail := func(format string, args ...any) error {
+			prefix := fmt.Sprintf("alert: rule %d (%q): ", i, r.Name)
+			if r.Name == "" {
+				prefix = fmt.Sprintf("alert: rule %d: ", i)
+			}
+			return fmt.Errorf(prefix+format, args...)
+		}
+		if r.Name == "" {
+			return fail("missing name")
+		}
+		if seen[r.Name] {
+			return fail("duplicate rule name")
+		}
+		seen[r.Name] = true
+		if r.For < 0 {
+			return fail("negative for %d", r.For)
+		}
+		e := r.Expr
+		if (e.Series == "") == (e.Metric == "") {
+			return fail("need exactly one of expr.series or expr.metric")
+		}
+		switch e.Kind {
+		case "", KindThreshold:
+			if !validOps[e.Op] {
+				if e.Op == "" {
+					return fail("missing expr.op (known: %s)", knownOps)
+				}
+				return fail("unknown expr.op %q (known: %s)", e.Op, knownOps)
+			}
+			if e.Sigma != 0 || e.BaselineWindows != 0 {
+				return fail("expr.sigma/expr.baseline_windows apply to anomaly rules only")
+			}
+			if e.Series != "" {
+				agg := e.Agg
+				if agg == "" {
+					agg = "mean"
+				}
+				if !seriesAggs[agg] {
+					return fail("unknown series aggregator %q (known: %s)", e.Agg, knownSeriesAggs)
+				}
+				if e.Per != "" {
+					return fail("expr.per applies to metric rules only")
+				}
+			} else {
+				agg := e.Agg
+				if agg == "" {
+					agg = "value"
+				}
+				if !metricAggs[agg] {
+					return fail("unknown metric aggregator %q (known: %s)", e.Agg, knownMetricAggs)
+				}
+				if e.Per != "" && agg != "increase" {
+					return fail(`expr.per needs agg "increase"`)
+				}
+				if e.Window != 0 {
+					return fail("expr.window applies to series rules only")
+				}
+			}
+		case KindAnomaly:
+			if e.Series == "" {
+				return fail("anomaly rules need expr.series")
+			}
+			if e.Sigma <= 0 {
+				return fail("anomaly rules need expr.sigma > 0 (got %v)", e.Sigma)
+			}
+			if e.BaselineWindows < 2 {
+				return fail("anomaly rules need expr.baseline_windows >= 2 (got %d)", e.BaselineWindows)
+			}
+			if e.Op != "" || e.Agg != "" {
+				return fail("anomaly rules compare z-scores; drop expr.op/expr.agg")
+			}
+		default:
+			return fail("unknown expr.kind %q (known: %s)", e.Kind, knownKinds)
+		}
+		if e.When != nil {
+			if e.When.Metric == "" {
+				return fail("when.metric missing")
+			}
+			if !validOps[e.When.Op] {
+				return fail("unknown when.op %q (known: %s)", e.When.Op, knownOps)
+			}
+		}
+	}
+	return nil
+}
+
+// DefaultRules is the ruleset `serve` loads when no -alert-rules file is
+// given: simulation liveness, a PVT hit-rate floor, an IPC anomaly
+// detector, SSE event-drop growth and request-path SLOs for the run
+// endpoint.
+func DefaultRules() []Rule {
+	return []Rule{
+		{
+			// No window closed across three evaluation intervals while at
+			// least one run reports itself simulating: the simulation is
+			// wedged. Registry-backed, so live-monitor only.
+			Name: "sim-liveness",
+			Expr: Expr{
+				Metric: "events.window-close", Agg: "increase",
+				Op: "==", Threshold: 0,
+				When: &Guard{Metric: "progress.simulating", Op: ">", Threshold: 0},
+			},
+			For:    3,
+			Labels: map[string]string{"severity": "critical"},
+		},
+		{
+			// The PVT should settle well above a coin flip once phases
+			// recur; a sustained sub-0.5 mean hit rate means the working
+			// set outruns the table.
+			Name: "pvt-hit-floor",
+			Expr: Expr{
+				Series: "pvt.hit", Agg: "mean", Window: 64,
+				Op: "<", Threshold: 0.5,
+			},
+			For:    2,
+			Labels: map[string]string{"severity": "warning"},
+		},
+		{
+			// IPC four sigma away from its rolling baseline for two
+			// consecutive boundaries.
+			Name: "ipc-anomaly",
+			Expr: Expr{
+				Kind: KindAnomaly, Series: "window.ipc",
+				Sigma: 4, BaselineWindows: 256,
+			},
+			For:    2,
+			Labels: map[string]string{"severity": "info"},
+		},
+		{
+			// Any growth in dropped SSE events between evaluations means
+			// a subscriber is falling behind.
+			Name: "event-drops",
+			Expr: Expr{
+				Metric: "serve.events.dropped", Agg: "increase",
+				Op: ">", Threshold: 0,
+			},
+			Labels: map[string]string{"severity": "warning"},
+		},
+		{
+			// Run-endpoint error-rate SLO: more than 10% of requests in
+			// an interval erroring.
+			Name: "api-run-error-slo",
+			Expr: Expr{
+				Metric: "http.errors.api.run", Per: "http.requests.api.run",
+				Agg: "increase", Op: ">", Threshold: 0.1,
+			},
+			For:    2,
+			Labels: map[string]string{"severity": "critical", "slo": "errors"},
+		},
+		{
+			// Run-endpoint latency SLO on the estimated p99.
+			Name: "api-run-p99-slo",
+			Expr: Expr{
+				Metric: "http.seconds.api.run", Agg: "p99",
+				Op: ">", Threshold: 120,
+			},
+			For:    2,
+			Labels: map[string]string{"severity": "warning", "slo": "latency"},
+		},
+	}
+}

@@ -1,0 +1,154 @@
+package alert
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// okRule is a minimal valid rule for mutation-based validation tests.
+func okRule() Rule {
+	return Rule{Name: "r", Expr: Expr{Series: "s", Op: ">", Threshold: 1}}
+}
+
+// TestValidateErrors pins the exact validation messages, golden-style
+// like the policy registry's Validate tests: each broken rule set fails
+// with a deterministic first-offender error.
+func TestValidateErrors(t *testing.T) {
+	mut := func(f func(*Rule)) []Rule {
+		r := okRule()
+		f(&r)
+		return []Rule{r}
+	}
+	cases := []struct {
+		name  string
+		rules []Rule
+		want  string
+	}{
+		{"empty set", nil, "alert: no rules"},
+		{"missing name", mut(func(r *Rule) { r.Name = "" }),
+			"alert: rule 0: missing name"},
+		{"duplicate name", []Rule{okRule(), okRule()},
+			`alert: rule 1 ("r"): duplicate rule name`},
+		{"negative for", mut(func(r *Rule) { r.For = -1 }),
+			`alert: rule 0 ("r"): negative for -1`},
+		{"both sources", mut(func(r *Rule) { r.Expr.Metric = "m" }),
+			`alert: rule 0 ("r"): need exactly one of expr.series or expr.metric`},
+		{"no source", mut(func(r *Rule) { r.Expr.Series = "" }),
+			`alert: rule 0 ("r"): need exactly one of expr.series or expr.metric`},
+		{"missing op", mut(func(r *Rule) { r.Expr.Op = "" }),
+			`alert: rule 0 ("r"): missing expr.op (known: <, <=, >, >=, ==, !=)`},
+		{"unknown op", mut(func(r *Rule) { r.Expr.Op = "=~" }),
+			`alert: rule 0 ("r"): unknown expr.op "=~" (known: <, <=, >, >=, ==, !=)`},
+		{"sigma on threshold", mut(func(r *Rule) { r.Expr.Sigma = 2 }),
+			`alert: rule 0 ("r"): expr.sigma/expr.baseline_windows apply to anomaly rules only`},
+		{"unknown series agg", mut(func(r *Rule) { r.Expr.Agg = "p99" }),
+			`alert: rule 0 ("r"): unknown series aggregator "p99" (known: count, last, max, mean, min, sum)`},
+		{"per on series", mut(func(r *Rule) { r.Expr.Per = "q" }),
+			`alert: rule 0 ("r"): expr.per applies to metric rules only`},
+		{"unknown metric agg", mut(func(r *Rule) {
+			r.Expr.Series, r.Expr.Metric, r.Expr.Agg = "", "m", "last"
+		}), `alert: rule 0 ("r"): unknown metric aggregator "last" (known: count, increase, max, mean, min, p50, p90, p99, value)`},
+		{"per without increase", mut(func(r *Rule) {
+			r.Expr.Series, r.Expr.Metric, r.Expr.Per = "", "m", "q"
+		}), `alert: rule 0 ("r"): expr.per needs agg "increase"`},
+		{"window on metric", mut(func(r *Rule) {
+			r.Expr.Series, r.Expr.Metric, r.Expr.Window = "", "m", 8
+		}), `alert: rule 0 ("r"): expr.window applies to series rules only`},
+		{"anomaly without series", mut(func(r *Rule) {
+			r.Expr = Expr{Kind: KindAnomaly, Metric: "m", Sigma: 3, BaselineWindows: 8}
+		}), `alert: rule 0 ("r"): anomaly rules need expr.series`},
+		{"anomaly sigma", mut(func(r *Rule) {
+			r.Expr = Expr{Kind: KindAnomaly, Series: "s", BaselineWindows: 8}
+		}), `alert: rule 0 ("r"): anomaly rules need expr.sigma > 0 (got 0)`},
+		{"anomaly baseline", mut(func(r *Rule) {
+			r.Expr = Expr{Kind: KindAnomaly, Series: "s", Sigma: 3, BaselineWindows: 1}
+		}), `alert: rule 0 ("r"): anomaly rules need expr.baseline_windows >= 2 (got 1)`},
+		{"anomaly with op", mut(func(r *Rule) {
+			r.Expr = Expr{Kind: KindAnomaly, Series: "s", Sigma: 3, BaselineWindows: 8, Op: ">"}
+		}), `alert: rule 0 ("r"): anomaly rules compare z-scores; drop expr.op/expr.agg`},
+		{"unknown kind", mut(func(r *Rule) { r.Expr.Kind = "rate" }),
+			`alert: rule 0 ("r"): unknown expr.kind "rate" (known: "threshold", "anomaly")`},
+		{"guard missing metric", mut(func(r *Rule) { r.Expr.When = &Guard{Op: ">"} }),
+			`alert: rule 0 ("r"): when.metric missing`},
+		{"guard bad op", mut(func(r *Rule) { r.Expr.When = &Guard{Metric: "g", Op: "~"} }),
+			`alert: rule 0 ("r"): unknown when.op "~" (known: <, <=, >, >=, ==, !=)`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Validate(tc.rules)
+			if err == nil {
+				t.Fatalf("Validate(%+v) = nil, want %q", tc.rules, tc.want)
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("Validate error = %q, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateAccepts covers valid shapes, including defaults left to
+// normalization (empty agg) and the explicit threshold kind.
+func TestValidateAccepts(t *testing.T) {
+	rules := []Rule{
+		{Name: "defaults", Expr: Expr{Series: "s", Op: "<", Threshold: 1}},
+		{Name: "explicit", Expr: Expr{Kind: KindThreshold, Series: "s", Agg: "max", Window: 16, Op: ">=", Threshold: 2}, For: 3},
+		{Name: "metric", Expr: Expr{Metric: "m", Agg: "increase", Per: "q", Op: ">", Threshold: 0.1}},
+		{Name: "quantile", Expr: Expr{Metric: "h", Agg: "p99", Op: ">", Threshold: 5}},
+		{Name: "anomaly", Expr: Expr{Kind: KindAnomaly, Series: "s", Sigma: 3, BaselineWindows: 64}},
+		{Name: "guarded", Expr: Expr{Metric: "m", Op: ">", Threshold: 0,
+			When: &Guard{Metric: "g", Op: ">", Threshold: 0}}},
+	}
+	if err := Validate(rules); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+}
+
+// TestParseRules covers both accepted document shapes and the loud
+// rejection of unknown fields.
+func TestParseRules(t *testing.T) {
+	doc := `{"rules": [{"name": "a", "expr": {"series": "s", "op": ">", "threshold": 1}}]}`
+	rules, err := ParseRules(strings.NewReader(doc))
+	if err != nil || len(rules) != 1 || rules[0].Name != "a" {
+		t.Fatalf("doc form: %v, %+v", err, rules)
+	}
+
+	bare := `[{"name": "a", "expr": {"series": "s", "op": ">", "threshold": 1}}]`
+	rules, err = ParseRules(strings.NewReader(bare))
+	if err != nil || len(rules) != 1 {
+		t.Fatalf("bare array: %v, %+v", err, rules)
+	}
+
+	if _, err := ParseRules(strings.NewReader(
+		`{"rules": [{"name": "a", "expr": {"serie": "typo", "op": ">", "threshold": 1}}]}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ParseRules(strings.NewReader(`{nope`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := ParseRules(strings.NewReader(`{"rules": []}`)); err == nil ||
+		err.Error() != "alert: no rules" {
+		t.Fatalf("empty document error = %v", err)
+	}
+}
+
+// TestDefaultRules checks the shipped ruleset validates and survives a
+// JSON round trip through the same parser that loads user rule files —
+// so `powerchop alerts rules > f.json` is always loadable.
+func TestDefaultRules(t *testing.T) {
+	rules := DefaultRules()
+	if err := Validate(rules); err != nil {
+		t.Fatalf("DefaultRules invalid: %v", err)
+	}
+	raw, err := json.Marshal(RuleFile{Rules: rules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseRules(strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(back) != len(rules) {
+		t.Fatalf("round trip kept %d of %d rules", len(back), len(rules))
+	}
+}

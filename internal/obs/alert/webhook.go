@@ -1,0 +1,153 @@
+package alert
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"powerchop/internal/obs"
+)
+
+// Webhook delivers transitions to an HTTP endpoint as JSON POSTs, one
+// request per transition, from a single background goroutine. Delivery
+// is best-effort with bounded retry/backoff: alerting must never be
+// able to stall the evaluator, so Enqueue drops (and counts) when the
+// queue is full or the webhook is closed.
+type Webhook struct {
+	url     string
+	client  *http.Client
+	tries   int
+	backoff time.Duration
+
+	mu     sync.Mutex
+	closed bool
+	queue  chan Transition
+	wg     sync.WaitGroup
+
+	sent, failed, dropped *obs.Counter
+}
+
+// WebhookConfig tunes delivery; zero values take defaults.
+type WebhookConfig struct {
+	// Tries is the delivery attempts per transition (default 3) and
+	// Backoff the initial retry delay, doubled per attempt (default
+	// 250ms).
+	Tries   int
+	Backoff time.Duration
+	// Timeout bounds each POST (default 10s).
+	Timeout time.Duration
+	// Queue is the buffered queue depth (default 256).
+	Queue int
+	// Registry, when set, hosts delivery counters
+	// (alerts.webhook.{sent,failed,dropped}).
+	Registry *obs.Registry
+}
+
+// NewWebhook builds a webhook deliverer and starts its goroutine.
+func NewWebhook(url string, cfg WebhookConfig) *Webhook {
+	if cfg.Tries == 0 {
+		cfg.Tries = 3
+	}
+	if cfg.Backoff == 0 {
+		cfg.Backoff = 250 * time.Millisecond
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.Queue == 0 {
+		cfg.Queue = 256
+	}
+	w := &Webhook{
+		url:     url,
+		client:  &http.Client{Timeout: cfg.Timeout},
+		tries:   cfg.Tries,
+		backoff: cfg.Backoff,
+		queue:   make(chan Transition, cfg.Queue),
+	}
+	if reg := cfg.Registry; reg != nil {
+		w.sent = reg.Counter("alerts.webhook.sent")
+		w.failed = reg.Counter("alerts.webhook.failed")
+		w.dropped = reg.Counter("alerts.webhook.dropped")
+	}
+	w.wg.Add(1)
+	go w.loop()
+	return w
+}
+
+// Enqueue queues one transition for delivery, dropping when the queue
+// is full or the webhook closed.
+func (w *Webhook) Enqueue(tr Transition) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		w.drop()
+		return
+	}
+	select {
+	case w.queue <- tr:
+	default:
+		w.drop()
+	}
+}
+
+func (w *Webhook) drop() {
+	if w.dropped != nil {
+		w.dropped.Add(1)
+	}
+}
+
+// Close drains the queue, delivers what remains and stops the
+// goroutine. Idempotent.
+func (w *Webhook) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	close(w.queue)
+	w.mu.Unlock()
+	w.wg.Wait()
+}
+
+func (w *Webhook) loop() {
+	defer w.wg.Done()
+	for tr := range w.queue {
+		w.post(tr)
+	}
+}
+
+// post attempts one delivery with exponential backoff. Any 2xx status
+// counts as delivered.
+func (w *Webhook) post(tr Transition) {
+	body, err := json.Marshal(tr)
+	if err != nil {
+		if w.failed != nil {
+			w.failed.Add(1)
+		}
+		return
+	}
+	delay := w.backoff
+	for attempt := 0; attempt < w.tries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(delay)
+			delay *= 2
+		}
+		resp, err := w.client.Post(w.url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			if w.sent != nil {
+				w.sent.Add(1)
+			}
+			return
+		}
+	}
+	if w.failed != nil {
+		w.failed.Add(1)
+	}
+}

@@ -98,6 +98,16 @@ const (
 	// microseconds, Unit the span name and Detail the outcome
 	// ("error=..." on failure, empty on success).
 	KindSpanEnd
+	// KindAlert is an alert-rule state transition from the alert
+	// evaluator (internal/obs/alert). Unit names the rule, Detail the new
+	// state ("pending", "firing", "resolved"), Value the observed value,
+	// Prev the rule's threshold, Window the evaluation boundary for
+	// series rules (0 for registry-metric rules, which instead carry the
+	// evaluation tick in Count) and Cycle the simulated cycle of the
+	// boundary's last sample. Alert events ride the ordinary stream so
+	// traces, SSE clients and Chrome exports see them; every simulation
+	// consumer ignores them.
+	KindAlert
 	numKinds
 )
 
@@ -116,6 +126,7 @@ var kindNames = [numKinds]string{
 	KindRunEnd:      "run-end",
 	KindSpanBegin:   "span-begin",
 	KindSpanEnd:     "span-end",
+	KindAlert:       "alert",
 }
 
 // IsSpanKind reports whether the kind belongs to the service-layer span

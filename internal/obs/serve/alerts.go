@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"powerchop/internal/obs"
+)
+
+// AlertSource supplies the alert snapshot behind GET /api/alerts and
+// the firing count shown as a badge on every board. alert.Evaluator
+// implements it.
+type AlertSource interface {
+	AlertsJSON() ([]byte, error)
+	FiringCount() int
+}
+
+// SetAlerts installs the source behind GET /api/alerts and the boards'
+// firing badges. A nil source makes the snapshot answer 404 again; the
+// /alerts live stream works either way (it is fed by KindAlert events
+// on the hub, not by the source).
+func (m *Monitor) SetAlerts(src AlertSource) {
+	m.mu.Lock()
+	m.alerts = src
+	m.mu.Unlock()
+}
+
+// alertsFiring reports the installed source's firing count (0 when no
+// source is installed).
+func (m *Monitor) alertsFiring() int {
+	m.mu.Lock()
+	src := m.alerts
+	m.mu.Unlock()
+	if src == nil {
+		return 0
+	}
+	return src.FiringCount()
+}
+
+// handleAlertsStream streams alert transitions live: the /events loop
+// filtered down to KindAlert. SSE framing by default, ?format=ndjson
+// for NDJSON.
+func (m *Monitor) handleAlertsStream(w http.ResponseWriter, r *http.Request) {
+	m.streamEvents(w, r, func(e obs.Event) bool { return e.Kind == obs.KindAlert })
+}
+
+// handleAlertsAPI serves the evaluator's full snapshot: rules, states,
+// transition history.
+func (m *Monitor) handleAlertsAPI(w http.ResponseWriter, _ *http.Request) {
+	m.mu.Lock()
+	src := m.alerts
+	m.mu.Unlock()
+	if src == nil {
+		http.Error(w, "no alert evaluator attached", http.StatusNotFound)
+		return
+	}
+	b, err := src.AlertsJSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(append(b, '\n'))
+}
+
+// metricJSON mirrors the registry snapshot for /api/metrics, with
+// estimated quantiles on every histogram.
+type metricsDoc struct {
+	Counters   []counterJSON `json:"counters"`
+	Gauges     []gaugeJSON   `json:"gauges"`
+	Histograms []histJSON    `json:"histograms"`
+}
+
+type counterJSON struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+type gaugeJSON struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+type histJSON struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// handleMetricsAPI is the JSON twin of /metrics: the full registry
+// snapshot with estimated p50/p90/p99 for every registered histogram
+// (the text exposition carries only the raw buckets).
+func (m *Monitor) handleMetricsAPI(w http.ResponseWriter, _ *http.Request) {
+	snap := m.reg.Snapshot()
+	doc := metricsDoc{
+		Counters:   []counterJSON{},
+		Gauges:     []gaugeJSON{},
+		Histograms: []histJSON{},
+	}
+	for _, c := range snap.Counters {
+		doc.Counters = append(doc.Counters, counterJSON{Name: c.Name, Value: c.Value})
+	}
+	for _, g := range snap.Gauges {
+		doc.Gauges = append(doc.Gauges, gaugeJSON{Name: g.Name, Value: g.Value})
+	}
+	for _, h := range snap.Histograms {
+		doc.Histograms = append(doc.Histograms, histJSON{
+			Name: h.Name, Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max,
+			Mean: h.Mean(),
+			P50:  h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+		})
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(append(b, '\n'))
+}
+
+// routeQuantiles summarizes the request-latency histograms
+// (http.seconds.<route>) for the /runs board footer: one line per
+// route with estimated p50/p90/p99, sorted by route.
+func routeQuantiles(snap *obs.Snapshot) []string {
+	var lines []string
+	for _, h := range snap.Histograms {
+		route, ok := strings.CutPrefix(h.Name, "http.seconds.")
+		if !ok || h.Count == 0 {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("  %-20s p50 %.4gs  p90 %.4gs  p99 %.4gs  (n=%d)",
+			route, h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Count))
+	}
+	sort.Strings(lines)
+	return lines
+}

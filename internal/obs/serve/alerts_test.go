@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"powerchop/internal/obs"
+)
+
+// stubAlerts is a canned AlertSource.
+type stubAlerts struct {
+	body   string
+	firing int
+}
+
+func (s *stubAlerts) AlertsJSON() ([]byte, error) { return []byte(s.body), nil }
+func (s *stubAlerts) FiringCount() int            { return s.firing }
+
+// TestAlertsAPILifecycle checks /api/alerts answers 404 until a source
+// is installed, serves its snapshot afterwards, and detaches cleanly.
+func TestAlertsAPILifecycle(t *testing.T) {
+	m, url := testMonitor(t)
+	body, resp := get(t, url+"/api/alerts")
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(body, "no alert evaluator attached") {
+		t.Fatalf("detached /api/alerts: %d %q", resp.StatusCode, body)
+	}
+
+	m.SetAlerts(&stubAlerts{body: `{"rules": [], "firing": 2}`, firing: 2})
+	body, resp = get(t, url+"/api/alerts")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("attached /api/alerts: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content-type %q", ct)
+	}
+	var doc struct {
+		Firing int `json:"firing"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil || doc.Firing != 2 {
+		t.Fatalf("snapshot: %v %q", err, body)
+	}
+
+	m.SetAlerts(nil)
+	if _, resp := get(t, url+"/api/alerts"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("re-detached /api/alerts: %d", resp.StatusCode)
+	}
+}
+
+// TestAlertsStreamFiltersKinds checks /alerts forwards only KindAlert
+// events from the hub, ignoring the simulation traffic interleaved
+// with them.
+func TestAlertsStreamFiltersKinds(t *testing.T) {
+	m, url := testMonitor(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	lines, closeBody := streamLines(t, ctx, url+"/alerts?format=ndjson")
+	defer closeBody()
+
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				m.Hub().Emit(obs.Event{Kind: obs.KindWindowClose, Window: 9})
+				m.Hub().Emit(obs.Event{
+					Kind: obs.KindAlert, Unit: "pvt-hit-floor", Detail: "firing",
+					Window: 64, Value: 0.4, Prev: 0.5,
+				})
+			}
+		}
+	}()
+	defer func() { close(done); <-finished }()
+
+	line := waitLine(t, lines, "an alert transition", func(s string) bool {
+		return strings.Contains(s, `"kind"`)
+	})
+	var e struct {
+		Kind   string  `json:"kind"`
+		Unit   string  `json:"unit"`
+		Detail string  `json:"detail"`
+		Window uint64  `json:"window"`
+		Value  float64 `json:"value"`
+		Prev   float64 `json:"prev"`
+	}
+	if err := json.Unmarshal([]byte(line), &e); err != nil {
+		t.Fatalf("alert line not JSON: %v (%q)", err, line)
+	}
+	if e.Kind != "alert" || e.Unit != "pvt-hit-floor" || e.Detail != "firing" ||
+		e.Window != 64 || e.Value != 0.4 || e.Prev != 0.5 {
+		t.Fatalf("alert event = %+v", e)
+	}
+}
+
+// TestProgressCarriesAlertBadge checks /progress exposes the firing
+// count and the board cross-links alongside the run board.
+func TestProgressCarriesAlertBadge(t *testing.T) {
+	m, url := testMonitor(t)
+	m.SetAlerts(&stubAlerts{body: `{}`, firing: 3})
+	body, _ := get(t, url+"/progress")
+	var doc struct {
+		AlertsFiring int      `json:"alerts_firing"`
+		Boards       []string `json:"boards"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/progress not JSON: %v\n%s", err, body)
+	}
+	if doc.AlertsFiring != 3 {
+		t.Fatalf("alerts_firing = %d", doc.AlertsFiring)
+	}
+	if len(doc.Boards) == 0 || doc.Boards[0] != "/dash" {
+		t.Fatalf("boards = %v", doc.Boards)
+	}
+}
+
+// TestRunsBoardFooter checks the /runs footer: latency quantiles from
+// the request histograms, the alerts badge and the cross-links — on
+// both the empty and populated paths.
+func TestRunsBoardFooter(t *testing.T) {
+	m, url := testMonitor(t)
+	m.SetAlerts(&stubAlerts{firing: 1})
+	// Request histograms appear once a route has been served; hit the
+	// instrumented progress route first.
+	get(t, url+"/progress")
+	body, _ := get(t, url+"/runs")
+	for _, want := range []string{
+		"(no runs recorded)",
+		"route latency quantiles:",
+		"progress",
+		"p99",
+		"alerts firing: 1 (/api/alerts)",
+		"boards: /dash /progress /runs",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/runs footer missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestMetricsAPI checks the JSON twin of /metrics: every registry
+// instrument with estimated quantiles on histograms, and empty arrays
+// (never null) on an idle registry section.
+func TestMetricsAPI(t *testing.T) {
+	_, url := testMonitor(t)
+	body, resp := get(t, url+"/api/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/metrics: %d", resp.StatusCode)
+	}
+	var doc struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value uint64 `json:"value"`
+		} `json:"counters"`
+		Gauges     []json.RawMessage `json:"gauges"`
+		Histograms []struct {
+			Name  string  `json:"name"`
+			Count uint64  `json:"count"`
+			P50   float64 `json:"p50"`
+			P99   float64 `json:"p99"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/api/metrics not JSON: %v\n%s", err, body)
+	}
+	if doc.Gauges == nil {
+		t.Fatal("gauges serialized as null, want []")
+	}
+	found := false
+	for _, c := range doc.Counters {
+		if c.Name == "events.total" && c.Value == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("events.total missing from %s", body)
+	}
+	var h *struct {
+		Name  string  `json:"name"`
+		Count uint64  `json:"count"`
+		P50   float64 `json:"p50"`
+		P99   float64 `json:"p99"`
+	}
+	for i := range doc.Histograms {
+		if doc.Histograms[i].Name == "window.insns" {
+			h = &doc.Histograms[i]
+		}
+	}
+	// The golden histogram holds 5, 10, 50, 1000, 2500: the p99 estimate
+	// must sit in the top (overflow) bucket, far above the p50 estimate.
+	if h == nil || h.Count != 5 || h.P99 <= h.P50 || h.P99 < 1000 {
+		t.Fatalf("window.insns histogram = %+v", h)
+	}
+}
+
+// TestDashIncludesAlertsPanel pins the dashboard wiring: the alerts
+// table, the firing badge and the board cross-links ship in the HTML.
+func TestDashIncludesAlertsPanel(t *testing.T) {
+	m, url := testMonitor(t)
+	m.SetTelemetry(telemetryStore())
+	body, resp := get(t, url+"/dash")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/dash: %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		`id="alerts"`, `id="alertbadge"`, "/api/alerts", "refreshAlerts",
+		`href="/runs"`, `href="/progress"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/dash missing %q", want)
+		}
+	}
+}
+
+// TestPromConformanceWithAlertInstruments checks the evaluator's and
+// board's extra gauges keep the Prometheus exposition conformant.
+func TestPromConformanceWithAlertInstruments(t *testing.T) {
+	reg := goldenRegistry()
+	reg.Counter("alerts.evals").Add(3)
+	reg.Gauge("alerts.firing").Set(1)
+	m := NewMonitor(reg)
+	defer m.Shutdown(context.Background())
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	body, _ := get(t, srv.URL+"/metrics")
+	if err := CheckExposition([]byte(body)); err != nil {
+		t.Fatalf("exposition fails conformance: %v\n%s", err, body)
+	}
+	for _, want := range []string{"alerts_firing 1", "alerts_evals 3", "progress_simulating 0"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -29,6 +30,9 @@ import (
 //	GET /progress   JSON snapshot of per-run progress
 //	GET /events     live event stream (SSE; ?format=ndjson for NDJSON)
 //	GET /decisions  decision-event stream; ?format=json for the audit trail
+//	GET /alerts     alert-transition stream (SSE/NDJSON)
+//	GET /api/alerts alert snapshot (404 until SetAlerts)
+//	GET /api/metrics registry snapshot with histogram quantiles (JSON)
 //	GET /api/series telemetry series discovery (404 until SetTelemetry)
 //	GET /api/query  telemetry range queries over the attached tsdb store
 //	GET /dash       live telemetry dashboard (HTML + SSE sparklines)
@@ -61,6 +65,7 @@ type Monitor struct {
 	decisions DecisionSource
 	runs      *runlog.Store
 	telemetry *tsdb.Store
+	alerts    AlertSource
 }
 
 // DecisionSource supplies the decision-provenance snapshot behind
@@ -88,10 +93,18 @@ func NewMonitor(reg *obs.Registry) *Monitor {
 	// Process health gauges live wherever a monitor scrapes: every
 	// /metrics page carries them next to the simulation counters.
 	obs.RegisterProcessMetrics(reg)
+	// The default alert ruleset's liveness guard watches this: how many
+	// runs the board currently reports simulating.
+	reg.GaugeFunc("progress.simulating", func() float64 {
+		return float64(m.board.Snapshot().Counts[StateSimulating])
+	})
 	m.handle("GET /metrics", m.handleMetrics)
 	m.handle("GET /progress", m.handleProgress)
 	m.handle("GET /events", m.handleEvents)
 	m.handle("GET /decisions", m.handleDecisions)
+	m.handle("GET /alerts", m.handleAlertsStream)
+	m.handle("GET /api/alerts", m.handleAlertsAPI)
+	m.handle("GET /api/metrics", m.handleMetricsAPI)
 	m.handle("GET /api/series", m.handleSeries)
 	m.handle("GET /api/query", m.handleQuery)
 	m.handle("GET /dash", m.handleDash)
@@ -155,6 +168,9 @@ func (m *Monitor) handleIndex(w http.ResponseWriter, _ *http.Request) {
   /progress   per-run progress (JSON)
   /events     live event stream (SSE; ?format=ndjson for NDJSON)
   /decisions  decision events only (SSE/NDJSON; ?format=json for audit trail)
+  /alerts     alert-transition stream (SSE; ?format=ndjson for NDJSON)
+  /api/alerts alert rules, states and transition history (JSON)
+  /api/metrics registry snapshot with histogram quantiles (JSON)
   /api/series telemetry series discovery (JSON)
   /api/query  telemetry range query (?series=&from=&to=&step=&agg=)
   /dash       live telemetry dashboard (HTML)
@@ -198,9 +214,18 @@ func (m *Monitor) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
+// boardLinks cross-links the human-facing boards; every board and the
+// /progress document carry them so each surface points at the others.
+var boardLinks = []string{"/dash", "/runs", "/progress", "/api/alerts"}
+
 func (m *Monitor) handleProgress(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	b, err := m.board.MarshalJSON()
+	doc := struct {
+		ProgressSnapshot
+		AlertsFiring int      `json:"alerts_firing"`
+		Boards       []string `json:"boards"`
+	}{m.board.Snapshot(), m.alertsFiring(), boardLinks}
+	b, err := json.Marshal(doc)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return

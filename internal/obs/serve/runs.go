@@ -82,6 +82,7 @@ func (m *Monitor) handleRunsBoard(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if len(recs) == 0 {
 		fmt.Fprintln(w, "(no runs recorded)")
+		m.runsFooter(w)
 		return
 	}
 	rows := make([][]string, 0, len(recs))
@@ -111,4 +112,18 @@ func (m *Monitor) handleRunsBoard(w http.ResponseWriter, r *http.Request) {
 	if !store.Persistent() {
 		fmt.Fprintln(w, "(in-memory history: start serve with -cache to persist)")
 	}
+	m.runsFooter(w)
+}
+
+// runsFooter closes the /runs board with the route-latency quantile
+// summary, the alerts badge and the board cross-links.
+func (m *Monitor) runsFooter(w http.ResponseWriter) {
+	if lines := routeQuantiles(m.reg.Snapshot()); len(lines) > 0 {
+		fmt.Fprintln(w, "route latency quantiles:")
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+	}
+	fmt.Fprintf(w, "alerts firing: %d (/api/alerts)\n", m.alertsFiring())
+	fmt.Fprintln(w, "boards: /dash /progress /runs")
 }

@@ -126,13 +126,27 @@ const dashHTML = `<!doctype html>
   svg { vertical-align: middle; }
   polyline { fill: none; stroke: #58a6ff; stroke-width: 1.2; }
   .note { color: #8b949e; }
+  .badge { background: #da3633; color: #fff; border-radius: 9px;
+           padding: 0 7px; font-size: 12px; }
+  td.firing { color: #ff7b72; } td.pending { color: #d29922; }
+  td.inactive { color: #7ac77a; }
 </style>
 </head>
 <body>
-<h1>powerchop telemetry <span id="state" class="live">&#9679;</span></h1>
+<h1>powerchop telemetry <span id="state" class="live">&#9679;</span>
+<span id="alertbadge" class="badge" style="display:none"></span></h1>
 <p class="note">per-window series from the embedded tsdb; sparklines show the
 newest raw windows. <a href="/api/series" style="color:#58a6ff">/api/series</a>
 &middot; query with /api/query?series=NAME&amp;step=N&amp;agg=mean</p>
+<p class="note">boards: <a href="/runs" style="color:#58a6ff">/runs</a>
+&middot; <a href="/progress" style="color:#58a6ff">/progress</a>
+&middot; <a href="/api/alerts" style="color:#58a6ff">/api/alerts</a>
+&middot; <a href="/api/metrics" style="color:#58a6ff">/api/metrics</a></p>
+<h1>alerts</h1>
+<table id="alerts">
+<thead><tr><th>rule</th><th>state</th><th>source</th><th>value</th><th>threshold</th><th>labels</th></tr></thead>
+<tbody><tr><td colspan=6 class=note>(loading)</td></tr></tbody>
+</table>
 <table id="tbl">
 <thead><tr><th>series</th><th>samples</th><th>last</th><th>min</th><th>max</th><th>trend</th></tr></thead>
 <tbody></tbody>
@@ -189,6 +203,34 @@ async function refresh() {
   }
 }
 
+async function refreshAlerts() {
+  const badge = document.getElementById("alertbadge");
+  const tbody = document.querySelector("#alerts tbody");
+  try {
+    const resp = await fetch("/api/alerts");
+    if (resp.status === 404) {
+      tbody.innerHTML = '<tr><td colspan=6 class=note>(no alert evaluator attached)</td></tr>';
+      badge.style.display = "none";
+      return;
+    }
+    const snap = await resp.json();
+    const rows = (snap.rules || []).map(r => {
+      const labels = Object.entries(r.labels || {}).map(([k, v]) => k + "=" + v).join(" ");
+      return "<tr><td>" + r.name + "</td><td class=" + r.state + ">" + r.state +
+             "</td><td>" + r.source + "</td><td class=num>" +
+             (r.evaluated ? fmt(r.value) : "-") +
+             "</td><td class=num>" + fmt(r.threshold) + "</td><td>" + labels + "</td></tr>";
+    });
+    tbody.innerHTML = rows.join("") || '<tr><td colspan=6 class=note>(no rules loaded)</td></tr>';
+    if (snap.firing > 0) {
+      badge.textContent = snap.firing + " firing";
+      badge.style.display = "";
+    } else {
+      badge.style.display = "none";
+    }
+  } catch (_) {}
+}
+
 const es = new EventSource("/events");
 es.onmessage = ev => {
   try {
@@ -197,13 +239,15 @@ es.onmessage = ev => {
       if (!refreshing) setTimeout(refresh, MIN_REFRESH_MS);
       else dirty = true;
     }
+    if (e.kind === "alert") setTimeout(refreshAlerts, 100);
   } catch (_) {}
 };
 es.onerror = () => { document.getElementById("state").style.color = "#d29922"; };
 es.onopen = () => { document.getElementById("state").style.color = "#7ac77a"; };
 
 refresh();
-setInterval(() => refresh(), IDLE_POLL_MS);
+refreshAlerts();
+setInterval(() => { refresh(); refreshAlerts(); }, IDLE_POLL_MS);
 </script>
 </body>
 </html>

@@ -70,6 +70,7 @@ type Ingestor struct {
 	stall    float64
 	lookup   int8 // -1 none, 0 miss, 1 hit
 	scores   []unitScore
+	row      []Sample // scratch for the per-window batch commit
 
 	prevEnd    float64 // previous window's close cycle (current run)
 	lastWindow uint64  // highest window ordinal seen (current run)
@@ -164,7 +165,10 @@ func (in *Ingestor) Emit(e obs.Event) {
 	}
 }
 
-// flush commits the open row to the store. Caller holds mu.
+// flush commits the open row to the store as one atomic batch, so a
+// concurrent reader (the alert evaluator's boundary watermark in
+// particular) never observes a window with only part of its series
+// appended. Caller holds mu.
 func (in *Ingestor) flush() {
 	if !in.open {
 		return
@@ -176,23 +180,29 @@ func (in *Ingestor) flush() {
 		in.lastWindow = in.window
 	}
 
-	in.store.Append(SeriesInsns, w, c, float64(in.insns))
+	row := in.row[:0]
+	add := func(series string, v float64) {
+		row = append(row, Sample{Series: series, Window: w, Cycle: c, Value: v})
+	}
+	add(SeriesInsns, float64(in.insns))
 	if dt := in.endCycle - in.prevEnd; dt > 0 {
-		in.store.Append(SeriesIPC, w, c, float64(in.insns)/dt)
+		add(SeriesIPC, float64(in.insns)/dt)
 	}
 	in.prevEnd = in.endCycle
-	in.store.Append(SeriesStall, w, c, in.stall)
-	in.store.Append(SeriesGates, w, c, float64(in.gates))
-	in.store.Append(SeriesCDE, w, c, float64(in.cde))
+	add(SeriesStall, in.stall)
+	add(SeriesGates, float64(in.gates))
+	add(SeriesCDE, float64(in.cde))
 	if in.lookup >= 0 {
-		in.store.Append(SeriesPVTHit, w, c, float64(in.lookup))
+		add(SeriesPVTHit, float64(in.lookup))
 	}
 	for i, u := range in.units {
-		in.store.Append(SeriesUnitFracPrefix+u, w, c, in.fracs[i])
+		add(SeriesUnitFracPrefix+u, in.fracs[i])
 	}
 	for _, sc := range in.scores {
-		in.store.Append(SeriesCritPrefix+sc.unit, w, c, sc.score)
+		add(SeriesCritPrefix+sc.unit, sc.score)
 	}
+	in.row = row
+	in.store.AppendBatch(row)
 }
 
 // Flush commits any open row without waiting for the next window close

@@ -159,6 +159,7 @@ type Store struct {
 
 	mu     sync.RWMutex
 	series map[string]*series
+	latest uint64
 }
 
 // NewStore builds a store with the given level layout. It panics on an
@@ -186,10 +187,41 @@ func NewStore(cfg Config) *Store {
 // simulated cycle, value — into every level. Unknown series are created
 // on first append.
 func (s *Store) Append(name string, window uint64, cycle, v float64) {
+	s.mu.Lock()
+	s.appendLocked(name, window, cycle, v)
+	s.mu.Unlock()
+}
+
+// Sample is one batch entry for AppendBatch.
+type Sample struct {
+	Series string
+	Window uint64
+	Cycle  float64
+	Value  float64
+}
+
+// AppendBatch appends a set of samples atomically with respect to
+// readers: a query or LatestWindow call never observes part of a
+// batch. The telemetry ingestor commits each window's row through it,
+// so the alert evaluator's boundary watermark only ever advances over
+// complete rows — the invariant behind live/offline transition
+// identity.
+func (s *Store) AppendBatch(batch []Sample) {
+	s.mu.Lock()
+	for _, sm := range batch {
+		s.appendLocked(sm.Series, sm.Window, sm.Cycle, sm.Value)
+	}
+	s.mu.Unlock()
+}
+
+// appendLocked folds one sample in. Caller holds mu.
+func (s *Store) appendLocked(name string, window uint64, cycle, v float64) {
 	if window == 0 {
 		window = 1
 	}
-	s.mu.Lock()
+	if window > s.latest {
+		s.latest = window
+	}
 	sr := s.series[name]
 	if sr == nil {
 		sr = &series{name: name, levels: make([]*level, len(s.cfg.Levels))}
@@ -202,7 +234,18 @@ func (s *Store) Append(name string, window uint64, cycle, v float64) {
 	for _, l := range sr.levels {
 		l.append(window, cycle, v)
 	}
-	s.mu.Unlock()
+}
+
+// LatestWindow returns the highest window ordinal ever appended, across
+// all series (0 when the store is empty). The alert evaluator keys its
+// deterministic evaluation boundaries on it: a raw-level bucket for
+// window w is final once LatestWindow reaches w, because ingestion is
+// ordered by window, so any evaluation at a boundary ≤ LatestWindow
+// reads data that will never change (until it ages out of retention).
+func (s *Store) LatestWindow() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.latest
 }
 
 // SeriesNames returns every series name, sorted.

@@ -268,3 +268,47 @@ func TestNewStorePanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestLatestWindow pins the boundary-finality watermark the alert
+// evaluator keys on: it tracks the highest window appended to any
+// series and never runs backwards on out-of-order appends.
+func TestLatestWindow(t *testing.T) {
+	s := NewStore(testConfig())
+	if got := s.LatestWindow(); got != 0 {
+		t.Fatalf("empty store LatestWindow = %d", got)
+	}
+	s.Append("x", 3, 300, 1)
+	s.Append("y", 7, 700, 2)
+	if got := s.LatestWindow(); got != 7 {
+		t.Fatalf("LatestWindow = %d, want 7", got)
+	}
+	// An out-of-order append (interleaved runs) must not rewind it.
+	s.Append("x", 5, 500, 3)
+	if got := s.LatestWindow(); got != 7 {
+		t.Fatalf("LatestWindow after out-of-order append = %d, want 7", got)
+	}
+}
+
+// TestAppendBatch checks the batch commit lands every sample and
+// advances the watermark exactly like the equivalent Append sequence.
+func TestAppendBatch(t *testing.T) {
+	s := NewStore(testConfig())
+	s.AppendBatch([]Sample{
+		{Series: "a", Window: 2, Cycle: 200, Value: 1},
+		{Series: "b", Window: 2, Cycle: 200, Value: 5},
+		{Series: "a", Window: 3, Cycle: 300, Value: 2},
+	})
+	if got := s.LatestWindow(); got != 3 {
+		t.Fatalf("LatestWindow = %d, want 3", got)
+	}
+	res, err := s.Query(Query{Series: "a"})
+	if err != nil || len(res.Points) != 2 {
+		t.Fatalf("series a: %v %+v", err, res)
+	}
+	if res.Points[1].Value != 2 {
+		t.Fatalf("series a points: %+v", res.Points)
+	}
+	if res, err := s.Query(Query{Series: "b"}); err != nil || len(res.Points) != 1 || res.Points[0].Value != 5 {
+		t.Fatalf("series b: %v %+v", err, res)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"powerchop/internal/arch"
 	"powerchop/internal/obs"
+	"powerchop/internal/obs/alert"
 	"powerchop/internal/obs/runlog"
 	"powerchop/internal/obs/serve"
 	"powerchop/internal/obs/span"
@@ -44,8 +45,9 @@ func (w *lockedWriter) String() string {
 // gate: rendering the full figure set with the whole observability layer
 // attached — metrics collector, progress board, one live SSE client,
 // telemetry time-series ingest with a live /api/query polling client,
-// request spans, a run-history store, and structured access logging —
-// must be byte-identical to an unobserved render. Observation is pure;
+// request spans, a run-history store, structured access logging, and a
+// ticking alert evaluator over the default ruleset — must be
+// byte-identical to an unobserved render. Observation is pure;
 // it may never perturb simulation results.
 func TestMonitorAttachedByteIdentical(t *testing.T) {
 	if testing.Short() {
@@ -71,6 +73,12 @@ func TestMonitorAttachedByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() {
+		// Drop the client's pooled keep-alives first: the Transport can
+		// park a race-dialed connection that never carried a request, and
+		// the server treats such a StateNew conn as busy for its first 5s
+		// (net/http issue 22682), which would stall Shutdown right up to
+		// the deadline.
+		http.DefaultClient.CloseIdleConnections()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := mon.Shutdown(ctx); err != nil {
@@ -144,6 +152,30 @@ func TestMonitorAttachedByteIdentical(t *testing.T) {
 			}
 		}
 	}()
+
+	// The alert evaluator rides along as one more pure observer: the
+	// default ruleset over the live store and registry, ticking fast,
+	// feeding its transitions back into the hub the SSE client drains.
+	// A synthetic always-true rule guarantees transitions actually fire
+	// during the render — identity must hold with alerting active, not
+	// just attached.
+	alertRules := append(alert.DefaultRules(), alert.Rule{
+		Name: "identity-synthetic",
+		Expr: alert.Expr{Series: "window.insns", Agg: "count", Window: 8, Op: ">", Threshold: 0},
+	})
+	alertEv, err := alert.New(alert.Config{
+		Rules:    alertRules,
+		Store:    telemetry,
+		Metrics:  collector.Registry().Snapshot,
+		Sink:     mon.Hub(),
+		Registry: collector.Registry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.SetAlerts(alertEv)
+	stopAlerts := alertEv.Start(5 * time.Millisecond)
+	defer stopAlerts()
 
 	tracer := obs.Multi(collector, ingest, mon.Hub())
 	observed := NewFigureRunner(0.02, WithJobs(4),
@@ -224,6 +256,27 @@ func TestMonitorAttachedByteIdentical(t *testing.T) {
 	}
 	if len(queryDoc.Points) == 0 {
 		t.Fatalf("/api/query returned no points for %s", tsdb.SeriesInsns)
+	}
+
+	// The alert evaluator saw the run: /api/alerts serves its snapshot
+	// with every rule evaluated at the final boundary, and the synthetic
+	// rule actually fired mid-render — the identity above held with
+	// alerting active, not merely attached.
+	stopAlerts()
+	var alertsDoc struct {
+		Rules      []json.RawMessage `json:"rules"`
+		LastWindow uint64            `json:"last_window"`
+		FiredTotal uint64            `json:"fired_total"`
+	}
+	if err := json.Unmarshal(getBody(t, base+"/api/alerts"), &alertsDoc); err != nil {
+		t.Fatalf("/api/alerts not JSON: %v", err)
+	}
+	if len(alertsDoc.Rules) != len(alertRules) || alertsDoc.LastWindow == 0 {
+		t.Errorf("/api/alerts after render: %d rules, last_window %d",
+			len(alertsDoc.Rules), alertsDoc.LastWindow)
+	}
+	if alertsDoc.FiredTotal == 0 {
+		t.Error("synthetic rule never fired during the render")
 	}
 
 	// Every scrape above left a structured access-log line carrying its
