@@ -1,0 +1,213 @@
+package powerchop
+
+import (
+	"encoding/json"
+	"testing"
+
+	"powerchop/internal/policy"
+	"powerchop/internal/rescache"
+)
+
+// mustJSON renders a value for byte-level comparison.
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestRunBatchMatchesRun is the public batch contract: every lane of a
+// RunBatch returns a Report byte-identical to the corresponding solo
+// Run, across different policies and parameter assignments sharing one
+// batched simulation.
+func TestRunBatchMatchesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a benchmark under several managers")
+	}
+	lanes := []Options{
+		{Manager: ManagerPowerChop, Passes: 0.3},
+		{Manager: ManagerTimeout, Passes: 0.3},
+		{Manager: ManagerFullPower, Passes: 0.3},
+		{Manager: ManagerEnergyMin, Passes: 0.3},
+		{Manager: ManagerPowerChop, Passes: 0.3, Params: map[string]float64{"vpu": 0.02}},
+	}
+	batched, err := RunBatch("bzip2", lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched) != len(lanes) {
+		t.Fatalf("got %d reports for %d lanes", len(batched), len(lanes))
+	}
+	for i, o := range lanes {
+		solo, err := Run("bzip2", o)
+		if err != nil {
+			t.Fatalf("lane %d solo: %v", i, err)
+		}
+		if mustJSON(t, batched[i]) != mustJSON(t, solo) {
+			t.Errorf("lane %d (%s): batched report differs from solo Run", i, o.Manager)
+		}
+	}
+}
+
+// TestRunBatchSharesCacheWithRun checks the cache-key contract: a batch
+// files exactly one entry per lane under Run's keys, so solo Runs hit
+// them (and vice versa) without re-simulating.
+func TestRunBatchSharesCacheWithRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a benchmark under two managers")
+	}
+	cache := rescache.New(t.TempDir(), nil)
+	lanes := []Options{
+		{Manager: ManagerPowerChop, Passes: 0.3, Cache: cache},
+		{Manager: ManagerMinPower, Passes: 0.3, Cache: cache},
+	}
+	batched, err := RunBatch("libquantum", lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Stores != 2 || st.Hits != 0 {
+		t.Fatalf("cold batch: stats %+v, want 2 stores and no hits", st)
+	}
+	for i, o := range lanes {
+		solo, err := Run("libquantum", o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mustJSON(t, batched[i]) != mustJSON(t, solo) {
+			t.Errorf("lane %d: cached solo Run differs from batched report", i)
+		}
+	}
+	if st := cache.Stats(); st.Hits != 2 || st.Stores != 2 {
+		t.Fatalf("solo Runs missed the batch's entries: %+v", st)
+	}
+	// A warm batch serves every lane from the cache.
+	again, err := RunBatch("libquantum", lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Hits != 4 || st.Stores != 2 {
+		t.Fatalf("warm batch re-simulated: %+v", st)
+	}
+	for i := range lanes {
+		if mustJSON(t, again[i]) != mustJSON(t, batched[i]) {
+			t.Errorf("lane %d: warm batch report differs", i)
+		}
+	}
+}
+
+// TestCompareBatchedMatchesSolo pins Compare's batched serial path to
+// the Batch=1 solo path.
+func TestCompareBatchedMatchesSolo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a benchmark six times")
+	}
+	batched, err := Compare("libquantum", Options{Passes: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := Compare("libquantum", Options{Passes: 0.3, Batch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mustJSON(t, batched) != mustJSON(t, solo) {
+		t.Error("batched Compare differs from solo Compare")
+	}
+}
+
+// TestTuneBatchedMatchesSolo pins the batched sweep to the solo sweep:
+// identical points, frontier and fingerprints at any Batch setting.
+func TestTuneBatchedMatchesSolo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps a small parameter grid twice")
+	}
+	sweep := func(batch int) *TuneResult {
+		t.Helper()
+		res, err := Tune(TuneOptions{
+			Policy:     ManagerTimeout,
+			Benchmarks: []string{"libquantum"},
+			Grid:       map[string][]float64{"idle-cycles": {10000, 20000}},
+			Options:    Options{Passes: 0.3, Batch: batch},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if mustJSON(t, sweep(0)) != mustJSON(t, sweep(1)) {
+		t.Error("batched Tune differs from solo Tune")
+	}
+}
+
+// TestTuneGridDedupe covers the sweep-grid deduplication: defaults
+// sitting on a bound collapse their clamped neighbours, and explicit
+// override lists with repeated values contribute each value once.
+func TestTuneGridDedupe(t *testing.T) {
+	spec := policy.Spec{
+		Name: "grid-test",
+		Params: []policy.Param{
+			{Name: "lo-bound", Default: 1, Min: 1, Max: 8}, // half clamps onto the default
+			{Name: "hi-bound", Default: 4, Min: 0, Max: 4}, // double clamps onto the default
+			{Name: "zero", Default: 0, Min: 0, Max: 1},     // collapses to one point
+		},
+	}
+	if got := defaultGrid(spec.Params[0]); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("lo-bound default grid = %v, want [1 2]", got)
+	}
+	if got := defaultGrid(spec.Params[1]); len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Errorf("hi-bound default grid = %v, want [2 4]", got)
+	}
+	if got := defaultGrid(spec.Params[2]); len(got) != 1 || got[0] != 0 {
+		t.Errorf("zero default grid = %v, want [0]", got)
+	}
+	points, err := tuneGrid(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Errorf("default sweep has %d points, want 4 (2x2x1)", len(points))
+	}
+	// Explicit overrides with repeats: each distinct value counts once,
+	// first occurrence order preserved.
+	points, err = tuneGrid(spec, map[string][]float64{
+		"lo-bound": {5, 5, 3, 5},
+		"hi-bound": {2},
+		"zero":     {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("override sweep has %d points, want 2", len(points))
+	}
+	if points[0]["lo-bound"] != 5 || points[1]["lo-bound"] != 3 {
+		t.Errorf("override axis order not preserved: %v", points)
+	}
+	for i := range points {
+		for j := i + 1; j < len(points); j++ {
+			same := true
+			for k, v := range points[i] {
+				if points[j][k] != v {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Errorf("points %d and %d are duplicates: %v", i, j, points[i])
+			}
+		}
+	}
+}
+
+// TestRunBatchLaneError checks that an invalid lane fails the whole
+// batch with the lane identified, before any simulation runs.
+func TestRunBatchLaneError(t *testing.T) {
+	_, err := RunBatch("bzip2", []Options{
+		{Manager: ManagerFullPower, Passes: 0.1},
+		{Manager: "no-such-policy", Passes: 0.1},
+	})
+	if err == nil {
+		t.Fatal("invalid lane accepted")
+	}
+}

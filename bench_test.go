@@ -440,6 +440,50 @@ func BenchmarkRunCompiled(b *testing.B) {
 	b.ReportMetric(float64(insns), "insns/op")
 }
 
+// BenchmarkRunBatch measures the batched sweep executor against running
+// the same eight manager variants serially through sim.Run. One op is one
+// eight-lane sweep of bzip2; the serial baseline is timed once up front
+// and the serial/batched ratio is attached as the speedup metric (the
+// acceptance bar is >= 2x at batch >= 8).
+func BenchmarkRunBatch(b *testing.B) {
+	bench := mustBench(b, "bzip2")
+	p := bench.MustBuild()
+	const lanes = 8
+	mkCfg := func(i int) sim.Config {
+		cfg := core.DefaultConfig()
+		cfg.Thresholds.VPU *= 1 + float64(i)/4
+		cfg.Thresholds.BPU *= 1 + float64(i%3)/2
+		return sim.Config{
+			Design:          arch.Server(),
+			Manager:         core.MustPowerChop(cfg),
+			MaxTranslations: 20000,
+		}
+	}
+
+	start := time.Now()
+	for i := 0; i < lanes; i++ {
+		if _, err := sim.Run(p, mkCfg(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	serial := time.Since(start)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfgs := make([]sim.Config, lanes)
+		for j := range cfgs {
+			cfgs[j] = mkCfg(j)
+		}
+		if _, err := sim.RunBatch(p, cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	batched := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(serial.Seconds()/batched.Seconds(), "speedup")
+	b.ReportMetric(serial.Seconds(), "serial-s")
+}
+
 // BenchmarkWarmCache measures a warm-cache full figure render against the
 // cold render that populated it. The warm/cold ratio is attached as a
 // metric; the acceptance bar is warm < 10% of cold.

@@ -199,9 +199,15 @@ commands:
   alerts check [-rules F] [-bench ART -gate PCT] [TRACE]  replay a trace through the alert rules; exit 1 if any fire
   alerts watch -addr URL        tail the live alert-transition stream of a serve monitor
   policies [-json]              list registered gating policies and parameter schemas
-  tune -policy NAME [-bench B1,B2] [-grid P=LO:HI:N] [-jobs N] [-json]  Pareto sweep
+  tune -policy NAME [-bench B1,B2] [-grid P=LO:HI:N] [-jobs N] [-batch N] [-json]  Pareto sweep
 
-run, figure, all and headline accept -http ADDR to expose a live monitor
+compare, tune, figure, all and headline accept -batch N to cap how many
+configurations one batched simulation drives from a single trace walk
+(0 = default cap of 16, 1 = solo runs); results are byte-identical at
+any setting, batching only changes wall-clock time. tune also accepts
+-progress for per-run completion lines on stderr.
+
+run, tune, figure, all and headline accept -http ADDR to expose a live monitor
 for the duration of the command: /metrics (Prometheus), /progress (JSON),
 /events and /decisions (SSE or NDJSON), /dash (live telemetry), /api/series
 and /api/query (time-series range queries), /debug/pprof. run also accepts
@@ -256,6 +262,7 @@ func runFlags(args []string) (runArgs, error) {
 	telemetry := fs.Bool("telemetry", false, "record per-window series and print a sparkline summary")
 	httpAddr := fs.String("http", "", "serve a live monitor on this address for the run's duration")
 	cacheDir := fs.String("cache", os.Getenv("POWERCHOP_CACHE"), "persistent result cache directory (default $POWERCHOP_CACHE)")
+	batch := fs.Int("batch", 0, "max configurations per batched simulation for compare (0 = default cap, 1 = solo runs)")
 	if err := fs.Parse(args); err != nil {
 		return runArgs{}, errParse(err)
 	}
@@ -271,6 +278,7 @@ func runFlags(args []string) (runArgs, error) {
 			Passes:         *passes,
 			SampleInterval: *sample,
 			Metrics:        *metrics,
+			Batch:          *batch,
 		},
 		json:      *asJSON,
 		trace:     *trace,
@@ -632,6 +640,7 @@ func figureRunnerFlags(name string, args []string) (runner *powerchop.FigureRunn
 	}
 	scale := fs.Float64("scale", 1, "run-length scale")
 	jobs := fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	batch := fs.Int("batch", 0, "max cold lanes per batched simulation (0 = default cap, 1 = solo runs)")
 	httpAddr := fs.String("http", "", "serve a live monitor on this address for the command's duration")
 	cacheDir := fs.String("cache", os.Getenv("POWERCHOP_CACHE"), "persistent result cache directory (default $POWERCHOP_CACHE)")
 	if err := fs.Parse(args); err != nil {
@@ -643,7 +652,7 @@ func figureRunnerFlags(name string, args []string) (runner *powerchop.FigureRunn
 		}
 		id = *idFlag
 	}
-	opts := []powerchop.FigureOption{powerchop.WithJobs(*jobs)}
+	opts := []powerchop.FigureOption{powerchop.WithJobs(*jobs), powerchop.WithBatch(*batch)}
 	cleanup = func() {}
 	var reg *obs.Registry
 	if *httpAddr != "" {

@@ -8,6 +8,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"powerchop"
@@ -88,6 +89,9 @@ func cmdTune(args []string, stdout io.Writer) error {
 	archName := fs.String("arch", "", "design point (server|mobile; default per suite)")
 	passes := fs.Float64("passes", 2, "passes over the phase schedule")
 	jobs := fs.Int("jobs", 0, "max concurrent runs (0/1 = serial)")
+	batch := fs.Int("batch", 0, "max grid points per batched simulation (0 = default cap, 1 = solo runs)")
+	progress := fs.Bool("progress", false, "print per-run completion lines to stderr")
+	httpAddr := fs.String("http", "", "serve a live monitor (/progress, /metrics) on this address for the sweep's duration")
 	asJSON := fs.Bool("json", false, "emit the sweep result as JSON")
 	cacheDir := fs.String("cache", os.Getenv("POWERCHOP_CACHE"), "persistent result cache directory (default $POWERCHOP_CACHE)")
 	var grid gridFlag
@@ -110,14 +114,57 @@ func cmdTune(args []string, stdout io.Writer) error {
 			Arch:        *archName,
 			Passes:      *passes,
 			Parallelism: *jobs,
+			Batch:       *batch,
 			Cache:       cache,
 		},
 	}
+	// Per-run progress: an optional stderr line per completed run and,
+	// with -http, the live monitor's /progress board. Sweep runs report
+	// through the same Options.Progress hook as single runs, batched or
+	// not, so both sinks see every (benchmark, fingerprint) lane.
+	var sinks []func(powerchop.RunProgress)
+	if *progress {
+		var mu sync.Mutex
+		done := 0
+		sinks = append(sinks, func(p powerchop.RunProgress) {
+			if p.State != powerchop.StateDone && p.State != powerchop.StateError {
+				return
+			}
+			mu.Lock()
+			done++
+			n := done
+			mu.Unlock()
+			line := fmt.Sprintf("tune: %d runs done (%s %s", n, p.Benchmark, p.Kind)
+			if p.State == powerchop.StateError {
+				line += " FAILED: " + p.Err
+			}
+			fmt.Fprintf(os.Stderr, "%s)\n", line)
+		})
+	}
 	start := time.Now()
-	res, err := powerchop.Tune(opts)
+	var res *powerchop.TuneResult
+	runErr := withMonitor(*httpAddr, os.Stderr, func(l *liveMonitor) {
+		sinks = append(sinks, l.progress)
+		if c, err := openCache(*cacheDir, l.registry()); err == nil && c != nil {
+			opts.Options.Cache = c
+			cache = c
+		}
+	}, func() error {
+		if len(sinks) > 0 {
+			all := sinks
+			opts.Options.Progress = func(p powerchop.RunProgress) {
+				for _, s := range all {
+					s(p)
+				}
+			}
+		}
+		var err error
+		res, err = powerchop.Tune(opts)
+		return err
+	})
 	recordHistory(*cacheDir, "tune", *policyName,
-		fmt.Sprintf("bench=%s passes=%g", *bench, *passes), start, cache, err)
-	if err != nil {
+		fmt.Sprintf("bench=%s passes=%g", *bench, *passes), start, cache, runErr)
+	if err := runErr; err != nil {
 		return err
 	}
 	if *asJSON {

@@ -28,9 +28,18 @@ type FigureOption func(*figureConfig)
 
 type figureConfig struct {
 	jobs     int
+	batch    int
 	tracer   obs.Tracer
 	progress func(RunProgress)
 	cache    *rescache.Cache
+}
+
+// WithBatch caps how many cold lanes a batch-aware sweep (currently the
+// policy-zoo figure) hands to one batched simulation: 0 selects the
+// default cap, 1 disables batching. A pure wall-clock knob — figure
+// output is byte-identical at any setting.
+func WithBatch(n int) FigureOption {
+	return func(c *figureConfig) { c.batch = n }
 }
 
 // WithJobs bounds the number of concurrent simulations (and, when above
@@ -87,6 +96,7 @@ func NewFigureRunner(scale float64, opts ...FigureOption) *FigureRunner {
 	r := experiments.NewParallelRunner(scale, c.jobs)
 	r.Tracer = c.tracer
 	r.Cache = c.cache
+	r.Batch = c.batch
 	if fn := c.progress; fn != nil {
 		r.Progress = experiments.ProgressFunc(func(u experiments.RunUpdate) {
 			rp := RunProgress{

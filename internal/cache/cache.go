@@ -186,6 +186,16 @@ func (c *Cache) Stats() Stats {
 	}
 }
 
+// Clone returns a deep copy of the cache: contents, recency state, gating
+// state and event counters. Batched sweeps fork a lane-private MLC from
+// the shared never-gated reference the moment the lane first gates.
+func (c *Cache) Clone() *Cache {
+	d := *c
+	d.lines = append([]uint64(nil), c.lines...)
+	d.lru = append([]uint32(nil), c.lru...)
+	return &d
+}
+
 // ResetStats zeroes the event counters (contents are untouched).
 func (c *Cache) ResetStats() {
 	c.resetClock = c.clock

@@ -73,21 +73,28 @@ func (z *ZooResult) Render() string {
 
 // PolicyZoo runs every zoo policy at default parameters across every
 // benchmark and compares each against the shared full-power baseline.
+// Each benchmark's baseline and policy lanes go through one ResultBatch
+// call, so cold renders drive all six configurations from a single
+// instruction walk; results, cache entries and singleflight keys are
+// identical to the per-run path.
 func PolicyZoo(ctx context.Context, r *Runner) (*ZooResult, error) {
 	out := &ZooResult{Policies: ZooPolicies}
 	perPolicyEnergy := make([][]float64, len(ZooPolicies))
 	perPolicySlow := make([][]float64, len(ZooPolicies))
+	lanes := make([]BatchRun, 0, len(ZooPolicies)+1)
+	lanes = append(lanes, BatchRun{Kind: KindFullPower})
+	for _, name := range ZooPolicies {
+		lanes = append(lanes, BatchRun{Policy: name})
+	}
 	for _, b := range workload.All() {
-		full, err := r.Result(ctx, b, KindFullPower)
+		results, err := r.ResultBatch(ctx, b, lanes)
 		if err != nil {
 			return nil, err
 		}
+		full := results[0]
 		row := ZooRow{Benchmark: b.Name, Suite: b.Suite}
 		for i, name := range ZooPolicies {
-			res, err := r.PolicyResult(ctx, b, name, nil)
-			if err != nil {
-				return nil, err
-			}
+			res := results[i+1]
 			cell := ZooCell{
 				Policy:      name,
 				EnergySaved: 1 - res.Power.TotalEnergyJ()/full.Power.TotalEnergyJ(),

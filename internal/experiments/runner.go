@@ -88,6 +88,14 @@ type Runner struct {
 	// is bypassed (and the bypass counted) — a cached result cannot
 	// replay the event stream. Set it before the first Result call.
 	Cache *rescache.Cache
+
+	// Batch caps how many cold lanes one ResultBatch call hands to a
+	// single batched simulation (sim.RunBatch): 0 selects the default
+	// cap, 1 disables batching (every lane simulates solo). Batching is
+	// a pure wall-clock optimization — results, cache entries and
+	// singleflight keys are identical either way. Set it before the
+	// first call.
+	Batch int
 }
 
 // flight is one cache entry: the simulation's result once done is
@@ -305,6 +313,226 @@ func (r *Runner) Telemetry(ctx context.Context, b workload.Benchmark, kind Kind,
 	rs := kindRun(kind)
 	rs.telemetry = ts
 	return r.simulate(ctx, b, rs, 0, false)
+}
+
+// BatchRun selects one lane of a ResultBatch call: a fixed experiment
+// Kind, or — when Policy is non-empty — a registered policy at a
+// parameter assignment, the same selections Result and PolicyResult
+// make individually.
+type BatchRun struct {
+	Kind   Kind
+	Policy string
+	Params policy.Params
+}
+
+// ResultBatch returns the runs of the benchmark under every requested
+// configuration, in input order, with Result's singleflight and
+// persistent-cache semantics per lane. Lanes not already in flight or
+// in the cache share batched simulations — one instruction walk driving
+// every lane (internal/sim.RunBatch) — which is byte-identical to solo
+// runs: the batch only amortizes the shared front-end work.
+func (r *Runner) ResultBatch(ctx context.Context, b workload.Benchmark, runs []BatchRun) ([]*sim.Result, error) {
+	rss := make([]runSpec, len(runs))
+	for i, br := range runs {
+		if br.Policy != "" {
+			rs, err := policyRun(br.Policy, br.Params)
+			if err != nil {
+				return nil, err
+			}
+			rss[i] = rs
+		} else {
+			rss[i] = kindRun(br.Kind)
+		}
+	}
+	return r.resultBatch(ctx, b, rss)
+}
+
+// batchCap resolves the runner's Batch setting into a group cap. The
+// default matches the root package's: past ~16 lanes the per-lane work
+// dominates and wider groups only cost memory.
+func (r *Runner) batchCap() int {
+	if r.Batch <= 0 {
+		return 16
+	}
+	return r.Batch
+}
+
+// resultBatch is the batched counterpart of result: it claims a flight
+// per lane (lanes already in flight elsewhere are simply awaited),
+// serves persistent-cache hits, and drives the cold remainder through
+// batched simulations. A failed flight is dropped for retry, exactly
+// like result's.
+func (r *Runner) resultBatch(ctx context.Context, b workload.Benchmark, rss []runSpec) ([]*sim.Result, error) {
+	if r.batchCap() == 1 || r.Tracer != nil {
+		// Nothing to batch — and with a tracer attached every run wants
+		// its own solo event stream (and bypasses the cache) anyway.
+		out := make([]*sim.Result, len(rss))
+		for i, rs := range rss {
+			res, err := r.result(ctx, b, rs)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+		}
+		return out, nil
+	}
+	flights := make([]*flight, len(rss))
+	owned := make([]int, 0, len(rss))
+	r.mu.Lock()
+	for i, rs := range rss {
+		key := b.Name + "/" + rs.managerKey
+		if f, ok := r.flights[key]; ok {
+			// Already in flight (possibly owned earlier in this very
+			// loop, for duplicate lanes): await it below.
+			flights[i] = f
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		r.flights[key] = f
+		flights[i] = f
+		owned = append(owned, i)
+	}
+	r.mu.Unlock()
+	if len(owned) > 0 {
+		r.simulateBatch(ctx, b, rss, flights, owned)
+	}
+	out := make([]*sim.Result, len(rss))
+	for i := range rss {
+		<-flights[i].done
+		if flights[i].err != nil {
+			return nil, flights[i].err
+		}
+		out[i] = flights[i].res
+	}
+	return out, nil
+}
+
+// simulateBatch executes the owned lanes: persistent-cache hits resolve
+// immediately (never occupying a job slot), the rest simulate in groups
+// of at most batchCap lanes, each group holding one slot. Every owned
+// flight is filled and closed here; a group failure fails every lane
+// still pending in this call.
+func (r *Runner) simulateBatch(ctx context.Context, b workload.Benchmark, rss []runSpec, flights []*flight, owned []int) {
+	started := time.Now()
+	var runLen uint64
+	settle := func(i int, res *sim.Result, err error) {
+		f := flights[i]
+		f.res, f.err = res, err
+		if err != nil {
+			r.mu.Lock()
+			delete(r.flights, b.Name+"/"+rss[i].managerKey)
+			r.mu.Unlock()
+		}
+		if r.Progress != nil {
+			u := RunUpdate{Benchmark: b.Name, Kind: rss[i].label, State: RunDone, Elapsed: time.Since(started)}
+			if err != nil {
+				u.State, u.Err = RunError, err
+			} else {
+				u.Cycles, u.Windows = res.Cycles, res.Windows
+				u.Translations, u.Total = runLen, runLen
+			}
+			r.report(u)
+		}
+		close(f.done)
+	}
+
+	for _, i := range owned {
+		r.report(RunUpdate{Benchmark: b.Name, Kind: rss[i].label, State: RunQueued})
+	}
+	p, err := b.Build()
+	if err != nil {
+		for _, i := range owned {
+			settle(i, nil, err)
+		}
+		return
+	}
+	runLen = r.runLength(p.TotalScheduleTranslations())
+	keys := make([]rescache.Key, len(rss))
+	cacheable := make([]bool, len(rss))
+	var cold []int
+	for _, i := range owned {
+		keys[i], cacheable[i] = r.cacheKey(b, p, rss[i], 0, runLen)
+		if cacheable[i] {
+			if hit, ok := r.Cache.Get(keys[i]); ok {
+				settle(i, hit, nil)
+				continue
+			}
+		}
+		cold = append(cold, i)
+	}
+	width := r.batchCap()
+	for lo := 0; lo < len(cold); lo += width {
+		hi := lo + width
+		if hi > len(cold) {
+			hi = len(cold)
+		}
+		group := cold[lo:hi]
+		res, err := r.simulateGroup(ctx, b, p, rss, group, runLen)
+		if err != nil {
+			for _, i := range cold[lo:] {
+				settle(i, nil, err)
+			}
+			return
+		}
+		for j, i := range group {
+			if cacheable[i] {
+				// Best-effort, as on the solo path.
+				_ = r.Cache.Put(keys[i], res[j])
+			}
+			settle(i, res[j], nil)
+		}
+	}
+}
+
+// simulateGroup runs one batched group while holding a single job slot
+// (the group shares one instruction walk, so it costs about one
+// simulation's worth of sequential work plus the per-lane residue).
+func (r *Runner) simulateGroup(ctx context.Context, b workload.Benchmark, p *program.Program, rss []runSpec, lanes []int, runLen uint64) (res []*sim.Result, err error) {
+	ctx, sp := span.Start(ctx, "benchbatch",
+		"bench="+b.Name, fmt.Sprintf("lanes=%d", len(lanes)))
+	defer func() { sp.EndErr(err) }()
+	cfgs := make([]sim.Config, len(lanes))
+	for j, i := range lanes {
+		m, err := rss[i].build()
+		if err != nil {
+			return nil, err
+		}
+		cfgs[j] = sim.Config{
+			Context:         ctx,
+			Design:          designFor(b),
+			Manager:         m,
+			MaxTranslations: runLen,
+			TrackQuality:    rss[i].quality,
+			Telemetry:       rss[i].telemetry,
+		}
+		if r.Progress != nil {
+			label := rss[i].label
+			cfgs[j].Progress = func(pr sim.Progress) {
+				r.report(RunUpdate{
+					Benchmark:    b.Name,
+					Kind:         label,
+					State:        RunSimulating,
+					Cycles:       pr.Cycle,
+					Translations: pr.Translations,
+					Total:        pr.MaxTranslations,
+					Windows:      pr.Windows,
+				})
+			}
+		}
+	}
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+	if r.Progress != nil {
+		for _, i := range lanes {
+			r.report(RunUpdate{Benchmark: b.Name, Kind: rss[i].label, State: RunSimulating})
+		}
+	}
+	r.sims.Add(uint64(len(lanes)))
+	res, err = sim.RunBatch(p, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s batch: %w", b.Name, err)
+	}
+	return res, nil
 }
 
 // cacheKey derives the canonical persistent-cache key for a run, or

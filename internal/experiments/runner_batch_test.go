@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"powerchop/internal/workload"
+)
+
+// TestResultBatchMatchesResult pins the runner's batched path to the
+// solo path: every lane of a ResultBatch — kinds, policies, and a
+// duplicate lane sharing a flight — must be byte-identical to the
+// corresponding Result/PolicyResult from an independent runner, and the
+// duplicate must not cost an extra simulation.
+func TestResultBatchMatchesResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow; skipped with -short")
+	}
+	b, err := workload.ByName("libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	lanes := []BatchRun{
+		{Kind: KindFullPower},
+		{Policy: "powerchop"},
+		{Policy: "timeout"},
+		{Kind: KindFullPower}, // duplicate: must await lane 0's flight
+	}
+
+	batchRunner := NewRunner(0.05)
+	results, err := batchRunner.ResultBatch(ctx, b, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(lanes) {
+		t.Fatalf("got %d results for %d lanes", len(results), len(lanes))
+	}
+	if n := batchRunner.Simulations(); n != 3 {
+		t.Errorf("batch ran %d simulations, want 3 (duplicate lane deduped)", n)
+	}
+
+	soloRunner := NewRunner(0.05)
+	solo := make([]any, len(lanes))
+	for i, lane := range lanes {
+		if lane.Policy != "" {
+			solo[i], err = soloRunner.PolicyResult(ctx, b, lane.Policy, lane.Params)
+		} else {
+			solo[i], err = soloRunner.Result(ctx, b, lane.Kind)
+		}
+		if err != nil {
+			t.Fatalf("lane %d solo: %v", i, err)
+		}
+	}
+	for i := range lanes {
+		want, err := json.Marshal(solo[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(results[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(want) != string(got) {
+			t.Errorf("lane %d: batched result differs from solo", i)
+		}
+	}
+	if results[0] != results[3] {
+		t.Error("duplicate lanes resolved to different results")
+	}
+
+	// A second batch is served entirely by singleflight memory: no new
+	// simulations.
+	again, err := batchRunner.ResultBatch(ctx, b, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := batchRunner.Simulations(); n != 3 {
+		t.Errorf("warm batch re-simulated: %d simulations", n)
+	}
+	for i := range lanes {
+		if again[i] != results[i] {
+			t.Errorf("lane %d: warm batch returned a different result", i)
+		}
+	}
+
+	// An unknown policy fails the whole call before any work.
+	if _, err := batchRunner.ResultBatch(ctx, b, []BatchRun{{Policy: "no-such"}}); err == nil {
+		t.Error("unknown policy lane accepted")
+	}
+}
+
+// TestResultBatchSolo pins Batch=1 (batching disabled) to the same
+// results via the per-lane solo fallback.
+func TestResultBatchSolo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow; skipped with -short")
+	}
+	b, err := workload.ByName("libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	lanes := []BatchRun{{Kind: KindFullPower}, {Policy: "timeout"}}
+
+	batched := NewRunner(0.05)
+	soloed := NewRunner(0.05)
+	soloed.Batch = 1
+
+	br, err := batched.ResultBatch(ctx, b, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := soloed.ResultBatch(ctx, b, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lanes {
+		want, err := json.Marshal(br[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(sr[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(want) != string(got) {
+			t.Errorf("lane %d: Batch=1 result differs from batched", i)
+		}
+	}
+}

@@ -160,6 +160,57 @@ func TestConformance(t *testing.T) {
 	}
 }
 
+// TestConformanceBatched drives every registered policy — at defaults
+// and at a perturbed point — as lanes of one batched simulation and
+// requires each lane's result to be byte-identical to its solo run:
+// the shared front-end must never leak state between lanes, whatever
+// mix of policies rides in the group.
+func TestConformanceBatched(t *testing.T) {
+	p := conformanceProgram(t)
+	var cfgs []sim.Config
+	var labels []string
+	var solo []*sim.Result
+	for _, spec := range policy.All() {
+		for _, tc := range []struct {
+			label  string
+			params policy.Params
+		}{
+			{"defaults", nil},
+			{"perturbed", perturb(spec)},
+		} {
+			solo = append(solo, runConformance(t, spec, tc.params))
+			m, err := spec.Manager(tc.params)
+			if err != nil {
+				t.Fatalf("%s: Manager: %v", spec.Name, err)
+			}
+			cfgs = append(cfgs, sim.Config{
+				Design:          arch.Server(),
+				Manager:         m,
+				Phase:           phase.Config{Capacity: 64, WindowSize: 50, SignatureLen: 4},
+				MaxTranslations: 3000,
+			})
+			labels = append(labels, spec.Name+"/"+tc.label)
+		}
+	}
+	batched, err := sim.RunBatch(p, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, label := range labels {
+		want, err := json.Marshal(solo[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(batched[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(want) != string(got) {
+			t.Errorf("%s: batched result differs from solo run", label)
+		}
+	}
+}
+
 // TestConformanceFingerprintsDistinct checks that no two registered
 // policies collide at their default fingerprints — the result cache
 // keys on this identity.

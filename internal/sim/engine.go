@@ -85,15 +85,33 @@ type engine struct {
 	// Figure 15 shards.
 	shardInsns uint64
 	shards     VectorShards
+
+	// Batched-lane state (batch.go). A lane engine has a nil walker: the
+	// batch front-end walks the program once and hands each execution's
+	// dynamics to the lanes through replay, whose cursors index the
+	// record's per-op slices. laneExec mirrors walker.Executed() so the
+	// run-budget and progress arithmetic is identical on both paths.
+	replay   *execRecord
+	replayB  int // next branch entry
+	replayM  int // next memory entry
+	replayV  int // next L1-victim entry
+	laneExec uint64
 }
 
 // newEngine assembles the engine and its managed units for a validated
-// configuration.
+// configuration, with a private walker and freshly compiled regions.
 func newEngine(p *program.Program, cfg Config) (*engine, error) {
 	walker, err := program.NewWalker(p)
 	if err != nil {
 		return nil, err
 	}
+	return newEngineWith(p, cfg, walker, program.CompileAll(p))
+}
+
+// newEngineWith assembles the engine around an externally supplied walker
+// and compiled-region stream. Batched lanes pass a nil walker — the shared
+// front-end draws the dynamics — and share one immutable compiled slice.
+func newEngineWith(p *program.Program, cfg Config, walker *program.Walker, compiled []program.CompiledRegion) (*engine, error) {
 	d := cfg.Design
 	btSys, err := bt.New(bt.Config{
 		HotThreshold:           d.HotThreshold,
@@ -112,7 +130,7 @@ func newEngine(p *program.Program, cfg Config) (*engine, error) {
 		btSys:    btSys,
 		htb:      phase.NewHTB(cfg.Phase),
 		acct:     power.NewAccountant(d.ClockHz),
-		compiled: program.CompileAll(p),
+		compiled: compiled,
 
 		policy:   pvt.FullOn,
 		sampleAt: cfg.SampleInterval,
@@ -260,42 +278,60 @@ func (s *engine) run() {
 	issueCycle := 1 / s.design.IssueWidth
 	for s.walker.Executed() < s.cfg.MaxTranslations {
 		ri := s.walker.Next()
-		tr, extra := s.btSys.Execute(ri)
-		s.cycles += extra
-		if s.tracer != nil {
-			s.traceInstall(ri)
-		}
-		cr := &s.compiled[ri]
+		s.executeRegion(ri, issueCycle)
+	}
+}
 
-		for i := range cr.Ops {
-			op := &cr.Ops[i]
-			if op.Run > 0 {
-				s.execScalarRun(uint64(op.Run), issueCycle)
-			}
-			s.guestInsns++
-			s.winInsns++
-			s.shardInsns++
-			switch op.Inst.Kind {
-			case isa.Vector:
-				s.vpu.execVector(issueCycle)
-			case isa.Branch:
-				s.bpu.execBranch(ri, op.Inst, issueCycle)
-			default: // isa.Load, isa.Store
-				s.mlc.execMem(ri, op.Inst, issueCycle)
-			}
-			s.postInst()
-		}
-		if cr.Tail > 0 {
-			s.execScalarRun(uint64(cr.Tail), issueCycle)
-		}
+// executeRegion runs one execution of region ri through the BT system,
+// the compiled op stream and the window machinery. It is the per-execution
+// kernel shared by the solo run loop and the batched lane driver; on the
+// batched path the instruction dynamics come from s.replay instead of the
+// walker (see unit.go).
+func (s *engine) executeRegion(ri int, issueCycle float64) {
+	tr, extra := s.btSys.Execute(ri)
+	s.cycles += extra
+	if s.tracer != nil {
+		s.traceInstall(ri)
+	}
+	cr := &s.compiled[ri]
 
-		if tr != nil {
-			if s.htb.Record(tr.ID, uint64(tr.Insns)) {
-				s.endWindow()
-				s.reportProgress(false)
-			}
+	for i := range cr.Ops {
+		op := &cr.Ops[i]
+		if op.Run > 0 {
+			s.execScalarRun(uint64(op.Run), issueCycle)
+		}
+		s.guestInsns++
+		s.winInsns++
+		s.shardInsns++
+		switch op.Inst.Kind {
+		case isa.Vector:
+			s.vpu.execVector(issueCycle)
+		case isa.Branch:
+			s.bpu.execBranch(ri, op.Inst, issueCycle)
+		default: // isa.Load, isa.Store
+			s.mlc.execMem(ri, op.Inst, issueCycle)
+		}
+		s.postInst()
+	}
+	if cr.Tail > 0 {
+		s.execScalarRun(uint64(cr.Tail), issueCycle)
+	}
+
+	if tr != nil {
+		if s.htb.Record(tr.ID, uint64(tr.Insns)) {
+			s.endWindow()
+			s.reportProgress(false)
 		}
 	}
+}
+
+// executed returns the number of region executions performed so far: the
+// walker's count on the solo path, the lane's own on the batched path.
+func (s *engine) executed() uint64 {
+	if s.walker != nil {
+		return s.walker.Executed()
+	}
+	return s.laneExec
 }
 
 // execScalarRun executes n consecutive scalar instructions. All
@@ -421,7 +457,7 @@ func (s *engine) reportProgress(done bool) {
 	s.cfg.Progress(Progress{
 		Cycle:           s.cycles,
 		GuestInsns:      s.guestInsns,
-		Translations:    s.walker.Executed(),
+		Translations:    s.executed(),
 		MaxTranslations: s.cfg.MaxTranslations,
 		Windows:         s.htb.Windows(),
 		Done:            done,

@@ -281,6 +281,15 @@ type bpuUnit struct {
 	// Dynamic-energy access tallies at the two power levels.
 	largeAcc uint64
 	smallAcc uint64
+
+	// pristineLarge marks a batched lane whose large predictor has never
+	// been gated off: its state equals the batch group's never-gated
+	// reference, so branches consume the recorded reference verdict
+	// instead of training a private copy. The first gate-off clears the
+	// flag — gating resets the large predictor, so from that point the
+	// lane's own (reset-state) Tournament is exactly what a solo run
+	// would hold. Always false on the solo path.
+	pristineLarge bool
 }
 
 func newBPUUnit(e *engine) *bpuUnit {
@@ -303,6 +312,9 @@ func (b *bpuUnit) enact(policy pvt.Policy) {
 	}
 	stall := b.e.design.GateStallBPU
 	b.e.stallFor(stall)
+	if !policy.BPUOn {
+		b.pristineLarge = false
+	}
 	b.unit.SetLargeOn(policy.BPUOn)
 	frac := 1.0
 	if !policy.BPUOn {
@@ -330,6 +342,7 @@ func (b *bpuUnit) enactIdle(policy pvt.Policy) {
 		return
 	}
 	stall := b.e.design.GateStallBPU + b.idle.EntryCycles
+	b.pristineLarge = false
 	b.unit.SetLargeOn(false)
 	b.curIdle = b.idle
 	b.e.stallFor(stall)
@@ -362,10 +375,30 @@ func (b *bpuUnit) report(r *Result) {
 	r.Mispredicts = b.mispredicts
 }
 
-// execBranch models one guest branch through the active predictor.
+// execBranch models one guest branch through the active predictor. On the
+// batched path the outcome and the small predictor's verdict come from the
+// shared front-end record: the always-on small predictor sees the same
+// (PC, outcome) stream whatever this lane's gating history, so its state —
+// and hence its verdict — is lane-independent; only the gateable large
+// predictor (reset on every gate-off) is consulted per lane.
 func (b *bpuUnit) execBranch(ri int, inst isa.Inst, issueCycle float64) {
-	taken := b.e.walker.BranchOutcome(ri, inst.Sel)
-	correct := b.unit.Access(inst.PC, taken)
+	var taken, correct bool
+	if rec := b.e.replay; rec != nil {
+		bits := rec.branch[b.e.replayB]
+		b.e.replayB++
+		taken = bits&recTaken != 0
+		switch {
+		case !b.unit.LargeOn():
+			correct = bits&recSmallCorrect != 0
+		case b.pristineLarge:
+			correct = bits&recLargeCorrect != 0
+		default:
+			correct = b.unit.Large.Access(inst.PC, taken)
+		}
+	} else {
+		taken = b.e.walker.BranchOutcome(ri, inst.Sel)
+		correct = b.unit.Access(inst.PC, taken)
+	}
 	b.e.uops++
 	b.e.coreAccesses++
 	b.e.cycles += issueCycle
@@ -402,6 +435,20 @@ type mlcUnit struct {
 	accByFrac []fracCount
 	// accesses is the whole-run MLC access count, filled at flush time.
 	accesses uint64
+
+	// Batched-lane pristine state. While sharedMLC is non-nil the lane
+	// has never gated its MLC, so its contents equal the batch group's
+	// never-gated reference: memory ops consume the recorded reference
+	// outcomes without touching any cache arrays, with the lane's memory
+	// traffic tracked in prReads/prWrites. The first gating transition
+	// clones the reference into the lane's hierarchy and clears
+	// sharedMLC (see diverge). Cached latencies keep the pristine hot
+	// path free of config-struct copies.
+	sharedMLC *cache.Cache
+	prReads   uint64
+	prWrites  uint64
+	mlcLat    float64
+	memLat    float64
 }
 
 // fracCount tallies accesses at one power fraction.
@@ -416,6 +463,8 @@ func newMLCUnit(e *engine) *mlcUnit {
 		hier:      cache.NewHierarchy(e.design.Mem),
 		g:         gating.NewUnit(arch.UnitMLC, 1),
 		accByFrac: make([]fracCount, 0, 4),
+		mlcLat:    e.design.Mem.MLCLatency,
+		memLat:    e.design.Mem.MemLatency,
 	}
 }
 
@@ -438,6 +487,7 @@ func (m *mlcUnit) enact(policy pvt.Policy) {
 	if wantWays == m.hier.MLC().ActiveWays() {
 		return
 	}
+	m.diverge()
 	dirty := m.hier.GateMLC(wantWays)
 	stall := m.e.design.GateStallMLC + float64(dirty)*m.e.design.WritebackCyclesPerLine
 	m.e.stallFor(stall)
@@ -490,10 +540,31 @@ func (m *mlcUnit) report(r *Result) {
 	r.MLCAccesses = m.accesses
 }
 
-// execMem models one guest load or store through the cache hierarchy.
+// execMem models one guest load or store through the cache hierarchy. On
+// the batched path the address and the L1's hit/writeback/victim outcome
+// come from the shared front-end record — the L1 sits above the gateable
+// MLC, so its behaviour is lane-independent — and only this lane's MLC
+// (whose contents diverge under way gating) is consulted, via ReplayAccess.
 func (m *mlcUnit) execMem(ri int, inst isa.Inst, issueCycle float64) {
-	addr := m.e.walker.Address(ri, inst.Sel)
-	res := m.hier.Access(addr, inst.Kind == isa.Store)
+	var res cache.AccessResult
+	if rec := m.e.replay; rec != nil {
+		bits := rec.mem[m.e.replayM]
+		addr := rec.addrs[m.e.replayM]
+		m.e.replayM++
+		var victim uint64
+		if bits&recL1WB != 0 {
+			victim = rec.victims[m.e.replayV]
+			m.e.replayV++
+		}
+		if m.sharedMLC != nil {
+			res = m.replayPristine(bits)
+		} else {
+			res = m.hier.ReplayAccess(addr, bits&recL1Hit != 0, bits&recL1WB != 0, victim)
+		}
+	} else {
+		addr := m.e.walker.Address(ri, inst.Sel)
+		res = m.hier.Access(addr, inst.Kind == isa.Store)
+	}
 	m.e.uops++
 	m.e.coreAccesses++
 	m.e.cycles += issueCycle + res.StallCycles
@@ -506,6 +577,56 @@ func (m *mlcUnit) execMem(ri int, inst isa.Inst, issueCycle float64) {
 		m.winL2Hits++
 		m.intMLCHits++
 	}
+}
+
+// replayPristine reconstructs a memory op's AccessResult for a lane that
+// has never gated its MLC, purely from the recorded reference-MLC
+// outcome bits — no cache arrays are touched, which is where batching's
+// memory-path amortization comes from. The lane's main-memory traffic is
+// tracked so diverge can seed the hierarchy's counters.
+func (m *mlcUnit) replayPristine(bits uint8) cache.AccessResult {
+	var res cache.AccessResult
+	res.L1Hit = bits&recL1Hit != 0
+	if bits&recL1WB != 0 {
+		res.Writebacks++
+		res.MLCAccessed = true
+		if bits&recWB2 != 0 {
+			res.Writebacks++
+			m.prWrites++
+		}
+	}
+	if res.L1Hit {
+		return res
+	}
+	res.MLCAccessed = true
+	if bits&recMLCWB != 0 {
+		res.Writebacks++
+		m.prWrites++
+	}
+	if bits&recMLCHit != 0 {
+		res.MLCHit = true
+		res.StallCycles = m.mlcLat
+	} else {
+		res.MemAccessed = true
+		m.prReads++
+		res.StallCycles = m.memLat
+	}
+	return res
+}
+
+// diverge forks the lane-private MLC off the batch group's never-gated
+// reference just before the lane's first gating transition mutates it.
+// Gating is enacted between region executions (at boot or a window
+// boundary), and the front-end records execution k before any lane
+// processes it, so the reference's contents at that instant are exactly
+// what this lane's own MLC would hold. Solo runs and already-diverged
+// lanes are no-ops.
+func (m *mlcUnit) diverge() {
+	if m.sharedMLC == nil {
+		return
+	}
+	m.hier.AdoptMLC(m.sharedMLC.Clone(), m.prReads, m.prWrites)
+	m.sharedMLC = nil
 }
 
 // unitActivity converts a gating tracker into the reported summary.

@@ -135,6 +135,14 @@ type Options struct {
 	// to a serial run). It is ignored when TraceWriter is set, where
 	// serial execution keeps the three event streams from interleaving.
 	Parallelism int
+	// Batch caps how many configurations one batched simulation group
+	// (sim.RunBatch) drives from a single trace walk: 0 selects the
+	// default cap, 1 disables batching entirely, larger values set the
+	// cap. Batching is a pure wall-clock optimization — RunBatch, Compare
+	// and Tune produce byte-identical Reports at any setting — so the
+	// only reasons to change it are memory (each lane holds its own MLC
+	// copy once gated) and A/B timing.
+	Batch int
 	// Cache, when non-nil, is a persistent content-addressed result
 	// store (internal/rescache): Run consults it before simulating and
 	// files the result afterwards, so repeated identical runs are
@@ -528,6 +536,39 @@ func runProgram(ctx context.Context, p *program.Program, b workload.Benchmark, o
 	ctx, sp := span.Start(ctx, "benchmark",
 		"bench="+b.Name, "manager="+manager)
 	defer func() { sp.EndErr(err) }()
+	lane, err := prepareRun(ctx, p, b, opts)
+	if err != nil {
+		return nil, err
+	}
+	if rep, ok := lane.cached(); ok {
+		return rep, nil
+	}
+	res, err := sim.Run(p, lane.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return lane.finish(res)
+}
+
+// laneRun is one prepared simulation lane: the assembled sim.Config plus
+// the cache and trace plumbing a public Run performs around it. Both the
+// solo path (runProgram) and the batched path (runProgramBatch) prepare
+// lanes the same way, which is what keeps their cache keys, progress
+// reports and Reports identical.
+type laneRun struct {
+	bench    string
+	kind     string // manager name, for progress reports
+	cfg      sim.Config
+	trace    *obs.JSONL
+	resCache *rescache.Cache
+	cacheKey rescache.Key
+	progress func(RunProgress)
+}
+
+// prepareRun resolves the options into a ready-to-simulate lane:
+// policy and design resolution, run length, observer sinks, persistent
+// cache keying (with bypass counting) and the progress adapter.
+func prepareRun(ctx context.Context, p *program.Program, b workload.Benchmark, opts Options) (*laneRun, error) {
 	spec, params, err := resolvePolicy(opts)
 	if err != nil {
 		return nil, err
@@ -550,16 +591,20 @@ func runProgram(ctx context.Context, p *program.Program, b workload.Benchmark, o
 	if passes <= 0 {
 		passes = 2
 	}
-	var trace *obs.JSONL
+	lane := &laneRun{
+		bench:    b.Name,
+		kind:     m.Name(),
+		progress: opts.Progress,
+	}
 	var sinks []obs.Tracer
 	if opts.TraceWriter != nil {
-		trace = obs.NewJSONL(opts.TraceWriter)
-		sinks = append(sinks, trace)
+		lane.trace = obs.NewJSONL(opts.TraceWriter)
+		sinks = append(sinks, lane.trace)
 	}
 	if opts.Tracer != nil {
 		sinks = append(sinks, opts.Tracer)
 	}
-	cfg := sim.Config{
+	lane.cfg = sim.Config{
 		Context:         ctx,
 		Design:          design,
 		Manager:         m,
@@ -579,34 +624,19 @@ func runProgram(ctx context.Context, p *program.Program, b workload.Benchmark, o
 	if resCache == nil && opts.CacheDir != "" {
 		resCache = rescache.New(opts.CacheDir, nil)
 	}
-	var cacheKey rescache.Key
 	if resCache != nil {
 		if opts.TraceWriter != nil || opts.Tracer != nil || opts.Metrics || opts.Audit || opts.Telemetry != nil {
 			resCache.CountBypass()
-			resCache = nil
 		} else {
-			cacheKey = cacheKeyFor(p, design, fingerprint, opts, cfg.MaxTranslations)
-			if res, ok := resCache.Get(cacheKey); ok {
-				if progress := opts.Progress; progress != nil {
-					progress(RunProgress{
-						Benchmark:    b.Name,
-						Kind:         m.Name(),
-						State:        StateDone,
-						Cycles:       res.Cycles,
-						Translations: cfg.MaxTranslations,
-						Total:        cfg.MaxTranslations,
-						Windows:      res.Windows,
-					})
-				}
-				return reportOf(res), nil
-			}
+			lane.resCache = resCache
+			lane.cacheKey = cacheKeyFor(p, design, fingerprint, opts, lane.cfg.MaxTranslations)
 		}
 	}
 
 	if progress := opts.Progress; progress != nil {
 		started := time.Now()
-		name, kind := b.Name, m.Name()
-		cfg.Progress = func(pr sim.Progress) {
+		name, kind := b.Name, lane.kind
+		lane.cfg.Progress = func(pr sim.Progress) {
 			state := StateSimulating
 			if pr.Done {
 				state = StateDone
@@ -623,21 +653,148 @@ func runProgram(ctx context.Context, p *program.Program, b workload.Benchmark, o
 			})
 		}
 	}
-	res, err := sim.Run(p, cfg)
-	if err != nil {
-		return nil, err
+	return lane, nil
+}
+
+// cached consults the lane's persistent cache; on a hit it delivers the
+// done progress report and returns the finished Report.
+func (l *laneRun) cached() (*Report, bool) {
+	if l.resCache == nil {
+		return nil, false
 	}
-	if trace != nil {
-		if err := trace.Flush(); err != nil {
+	res, ok := l.resCache.Get(l.cacheKey)
+	if !ok {
+		return nil, false
+	}
+	if l.progress != nil {
+		l.progress(RunProgress{
+			Benchmark:    l.bench,
+			Kind:         l.kind,
+			State:        StateDone,
+			Cycles:       res.Cycles,
+			Translations: l.cfg.MaxTranslations,
+			Total:        l.cfg.MaxTranslations,
+			Windows:      res.Windows,
+		})
+	}
+	return reportOf(res), true
+}
+
+// finish flushes the lane's trace, files the result in the persistent
+// cache and converts it into the public Report.
+func (l *laneRun) finish(res *sim.Result) (*Report, error) {
+	if l.trace != nil {
+		if err := l.trace.Flush(); err != nil {
 			return nil, fmt.Errorf("powerchop: flushing trace: %w", err)
 		}
 	}
-	if resCache != nil {
+	if l.resCache != nil {
 		// Best-effort: a failed store is counted by the cache and must
 		// not fail a run that produced a good result.
-		_ = resCache.Put(cacheKey, res)
+		_ = l.resCache.Put(l.cacheKey, res)
 	}
 	return reportOf(res), nil
+}
+
+// defaultBatchCap bounds the lanes one batched simulation group drives
+// when Options.Batch is zero. Batching amortizes the shared front-end
+// (trace walk, L1, small predictor) across lanes; past ~16 lanes the
+// remaining per-lane work dominates and wider groups only cost memory.
+const defaultBatchCap = 16
+
+// batchCap resolves an Options.Batch value into a concrete group cap.
+func batchCap(batch int) int {
+	if batch <= 0 {
+		return defaultBatchCap
+	}
+	return batch
+}
+
+// RunBatch simulates the benchmark once per option set and returns the
+// Reports in input order. Every Report is byte-identical to what
+// Run(benchmark, optsList[i]) returns; the batch exists purely to
+// amortize the shared instruction-stream work across the variants (see
+// DESIGN.md "Batched sweep execution"). Lanes whose results are already
+// in the persistent cache are served from it without simulating; lanes
+// with an event-stream consumer attached (TraceWriter, Tracer, Metrics,
+// Audit, Telemetry) fall back to solo simulation transparently. The
+// first option set's Batch field caps the lanes per simulation group.
+func RunBatch(benchmark string, optsList []Options) ([]*Report, error) {
+	return RunBatchContext(context.Background(), benchmark, optsList)
+}
+
+// RunBatchContext is RunBatch under a context. When ctx carries a span
+// the batch executes under a "benchbatch" child span.
+func RunBatchContext(ctx context.Context, benchmark string, optsList []Options) ([]*Report, error) {
+	b, err := workload.ByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	var batch int
+	if len(optsList) > 0 {
+		batch = optsList[0].Batch
+	}
+	reports := make([]*Report, len(optsList))
+	for lo := 0; lo < len(optsList); lo += batchCap(batch) {
+		hi := lo + batchCap(batch)
+		if hi > len(optsList) {
+			hi = len(optsList)
+		}
+		chunk, err := runProgramBatch(ctx, p, b, optsList[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		copy(reports[lo:hi], chunk)
+	}
+	return reports, nil
+}
+
+// runProgramBatch executes one built program under several option sets
+// through a single batched simulation: lanes are prepared exactly like
+// solo runs (same cache keys, same progress reports), cache hits are
+// served without simulating, and the cold remainder goes through
+// sim.RunBatch in one group.
+func runProgramBatch(ctx context.Context, p *program.Program, b workload.Benchmark, optsList []Options) (reps []*Report, err error) {
+	ctx, sp := span.Start(ctx, "benchbatch",
+		"bench="+b.Name, fmt.Sprintf("lanes=%d", len(optsList)))
+	defer func() { sp.EndErr(err) }()
+	reports := make([]*Report, len(optsList))
+	lanes := make([]*laneRun, len(optsList))
+	var cold []int
+	for i, o := range optsList {
+		lane, err := prepareRun(ctx, p, b, o)
+		if err != nil {
+			return nil, fmt.Errorf("powerchop: batch lane %d: %w", i, err)
+		}
+		lanes[i] = lane
+		if rep, ok := lane.cached(); ok {
+			reports[i] = rep
+			continue
+		}
+		cold = append(cold, i)
+	}
+	if len(cold) > 0 {
+		cfgs := make([]sim.Config, len(cold))
+		for j, i := range cold {
+			cfgs[j] = lanes[i].cfg
+		}
+		results, err := sim.RunBatch(p, cfgs)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range cold {
+			rep, err := lanes[i].finish(results[j])
+			if err != nil {
+				return nil, err
+			}
+			reports[i] = rep
+		}
+	}
+	return reports, nil
 }
 
 // cacheKeyFor derives the persistent-cache key for a public Run. The
@@ -753,7 +910,9 @@ func (c *Comparison) EnergyReduction() float64 {
 
 // Compare runs the benchmark under full-power, PowerChop and min-power.
 // With Options.Parallelism above one (and no TraceWriter) the three runs
-// execute concurrently.
+// execute concurrently; otherwise (unless Options.Batch is 1 or a
+// TraceWriter is attached) they share one batched simulation, which is
+// byte-identical to the serial runs but roughly twice as fast cold.
 func Compare(benchmark string, opts Options) (*Comparison, error) {
 	c := &Comparison{Benchmark: benchmark}
 	configs := []struct {
@@ -789,6 +948,21 @@ func Compare(benchmark string, opts Options) (*Comparison, error) {
 			if err != nil {
 				return nil, err
 			}
+		}
+		return c, nil
+	}
+	if opts.Batch != 1 && opts.TraceWriter == nil {
+		optsList := make([]Options, len(configs))
+		for i, cfg := range configs {
+			optsList[i] = opts
+			optsList[i].Manager = cfg.manager
+		}
+		reps, err := RunBatch(benchmark, optsList)
+		if err != nil {
+			return nil, err
+		}
+		for i, cfg := range configs {
+			*cfg.into = reps[i]
 		}
 		return c, nil
 	}

@@ -12,6 +12,7 @@ import (
 	"powerchop/internal/rescache"
 	"powerchop/internal/stats"
 	"powerchop/internal/textplot"
+	"powerchop/internal/workload"
 )
 
 // TuneOptions configures a parameter-grid sweep of one policy.
@@ -117,9 +118,34 @@ func (t *TuneResult) Render() string {
 	return b.String()
 }
 
+// dedupeValues drops repeated values from a grid axis, keeping the first
+// occurrence of each in order. Duplicates arise when a parameter's
+// default sits on (or near) a bound — clamping half/double onto Min or
+// Max collapses points — and when explicit -grid lists or degenerate
+// LO:HI:STEPS ranges repeat a value; without deduplication the odometer
+// would multiply every repeat into whole duplicate grid points, each
+// re-running (or re-fetching) identical simulations.
+func dedupeValues(vals []float64) []float64 {
+	out := vals[:0:len(vals)]
+	for _, v := range vals {
+		seen := false
+		for _, u := range out {
+			if u == v {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // defaultGrid is the swept values of one parameter when no explicit
 // grid is given: half, default, double, clamped to the bounds and
-// deduplicated (a zero default collapses to a single point).
+// deduplicated (a zero default, or one sitting on a bound, collapses
+// the clamped points).
 func defaultGrid(p policy.Param) []float64 {
 	lo, hi := p.Default/2, p.Default*2
 	if lo < p.Min {
@@ -128,17 +154,13 @@ func defaultGrid(p policy.Param) []float64 {
 	if hi > p.Max {
 		hi = p.Max
 	}
-	var out []float64
-	for _, v := range []float64{lo, p.Default, hi} {
-		if len(out) == 0 || out[len(out)-1] != v {
-			out = append(out, v)
-		}
-	}
-	return out
+	return dedupeValues([]float64{lo, p.Default, hi})
 }
 
 // tuneGrid enumerates the sweep's parameter assignments in a
 // deterministic order: an odometer over the schema's declaration order.
+// Every axis is deduplicated first, so the sweep never contains two
+// points with identical parameter assignments.
 func tuneGrid(spec policy.Spec, overrides map[string][]float64) ([]policy.Params, error) {
 	for name := range overrides {
 		found := false
@@ -155,7 +177,7 @@ func tuneGrid(spec policy.Spec, overrides map[string][]float64) ([]policy.Params
 	axes := make([][]float64, len(spec.Params))
 	for i, p := range spec.Params {
 		if vals, ok := overrides[p.Name]; ok && len(vals) > 0 {
-			axes[i] = vals
+			axes[i] = dedupeValues(append([]float64(nil), vals...))
 		} else if ok {
 			axes[i] = []float64{p.Default}
 		} else {
@@ -215,9 +237,12 @@ func markPareto(points []TunePoint) []TunePoint {
 
 // Tune sweeps the policy's parameter grid and returns every point's
 // (energy saved, slowdown) vs the full-power baseline, averaged over
-// the benchmarks, plus the Pareto frontier. Runs go through Run, so
-// with Options.Cache (or CacheDir) set the sweep fills and reuses the
-// same persistent entries as Run and Compare.
+// the benchmarks, plus the Pareto frontier. Cold grid points share
+// batched simulations (unless Options.Batch is 1), which is a pure
+// wall-clock optimization: with Options.Cache (or CacheDir) set the
+// sweep fills and reuses exactly the same persistent entries as Run
+// and Compare, and every point reconciles byte-for-byte with a solo
+// Run at the same parameters.
 func Tune(opts TuneOptions) (*TuneResult, error) {
 	return TuneContext(context.Background(), opts)
 }
@@ -250,7 +275,19 @@ func TuneContext(ctx context.Context, opts TuneOptions) (res *TuneResult, err er
 		base.CacheDir = ""
 	}
 
-	// Full-power baselines, one per benchmark.
+	points := make([]TunePoint, len(grid))
+	if opts.Options.Batch != 1 && base.TraceWriter == nil {
+		if err := tuneBatched(ctx, spec, benchmarks, grid, base,
+			opts.Options.Parallelism, opts.Options.Batch, points); err != nil {
+			return nil, err
+		}
+		res = &TuneResult{Policy: spec.Name, Benchmarks: benchmarks, Points: points}
+		res.Frontier = markPareto(res.Points)
+		return res, nil
+	}
+
+	// Solo sweep (Batch=1 or a TraceWriter attached): every grid point
+	// runs through RunContext individually.
 	full := make(map[string]*Report, len(benchmarks))
 	for _, bench := range benchmarks {
 		o := base
@@ -262,7 +299,6 @@ func TuneContext(ctx context.Context, opts TuneOptions) (res *TuneResult, err er
 		full[bench] = rep
 	}
 
-	points := make([]TunePoint, len(grid))
 	runPoint := func(i int) error {
 		params := grid[i]
 		fp, err := spec.Fingerprint(params)
@@ -320,4 +356,111 @@ func TuneContext(ctx context.Context, opts TuneOptions) (res *TuneResult, err er
 	res = &TuneResult{Policy: spec.Name, Benchmarks: benchmarks, Points: points}
 	res.Frontier = markPareto(res.Points)
 	return res, nil
+}
+
+// tuneBatched executes the sweep through batched simulations: each
+// benchmark's full-power baseline and grid points are chunked into
+// groups that share one instruction walk (sim.RunBatch). Lanes are
+// prepared exactly like solo Runs — same persistent-cache keys, same
+// progress reports — so the point results and the cache entries they
+// fill reconcile byte-for-byte with Run, Compare and a Batch=1 sweep.
+// With Parallelism above one, chunks shrink so every worker has a group
+// to drive, and the groups run concurrently.
+func tuneBatched(ctx context.Context, spec policy.Spec, benchmarks []string, grid []policy.Params, base Options, jobs, batch int, points []TunePoint) error {
+	lanesPer := len(grid) + 1 // index 0 is the full-power baseline
+	chunk := batchCap(batch)
+	if jobs > 1 {
+		if even := (lanesPer*len(benchmarks) + jobs - 1) / jobs; even < chunk {
+			chunk = even
+		}
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	type unit struct{ bench, lo, hi int }
+	var units []unit
+	laneOpts := make([][]Options, len(benchmarks))
+	reports := make([][]*Report, len(benchmarks))
+	for bi := range benchmarks {
+		lanes := make([]Options, 0, lanesPer)
+		o := base
+		o.Manager = ManagerFullPower
+		lanes = append(lanes, o)
+		for _, params := range grid {
+			o := base
+			o.Manager = spec.Name
+			o.Params = params
+			lanes = append(lanes, o)
+		}
+		laneOpts[bi] = lanes
+		reports[bi] = make([]*Report, lanesPer)
+		for lo := 0; lo < lanesPer; lo += chunk {
+			hi := lo + chunk
+			if hi > lanesPer {
+				hi = lanesPer
+			}
+			units = append(units, unit{bi, lo, hi})
+		}
+	}
+	runUnit := func(u unit) error {
+		b, err := workload.ByName(benchmarks[u.bench])
+		if err != nil {
+			return err
+		}
+		p, err := b.Build()
+		if err != nil {
+			return err
+		}
+		reps, err := runProgramBatch(ctx, p, b, laneOpts[u.bench][u.lo:u.hi])
+		if err != nil {
+			return err
+		}
+		copy(reports[u.bench][u.lo:u.hi], reps)
+		return nil
+	}
+	if jobs > 1 {
+		sem := make(chan struct{}, jobs)
+		errs := make([]error, len(units))
+		var wg sync.WaitGroup
+		for i, u := range units {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, u unit) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				errs[i] = runUnit(u)
+			}(i, u)
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				return e
+			}
+		}
+	} else {
+		for _, u := range units {
+			if err := runUnit(u); err != nil {
+				return err
+			}
+		}
+	}
+	for i, params := range grid {
+		fp, err := spec.Fingerprint(params)
+		if err != nil {
+			return err
+		}
+		var saved, slow []float64
+		for bi := range benchmarks {
+			f, rep := reports[bi][0], reports[bi][i+1]
+			saved = append(saved, 1-rep.TotalEnergyJ/f.TotalEnergyJ)
+			slow = append(slow, rep.Cycles/f.Cycles-1)
+		}
+		points[i] = TunePoint{
+			Params:      params,
+			Fingerprint: fp,
+			EnergySaved: stats.Mean(saved),
+			Slowdown:    stats.Mean(slow),
+		}
+	}
+	return nil
 }
